@@ -1,0 +1,390 @@
+//! DiCE: Diverse Counterfactual Explanations (Mothilal et al., FAT* 2020),
+//! adapted to record pairs.
+//!
+//! DiCE searches for a *set* of counterfactuals that (a) flip the
+//! prediction, (b) stay close to the original input, and (c) are diverse
+//! among themselves. Being task-agnostic, it draws substitute attribute
+//! values from the column domains at large — which is why its
+//! counterfactuals can look like Figure 5's "lg 14' washer and dryer" for a
+//! home-theater pair: valid flips, but not ER-shaped edits. This genetic
+//! implementation mirrors the public DiCE library's model-agnostic mode.
+
+use crate::pair_seed;
+use certa_core::{AttrId, Dataset, MatchLabel, Matcher, Record, Side};
+use certa_explain::{AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer};
+use certa_text::attribute_dist;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// DiCE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Dice {
+    /// Counterfactuals requested (DiCE's `total_CFs`).
+    pub total_cfs: usize,
+    /// Genetic population size.
+    pub population: usize,
+    /// Generations evolved.
+    pub generations: usize,
+    /// Maximum attributes changed per counterfactual.
+    pub max_changes: usize,
+    /// Candidate substitute values sampled per attribute.
+    pub pool_per_attr: usize,
+    /// Weight of the proximity penalty in the fitness.
+    pub proximity_weight: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Dice {
+    fn default() -> Self {
+        Dice {
+            total_cfs: 4,
+            population: 48,
+            generations: 14,
+            max_changes: 3,
+            pool_per_attr: 10,
+            proximity_weight: 0.25,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// One candidate: the attribute substitutions it applies.
+type Changes = Vec<(AttrRef, String)>;
+
+impl Dice {
+    fn value_pools(&self, dataset: &Dataset, rng: &mut StdRng) -> Vec<(AttrRef, Vec<String>)> {
+        let mut pools = Vec::new();
+        for side in Side::both() {
+            let table = dataset.table(side);
+            for a in table.schema().attr_ids() {
+                let mut vals: Vec<String> = Vec::with_capacity(self.pool_per_attr + 1);
+                for _ in 0..self.pool_per_attr {
+                    let r = &table.records()[rng.gen_range(0..table.len())];
+                    vals.push(r.value(a).to_string());
+                }
+                vals.push(String::new()); // deletion is always available
+                vals.dedup();
+                pools.push((AttrRef { side, attr: a }, vals));
+            }
+        }
+        pools
+    }
+
+    fn apply(&self, u: &Record, v: &Record, changes: &Changes) -> (Record, Record) {
+        let mut pu = u.clone();
+        let mut pv = v.clone();
+        for (attr, value) in changes {
+            match attr.side {
+                Side::Left => {
+                    pu.set_value(attr.attr, value.clone());
+                }
+                Side::Right => {
+                    pv.set_value(attr.attr, value.clone());
+                }
+            }
+        }
+        (pu, pv)
+    }
+
+    fn fitness(
+        &self,
+        matcher: &dyn Matcher,
+        u: &Record,
+        v: &Record,
+        y: MatchLabel,
+        changes: &Changes,
+    ) -> (f64, f64) {
+        let (pu, pv) = self.apply(u, v, changes);
+        let score = matcher.score(&pu, &pv);
+        // Signed margin toward the flipped label.
+        let margin = match y {
+            MatchLabel::Match => 0.5 - score,
+            MatchLabel::NonMatch => score - 0.5,
+        };
+        let prox_cost: f64 = changes
+            .iter()
+            .map(|(attr, val)| {
+                let original = match attr.side {
+                    Side::Left => u.value(attr.attr),
+                    Side::Right => v.value(attr.attr),
+                };
+                attribute_dist(original, val)
+            })
+            .sum::<f64>()
+            / changes.len().max(1) as f64;
+        let sparsity_cost = changes.len() as f64 / (u.arity() + v.arity()) as f64;
+        let fitness =
+            margin - self.proximity_weight * prox_cost - 0.1 * sparsity_cost;
+        (fitness, score)
+    }
+
+    fn random_individual(
+        &self,
+        pools: &[(AttrRef, Vec<String>)],
+        rng: &mut StdRng,
+    ) -> Changes {
+        let n = rng.gen_range(1..=self.max_changes.min(pools.len()));
+        let mut idxs: Vec<usize> = (0..pools.len()).collect();
+        idxs.shuffle(rng);
+        let mut changes: Changes = idxs[..n]
+            .iter()
+            .map(|&i| {
+                let (attr, vals) = &pools[i];
+                (*attr, vals[rng.gen_range(0..vals.len())].clone())
+            })
+            .collect();
+        changes.sort_by_key(|(a, _)| *a);
+        changes
+    }
+
+    fn crossover_mutate(
+        &self,
+        a: &Changes,
+        b: &Changes,
+        pools: &[(AttrRef, Vec<String>)],
+        rng: &mut StdRng,
+    ) -> Changes {
+        let mut merged: Changes = a.iter().chain(b.iter()).cloned().collect();
+        merged.shuffle(rng);
+        merged.sort_by_key(|(attr, _)| *attr);
+        merged.dedup_by_key(|(attr, _)| *attr);
+        merged.shuffle(rng);
+        merged.truncate(rng.gen_range(1..=self.max_changes));
+        // Mutation: replace one change's value (or retarget its attribute).
+        if !merged.is_empty() && rng.gen_bool(0.4) {
+            let i = rng.gen_range(0..merged.len());
+            let pool_idx = rng.gen_range(0..pools.len());
+            let (attr, vals) = &pools[pool_idx];
+            merged[i] = (*attr, vals[rng.gen_range(0..vals.len())].clone());
+            merged.sort_by_key(|(a, _)| *a);
+            merged.dedup_by_key(|(a, _)| *a);
+        }
+        merged.sort_by_key(|(a, _)| *a);
+        merged
+    }
+}
+
+impl CounterfactualExplainer for Dice {
+    fn name(&self) -> &str {
+        "dice"
+    }
+
+    fn explain_counterfactual(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        u: &Record,
+        v: &Record,
+    ) -> CounterfactualExplanation {
+        let y = matcher.predict(u, v);
+        let mut rng = StdRng::seed_from_u64(pair_seed(self.seed, u, v));
+        let pools = self.value_pools(dataset, &mut rng);
+        if pools.is_empty() {
+            return CounterfactualExplanation::default();
+        }
+
+        let mut population: Vec<Changes> =
+            (0..self.population).map(|_| self.random_individual(&pools, &mut rng)).collect();
+
+        for _ in 0..self.generations {
+            let mut scored: Vec<(f64, f64, Changes)> = population
+                .drain(..)
+                .map(|c| {
+                    let (fit, score) = self.fitness(matcher, u, v, y, &c);
+                    (fit, score, c)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+            let elite = (self.population / 3).max(2).min(scored.len());
+            let parents: Vec<Changes> =
+                scored.iter().take(elite).map(|(_, _, c)| c.clone()).collect();
+            population = parents.clone();
+            while population.len() < self.population {
+                let pa = &parents[rng.gen_range(0..parents.len())];
+                let pb = &parents[rng.gen_range(0..parents.len())];
+                population.push(self.crossover_mutate(pa, pb, &pools, &mut rng));
+            }
+        }
+
+        // Final evaluation: keep valid (flipping) candidates, deduped.
+        let mut finals: Vec<(f64, f64, Changes)> = population
+            .into_iter()
+            .map(|c| {
+                let (fit, score) = self.fitness(matcher, u, v, y, &c);
+                (fit, score, c)
+            })
+            .filter(|(_, score, _)| MatchLabel::from_score(*score) != y)
+            .collect();
+        finals.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+        finals.dedup_by(|a, b| a.2 == b.2);
+
+        // Greedy diverse selection up to total_cfs.
+        let mut picked: Vec<(f64, Changes)> = Vec::new();
+        for (_, score, c) in finals {
+            if picked.len() >= self.total_cfs {
+                break;
+            }
+            let min_dist = picked
+                .iter()
+                .map(|(_, p)| change_set_distance(&c, p))
+                .fold(f64::INFINITY, f64::min);
+            if picked.is_empty() || min_dist > 0.1 {
+                picked.push((score, c));
+            }
+        }
+
+        let examples: Vec<CounterfactualExample> = picked
+            .iter()
+            .map(|(score, changes)| {
+                let (pl, pr) = self.apply(u, v, changes);
+                CounterfactualExample {
+                    left: pl,
+                    right: pr,
+                    changed: changes.iter().map(|(a, _)| *a).collect(),
+                    score: *score,
+                }
+            })
+            .collect();
+        let golden_set =
+            examples.first().map(|e| e.changed.clone()).unwrap_or_default();
+        let sufficiency = if examples.is_empty() { 0.0 } else { 1.0 };
+        CounterfactualExplanation { examples, golden_set, sufficiency }
+    }
+}
+
+/// Distance between two change sets: Jaccard distance over changed
+/// attributes, plus value distance on the shared ones.
+fn change_set_distance(a: &Changes, b: &Changes) -> f64 {
+    let attrs_a: Vec<AttrRef> = a.iter().map(|(x, _)| *x).collect();
+    let attrs_b: Vec<AttrRef> = b.iter().map(|(x, _)| *x).collect();
+    let inter = attrs_a.iter().filter(|x| attrs_b.contains(x)).count();
+    let union = attrs_a.len() + attrs_b.len() - inter;
+    let attr_dist = if union == 0 { 0.0 } else { 1.0 - inter as f64 / union as f64 };
+    let mut value_dist = 0.0;
+    let mut shared = 0;
+    for (attr, val_a) in a {
+        if let Some((_, val_b)) = b.iter().find(|(x, _)| x == attr) {
+            value_dist += attribute_dist(val_a, val_b);
+            shared += 1;
+        }
+    }
+    if shared > 0 {
+        0.5 * attr_dist + 0.5 * value_dist / shared as f64
+    } else {
+        attr_dist
+    }
+}
+
+/// Expose the AttrId index for change application (test helper).
+#[allow(dead_code)]
+fn attr_of(side: Side, i: u16) -> AttrRef {
+    AttrRef { side, attr: AttrId(i) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, LabeledPair, RecordId, Schema, Table};
+
+    fn dataset() -> Dataset {
+        let ls = Schema::shared("U", ["key", "noise"]);
+        let rs = Schema::shared("V", ["key", "noise"]);
+        let mk = |i: u32, k: &str| Record::new(RecordId(i), vec![k.into(), format!("n{i}")]);
+        let left =
+            Table::from_records(ls, (0..8).map(|i| mk(i, if i < 4 { "alpha" } else { "beta" })).collect())
+                .unwrap();
+        let right =
+            Table::from_records(rs, (0..8).map(|i| mk(i, if i < 4 { "alpha" } else { "beta" })).collect())
+                .unwrap();
+        Dataset::new(
+            "toy",
+            left,
+            right,
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+            vec![LabeledPair::new(RecordId(0), RecordId(4), false)],
+        )
+        .unwrap()
+    }
+
+    fn key_matcher() -> impl Matcher {
+        FnMatcher::new("key-eq", |u: &Record, v: &Record| {
+            if !u.values()[0].is_empty() && u.values()[0] == v.values()[0] {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn finds_flipping_counterfactuals_for_match() {
+        let d = dataset();
+        let m = key_matcher();
+        let u = d.left().expect(RecordId(0));
+        let v = d.right().expect(RecordId(0)); // Match
+        let dice = Dice::default();
+        let cf = dice.explain_counterfactual(&m, &d, u, v);
+        assert!(cf.found(), "DiCE should find a flip in this easy world");
+        for ex in &cf.examples {
+            assert!(ex.score <= 0.5, "counterfactual must flip: {}", ex.score);
+            assert!(!ex.changed.is_empty());
+            assert!(ex.changed.len() <= dice.max_changes);
+        }
+    }
+
+    #[test]
+    fn finds_flipping_counterfactuals_for_nonmatch() {
+        let d = dataset();
+        let m = key_matcher();
+        let u = d.left().expect(RecordId(0)); // alpha
+        let v = d.right().expect(RecordId(4)); // beta → NonMatch
+        let dice = Dice::default();
+        let cf = dice.explain_counterfactual(&m, &d, u, v);
+        assert!(cf.found());
+        for ex in &cf.examples {
+            assert!(ex.score > 0.5);
+        }
+        // The flip requires touching a key attribute.
+        assert!(cf.examples.iter().any(|e| e.changed.iter().any(|a| a.attr.index() == 0)));
+    }
+
+    #[test]
+    fn returns_at_most_total_cfs_diverse_examples() {
+        let d = dataset();
+        let m = key_matcher();
+        let u = d.left().expect(RecordId(0));
+        let v = d.right().expect(RecordId(0));
+        let dice = Dice { total_cfs: 2, ..Default::default() };
+        let cf = dice.explain_counterfactual(&m, &d, u, v);
+        assert!(cf.examples.len() <= 2);
+    }
+
+    #[test]
+    fn deterministic_per_pair() {
+        let d = dataset();
+        let m = key_matcher();
+        let u = d.left().expect(RecordId(0));
+        let v = d.right().expect(RecordId(0));
+        let dice = Dice::default();
+        let a = dice.explain_counterfactual(&m, &d, u, v);
+        let b = dice.explain_counterfactual(&m, &d, u, v);
+        assert_eq!(a.examples.len(), b.examples.len());
+        for (x, y) in a.examples.iter().zip(b.examples.iter()) {
+            assert_eq!(x.left.values(), y.left.values());
+            assert_eq!(x.right.values(), y.right.values());
+        }
+        assert_eq!(dice.name(), "dice");
+    }
+
+    #[test]
+    fn change_set_distance_properties() {
+        let c1: Changes = vec![(attr_of(Side::Left, 0), "x".into())];
+        let c2: Changes = vec![(attr_of(Side::Left, 0), "x".into())];
+        let c3: Changes = vec![(attr_of(Side::Right, 1), "y".into())];
+        assert_eq!(change_set_distance(&c1, &c2), 0.0);
+        assert_eq!(change_set_distance(&c1, &c3), 1.0);
+        assert!(change_set_distance(&c1, &c3) >= change_set_distance(&c1, &c2));
+    }
+}

@@ -1,0 +1,41 @@
+//! # certa-baselines
+//!
+//! The baseline explanation methods the paper compares against (§5.2):
+//!
+//! * **Saliency**: [`Mojito`] (LIME adapted to ER with *drop*/*copy*
+//!   operators), [`LandMark`] (two per-side LIME fits, the other record held
+//!   fixed as the landmark), and task-agnostic [`KernelShap`].
+//! * **Counterfactual**: [`Dice`] (diverse counterfactuals via genetic
+//!   search over attribute substitutions), and the SEDC-style [`LimeC`] /
+//!   [`ShapC`] (greedy best-first masking guided by a saliency ranking,
+//!   treating the pair as text).
+//!
+//! All methods honour the same black-box boundary as CERTA: the model is
+//! only reachable through [`certa_core::Matcher::score`]. Every method is
+//! deterministic given its seed (per-pair RNG streams are derived from the
+//! seed plus the records' content hashes).
+
+pub mod dice;
+pub mod landmark;
+pub mod lime;
+pub mod mojito;
+pub mod registry;
+pub mod sedc;
+pub mod shap;
+
+pub use dice::Dice;
+pub use landmark::LandMark;
+pub use lime::{LimeCore, PerturbOp};
+pub use mojito::Mojito;
+pub use registry::{CfMethod, SaliencyMethod};
+pub use sedc::{LimeC, ShapC};
+pub use shap::KernelShap;
+
+use certa_core::Record;
+
+/// Derive a per-pair RNG seed from a base seed and the pair content, so the
+/// same pair is always explained identically while different pairs draw
+/// different perturbation samples.
+pub(crate) fn pair_seed(base: u64, u: &Record, v: &Record) -> u64 {
+    base ^ u.content_hash().rotate_left(17) ^ v.content_hash().rotate_left(41)
+}

@@ -1,0 +1,314 @@
+//! LIME core adapted to ER at attribute granularity.
+//!
+//! LIME explains one prediction by sampling perturbed copies of the input,
+//! scoring them with the black box, and fitting a locally-weighted sparse
+//! linear model whose coefficients become attribute importances. For ER, the
+//! interpretable representation is a binary vector over attributes: bit on =
+//! the attribute keeps its original value, bit off = a perturbation operator
+//! is applied. Mojito's contribution (§5.2) is precisely the choice of
+//! operator: **drop** (blank the value, LIME's classic text masking) or
+//! **copy** (pull the aligned value over from the other record, which can
+//! *create* match evidence — something dropping never can).
+
+use certa_core::{AttrId, Matcher, Record, Side};
+use certa_ml::weighted_ridge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Perturbation operator applied to de-activated attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerturbOp {
+    /// Blank the attribute value (the classic LIME "remove the word" op).
+    Drop,
+    /// Copy the aligned attribute value from the other record (Mojito-copy).
+    Copy,
+}
+
+/// LIME sampling + weighted-ridge fitting parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LimeCore {
+    /// Number of perturbed samples scored per explanation.
+    pub n_samples: usize,
+    /// Ridge regularization.
+    pub lambda: f64,
+    /// Exponential kernel width over the fraction of perturbed attributes.
+    pub kernel_width: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LimeCore {
+    fn default() -> Self {
+        LimeCore { n_samples: 128, lambda: 1e-3, kernel_width: 0.75, seed: 0x117E }
+    }
+}
+
+impl LimeCore {
+    /// Fit a joint local surrogate over the attributes of **both** records.
+    ///
+    /// Returns signed coefficients `(left, right)` — positive means "keeping
+    /// this attribute's original value pushes the score up". The per-side
+    /// `op` says how a de-activated attribute is perturbed.
+    pub fn joint_weights(
+        &self,
+        matcher: &dyn Matcher,
+        u: &Record,
+        v: &Record,
+        op: PerturbOp,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let lu = u.arity();
+        let lv = v.arity();
+        let d = lu + lv;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(self.n_samples + 1);
+        let mut ys: Vec<f64> = Vec::with_capacity(self.n_samples + 1);
+        let mut ws: Vec<f64> = Vec::with_capacity(self.n_samples + 1);
+
+        // Anchor: the unperturbed instance, heavily weighted.
+        xs.push(vec![1.0; d]);
+        ys.push(matcher.score(u, v));
+        ws.push(10.0);
+
+        for _ in 0..self.n_samples {
+            let mut z = vec![true; d];
+            // Copy perturbs one direction per sample (Mojito-copy copies
+            // values *from* one record *into* the other; perturbing both
+            // sides' aligned attributes at once would swap instead of align
+            // them). Drop perturbs jointly.
+            let (lo, hi) = match op {
+                PerturbOp::Drop => (0, d),
+                PerturbOp::Copy => {
+                    if rng.gen_bool(0.5) {
+                        (0, lu)
+                    } else {
+                        (lu, d)
+                    }
+                }
+            };
+            // Flip each eligible bit with p = 0.5; never all-off.
+            let mut off = 0;
+            for bit in z[lo..hi].iter_mut() {
+                if rng.gen_bool(0.5) {
+                    *bit = false;
+                    off += 1;
+                }
+            }
+            if off == d {
+                z[rng.gen_range(0..d)] = true;
+                off -= 1;
+            }
+            let (pu, pv) = apply_mask(u, v, &z, op);
+            let score = matcher.score(&pu, &pv);
+            let dist = off as f64 / d as f64;
+            xs.push(z.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect());
+            ys.push(score);
+            ws.push((-((dist / self.kernel_width).powi(2))).exp());
+        }
+
+        let (_, beta) = weighted_ridge(&xs, &ys, &ws, self.lambda);
+        (beta[..lu].to_vec(), beta[lu..].to_vec())
+    }
+
+    /// Fit a per-side surrogate: only `side`'s attributes are perturbed, the
+    /// other record stays fixed (LandMark's scheme). Returns that side's
+    /// signed coefficients.
+    pub fn side_weights(
+        &self,
+        matcher: &dyn Matcher,
+        u: &Record,
+        v: &Record,
+        side: Side,
+        op: PerturbOp,
+        seed: u64,
+    ) -> Vec<f64> {
+        let arity = match side {
+            Side::Left => u.arity(),
+            Side::Right => v.arity(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ (side as u64 + 0x51DE));
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(self.n_samples + 1);
+        let mut ys = Vec::with_capacity(self.n_samples + 1);
+        let mut ws = Vec::with_capacity(self.n_samples + 1);
+
+        xs.push(vec![1.0; arity]);
+        ys.push(matcher.score(u, v));
+        ws.push(10.0);
+
+        for _ in 0..self.n_samples {
+            let mut z = vec![true; arity];
+            let mut off = 0;
+            for bit in z.iter_mut() {
+                if rng.gen_bool(0.5) {
+                    *bit = false;
+                    off += 1;
+                }
+            }
+            if off == arity {
+                z[rng.gen_range(0..arity)] = true;
+                off -= 1;
+            }
+            let (pu, pv) = match side {
+                Side::Left => {
+                    let full: Vec<bool> =
+                        z.iter().copied().chain(std::iter::repeat(true).take(v.arity())).collect();
+                    apply_mask(u, v, &full, op)
+                }
+                Side::Right => {
+                    let full: Vec<bool> =
+                        std::iter::repeat(true).take(u.arity()).chain(z.iter().copied()).collect();
+                    apply_mask(u, v, &full, op)
+                }
+            };
+            let score = matcher.score(&pu, &pv);
+            let dist = off as f64 / arity as f64;
+            xs.push(z.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect());
+            ys.push(score);
+            ws.push((-((dist / self.kernel_width).powi(2))).exp());
+        }
+        let (_, beta) = weighted_ridge(&xs, &ys, &ws, self.lambda);
+        beta
+    }
+}
+
+/// Materialize a perturbed pair from a joint activation vector
+/// (`len == u.arity() + v.arity()`).
+pub(crate) fn apply_mask(
+    u: &Record,
+    v: &Record,
+    active: &[bool],
+    op: PerturbOp,
+) -> (Record, Record) {
+    debug_assert_eq!(active.len(), u.arity() + v.arity());
+    let mut pu = u.clone();
+    let mut pv = v.clone();
+    for i in 0..u.arity() {
+        if !active[i] {
+            let a = AttrId(i as u16);
+            match op {
+                PerturbOp::Drop => {
+                    pu.set_value(a, String::new());
+                }
+                PerturbOp::Copy => {
+                    if i < v.arity() {
+                        pu.set_value(a, v.value(a).to_string());
+                    } else {
+                        pu.set_value(a, String::new());
+                    }
+                }
+            }
+        }
+    }
+    for j in 0..v.arity() {
+        if !active[u.arity() + j] {
+            let a = AttrId(j as u16);
+            match op {
+                PerturbOp::Drop => {
+                    pv.set_value(a, String::new());
+                }
+                PerturbOp::Copy => {
+                    if j < u.arity() {
+                        pv.set_value(a, u.value(a).to_string());
+                    } else {
+                        pv.set_value(a, String::new());
+                    }
+                }
+            }
+        }
+    }
+    (pu, pv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, RecordId};
+
+    fn rec(id: u32, vals: &[&str]) -> Record {
+        Record::new(RecordId(id), vals.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Matcher keyed entirely on attribute 0 equality.
+    fn key_matcher() -> impl Matcher {
+        FnMatcher::new("key-eq", |u: &Record, v: &Record| {
+            if !u.values()[0].is_empty() && u.values()[0] == v.values()[0] {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn apply_mask_drop_and_copy() {
+        let u = rec(0, &["a", "b"]);
+        let v = rec(1, &["x", "y"]);
+        let (pu, pv) = apply_mask(&u, &v, &[false, true, true, false], PerturbOp::Drop);
+        assert_eq!(pu.values(), &["".to_string(), "b".to_string()]);
+        assert_eq!(pv.values(), &["x".to_string(), "".to_string()]);
+        let (pu, pv) = apply_mask(&u, &v, &[false, true, true, false], PerturbOp::Copy);
+        assert_eq!(pu.values()[0], "x", "copied from v");
+        assert_eq!(pv.values()[1], "b", "copied from u");
+    }
+
+    #[test]
+    fn joint_weights_find_the_key_attribute() {
+        let m = key_matcher();
+        let u = rec(0, &["samekey", "noise1"]);
+        let v = rec(1, &["samekey", "noise2"]);
+        let lime = LimeCore::default();
+        let (wl, wr) = lime.joint_weights(&m, &u, &v, PerturbOp::Drop, 42);
+        // Dropping either key destroys the match → both key coefficients
+        // dominate the noise coefficients.
+        assert!(wl[0].abs() > wl[1].abs(), "left: {wl:?}");
+        assert!(wr[0].abs() > wr[1].abs(), "right: {wr:?}");
+        assert!(wl[0] > 0.0, "keeping the key raises the score");
+    }
+
+    #[test]
+    fn copy_op_creates_match_evidence() {
+        let m = key_matcher();
+        let u = rec(0, &["alpha", "n"]);
+        let v = rec(1, &["beta", "n"]);
+        // Non-match; dropping can never flip it, copying the key can.
+        let lime = LimeCore::default();
+        let (wl_drop, _) = lime.joint_weights(&m, &u, &v, PerturbOp::Drop, 1);
+        let (wl_copy, _) = lime.joint_weights(&m, &u, &v, PerturbOp::Copy, 1);
+        assert!(wl_copy[0].abs() > wl_drop[0].abs() + 0.05,
+            "copy sees key influence ({:.3}) that drop cannot ({:.3})", wl_copy[0], wl_drop[0]);
+        // Under copy, de-activating the key (copying "beta"→"alpha"... i.e.
+        // v's key into u) *creates* the match: coefficient negative.
+        assert!(wl_copy[0] < 0.0);
+    }
+
+    #[test]
+    fn side_weights_only_touch_one_side() {
+        // Matcher sensitive to u[0] emptiness only.
+        let m = FnMatcher::new("u0", |u: &Record, _: &Record| {
+            if u.values()[0].is_empty() {
+                0.2
+            } else {
+                0.8
+            }
+        });
+        let u = rec(0, &["val", "x"]);
+        let v = rec(1, &["val", "x"]);
+        let lime = LimeCore::default();
+        let wl = lime.side_weights(&m, &u, &v, Side::Left, PerturbOp::Drop, 3);
+        let wr = lime.side_weights(&m, &u, &v, Side::Right, PerturbOp::Drop, 3);
+        assert!(wl[0].abs() > 0.1, "left fit sees u0: {wl:?}");
+        assert!(wr.iter().all(|c| c.abs() < 0.05), "right fit sees nothing: {wr:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = key_matcher();
+        let u = rec(0, &["k", "n"]);
+        let v = rec(1, &["k", "m"]);
+        let lime = LimeCore::default();
+        assert_eq!(
+            lime.joint_weights(&m, &u, &v, PerturbOp::Drop, 5),
+            lime.joint_weights(&m, &u, &v, PerturbOp::Drop, 5)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Method registry: the saliency and counterfactual method line-ups of the
+//! paper's tables, constructible by name for the experiment grid.
+
+use crate::dice::Dice;
+use crate::landmark::LandMark;
+use crate::lime::LimeCore;
+use crate::mojito::Mojito;
+use crate::sedc::{LimeC, ShapC};
+use crate::shap::KernelShap;
+use certa_explain::{Certa, CertaConfig, CounterfactualExplainer, SaliencyExplainer};
+use std::fmt;
+
+/// Columns of Tables 2–3: the saliency methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SaliencyMethod {
+    /// The paper's contribution.
+    Certa,
+    /// LandMark (per-side LIME).
+    LandMark,
+    /// Mojito (LIME with drop/copy).
+    Mojito,
+    /// KernelSHAP (task agnostic).
+    Shap,
+}
+
+impl SaliencyMethod {
+    /// All methods in the tables' column order.
+    pub fn all() -> [SaliencyMethod; 4] {
+        [SaliencyMethod::Certa, SaliencyMethod::LandMark, SaliencyMethod::Mojito, SaliencyMethod::Shap]
+    }
+
+    /// Column header as printed in the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            SaliencyMethod::Certa => "certa",
+            SaliencyMethod::LandMark => "LandMark",
+            SaliencyMethod::Mojito => "Mojito",
+            SaliencyMethod::Shap => "SHAP",
+        }
+    }
+
+    /// Instantiate the method. `certa_cfg` configures CERTA; the baselines
+    /// derive their sampling seeds from `seed`.
+    pub fn build(self, certa_cfg: CertaConfig, seed: u64) -> Box<dyn SaliencyExplainer> {
+        match self {
+            SaliencyMethod::Certa => Box::new(Certa::new(certa_cfg.with_seed(seed))),
+            SaliencyMethod::LandMark => {
+                Box::new(LandMark::new(LimeCore { seed, ..Default::default() }))
+            }
+            SaliencyMethod::Mojito => {
+                Box::new(Mojito::new(LimeCore { seed, ..Default::default() }))
+            }
+            SaliencyMethod::Shap => Box::new(KernelShap { seed, ..Default::default() }),
+        }
+    }
+}
+
+impl fmt::Display for SaliencyMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Columns of Tables 4–6 / Figure 10: the counterfactual methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CfMethod {
+    /// The paper's contribution.
+    Certa,
+    /// DiCE (genetic diverse counterfactuals).
+    Dice,
+    /// SHAP-C (SEDC over SHAP rankings).
+    ShapC,
+    /// LIME-C (SEDC over Mojito rankings).
+    LimeC,
+}
+
+impl CfMethod {
+    /// All methods in the tables' column order.
+    pub fn all() -> [CfMethod; 4] {
+        [CfMethod::Certa, CfMethod::Dice, CfMethod::ShapC, CfMethod::LimeC]
+    }
+
+    /// Column header as printed in the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            CfMethod::Certa => "certa",
+            CfMethod::Dice => "DiCE",
+            CfMethod::ShapC => "SHAP-C",
+            CfMethod::LimeC => "LIME-C",
+        }
+    }
+
+    /// Instantiate the method.
+    pub fn build(self, certa_cfg: CertaConfig, seed: u64) -> Box<dyn CounterfactualExplainer> {
+        match self {
+            CfMethod::Certa => Box::new(Certa::new(certa_cfg.with_seed(seed))),
+            CfMethod::Dice => Box::new(Dice { seed, ..Default::default() }),
+            CfMethod::ShapC => Box::new(ShapC::new(KernelShap { seed, ..Default::default() })),
+            CfMethod::LimeC => {
+                Box::new(LimeC::new(Mojito::new(LimeCore { seed, ..Default::default() })))
+            }
+        }
+    }
+}
+
+impl fmt::Display for CfMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_match_paper_columns() {
+        assert_eq!(
+            SaliencyMethod::all().map(|m| m.paper_name()),
+            ["certa", "LandMark", "Mojito", "SHAP"]
+        );
+        assert_eq!(
+            CfMethod::all().map(|m| m.paper_name()),
+            ["certa", "DiCE", "SHAP-C", "LIME-C"]
+        );
+    }
+
+    #[test]
+    fn build_produces_named_methods() {
+        let cfg = CertaConfig::default();
+        for m in SaliencyMethod::all() {
+            let built = m.build(cfg, 7);
+            assert!(!built.name().is_empty());
+        }
+        for m in CfMethod::all() {
+            let built = m.build(cfg, 7);
+            assert!(!built.name().is_empty());
+        }
+        assert_eq!(SaliencyMethod::Certa.build(cfg, 1).name(), "certa");
+        assert_eq!(CfMethod::Dice.build(cfg, 1).name(), "dice");
+        assert_eq!(format!("{}", SaliencyMethod::Shap), "SHAP");
+        assert_eq!(format!("{}", CfMethod::LimeC), "LIME-C");
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end single-explanation benchmarks: CERTA vs the baselines, on one
+//! smoke-scale FZ pair with a rule matcher (model cost held constant, so the
+//! comparison isolates explainer overhead).
+
+use certa_baselines::{CfMethod, SaliencyMethod};
+use certa_core::Split;
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_explain::CertaConfig;
+use certa_models::RuleMatcher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_explainers(c: &mut Criterion) {
+    let dataset = generate(DatasetId::FZ, Scale::Smoke, 3);
+    let matcher = RuleMatcher::uniform(6).with_threshold(0.6);
+    let lp = dataset.split(Split::Test)[0];
+    let (u, v) = dataset.expect_pair(lp.pair);
+    let cfg = CertaConfig::default().with_triangles(20);
+
+    let mut group = c.benchmark_group("saliency_explainers");
+    group.sample_size(10);
+    for method in SaliencyMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.paper_name()),
+            &method,
+            |b, &method| {
+                let explainer = method.build(cfg, 7);
+                b.iter(|| black_box(explainer.explain_saliency(&matcher, &dataset, u, v)))
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cf_explainers");
+    group.sample_size(10);
+    for method in CfMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.paper_name()),
+            &method,
+            |b, &method| {
+                let explainer = method.build(cfg, 7);
+                b.iter(|| {
+                    black_box(explainer.explain_counterfactual(&matcher, &dataset, u, v).examples.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explainers);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Matcher scoring throughput and the effect of the content-addressed cache.
+
+use certa_core::{Matcher, Split};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_models::{train_zoo, CachingMatcher, ModelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matchers(c: &mut Criterion) {
+    let dataset = generate(DatasetId::AB, Scale::Smoke, 13);
+    let zoo = train_zoo(&dataset);
+    let lp = dataset.split(Split::Test)[0];
+    let (u, v) = dataset.expect_pair(lp.pair);
+
+    let mut group = c.benchmark_group("matcher_score");
+    for kind in ModelKind::all() {
+        let matcher = zoo.matcher(kind);
+        group.bench_with_input(
+            BenchmarkId::new("uncached", kind.paper_name()),
+            &kind,
+            |b, _| b.iter(|| black_box(matcher.score(black_box(u), black_box(v)))),
+        );
+        let cached = CachingMatcher::new(zoo.matcher(kind));
+        cached.score(u, v); // warm
+        group.bench_with_input(
+            BenchmarkId::new("cached", kind.paper_name()),
+            &kind,
+            |b, _| b.iter(|| black_box(cached.score(black_box(u), black_box(v)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! String-similarity micro-benchmarks on realistic product strings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const A: &str = "sony bravia theater black micro system davis50b";
+const B: &str = "sony bravia dav-is50 / b home theater system";
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| black_box(certa_text::levenshtein(black_box(A), black_box(B))))
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| black_box(certa_text::jaro_winkler(black_box(A), black_box(B))))
+    });
+    group.bench_function("jaccard", |b| {
+        b.iter(|| black_box(certa_text::jaccard(black_box(A), black_box(B))))
+    });
+    group.bench_function("trigram", |b| {
+        b.iter(|| black_box(certa_text::trigram_sim(black_box(A), black_box(B))))
+    });
+    group.bench_function("monge_elkan", |b| {
+        b.iter(|| black_box(certa_text::monge_elkan(black_box(A), black_box(B))))
+    });
+    group.bench_function("attribute_sim", |b| {
+        b.iter(|| black_box(certa_text::attribute_sim(black_box(A), black_box(B))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Open-triangle discovery benchmarks (natural scan + augmentation).
+
+use certa_core::{MatchLabel, Split};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_explain::{find_triangles, CertaConfig};
+use certa_models::RuleMatcher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_triangles(c: &mut Criterion) {
+    let dataset = generate(DatasetId::AB, Scale::Smoke, 11);
+    let matcher = RuleMatcher::uniform(3).with_threshold(0.55);
+    let lp = dataset.split(Split::Train)[0];
+    let (u, v) = dataset.expect_pair(lp.pair);
+
+    let mut group = c.benchmark_group("find_triangles");
+    for tau in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("with_augmentation", tau), &tau, |b, &tau| {
+            let cfg = CertaConfig { num_triangles: tau, ..Default::default() };
+            b.iter(|| {
+                let (tris, stats) =
+                    find_triangles(&matcher, &dataset, u, v, MatchLabel::Match, &cfg);
+                black_box((tris.len(), stats.candidates_scored))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("natural_only", tau), &tau, |b, &tau| {
+            let cfg =
+                CertaConfig { num_triangles: tau, use_augmentation: false, ..Default::default() };
+            b.iter(|| {
+                let (tris, stats) =
+                    find_triangles(&matcher, &dataset, u, v, MatchLabel::Match, &cfg);
+                black_box((tris.len(), stats.candidates_scored))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! # certa-bench
+//!
+//! The experiment harness. Every table and figure of the paper's §5 has a
+//! dedicated binary under `src/bin/` (see DESIGN.md §3 for the index); all
+//! binaries accept:
+//!
+//! ```text
+//! --scale {smoke|default|paper}   dataset sizes + explained-pair counts
+//! --seed N                        master RNG seed
+//! --tau N                         CERTA triangle budget (default 100)
+//! --pairs N                       explained test pairs per (dataset, model)
+//! ```
+//!
+//! `cargo run --release -p certa-bench --bin repro_all` regenerates every
+//! artifact in one process (sharing trained models across tables) and is
+//! what EXPERIMENTS.md records. Criterion micro-benchmarks live under
+//! `benches/`.
+
+use certa_datagen::Scale;
+use certa_eval::grid::GridConfig;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Dataset / workload scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// CERTA triangle budget override.
+    pub tau: Option<usize>,
+    /// Explained-pairs override.
+    pub pairs: Option<usize>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions { scale: Scale::Smoke, seed: 7, tau: None, pairs: None }
+    }
+}
+
+impl CliOptions {
+    /// Parse from an argument iterator (skips the binary name itself when
+    /// given `std::env::args()`).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOptions, String> {
+        let mut opts = CliOptions::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    opts.scale = v.parse()?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse::<u64>().map_err(|e| e.to_string())?;
+                }
+                "--tau" => {
+                    let v = it.next().ok_or("--tau needs a value")?;
+                    opts.tau = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                }
+                "--pairs" => {
+                    let v = it.next().ok_or("--pairs needs a value")?;
+                    opts.pairs = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                }
+                other if other.ends_with("help") || other == "-h" => {
+                    return Err(USAGE.to_string());
+                }
+                other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with usage on error.
+    pub fn from_env() -> CliOptions {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Build the grid configuration these options select.
+    pub fn grid(&self) -> GridConfig {
+        let mut cfg = GridConfig::for_scale(self.scale);
+        cfg.seed = self.seed;
+        if let Some(tau) = self.tau {
+            cfg.tau = tau;
+        }
+        if let Some(pairs) = self.pairs {
+            cfg.n_explained = pairs;
+        }
+        cfg
+    }
+}
+
+const USAGE: &str = "usage: <bin> [--scale smoke|default|paper] [--seed N] [--tau N] [--pairs N]";
+
+/// Banner printed by every experiment binary.
+pub fn banner(what: &str, opts: &CliOptions) {
+    println!("=== {what} ===");
+    println!(
+        "scale={} seed={} tau={} pairs={}",
+        opts.scale,
+        opts.seed,
+        opts.tau.map_or("default".to_string(), |t| t.to_string()),
+        opts.pairs.map_or("default".to_string(), |p| p.to_string()),
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.scale, Scale::Smoke);
+        assert_eq!(d.seed, 7);
+        let o = parse(&["--scale", "default", "--seed", "42", "--tau", "20", "--pairs", "5"])
+            .unwrap();
+        assert_eq!(o.scale, Scale::Default);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.tau, Some(20));
+        assert_eq!(o.pairs, Some(5));
+        let g = o.grid();
+        assert_eq!(g.tau, 20);
+        assert_eq!(g.n_explained, 5);
+        assert_eq!(g.seed, 42);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "enormous"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

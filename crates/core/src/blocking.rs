@@ -1,0 +1,167 @@
+//! Token-based blocking: candidate generation via an inverted index.
+//!
+//! Real ER pipelines never score the full `U × V` cross product; a blocking
+//! pass proposes candidate pairs that share evidence. The synthetic benchmark
+//! generator uses this index to build realistic *hard negatives* (similar but
+//! non-matching pairs) for the train/test splits, and CERTA's triangle search
+//! can use it to rank likely support records instead of scanning a whole
+//! table.
+
+use crate::hash::FxHashMap;
+use crate::record::{Record, RecordId};
+use crate::table::Table;
+use crate::tokens::{clean, tokenize};
+
+/// Inverted index from token → record ids containing it, over one table.
+#[derive(Debug, Clone)]
+pub struct TokenIndex {
+    postings: FxHashMap<String, Vec<RecordId>>,
+    /// Tokens appearing in more than this many records are skipped at query
+    /// time (stop-word behaviour).
+    max_posting: usize,
+}
+
+impl TokenIndex {
+    /// Index every (cleaned) token of every attribute of every record.
+    ///
+    /// `max_posting` bounds how common a token may be and still drive
+    /// candidate generation; pass `usize::MAX` to disable the cutoff.
+    pub fn build(table: &Table, max_posting: usize) -> Self {
+        let mut postings: FxHashMap<String, Vec<RecordId>> = FxHashMap::default();
+        for r in table.records() {
+            for value in r.values() {
+                let cleaned = clean(value);
+                for tok in tokenize(&cleaned) {
+                    let ids = postings.entry(tok.to_string()).or_default();
+                    if ids.last() != Some(&r.id()) {
+                        ids.push(r.id());
+                    }
+                }
+            }
+        }
+        TokenIndex { postings, max_posting }
+    }
+
+    /// Records sharing at least `min_overlap` distinct indexed tokens with
+    /// `probe`, ranked by descending overlap count. `exclude` (if given) is
+    /// removed from the results — used when searching support records
+    /// `w ∈ U \ {u}`.
+    pub fn candidates(
+        &self,
+        probe: &Record,
+        min_overlap: usize,
+        exclude: Option<RecordId>,
+    ) -> Vec<(RecordId, usize)> {
+        let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
+        let mut seen: crate::hash::FxHashSet<String> = crate::hash::FxHashSet::default();
+        for value in probe.values() {
+            let cleaned = clean(value);
+            for tok in tokenize(&cleaned) {
+                if !seen.insert(tok.to_string()) {
+                    continue; // count each distinct probe token once
+                }
+                if let Some(ids) = self.postings.get(tok) {
+                    if ids.len() > self.max_posting {
+                        continue;
+                    }
+                    for &id in ids {
+                        if Some(id) != exclude {
+                            *counts.entry(id).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(RecordId, usize)> =
+            counts.into_iter().filter(|&(_, c)| c >= min_overlap).collect();
+        // Deterministic order: overlap desc, then id asc.
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::shared("U", ["name"]);
+        Table::from_records(
+            schema,
+            vec![
+                Record::new(RecordId(0), vec!["sony bravia tv".into()]),
+                Record::new(RecordId(1), vec!["sony walkman player".into()]),
+                Record::new(RecordId(2), vec!["lg oled tv".into()]),
+                Record::new(RecordId(3), vec!["bose speaker".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_ranked_by_overlap() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        let probe = Record::new(RecordId(99), vec!["sony bravia oled tv".into()]);
+        let cands = idx.candidates(&probe, 1, None);
+        // Record 0 shares sony+bravia+tv (3); record 2 shares oled+tv (2);
+        // record 1 shares sony (1).
+        assert_eq!(cands[0].0, RecordId(0));
+        assert_eq!(cands[0].1, 3);
+        assert_eq!(cands[1].0, RecordId(2));
+        assert!(cands.iter().all(|&(id, _)| id != RecordId(3)));
+    }
+
+    #[test]
+    fn exclude_removes_self() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        let probe = t.get(RecordId(0)).unwrap().clone();
+        let cands = idx.candidates(&probe, 1, Some(RecordId(0)));
+        assert!(cands.iter().all(|&(id, _)| id != RecordId(0)));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn min_overlap_filters() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        let probe = Record::new(RecordId(99), vec!["sony bravia oled tv".into()]);
+        let cands = idx.candidates(&probe, 2, None);
+        assert!(cands.iter().all(|&(_, c)| c >= 2));
+    }
+
+    #[test]
+    fn stop_tokens_ignored() {
+        let t = table();
+        // With max_posting = 1, "sony" (2 postings) and "tv" (2 postings)
+        // are treated as stop words.
+        let idx = TokenIndex::build(&t, 1);
+        let probe = Record::new(RecordId(99), vec!["sony tv".into()]);
+        assert!(idx.candidates(&probe, 1, None).is_empty());
+    }
+
+    #[test]
+    fn duplicate_probe_tokens_count_once() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        let probe = Record::new(RecordId(99), vec!["sony sony sony".into()]);
+        let cands = idx.candidates(&probe, 1, None);
+        let c0 = cands.iter().find(|&&(id, _)| id == RecordId(0)).unwrap();
+        assert_eq!(c0.1, 1);
+    }
+
+    #[test]
+    fn vocabulary_size_counts_tokens() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        // sony bravia tv walkman player lg oled bose speaker = 9
+        assert_eq!(idx.vocabulary_size(), 9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Datasets: two tables, ground truth, and train/test splits.
+
+use crate::error::{CoreError, Result};
+use crate::pair::{LabeledPair, RecordPair, Side};
+use crate::record::Record;
+use crate::table::Table;
+
+/// Which labeled split to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Pairs used to fit the matcher (`T+ ∪ T-` in §3).
+    Train,
+    /// Held-out pairs used by every §5 experiment.
+    Test,
+}
+
+/// An ER benchmark instance: sources `U` and `V`, plus labeled pair splits.
+///
+/// Mirrors the DeepMatcher benchmark layout the paper evaluates on: two
+/// record tables and pre-split labeled candidate pairs ("Each dataset comes
+/// with its own test and training set, which we use for training the DL
+/// models", §5.1).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    left: Table,
+    right: Table,
+    train: Vec<LabeledPair>,
+    test: Vec<LabeledPair>,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset. All pair ids must resolve in the
+    /// corresponding table.
+    pub fn new(
+        name: impl Into<String>,
+        left: Table,
+        right: Table,
+        train: Vec<LabeledPair>,
+        test: Vec<LabeledPair>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if left.is_empty() || right.is_empty() {
+            return Err(CoreError::InvalidDataset(format!("dataset `{name}` has an empty side")));
+        }
+        for lp in train.iter().chain(test.iter()) {
+            if !left.contains(lp.pair.left) {
+                return Err(CoreError::InvalidDataset(format!(
+                    "dataset `{name}`: pair {} references unknown left record",
+                    lp.pair
+                )));
+            }
+            if !right.contains(lp.pair.right) {
+                return Err(CoreError::InvalidDataset(format!(
+                    "dataset `{name}`: pair {} references unknown right record",
+                    lp.pair
+                )));
+            }
+        }
+        Ok(Dataset { name, left, right, train, test })
+    }
+
+    /// The dataset's short name (e.g. `"AB"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `U` table.
+    pub fn left(&self) -> &Table {
+        &self.left
+    }
+
+    /// The `V` table.
+    pub fn right(&self) -> &Table {
+        &self.right
+    }
+
+    /// Table on the requested side.
+    pub fn table(&self, side: Side) -> &Table {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Labeled pairs of a split.
+    pub fn split(&self, split: Split) -> &[LabeledPair] {
+        match split {
+            Split::Train => &self.train,
+            Split::Test => &self.test,
+        }
+    }
+
+    /// Resolve a pair's records.
+    pub fn resolve(&self, pair: RecordPair) -> Result<(&Record, &Record)> {
+        Ok((self.left.get(pair.left)?, self.right.get(pair.right)?))
+    }
+
+    /// Resolve a pair known to be valid (panicking form).
+    pub fn expect_pair(&self, pair: RecordPair) -> (&Record, &Record) {
+        (self.left.expect(pair.left), self.right.expect(pair.right))
+    }
+
+    /// Number of ground-truth matching pairs across both splits — the
+    /// "Matches" column of Table 1.
+    pub fn match_count(&self) -> usize {
+        self.train.iter().chain(self.test.iter()).filter(|lp| lp.label.is_match()).count()
+    }
+
+    /// Per-side statistics for the Table 1 row.
+    pub fn side_stats(&self, side: Side) -> SideStats {
+        let t = self.table(side);
+        SideStats { records: t.len(), distinct_values: t.distinct_values() }
+    }
+}
+
+/// Record/value counts for one side (Table 1's "Records" and "Values").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideStats {
+    /// Number of records in the source.
+    pub records: usize,
+    /// Number of distinct non-empty attribute values.
+    pub distinct_values: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordId;
+    use crate::schema::Schema;
+
+    fn tiny() -> Dataset {
+        let ls = Schema::shared("U", ["name"]);
+        let rs = Schema::shared("V", ["name"]);
+        let left = Table::from_records(
+            ls,
+            vec![
+                Record::new(RecordId(0), vec!["a".into()]),
+                Record::new(RecordId(1), vec!["b".into()]),
+            ],
+        )
+        .unwrap();
+        let right = Table::from_records(
+            rs,
+            vec![
+                Record::new(RecordId(0), vec!["a".into()]),
+                Record::new(RecordId(1), vec!["c".into()]),
+            ],
+        )
+        .unwrap();
+        Dataset::new(
+            "tiny",
+            left,
+            right,
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+            vec![LabeledPair::new(RecordId(1), RecordId(1), false)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn splits_and_resolution() {
+        let d = tiny();
+        assert_eq!(d.split(Split::Train).len(), 1);
+        assert_eq!(d.split(Split::Test).len(), 1);
+        let (u, v) = d.resolve(d.split(Split::Train)[0].pair).unwrap();
+        assert_eq!(u.values()[0], "a");
+        assert_eq!(v.values()[0], "a");
+        assert_eq!(d.match_count(), 1);
+    }
+
+    #[test]
+    fn table_by_side() {
+        let d = tiny();
+        assert_eq!(d.table(Side::Left).name(), "U");
+        assert_eq!(d.table(Side::Right).name(), "V");
+        assert_eq!(d.left().len(), 2);
+        assert_eq!(d.right().len(), 2);
+    }
+
+    #[test]
+    fn side_stats_counts() {
+        let d = tiny();
+        let s = d.side_stats(Side::Left);
+        assert_eq!(s.records, 2);
+        assert_eq!(s.distinct_values, 2);
+    }
+
+    #[test]
+    fn invalid_pairs_rejected() {
+        let d = tiny();
+        let bad = Dataset::new(
+            "bad",
+            d.left().clone(),
+            d.right().clone(),
+            vec![LabeledPair::new(RecordId(99), RecordId(0), true)],
+            vec![],
+        );
+        assert!(matches!(bad, Err(CoreError::InvalidDataset(_))));
+    }
+
+    #[test]
+    fn empty_side_rejected() {
+        let d = tiny();
+        let empty = Table::new(Schema::shared("E", ["x"]));
+        assert!(Dataset::new("bad", empty, d.right().clone(), vec![], vec![]).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by the workspace's substrate crates.
+
+use std::fmt;
+
+/// Errors raised by the ER data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute { schema: String, attr: String },
+    /// A record id was not present in a table.
+    UnknownRecord { table: String, id: u32 },
+    /// A record's value count does not match its schema's attribute count.
+    ArityMismatch { schema: String, expected: usize, got: usize },
+    /// Two sides of a dataset were wired up inconsistently.
+    InvalidDataset(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownAttribute { schema, attr } => {
+                write!(f, "unknown attribute `{attr}` in schema `{schema}`")
+            }
+            CoreError::UnknownRecord { table, id } => {
+                write!(f, "record id {id} not found in table `{table}`")
+            }
+            CoreError::ArityMismatch { schema, expected, got } => write!(
+                f,
+                "record arity mismatch for schema `{schema}`: expected {expected} values, got {got}"
+            ),
+            CoreError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CoreError::UnknownAttribute { schema: "Abt".into(), attr: "Nome".into() };
+        assert!(e.to_string().contains("Nome"));
+        assert!(e.to_string().contains("Abt"));
+
+        let e = CoreError::UnknownRecord { table: "Buy".into(), id: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = CoreError::ArityMismatch { schema: "S".into(), expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+
+        let e = CoreError::InvalidDataset("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidDataset("x".into()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # certa-core
+//!
+//! The entity-resolution (ER) data model underlying the `certa-rs` workspace,
+//! a reproduction of *Effective Explanations for Entity Resolution Models*
+//! (ICDE 2022).
+//!
+//! ER matches records from two sets `U` and `V` (possibly with different
+//! schemas) that refer to the same real-world entity. This crate provides:
+//!
+//! * [`Schema`] / [`AttrId`] — named attribute lists for one side;
+//! * [`Record`] / [`RecordId`] — a tuple of string attribute values;
+//! * [`Table`] — a set of records sharing one schema, with id lookup;
+//! * [`RecordPair`] and [`LabeledPair`] — candidate pairs, optionally labeled;
+//! * [`Matcher`] — the *black-box* classifier interface every explainer in the
+//!   workspace is written against (`score(u, v) -> [0, 1]`);
+//! * [`Dataset`] — two tables plus ground truth and train/test splits;
+//! * [`tokens`] — whitespace tokenization shared by matchers and perturbers;
+//! * [`blocking`] — a token inverted index for candidate generation;
+//! * [`hash`] — a fast non-cryptographic hasher (FxHash) used for caches.
+//!
+//! The paper treats the deep-learning matcher strictly as a black box; the
+//! [`Matcher`] trait enforces the same boundary here, so the CERTA explainer
+//! and all baselines cannot observe model internals.
+
+pub mod blocking;
+pub mod dataset;
+pub mod error;
+pub mod hash;
+pub mod matcher;
+pub mod pair;
+pub mod record;
+pub mod schema;
+pub mod table;
+pub mod tokens;
+
+pub use dataset::{Dataset, SideStats, Split};
+pub use error::{CoreError, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use matcher::{BoxedMatcher, FnMatcher, Matcher, Prediction};
+pub use pair::{LabeledPair, MatchLabel, RecordPair, Side};
+pub use record::{Record, RecordId};
+pub use schema::{AttrId, Schema};
+pub use table::Table;

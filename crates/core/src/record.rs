@@ -1,0 +1,177 @@
+//! Records: tuples of string attribute values.
+
+use crate::hash::fx_hash_one;
+use crate::schema::{AttrId, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a record within its table.
+///
+/// Perturbed copies created by the explainers are *synthetic* and keep the id
+/// of the free record they derive from; identity for caching purposes is the
+/// [`Record::content_hash`], never the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u32);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A structured entity description: one string value per schema attribute.
+///
+/// Missing values (the `NaN` cells of Figure 1) are represented by empty
+/// strings; [`Record::is_missing`] reports them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    id: RecordId,
+    values: Vec<String>,
+}
+
+impl Record {
+    /// Build a record. The caller is responsible for matching the intended
+    /// schema's arity; [`crate::Table::insert`] enforces it.
+    pub fn new(id: RecordId, values: Vec<String>) -> Self {
+        Record { id, values }
+    }
+
+    /// The record's id within its table.
+    #[inline]
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// Number of attribute values.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of attribute `a` — the paper's `r[a]`.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> &str {
+        &self.values[a.index()]
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// True when attribute `a` holds no value (empty after trimming).
+    pub fn is_missing(&self, a: AttrId) -> bool {
+        self.value(a).trim().is_empty()
+    }
+
+    /// Replace the value of attribute `a`, returning the old value.
+    pub fn set_value(&mut self, a: AttrId, value: impl Into<String>) -> String {
+        std::mem::replace(&mut self.values[a.index()], value.into())
+    }
+
+    /// A copy of this record with attribute `a` replaced.
+    pub fn with_value(&self, a: AttrId, value: impl Into<String>) -> Record {
+        let mut copy = self.clone();
+        copy.set_value(a, value);
+        copy
+    }
+
+    /// A copy with every attribute in `attrs` replaced by the corresponding
+    /// value from `donor` — the heart of the perturbing function ψ (§3).
+    pub fn with_values_from(&self, donor: &Record, attrs: &[AttrId]) -> Record {
+        let mut copy = self.clone();
+        for &a in attrs {
+            copy.set_value(a, donor.value(a).to_string());
+        }
+        copy
+    }
+
+    /// Content-addressed hash over the values only (ids excluded), used as a
+    /// prediction-cache key for perturbed copies.
+    pub fn content_hash(&self) -> u64 {
+        fx_hash_one(&self.values)
+    }
+
+    /// Render the record as `attr=value; ...` using `schema` names.
+    pub fn display_with(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for (i, a) in schema.attr_ids().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            let v = self.value(a);
+            out.push_str(schema.attr_name(a));
+            out.push('=');
+            out.push_str(if v.is_empty() { "NaN" } else { v });
+        }
+        out
+    }
+
+    /// Total whitespace token count across all attributes.
+    pub fn total_tokens(&self) -> usize {
+        self.values.iter().map(|v| crate::tokens::token_count(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Record {
+        Record::new(
+            RecordId(1),
+            vec!["sony bravia theater".into(), "black micro system".into(), String::new()],
+        )
+    }
+
+    #[test]
+    fn value_access() {
+        let r = rec();
+        assert_eq!(r.id(), RecordId(1));
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.value(AttrId(0)), "sony bravia theater");
+        assert!(r.is_missing(AttrId(2)));
+        assert!(!r.is_missing(AttrId(0)));
+        assert_eq!(r.total_tokens(), 6);
+    }
+
+    #[test]
+    fn set_value_returns_old() {
+        let mut r = rec();
+        let old = r.set_value(AttrId(0), "new name");
+        assert_eq!(old, "sony bravia theater");
+        assert_eq!(r.value(AttrId(0)), "new name");
+    }
+
+    #[test]
+    fn with_values_from_copies_selected_attrs() {
+        let r = rec();
+        let donor = Record::new(RecordId(9), vec!["d0".into(), "d1".into(), "d2".into()]);
+        let out = r.with_values_from(&donor, &[AttrId(0), AttrId(2)]);
+        assert_eq!(out.value(AttrId(0)), "d0");
+        assert_eq!(out.value(AttrId(1)), "black micro system"); // untouched
+        assert_eq!(out.value(AttrId(2)), "d2");
+        assert_eq!(out.id(), r.id(), "perturbed copy keeps free-record id");
+        // Original unchanged.
+        assert_eq!(r.value(AttrId(0)), "sony bravia theater");
+    }
+
+    #[test]
+    fn content_hash_ignores_id_tracks_values() {
+        let a = Record::new(RecordId(1), vec!["x".into()]);
+        let b = Record::new(RecordId(2), vec!["x".into()]);
+        let c = Record::new(RecordId(1), vec!["y".into()]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn display_shows_nan_for_missing() {
+        let schema = Schema::new("Abt", ["Name", "Description", "Price"]);
+        let shown = rec().display_with(&schema);
+        assert!(shown.contains("Price=NaN"));
+        assert!(shown.contains("Name=sony bravia theater"));
+    }
+
+    use crate::schema::Schema;
+}

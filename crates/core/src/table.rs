@@ -1,0 +1,166 @@
+//! Tables: record collections sharing one schema, with id lookup.
+
+use crate::error::{CoreError, Result};
+use crate::hash::FxHashMap;
+use crate::record::{Record, RecordId};
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// One side of an ER task: a schema plus its records.
+///
+/// Records are stored densely; an id index supports `O(1)` lookup, which the
+/// triangle-discovery phase (scanning `U \ {u}` for support records) relies
+/// on to pair ids back to records.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+    by_id: FxHashMap<RecordId, usize>,
+}
+
+impl Table {
+    /// Empty table for `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Table { schema, records: Vec::new(), by_id: FxHashMap::default() }
+    }
+
+    /// Build a table from records, validating arity and id uniqueness.
+    pub fn from_records(schema: Arc<Schema>, records: Vec<Record>) -> Result<Self> {
+        let mut t = Table::new(schema);
+        t.records.reserve(records.len());
+        for r in records {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Insert one record; errors on arity mismatch, panics on duplicate id
+    /// (generator bug).
+    pub fn insert(&mut self, record: Record) -> Result<()> {
+        if record.arity() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                schema: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: record.arity(),
+            });
+        }
+        let prev = self.by_id.insert(record.id(), self.records.len());
+        assert!(prev.is_none(), "duplicate record id {} in table {}", record.id(), self.name());
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Source name, from the schema.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record by id.
+    pub fn get(&self, id: RecordId) -> Result<&Record> {
+        self.by_id
+            .get(&id)
+            .map(|&i| &self.records[i])
+            .ok_or_else(|| CoreError::UnknownRecord { table: self.name().to_string(), id: id.0 })
+    }
+
+    /// Record by id, panicking form for internal use where ids are known good.
+    pub fn expect(&self, id: RecordId) -> &Record {
+        self.get(id).expect("record id must exist in table")
+    }
+
+    /// True when `id` belongs to this table.
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Number of distinct attribute values across all records and attributes
+    /// (the "Values" column of Table 1).
+    pub fn distinct_values(&self) -> usize {
+        let mut seen: crate::hash::FxHashSet<&str> = crate::hash::FxHashSet::default();
+        for r in &self.records {
+            for v in r.values() {
+                if !v.trim().is_empty() {
+                    seen.insert(v.as_str());
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    fn table() -> Table {
+        let schema = Schema::shared("Abt", ["Name", "Price"]);
+        Table::from_records(
+            schema,
+            vec![
+                Record::new(RecordId(0), vec!["sony tv".into(), "100".into()]),
+                Record::new(RecordId(1), vec!["lg tv".into(), "100".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let t = table();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(RecordId(1)).unwrap().value(AttrId(0)), "lg tv");
+        assert!(t.contains(RecordId(0)));
+        assert!(!t.contains(RecordId(5)));
+        assert!(matches!(t.get(RecordId(5)), Err(CoreError::UnknownRecord { .. })));
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut t = table();
+        let bad = Record::new(RecordId(9), vec!["only one".into()]);
+        assert!(matches!(t.insert(bad), Err(CoreError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate record id")]
+    fn duplicate_ids_panic() {
+        let mut t = table();
+        t.insert(Record::new(RecordId(0), vec!["x".into(), "y".into()])).unwrap();
+    }
+
+    #[test]
+    fn distinct_values_ignores_blanks_and_dups() {
+        let schema = Schema::shared("S", ["a", "b"]);
+        let t = Table::from_records(
+            schema,
+            vec![
+                Record::new(RecordId(0), vec!["x".into(), "".into()]),
+                Record::new(RecordId(1), vec!["x".into(), "y".into()]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.distinct_values(), 2); // "x", "y"
+    }
+}

@@ -1,0 +1,138 @@
+//! Whitespace tokenization and token-sequence helpers.
+//!
+//! The paper's perturbing function ψ and its data-augmentation scheme (§3.3)
+//! operate on "sequences of tokens (strings separated by white space)". All
+//! matchers and explainers in the workspace share this single tokenizer so a
+//! perturbed record round-trips exactly.
+
+/// Split an attribute value into whitespace-separated tokens.
+///
+/// Empty values (the `NaN` cells of Figure 1) yield an empty vector.
+pub fn tokenize(value: &str) -> Vec<&str> {
+    value.split_whitespace().collect()
+}
+
+/// Number of whitespace-separated tokens in `value`.
+pub fn token_count(value: &str) -> usize {
+    value.split_whitespace().count()
+}
+
+/// Re-join tokens with single spaces (the inverse of [`tokenize`] up to
+/// whitespace normalization).
+pub fn join(tokens: &[&str]) -> String {
+    tokens.join(" ")
+}
+
+/// Normalize a value to its canonical single-spaced form.
+pub fn normalize_ws(value: &str) -> String {
+    join(&tokenize(value))
+}
+
+/// Drop the first `k` tokens of `value` (used by the paper's data
+/// augmentation: "dropping the first-k or the last-k tokens").
+///
+/// Returns `None` when `k` is zero or would leave no tokens, since the
+/// augmentation scheme requires `1 <= k <= n - 1`.
+pub fn drop_first_k(value: &str, k: usize) -> Option<String> {
+    let toks = tokenize(value);
+    if k == 0 || k >= toks.len() {
+        return None;
+    }
+    Some(join(&toks[k..]))
+}
+
+/// Drop the last `k` tokens of `value`; same bounds as [`drop_first_k`].
+pub fn drop_last_k(value: &str, k: usize) -> Option<String> {
+    let toks = tokenize(value);
+    if k == 0 || k >= toks.len() {
+        return None;
+    }
+    Some(join(&toks[..toks.len() - k]))
+}
+
+/// Lowercase and strip non-alphanumeric characters (keeping digits, letters
+/// and whitespace). Matchers use this as a light normalization pass.
+pub fn clean(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+        } else if c.is_whitespace() || c == '-' || c == '/' || c == '.' {
+            out.push(' ');
+        }
+    }
+    normalize_ws(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("sony bravia theater"), vec!["sony", "bravia", "theater"]);
+        assert_eq!(tokenize("  spaced   out  "), vec!["spaced", "out"]);
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn token_count_matches_tokenize() {
+        for s in ["", "a", "a b", " a  b   c "] {
+            assert_eq!(token_count(s), tokenize(s).len());
+        }
+    }
+
+    #[test]
+    fn drop_first_and_last() {
+        assert_eq!(drop_first_k("a b c", 1).as_deref(), Some("b c"));
+        assert_eq!(drop_first_k("a b c", 2).as_deref(), Some("c"));
+        assert_eq!(drop_first_k("a b c", 3), None);
+        assert_eq!(drop_first_k("a b c", 0), None);
+        assert_eq!(drop_last_k("a b c", 1).as_deref(), Some("a b"));
+        assert_eq!(drop_last_k("a b c", 2).as_deref(), Some("a"));
+        assert_eq!(drop_last_k("a", 1), None);
+        assert_eq!(drop_last_k("", 1), None);
+    }
+
+    #[test]
+    fn clean_strips_punctuation_and_case() {
+        assert_eq!(clean("Sony BRAVIA, DAV-IS50/B!"), "sony bravia dav is50 b");
+        assert_eq!(clean("379.72"), "379 72");
+        assert_eq!(clean(""), "");
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_is_idempotent(s in "[ a-z0-9]{0,40}") {
+            let once = normalize_ws(&s);
+            prop_assert_eq!(normalize_ws(&once), once);
+        }
+
+        #[test]
+        fn drop_first_reduces_count(s in "[a-z]{1,6}( [a-z]{1,6}){1,8}", k in 1usize..4) {
+            let n = token_count(&s);
+            prop_assume!(k < n);
+            let dropped = drop_first_k(&s, k).unwrap();
+            prop_assert_eq!(token_count(&dropped), n - k);
+        }
+
+        #[test]
+        fn drop_last_keeps_prefix(s in "[a-z]{1,6}( [a-z]{1,6}){1,8}") {
+            let toks = tokenize(&s).iter().map(|t| t.to_string()).collect::<Vec<_>>();
+            if let Some(d) = drop_last_k(&s, 1) {
+                let dt = tokenize(&d).iter().map(|t| t.to_string()).collect::<Vec<_>>();
+                prop_assert_eq!(&toks[..toks.len() - 1], &dt[..]);
+            }
+        }
+
+        #[test]
+        fn join_tokenize_roundtrip(s in "[a-z]{1,6}( [a-z]{1,6}){0,8}") {
+            let toks = tokenize(&s);
+            prop_assert_eq!(join(&toks), normalize_ws(&s));
+        }
+    }
+}

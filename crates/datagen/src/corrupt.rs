@@ -1,0 +1,276 @@
+//! Corruption channels: how a source's *view* of an entity differs from the
+//! canonical values.
+//!
+//! Mirrors the noise regimes of the real benchmarks: token drops and
+//! reordering (Abt vs Buy name formats), character typos, abbreviations,
+//! missing values (the `NaN` price cells of Figure 1), numeric reformatting,
+//! and — for the Dirty variants — migration of an attribute's value into a
+//! neighbouring column, which is precisely how the Dirty DeepMatcher datasets
+//! were constructed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-channel corruption probabilities for one source's rendering pass.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseProfile {
+    /// Probability of dropping each non-leading token.
+    pub token_drop: f64,
+    /// Probability of one adjacent-token swap per value.
+    pub token_swap: f64,
+    /// Probability of a character-level typo per value.
+    pub typo: f64,
+    /// Probability of abbreviating one token (keep first 1–3 chars).
+    pub abbreviate: f64,
+    /// Probability of blanking the whole value (missing data).
+    pub missing: f64,
+    /// Probability of blanking *numeric-looking* values specifically (price
+    /// columns in product data are missing far more often).
+    pub missing_numeric: f64,
+    /// Probability (per record) of migrating one attribute value into the
+    /// next column — only applied when the dataset is a Dirty variant.
+    pub dirty_migrate: f64,
+}
+
+impl NoiseProfile {
+    /// Light noise: the "cleaner" source of a dataset pair.
+    pub fn light() -> Self {
+        NoiseProfile {
+            token_drop: 0.03,
+            token_swap: 0.05,
+            typo: 0.03,
+            abbreviate: 0.03,
+            missing: 0.01,
+            missing_numeric: 0.25,
+            dirty_migrate: 0.0,
+        }
+    }
+
+    /// Heavy noise: the messier source (e.g. Buy, Scholar, Amazon).
+    pub fn heavy() -> Self {
+        NoiseProfile {
+            token_drop: 0.12,
+            token_swap: 0.12,
+            typo: 0.08,
+            abbreviate: 0.08,
+            missing: 0.04,
+            missing_numeric: 0.45,
+            dirty_migrate: 0.0,
+        }
+    }
+
+    /// Enable the Dirty-variant attribute-migration channel.
+    pub fn with_dirty(mut self, p: f64) -> Self {
+        self.dirty_migrate = p;
+        self
+    }
+}
+
+/// Corrupt one attribute value. Deterministic in the RNG state.
+pub fn corrupt_value(value: &str, profile: &NoiseProfile, rng: &mut StdRng) -> String {
+    let is_numeric = looks_numeric(value);
+    let missing_p = if is_numeric { profile.missing_numeric } else { profile.missing };
+    if rng.gen_bool(missing_p.clamp(0.0, 1.0)) {
+        return String::new();
+    }
+    let mut tokens: Vec<String> =
+        value.split_whitespace().map(|t| t.to_string()).collect();
+    if tokens.is_empty() {
+        return String::new();
+    }
+
+    // Token drop (never the first token — it usually carries the brand/key).
+    if tokens.len() > 2 {
+        let mut kept = vec![tokens[0].clone()];
+        for t in tokens.into_iter().skip(1) {
+            if !rng.gen_bool(profile.token_drop.clamp(0.0, 1.0)) {
+                kept.push(t);
+            }
+        }
+        tokens = kept;
+    }
+
+    // Adjacent swap.
+    if tokens.len() >= 2 && rng.gen_bool(profile.token_swap.clamp(0.0, 1.0)) {
+        let i = rng.gen_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+    }
+
+    // Abbreviation of one alphabetic token.
+    if rng.gen_bool(profile.abbreviate.clamp(0.0, 1.0)) {
+        let alpha: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.len() > 3 && t.chars().all(|c| c.is_ascii_alphabetic()))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&i) = alpha.as_slice().choose(rng) {
+            let keep = rng.gen_range(1..4usize);
+            tokens[i] = tokens[i].chars().take(keep).collect();
+            if keep == 1 {
+                tokens[i].push('.');
+            }
+        }
+    }
+
+    // Character typo in one token (swap two adjacent chars or substitute).
+    if rng.gen_bool(profile.typo.clamp(0.0, 1.0)) {
+        let i = rng.gen_range(0..tokens.len());
+        tokens[i] = typo(&tokens[i], rng);
+    }
+
+    tokens.join(" ")
+}
+
+/// Apply the Dirty-variant migration: with probability `dirty_migrate`, pick
+/// an attribute `i > 0` and prepend its value to attribute `i − 1`, blanking
+/// `i`. Mutates the record's value vector in place.
+pub fn maybe_migrate(values: &mut [String], profile: &NoiseProfile, rng: &mut StdRng) {
+    if values.len() < 2 || !rng.gen_bool(profile.dirty_migrate.clamp(0.0, 1.0)) {
+        return;
+    }
+    let src = rng.gen_range(1..values.len());
+    if values[src].is_empty() {
+        return;
+    }
+    let moved = std::mem::take(&mut values[src]);
+    let dst = src - 1;
+    if values[dst].is_empty() {
+        values[dst] = moved;
+    } else {
+        values[dst] = format!("{} {}", values[dst], moved);
+    }
+}
+
+fn typo(token: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = token.chars().collect();
+    if chars.len() < 2 {
+        return token.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    if rng.gen_bool(0.5) {
+        chars.swap(i, i + 1);
+    } else {
+        let alphabet = b"abcdefghijklmnopqrstuvwxyz";
+        chars[i] = alphabet[rng.gen_range(0..alphabet.len())] as char;
+    }
+    chars.into_iter().collect()
+}
+
+fn looks_numeric(value: &str) -> bool {
+    certa_text::parse_number(value).is_some()
+        || value.split_whitespace().all(|t| t.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '$' || c == ':' || c == '%'))
+            && !value.trim().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_noise_is_identity_modulo_whitespace() {
+        let profile = NoiseProfile {
+            token_drop: 0.0,
+            token_swap: 0.0,
+            typo: 0.0,
+            abbreviate: 0.0,
+            missing: 0.0,
+            missing_numeric: 0.0,
+            dirty_migrate: 0.0,
+        };
+        let mut r = rng(1);
+        assert_eq!(corrupt_value("sony bravia theater", &profile, &mut r), "sony bravia theater");
+        assert_eq!(corrupt_value("  spaced   value ", &profile, &mut r), "spaced value");
+    }
+
+    #[test]
+    fn full_missing_blanks_everything() {
+        let profile = NoiseProfile { missing: 1.0, ..NoiseProfile::light() };
+        let mut r = rng(2);
+        assert_eq!(corrupt_value("anything here", &profile, &mut r), "");
+    }
+
+    #[test]
+    fn numeric_missing_channel_targets_numbers() {
+        let profile = NoiseProfile {
+            missing: 0.0,
+            missing_numeric: 1.0,
+            ..NoiseProfile::light()
+        };
+        let mut r = rng(3);
+        assert_eq!(corrupt_value("379.72", &profile, &mut r), "");
+        assert_ne!(corrupt_value("sony bravia", &profile, &mut r), "");
+    }
+
+    #[test]
+    fn heavy_noise_changes_values_sometimes() {
+        let profile = NoiseProfile::heavy();
+        let mut r = rng(4);
+        let original = "sony bravia theater black micro system davis50b";
+        let mut changed = 0;
+        for _ in 0..50 {
+            if corrupt_value(original, &profile, &mut r) != original {
+                changed += 1;
+            }
+        }
+        assert!(changed > 10, "heavy noise changed only {changed}/50");
+    }
+
+    #[test]
+    fn corruption_preserves_some_signal() {
+        // Even heavy noise must leave most matched views recognizable,
+        // otherwise no matcher can learn the dataset.
+        let profile = NoiseProfile::heavy();
+        let mut r = rng(5);
+        let original = "sony bravia theater black micro system davis50b";
+        let mut sims = 0.0;
+        for _ in 0..50 {
+            let c = corrupt_value(original, &profile, &mut r);
+            sims += certa_text::jaccard(original, &c);
+        }
+        assert!(sims / 50.0 > 0.5, "mean jaccard {}", sims / 50.0);
+    }
+
+    #[test]
+    fn migrate_moves_value_left() {
+        let profile = NoiseProfile::light().with_dirty(1.0);
+        let mut r = rng(6);
+        let mut values =
+            vec!["title words".to_string(), "john smith".to_string(), "vldb".to_string()];
+        maybe_migrate(&mut values, &profile, &mut r);
+        let blanks = values.iter().filter(|v| v.is_empty()).count();
+        assert_eq!(blanks, 1, "exactly one column blanked: {values:?}");
+        let joined = values.join(" ");
+        for t in ["title", "words", "john", "smith", "vldb"] {
+            assert!(joined.contains(t), "no tokens lost: {values:?}");
+        }
+    }
+
+    #[test]
+    fn migrate_disabled_is_noop() {
+        let profile = NoiseProfile::light();
+        let mut r = rng(7);
+        let mut values = vec!["a".to_string(), "b".to_string()];
+        maybe_migrate(&mut values, &profile, &mut r);
+        assert_eq!(values, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let profile = NoiseProfile::heavy();
+        let mut a = rng(8);
+        let mut b = rng(8);
+        for _ in 0..20 {
+            assert_eq!(
+                corrupt_value("golden wild ale pale imperial", &profile, &mut a),
+                corrupt_value("golden wild ale pale imperial", &profile, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end benchmark generation: entities → per-source views → labeled
+//! splits.
+
+use crate::corrupt::{corrupt_value, maybe_migrate, NoiseProfile};
+use crate::entity::Entity;
+use crate::spec::{DatasetId, DatasetSpec, Scale};
+use crate::splits::{build_splits, SplitConfig};
+use certa_core::{Dataset, Record, RecordId, RecordPair, Schema, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generate one benchmark dataset, deterministic in `(id, scale, seed)`.
+///
+/// The pipeline:
+/// 1. sample shared entities (matched across sources) plus per-source-only
+///    entities;
+/// 2. render a lightly-noised left view and a heavily-noised right view of
+///    every entity (Dirty variants additionally migrate attribute values into
+///    neighbouring columns on both sides);
+/// 3. add duplicate right views for entities with match multiplicity > 1
+///    (how DBLP-Scholar-style sources reach more matches than records);
+/// 4. assemble labeled train/test splits with blocking-based hard negatives.
+pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Dataset {
+    let spec = id.spec();
+    let mut rng = StdRng::seed_from_u64(spec.base_seed ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let (n_left, n_right, n_matches) = spec.records_at(scale);
+
+    // Distinct matched entities vs duplicate right views.
+    let max_matched_entities = (n_left.min(n_right) * 7) / 10;
+    let matched_entities = n_matches.min(max_matched_entities).max(4);
+    let max_right_views = (n_right * 17) / 20; // keep some right-only records
+    let extra_views = (n_matches.saturating_sub(matched_entities))
+        .min(max_right_views.saturating_sub(matched_entities));
+
+    let left_schema = Schema::shared(spec.left_name, spec.attrs.iter().copied());
+    let right_schema = Schema::shared(spec.right_name, spec.attrs.iter().copied());
+
+    let light = side_profile(&spec, NoiseProfile::light());
+    let heavy = side_profile(&spec, NoiseProfile::heavy());
+
+    // 1. Entities.
+    let shared: Vec<Entity> =
+        (0..matched_entities).map(|_| Entity::sample(&spec, &mut rng)).collect();
+    let left_only: Vec<Entity> = (0..n_left.saturating_sub(matched_entities))
+        .map(|_| Entity::sample(&spec, &mut rng))
+        .collect();
+    let right_only_count =
+        n_right.saturating_sub(matched_entities + extra_views);
+    let right_only: Vec<Entity> =
+        (0..right_only_count).map(|_| Entity::sample(&spec, &mut rng)).collect();
+
+    // 2-3. Views.
+    let mut left_records = Vec::with_capacity(n_left);
+    let mut right_records = Vec::with_capacity(n_right);
+    let mut positives: Vec<RecordPair> = Vec::with_capacity(matched_entities + extra_views);
+
+    for (i, e) in shared.iter().chain(left_only.iter()).enumerate() {
+        left_records.push(render(RecordId(i as u32), e, &light, spec.dirty, &mut rng));
+    }
+    let mut next_right = 0u32;
+    for (i, e) in shared.iter().enumerate() {
+        right_records.push(render(RecordId(next_right), e, &heavy, spec.dirty, &mut rng));
+        positives.push(RecordPair::new(RecordId(i as u32), RecordId(next_right)));
+        next_right += 1;
+    }
+    // Duplicate right views for multiplicity.
+    for _ in 0..extra_views {
+        let ei = rng.gen_range(0..shared.len());
+        right_records.push(render(RecordId(next_right), &shared[ei], &heavy, spec.dirty, &mut rng));
+        positives.push(RecordPair::new(RecordId(ei as u32), RecordId(next_right)));
+        next_right += 1;
+    }
+    for e in &right_only {
+        right_records.push(render(RecordId(next_right), e, &heavy, spec.dirty, &mut rng));
+        next_right += 1;
+    }
+
+    let left = Table::from_records(left_schema, left_records).expect("left table valid");
+    let right = Table::from_records(right_schema, right_records).expect("right table valid");
+
+    // 4. Splits.
+    let (train, test) = build_splits(&left, &right, &positives, &SplitConfig::default(), &mut rng);
+
+    Dataset::new(spec.id.code(), left, right, train, test).expect("generated dataset valid")
+}
+
+/// Tune the base profile per dataset family.
+fn side_profile(spec: &DatasetSpec, mut base: NoiseProfile) -> NoiseProfile {
+    if spec.dirty {
+        base = base.with_dirty(0.5);
+    }
+    base
+}
+
+fn render(
+    id: RecordId,
+    entity: &Entity,
+    profile: &NoiseProfile,
+    dirty: bool,
+    rng: &mut StdRng,
+) -> Record {
+    let mut values: Vec<String> =
+        entity.values().iter().map(|v| corrupt_value(v, profile, rng)).collect();
+    // Guarantee the record is not entirely blank: restore the first attribute
+    // from the canonical value if corruption wiped everything.
+    if values.iter().all(|v| v.trim().is_empty()) {
+        values[0] = entity.values()[0].clone();
+    }
+    if dirty {
+        maybe_migrate(&mut values, profile, rng);
+    }
+    Record::new(id, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::Split;
+
+    #[test]
+    fn all_twelve_generate_at_smoke_scale() {
+        for id in DatasetId::all() {
+            let d = generate(id, Scale::Smoke, 7);
+            assert_eq!(d.name(), id.code(), "{id}");
+            assert!(!d.left().is_empty() && !d.right().is_empty());
+            assert!(d.match_count() >= 8, "{id} matches {}", d.match_count());
+            assert!(!d.split(Split::Train).is_empty());
+            assert!(!d.split(Split::Test).is_empty());
+            assert_eq!(d.left().schema().arity(), id.spec().arity());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetId::AB, Scale::Smoke, 42);
+        let b = generate(DatasetId::AB, Scale::Smoke, 42);
+        assert_eq!(a.split(Split::Train), b.split(Split::Train));
+        assert_eq!(a.split(Split::Test), b.split(Split::Test));
+        for (ra, rb) in a.left().records().iter().zip(b.left().records().iter()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(DatasetId::AB, Scale::Smoke, 1);
+        let b = generate(DatasetId::AB, Scale::Smoke, 2);
+        let same = a
+            .left()
+            .records()
+            .iter()
+            .zip(b.left().records().iter())
+            .all(|(x, y)| x.values() == y.values());
+        assert!(!same);
+    }
+
+    #[test]
+    fn matched_pairs_are_textually_similar() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 3);
+        let mut sim_sum = 0.0;
+        let mut n = 0;
+        let mut rand_sum = 0.0;
+        for lp in d.split(Split::Train).iter().chain(d.split(Split::Test)) {
+            let (u, v) = d.expect_pair(lp.pair);
+            let s = certa_text::jaccard(&u.values().join(" "), &v.values().join(" "));
+            if lp.label.is_match() {
+                sim_sum += s;
+                n += 1;
+            } else {
+                rand_sum += s;
+            }
+        }
+        let pos_mean = sim_sum / n as f64;
+        let neg_count = (d.split(Split::Train).len() + d.split(Split::Test).len() - n) as f64;
+        let neg_mean = rand_sum / neg_count;
+        assert!(
+            pos_mean > neg_mean + 0.2,
+            "matches must be separable: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn dirty_variant_has_migrated_columns() {
+        let clean = generate(DatasetId::DA, Scale::Smoke, 5);
+        let dirty = generate(DatasetId::DDA, Scale::Smoke, 5);
+        let blank_rate = |t: &Table| {
+            let total: usize = t.records().len() * t.schema().arity();
+            let blanks: usize = t
+                .records()
+                .iter()
+                .map(|r| r.values().iter().filter(|v| v.trim().is_empty()).count())
+                .sum();
+            blanks as f64 / total as f64
+        };
+        assert!(
+            blank_rate(dirty.left()) > blank_rate(clean.left()),
+            "dirty migration blanks source columns"
+        );
+    }
+
+    #[test]
+    fn default_scale_is_larger_than_smoke() {
+        let s = generate(DatasetId::FZ, Scale::Smoke, 1);
+        let d = generate(DatasetId::FZ, Scale::Default, 1);
+        assert!(d.left().len() > s.left().len());
+        assert!(d.match_count() >= s.match_count());
+    }
+
+    #[test]
+    fn some_records_have_missing_values() {
+        // Figure 1 shows NaN price cells; our product data must too.
+        let d = generate(DatasetId::AB, Scale::Default, 9);
+        let price = certa_core::AttrId(2);
+        let missing = d.right().records().iter().filter(|r| r.is_missing(price)).count();
+        assert!(missing > 0, "no missing prices generated");
+    }
+}

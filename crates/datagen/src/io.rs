@@ -1,0 +1,359 @@
+//! Loading real DeepMatcher-format benchmarks from disk.
+//!
+//! The paper's datasets ship as CSV directories
+//! (`tableA.csv`, `tableB.csv`, `train.csv`, `valid.csv`, `test.csv`; the
+//! tables carry an `id` column plus attributes, the pair files carry
+//! `ltable_id, rtable_id, label`). This environment cannot download them —
+//! the synthetic generator substitutes — but a downstream user with the real
+//! CSVs can load them through [`load_deepmatcher_dir`] and run every
+//! experiment in this workspace against the genuine data.
+//!
+//! The parser is a dependency-free RFC-4180 subset: quoted fields,
+//! doubled-quote escapes, embedded commas/newlines, and both LF and CRLF
+//! line endings.
+
+use certa_core::{Dataset, LabeledPair, Record, RecordId, Schema, Table};
+use std::fmt;
+use std::path::Path;
+
+/// CSV / layout errors raised by the loaders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// Malformed CSV syntax.
+    Syntax { line: usize, message: String },
+    /// Structural problem (missing column, bad id, ragged row).
+    Layout(String),
+    /// Underlying I/O failure (message only; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Syntax { line, message } => write!(f, "CSV syntax error at line {line}: {message}"),
+            CsvError::Layout(m) => write!(f, "CSV layout error: {m}"),
+            CsvError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into rows of fields.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError::Syntax {
+                        line,
+                        message: "quote in the middle of an unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => { /* swallowed; `\n` terminates the row */ }
+            '\n' => {
+                line += 1;
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Syntax { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    // Drop fully-empty trailing rows (files ending in a blank line).
+    rows.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(rows)
+}
+
+/// Serialize rows back to CSV (quoting only where needed).
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, field) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if field.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Build a [`Table`] from DeepMatcher-format CSV text: header
+/// `id,attr1,...`, one record per row, `id` parsed as `u32`.
+pub fn table_from_csv(source_name: &str, text: &str) -> Result<Table, CsvError> {
+    let rows = parse_csv(text)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or_else(|| CsvError::Layout("empty table file".into()))?;
+    if header.first().map(|h| h.trim().to_ascii_lowercase()) != Some("id".into()) {
+        return Err(CsvError::Layout(format!(
+            "table `{source_name}` must start with an `id` column, got {header:?}"
+        )));
+    }
+    if header.len() < 2 {
+        return Err(CsvError::Layout(format!("table `{source_name}` has no attributes")));
+    }
+    let schema = Schema::shared(source_name, header[1..].iter().map(|h| h.trim().to_string()));
+    let mut table = Table::new(schema);
+    for (i, row) in it.enumerate() {
+        if row.len() != header.len() {
+            return Err(CsvError::Layout(format!(
+                "table `{source_name}` row {} has {} fields, expected {}",
+                i + 2,
+                row.len(),
+                header.len()
+            )));
+        }
+        let id: u32 = row[0]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::Layout(format!("bad id `{}` in `{source_name}`", row[0])))?;
+        let values: Vec<String> =
+            row[1..].iter().map(|v| normalize_missing(v)).collect();
+        table
+            .insert(Record::new(RecordId(id), values))
+            .map_err(|e| CsvError::Layout(e.to_string()))?;
+    }
+    Ok(table)
+}
+
+/// DeepMatcher pair files: header containing `ltable_id`, `rtable_id`,
+/// `label` (in any column order).
+pub fn pairs_from_csv(text: &str) -> Result<Vec<LabeledPair>, CsvError> {
+    let rows = parse_csv(text)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or_else(|| CsvError::Layout("empty pairs file".into()))?;
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| h.trim().eq_ignore_ascii_case(name))
+            .ok_or_else(|| CsvError::Layout(format!("pairs file lacks `{name}` column")))
+    };
+    let (li, ri, yi) = (col("ltable_id")?, col("rtable_id")?, col("label")?);
+    let mut out = Vec::new();
+    for (i, row) in it.enumerate() {
+        let get = |idx: usize| -> Result<&str, CsvError> {
+            row.get(idx)
+                .map(|s| s.trim())
+                .ok_or_else(|| CsvError::Layout(format!("pairs row {} too short", i + 2)))
+        };
+        let l: u32 = get(li)?
+            .parse()
+            .map_err(|_| CsvError::Layout(format!("bad ltable_id in row {}", i + 2)))?;
+        let r: u32 = get(ri)?
+            .parse()
+            .map_err(|_| CsvError::Layout(format!("bad rtable_id in row {}", i + 2)))?;
+        let label = match get(yi)? {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(CsvError::Layout(format!("bad label `{other}` in row {}", i + 2)))
+            }
+        };
+        out.push(LabeledPair::new(RecordId(l), RecordId(r), label));
+    }
+    Ok(out)
+}
+
+/// Load a DeepMatcher benchmark directory:
+/// `tableA.csv` + `tableB.csv` + `train.csv` + `test.csv`, with an optional
+/// `valid.csv` merged into the train split (the paper trains on
+/// train ∪ valid and evaluates on test).
+pub fn load_deepmatcher_dir(dir: &Path, name: &str) -> Result<Dataset, CsvError> {
+    let read = |file: &str| -> Result<String, CsvError> {
+        std::fs::read_to_string(dir.join(file))
+            .map_err(|e| CsvError::Io(format!("{}: {e}", dir.join(file).display())))
+    };
+    let left = table_from_csv(&format!("{name}-A"), &read("tableA.csv")?)?;
+    let right = table_from_csv(&format!("{name}-B"), &read("tableB.csv")?)?;
+    let mut train = pairs_from_csv(&read("train.csv")?)?;
+    if dir.join("valid.csv").exists() {
+        train.extend(pairs_from_csv(&read("valid.csv")?)?);
+    }
+    let test = pairs_from_csv(&read("test.csv")?)?;
+    Dataset::new(name, left, right, train, test).map_err(|e| CsvError::Layout(e.to_string()))
+}
+
+/// Write a generated dataset out in the DeepMatcher directory layout — a
+/// convenience for exporting synthetic benchmarks to other tools, and the
+/// roundtrip partner of [`load_deepmatcher_dir`].
+pub fn write_deepmatcher_dir(dataset: &Dataset, dir: &Path) -> Result<(), CsvError> {
+    std::fs::create_dir_all(dir).map_err(|e| CsvError::Io(e.to_string()))?;
+    let table_rows = |t: &Table| -> Vec<Vec<String>> {
+        let mut rows = Vec::with_capacity(t.len() + 1);
+        let mut header = vec!["id".to_string()];
+        header.extend(t.schema().attr_names().iter().cloned());
+        rows.push(header);
+        for r in t.records() {
+            let mut row = vec![r.id().0.to_string()];
+            row.extend(r.values().iter().cloned());
+            rows.push(row);
+        }
+        rows
+    };
+    let pair_rows = |pairs: &[LabeledPair]| -> Vec<Vec<String>> {
+        let mut rows = vec![vec!["ltable_id".to_string(), "rtable_id".to_string(), "label".to_string()]];
+        for lp in pairs {
+            rows.push(vec![
+                lp.pair.left.0.to_string(),
+                lp.pair.right.0.to_string(),
+                if lp.label.is_match() { "1" } else { "0" }.to_string(),
+            ]);
+        }
+        rows
+    };
+    let write = |file: &str, rows: &[Vec<String>]| -> Result<(), CsvError> {
+        std::fs::write(dir.join(file), to_csv(rows)).map_err(|e| CsvError::Io(e.to_string()))
+    };
+    write("tableA.csv", &table_rows(dataset.left()))?;
+    write("tableB.csv", &table_rows(dataset.right()))?;
+    write("train.csv", &pair_rows(dataset.split(certa_core::Split::Train)))?;
+    write("test.csv", &pair_rows(dataset.split(certa_core::Split::Test)))?;
+    Ok(())
+}
+
+fn normalize_missing(v: &str) -> String {
+    let t = v.trim();
+    if t.eq_ignore_ascii_case("nan") || t.eq_ignore_ascii_case("null") {
+        String::new()
+    } else {
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetId, Scale};
+
+    #[test]
+    fn parses_plain_and_quoted_fields() {
+        let rows = parse_csv("a,b,c\n1,\"x, y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "x, y", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn handles_crlf_and_embedded_newlines() {
+        let rows = parse_csv("a,b\r\n\"multi\nline\",2\r\n").unwrap();
+        assert_eq!(rows[1][0], "multi\nline");
+        assert_eq!(rows[1][1], "2");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(matches!(parse_csv("a,\"unterminated\n"), Err(CsvError::Syntax { .. })));
+        assert!(matches!(parse_csv("a,b\"c\n"), Err(CsvError::Syntax { .. })));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_content() {
+        let rows = vec![
+            vec!["id".to_string(), "name".to_string()],
+            vec!["0".to_string(), "has, comma".to_string()],
+            vec!["1".to_string(), "has \"quotes\"".to_string()],
+            vec!["2".to_string(), String::new()],
+        ];
+        assert_eq!(parse_csv(&to_csv(&rows)).unwrap(), rows);
+    }
+
+    #[test]
+    fn table_from_csv_builds_schema_and_records() {
+        let t = table_from_csv("Abt", "id,name,price\n0,sony tv,100\n1,lg tv,NaN\n").unwrap();
+        assert_eq!(t.schema().arity(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.expect(RecordId(0)).value(certa_core::AttrId(0)), "sony tv");
+        assert!(t.expect(RecordId(1)).is_missing(certa_core::AttrId(1)), "NaN → missing");
+    }
+
+    #[test]
+    fn table_layout_errors() {
+        assert!(table_from_csv("X", "").is_err());
+        assert!(table_from_csv("X", "notid,name\n0,a\n").is_err());
+        assert!(table_from_csv("X", "id\n0\n").is_err(), "no attributes");
+        assert!(table_from_csv("X", "id,name\nbadid,a\n").is_err());
+        assert!(table_from_csv("X", "id,name\n0\n").is_err(), "ragged row");
+    }
+
+    #[test]
+    fn pairs_from_csv_reads_any_column_order() {
+        let pairs = pairs_from_csv("label,rtable_id,ltable_id\n1,5,3\n0,2,9\n").unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].pair.left, RecordId(3));
+        assert_eq!(pairs[0].pair.right, RecordId(5));
+        assert!(pairs[0].label.is_match());
+        assert!(!pairs[1].label.is_match());
+    }
+
+    #[test]
+    fn pairs_layout_errors() {
+        assert!(pairs_from_csv("ltable_id,rtable_id\n1,2\n").is_err(), "missing label");
+        assert!(pairs_from_csv("ltable_id,rtable_id,label\n1,2,maybe\n").is_err());
+        assert!(pairs_from_csv("ltable_id,rtable_id,label\nx,2,1\n").is_err());
+    }
+
+    #[test]
+    fn directory_roundtrip_of_a_generated_dataset() {
+        let dataset = crate::generator::generate(DatasetId::FZ, Scale::Smoke, 77);
+        let dir = std::env::temp_dir().join(format!("certa-io-test-{}", std::process::id()));
+        write_deepmatcher_dir(&dataset, &dir).unwrap();
+        let loaded = load_deepmatcher_dir(&dir, "FZ").unwrap();
+        assert_eq!(loaded.left().len(), dataset.left().len());
+        assert_eq!(loaded.right().len(), dataset.right().len());
+        assert_eq!(loaded.split(certa_core::Split::Train), dataset.split(certa_core::Split::Train));
+        assert_eq!(loaded.split(certa_core::Split::Test), dataset.split(certa_core::Split::Test));
+        for (a, b) in loaded.left().records().iter().zip(dataset.left().records()) {
+            assert_eq!(a.values(), b.values());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_reports_io_error() {
+        let err = load_deepmatcher_dir(Path::new("/nonexistent-certa-dir"), "X").unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Labeled pair construction: positives from the entity overlap, hard
+//! negatives from blocking, and a deterministic train/test split.
+
+use certa_core::blocking::TokenIndex;
+use certa_core::hash::FxHashSet;
+use certa_core::{LabeledPair, RecordPair, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Split fractions and negative sampling ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Negatives per positive.
+    pub neg_ratio: f64,
+    /// Fraction of labeled pairs that land in the train split.
+    pub train_frac: f64,
+    /// Of the sampled negatives, the fraction drawn from blocking candidates
+    /// (hard negatives) rather than uniformly at random.
+    pub hard_fraction: f64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { neg_ratio: 3.0, train_frac: 0.7, hard_fraction: 0.6 }
+    }
+}
+
+/// Build `(train, test)` labeled pair lists from ground-truth positives.
+///
+/// Hard negatives come from a token-blocking index over the right table (the
+/// most similar *non-matching* right records for each matched left record),
+/// mirroring how the DeepMatcher benchmark pairs were produced by blocking.
+/// Both splits are guaranteed to contain at least one positive and one
+/// negative (the generator's scales make this always satisfiable).
+pub fn build_splits(
+    left: &Table,
+    right: &Table,
+    positives: &[RecordPair],
+    cfg: &SplitConfig,
+    rng: &mut StdRng,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    assert!(!positives.is_empty(), "need at least one matching pair");
+    let positive_set: FxHashSet<RecordPair> = positives.iter().copied().collect();
+
+    let index = TokenIndex::build(right, right.len() / 3 + 1);
+    let target_negatives = ((positives.len() as f64) * cfg.neg_ratio).round() as usize;
+    let hard_target = ((target_negatives as f64) * cfg.hard_fraction).round() as usize;
+
+    let mut negatives: Vec<RecordPair> = Vec::with_capacity(target_negatives);
+    let mut seen: FxHashSet<RecordPair> = FxHashSet::default();
+
+    // Hard negatives: blocking candidates of matched left records.
+    'outer: for pos in positives {
+        let probe = left.expect(pos.left);
+        for (cand, _) in index.candidates(probe, 2, None).into_iter().take(4) {
+            let pair = RecordPair::new(pos.left, cand);
+            if !positive_set.contains(&pair) && seen.insert(pair) {
+                negatives.push(pair);
+                if negatives.len() >= hard_target {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Random negatives to fill the budget.
+    let left_ids: Vec<_> = left.records().iter().map(|r| r.id()).collect();
+    let right_ids: Vec<_> = right.records().iter().map(|r| r.id()).collect();
+    let mut guard = 0;
+    while negatives.len() < target_negatives && guard < target_negatives * 50 {
+        guard += 1;
+        let l = left_ids[rng.gen_range(0..left_ids.len())];
+        let r = right_ids[rng.gen_range(0..right_ids.len())];
+        let pair = RecordPair::new(l, r);
+        if !positive_set.contains(&pair) && seen.insert(pair) {
+            negatives.push(pair);
+        }
+    }
+
+    let mut labeled: Vec<LabeledPair> = positives
+        .iter()
+        .map(|&p| LabeledPair::new(p.left, p.right, true))
+        .chain(negatives.iter().map(|&p| LabeledPair::new(p.left, p.right, false)))
+        .collect();
+    labeled.shuffle(rng);
+
+    let cut = ((labeled.len() as f64) * cfg.train_frac).round() as usize;
+    let cut = cut.clamp(1, labeled.len().saturating_sub(1));
+    let mut test = labeled.split_off(cut);
+    let mut train = labeled;
+
+    // Re-balance so both splits hold both classes.
+    ensure_both_classes(&mut train, &mut test);
+    ensure_both_classes(&mut test, &mut train);
+    (train, test)
+}
+
+fn ensure_both_classes(target: &mut Vec<LabeledPair>, source: &mut Vec<LabeledPair>) {
+    for want_match in [true, false] {
+        if !target.iter().any(|lp| lp.label.is_match() == want_match) {
+            if let Some(idx) =
+                source.iter().position(|lp| lp.label.is_match() == want_match)
+            {
+                // Move one example over (source keeps its classes: callers
+                // re-check it afterwards).
+                let lp = source.remove(idx);
+                target.push(lp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{Record, RecordId, Schema};
+    use rand::SeedableRng;
+
+    fn tables() -> (Table, Table, Vec<RecordPair>) {
+        let ls = Schema::shared("U", ["name"]);
+        let rs = Schema::shared("V", ["name"]);
+        let n = 30;
+        let left = Table::from_records(
+            ls,
+            (0..n)
+                .map(|i| {
+                    Record::new(RecordId(i), vec![format!("brand{} series{} model{}", i % 5, i % 3, i)])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let right = Table::from_records(
+            rs,
+            (0..n)
+                .map(|i| {
+                    Record::new(
+                        RecordId(i),
+                        vec![format!("brand{} series{} model{} x", i % 5, i % 3, i)],
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let positives: Vec<RecordPair> =
+            (0..10).map(|i| RecordPair::new(RecordId(i), RecordId(i))).collect();
+        (left, right, positives)
+    }
+
+    #[test]
+    fn splits_cover_both_classes_and_ratio() {
+        let (left, right, pos) = tables();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SplitConfig::default();
+        let (train, test) = build_splits(&left, &right, &pos, &cfg, &mut rng);
+        for (name, split) in [("train", &train), ("test", &test)] {
+            assert!(split.iter().any(|lp| lp.label.is_match()), "{name} has a positive");
+            assert!(split.iter().any(|lp| !lp.label.is_match()), "{name} has a negative");
+        }
+        let total = train.len() + test.len();
+        let positives = train.iter().chain(test.iter()).filter(|lp| lp.label.is_match()).count();
+        assert_eq!(positives, pos.len());
+        // ~3 negatives per positive.
+        assert!(total >= pos.len() * 3, "total {total}");
+    }
+
+    #[test]
+    fn no_duplicate_pairs_and_no_mislabeled_positives() {
+        let (left, right, pos) = tables();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = build_splits(&left, &right, &pos, &SplitConfig::default(), &mut rng);
+        let mut seen = FxHashSet::default();
+        for lp in train.iter().chain(test.iter()) {
+            assert!(seen.insert(lp.pair), "duplicate pair {:?}", lp.pair);
+            let is_true_match = pos.contains(&lp.pair);
+            assert_eq!(lp.label.is_match(), is_true_match, "label mismatch for {:?}", lp.pair);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (left, right, pos) = tables();
+        let cfg = SplitConfig::default();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = build_splits(&left, &right, &pos, &cfg, &mut r1);
+        let b = build_splits(&left, &right, &pos, &cfg, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hard_negatives_share_tokens() {
+        let (left, right, pos) = tables();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SplitConfig { neg_ratio: 2.0, hard_fraction: 1.0, ..Default::default() };
+        let (train, test) = build_splits(&left, &right, &pos, &cfg, &mut rng);
+        // At least one negative shares a rare token with its left record.
+        let some_hard = train.iter().chain(test.iter()).filter(|lp| !lp.label.is_match()).any(
+            |lp| {
+                let u = left.expect(lp.pair.left);
+                let v = right.expect(lp.pair.right);
+                certa_text::jaccard(&u.values()[0], &v.values()[0]) > 0.2
+            },
+        );
+        assert!(some_hard);
+    }
+}

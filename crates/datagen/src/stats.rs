@@ -1,0 +1,81 @@
+//! Dataset statistics — the Table 1 row for a generated dataset.
+
+use crate::spec::{DatasetId, Scale};
+use certa_core::{Dataset, Side};
+
+/// One row of Table 1, measured on a generated dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Dataset abbreviation.
+    pub id: DatasetId,
+    /// Number of matching pairs in the labeled splits.
+    pub matches: usize,
+    /// Attribute count.
+    pub attrs: usize,
+    /// Records in the left / right sources.
+    pub records: (usize, usize),
+    /// Distinct attribute values in the left / right sources.
+    pub values: (usize, usize),
+}
+
+/// Measure a generated dataset.
+pub fn dataset_stats(id: DatasetId, dataset: &Dataset) -> DatasetStats {
+    let l = dataset.side_stats(Side::Left);
+    let r = dataset.side_stats(Side::Right);
+    DatasetStats {
+        id,
+        matches: dataset.match_count(),
+        attrs: dataset.left().schema().arity(),
+        records: (l.records, r.records),
+        values: (l.distinct_values, r.distinct_values),
+    }
+}
+
+/// Generate all twelve datasets at `scale` and return their Table 1 rows,
+/// in the paper's row order.
+pub fn table1_rows(scale: Scale, seed: u64) -> Vec<DatasetStats> {
+    DatasetId::all()
+        .into_iter()
+        .map(|id| {
+            let d = crate::generator::generate(id, scale, seed);
+            dataset_stats(id, &d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn stats_reflect_generated_data() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 1);
+        let s = dataset_stats(DatasetId::FZ, &d);
+        assert_eq!(s.attrs, 6);
+        assert_eq!(s.records.0, d.left().len());
+        assert_eq!(s.records.1, d.right().len());
+        assert!(s.values.0 > 0 && s.values.1 > 0);
+        assert_eq!(s.matches, d.match_count());
+    }
+
+    #[test]
+    fn table1_has_twelve_ordered_rows() {
+        let rows = table1_rows(Scale::Smoke, 3);
+        assert_eq!(rows.len(), 12);
+        let ids: Vec<DatasetId> = rows.iter().map(|r| r.id).collect();
+        assert_eq!(ids, DatasetId::all().to_vec());
+    }
+
+    #[test]
+    fn relative_shape_tracks_paper() {
+        // DS's right source is much bigger than its left (2614 vs 64263 in
+        // the paper); the scaled version must preserve the asymmetry.
+        let rows = table1_rows(Scale::Smoke, 3);
+        let ds = rows.iter().find(|r| r.id == DatasetId::DS).unwrap();
+        assert!(ds.records.1 > ds.records.0);
+        // FZ is the opposite.
+        let fz = rows.iter().find(|r| r.id == DatasetId::FZ).unwrap();
+        assert!(fz.records.0 >= fz.records.1);
+    }
+}

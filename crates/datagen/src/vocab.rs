@@ -1,0 +1,270 @@
+//! Domain vocabularies and value generators.
+//!
+//! Each [`Domain`](crate::spec::Domain) owns word pools that the entity
+//! sampler draws from. Pools are sized so that generated sources reach
+//! realistic distinct-value counts (Table 1's "Values" column) at the default
+//! scale, and every generator is deterministic in the provided RNG.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+pub(crate) const BRANDS: &[&str] = &[
+    "sony", "panasonic", "lg", "samsung", "bose", "altec", "canon", "denon", "jvc", "pioneer",
+    "philips", "toshiba", "sharp", "yamaha", "kenwood", "sanyo", "nikon", "olympus", "garmin",
+    "logitech", "netgear", "linksys", "belkin", "epson",
+];
+
+pub(crate) const PRODUCT_NOUNS: &[&str] = &[
+    "theater", "system", "speaker", "player", "camera", "tv", "headphones", "receiver",
+    "camcorder", "monitor", "printer", "router", "keyboard", "subwoofer", "projector",
+    "radio", "recorder", "adapter", "charger", "dock", "turntable", "soundbar", "amplifier",
+    "microphone",
+];
+
+pub(crate) const MODIFIERS: &[&str] = &[
+    "black", "silver", "white", "portable", "wireless", "digital", "compact", "micro",
+    "professional", "premium", "slim", "mini", "dual", "stereo", "surround", "bluetooth",
+    "rechargeable", "waterproof", "hd", "lcd",
+];
+
+pub(crate) const CATEGORIES: &[&str] = &[
+    "electronics", "audio", "video", "computers", "accessories", "cameras", "networking",
+    "office", "home theater", "portable audio", "televisions", "printers",
+];
+
+pub(crate) const SOFTWARE_WORDS: &[&str] = &[
+    "studio", "suite", "pro", "deluxe", "premier", "office", "photo", "video", "security",
+    "antivirus", "backup", "tax", "finance", "design", "publisher", "creator", "manager",
+    "tutor", "encyclopedia", "atlas", "typing", "greeting", "landscape", "architect",
+];
+
+pub(crate) const SOFTWARE_VENDORS: &[&str] = &[
+    "microsoft", "adobe", "intuit", "symantec", "mcafee", "corel", "autodesk", "broderbund",
+    "encore", "topics", "individual", "nova", "riverdeep", "valusoft", "apple", "sage",
+];
+
+pub(crate) const BEER_WORDS: &[&str] = &[
+    "pale", "amber", "golden", "dark", "imperial", "old", "wild", "hoppy", "smoked", "barrel",
+    "aged", "double", "winter", "summer", "harvest", "mountain", "river", "valley", "ghost",
+    "iron", "copper", "red", "black", "white",
+];
+
+pub(crate) const BEER_NOUNS: &[&str] = &[
+    "ale", "lager", "stout", "porter", "ipa", "pilsner", "wheat", "bock", "dunkel", "saison",
+    "tripel", "dubbel", "kolsch", "barleywine", "brown",
+];
+
+pub(crate) const BEER_STYLES: &[&str] = &[
+    "american ipa", "imperial stout", "english porter", "belgian tripel", "german pilsner",
+    "american pale ale", "russian imperial stout", "witbier", "hefeweizen", "scotch ale",
+    "amber lager", "barleywine", "saison", "brown ale", "oatmeal stout", "doppelbock",
+];
+
+pub(crate) const BREWERY_WORDS: &[&str] = &[
+    "stone", "anchor", "harpoon", "lagunitas", "founders", "bells", "victory", "odell",
+    "deschutes", "ballast", "cascade", "summit", "granite", "prairie", "ridge", "hollow",
+];
+
+pub(crate) const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "query",
+    "processing", "optimization", "entity", "resolution", "matching", "learning", "deep",
+    "neural", "probabilistic", "indexing", "mining", "streams", "graphs", "joins",
+    "aggregation", "sampling", "estimation", "integration", "cleaning", "schemas", "databases",
+    "knowledge", "semantic", "approximate", "similarity", "clustering", "classification",
+    "ranking", "retrieval", "transactions", "concurrency", "recovery", "caching",
+];
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "john", "wei", "maria", "david", "anna", "rakesh", "laura", "michael", "yuki", "ahmed",
+    "elena", "peter", "divya", "carlos", "sofia", "thomas", "mei", "andrei", "fatima", "james",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "smith", "chen", "garcia", "kumar", "mueller", "tanaka", "rossi", "ivanov", "santos",
+    "johnson", "lee", "wang", "brown", "martin", "silva", "kim", "nguyen", "patel", "lopez",
+    "novak",
+];
+
+pub(crate) const VENUES: &[&str] = &[
+    "sigmod conference", "vldb", "icde", "kdd", "sigmod record", "vldb journal", "tkde",
+    "edbt", "cikm", "icdm", "wsdm", "www conference",
+];
+
+pub(crate) const RESTAURANT_WORDS: &[&str] = &[
+    "golden", "blue", "royal", "little", "grand", "silver", "green", "happy", "lucky", "old",
+    "new", "spicy", "garden", "palace", "corner", "village", "ocean", "sunset", "harbor",
+    "union",
+];
+
+pub(crate) const RESTAURANT_NOUNS: &[&str] = &[
+    "bistro", "grill", "kitchen", "cafe", "diner", "house", "tavern", "brasserie", "trattoria",
+    "cantina", "steakhouse", "noodle bar", "pizzeria", "chophouse", "oyster bar",
+];
+
+pub(crate) const CUISINES: &[&str] = &[
+    "italian", "french", "chinese", "mexican", "japanese", "thai", "indian", "american",
+    "mediterranean", "seafood", "bbq", "vegetarian", "korean", "vietnamese", "greek",
+];
+
+pub(crate) const CITIES: &[&str] = &[
+    "new york", "los angeles", "san francisco", "chicago", "boston", "seattle", "austin",
+    "atlanta", "denver", "portland", "miami", "dallas",
+];
+
+pub(crate) const STREETS: &[&str] = &[
+    "main st", "oak ave", "maple dr", "broadway", "market st", "5th ave", "sunset blvd",
+    "park ave", "elm st", "lake shore dr", "mission st", "grand ave",
+];
+
+pub(crate) const SONG_WORDS: &[&str] = &[
+    "midnight", "summer", "broken", "golden", "electric", "neon", "velvet", "wild", "silent",
+    "burning", "crystal", "shadow", "paper", "hollow", "silver", "lonely", "dancing", "falling",
+    "rising", "fading", "endless", "frozen", "scarlet", "hidden",
+];
+
+pub(crate) const SONG_NOUNS: &[&str] = &[
+    "heart", "dreams", "lights", "road", "river", "fire", "rain", "sky", "night", "city",
+    "love", "echoes", "waves", "stars", "storm", "wings", "memories", "horizon", "mirror",
+    "ghost",
+];
+
+pub(crate) const GENRES: &[&str] = &[
+    "pop", "rock", "hip-hop rap", "country", "dance", "r&b soul", "alternative", "electronic",
+    "indie", "jazz", "folk", "metal",
+];
+
+pub(crate) const LABELS: &[&str] = &[
+    "universal records", "columbia", "atlantic records", "interscope", "capitol records",
+    "rca", "def jam", "warner bros", "epic", "motown",
+];
+
+/// Pick one item from a pool.
+pub(crate) fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+/// Pick `n` distinct-ish items joined by spaces (duplicates possible only
+/// when `n` exceeds the pool, which callers avoid).
+pub(crate) fn pick_phrase(rng: &mut StdRng, pool: &[&str], n: usize) -> String {
+    let mut idxs: Vec<usize> = (0..pool.len()).collect();
+    idxs.shuffle(rng);
+    idxs.truncate(n.min(pool.len()));
+    idxs.into_iter().map(|i| pool[i]).collect::<Vec<_>>().join(" ")
+}
+
+/// A product model code like `dav-is50` or `im600usb` — the distinctive
+/// token that makes matched product pairs recognizable.
+pub(crate) fn model_code(rng: &mut StdRng) -> String {
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    let mut code = String::new();
+    for _ in 0..rng.gen_range(2..4) {
+        code.push(letters[rng.gen_range(0..letters.len())] as char);
+    }
+    code.push_str(&rng.gen_range(10..9999u32).to_string());
+    if rng.gen_bool(0.3) {
+        for _ in 0..rng.gen_range(1..3) {
+            code.push(letters[rng.gen_range(0..letters.len())] as char);
+        }
+    }
+    code
+}
+
+/// A person name, `first last`.
+pub(crate) fn person(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A price string with two decimals in `[lo, hi)`.
+pub(crate) fn price(rng: &mut StdRng, lo: f64, hi: f64) -> String {
+    let v = rng.gen_range(lo..hi);
+    format!("{:.2}", v)
+}
+
+/// A US-style phone number.
+pub(crate) fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}",
+        rng.gen_range(200..999u32),
+        rng.gen_range(200..999u32),
+        rng.gen_range(1000..9999u32)
+    )
+}
+
+/// A track duration `m:ss`.
+pub(crate) fn duration(rng: &mut StdRng) -> String {
+    format!("{}:{:02}", rng.gen_range(2..6u32), rng.gen_range(0..60u32))
+}
+
+/// A release date like `march 4 2011`.
+pub(crate) fn release_date(rng: &mut StdRng) -> String {
+    const MONTHS: &[&str] = &[
+        "january", "february", "march", "april", "may", "june", "july", "august", "september",
+        "october", "november", "december",
+    ];
+    format!("{} {} {}", pick(rng, MONTHS), rng.gen_range(1..29u32), rng.gen_range(1995..2021u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn pools_are_reasonably_sized() {
+        for pool in [
+            BRANDS, PRODUCT_NOUNS, MODIFIERS, SOFTWARE_WORDS, BEER_WORDS, TITLE_WORDS,
+            FIRST_NAMES, LAST_NAMES, SONG_WORDS,
+        ] {
+            assert!(pool.len() >= 12, "pool too small: {pool:?}");
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(model_code(&mut a), model_code(&mut b));
+        assert_eq!(person(&mut a), person(&mut b));
+        assert_eq!(price(&mut a, 10.0, 500.0), price(&mut b, 10.0, 500.0));
+    }
+
+    #[test]
+    fn model_code_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let code = model_code(&mut r);
+            assert!(code.len() >= 4);
+            assert!(code.chars().any(|c| c.is_ascii_digit()));
+            assert!(code.chars().any(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn phrase_has_requested_words() {
+        let mut r = rng();
+        let p = pick_phrase(&mut r, TITLE_WORDS, 5);
+        assert_eq!(p.split_whitespace().count(), 5);
+        // Distinct words (pool is larger than request).
+        let set: std::collections::HashSet<&str> = p.split_whitespace().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn formatted_values_parse() {
+        let mut r = rng();
+        let p = price(&mut r, 5.0, 10.0);
+        let v: f64 = p.parse().unwrap();
+        assert!((5.0..10.0).contains(&v));
+        let d = duration(&mut r);
+        assert!(d.contains(':'));
+        let ph = phone(&mut r);
+        assert_eq!(ph.split('-').count(), 3);
+        let rd = release_date(&mut r);
+        assert_eq!(rd.split_whitespace().count(), 3);
+    }
+}

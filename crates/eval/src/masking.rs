@@ -1,0 +1,91 @@
+//! Attribute masking / copying used by the evaluation protocols.
+
+use certa_core::{Record, Side};
+use certa_explain::AttrRef;
+
+/// Blank the listed attributes ("masking is performed by making the system
+/// ignore its contents", §5.8).
+pub fn mask_pair(u: &Record, v: &Record, attrs: &[AttrRef]) -> (Record, Record) {
+    let mut pu = u.clone();
+    let mut pv = v.clone();
+    for a in attrs {
+        match a.side {
+            Side::Left => {
+                if a.attr.index() < pu.arity() {
+                    pu.set_value(a.attr, String::new());
+                }
+            }
+            Side::Right => {
+                if a.attr.index() < pv.arity() {
+                    pv.set_value(a.attr, String::new());
+                }
+            }
+        }
+    }
+    (pu, pv)
+}
+
+/// The §1 faithfulness spot-check (Figure 4): copy each listed attribute's
+/// value into the *other* record's aligned attribute, making the pair more
+/// similar along exactly the attributes the explanation flagged.
+pub fn copy_salient(u: &Record, v: &Record, attrs: &[AttrRef]) -> (Record, Record) {
+    let mut pu = u.clone();
+    let mut pv = v.clone();
+    for a in attrs {
+        match a.side {
+            Side::Left => {
+                // Copy u's value into v.
+                if a.attr.index() < pu.arity() && a.attr.index() < pv.arity() {
+                    pv.set_value(a.attr, u.value(a.attr).to_string());
+                }
+            }
+            Side::Right => {
+                if a.attr.index() < pu.arity() && a.attr.index() < pv.arity() {
+                    pu.set_value(a.attr, v.value(a.attr).to_string());
+                }
+            }
+        }
+    }
+    (pu, pv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::RecordId;
+
+    fn pair() -> (Record, Record) {
+        (
+            Record::new(RecordId(0), vec!["ua".into(), "ub".into()]),
+            Record::new(RecordId(1), vec!["va".into(), "vb".into()]),
+        )
+    }
+
+    #[test]
+    fn mask_blanks_selected_attributes() {
+        let (u, v) = pair();
+        let (mu, mv) =
+            mask_pair(&u, &v, &[AttrRef::new(Side::Left, 0), AttrRef::new(Side::Right, 1)]);
+        assert_eq!(mu.values(), &["".to_string(), "ub".to_string()]);
+        assert_eq!(mv.values(), &["va".to_string(), "".to_string()]);
+    }
+
+    #[test]
+    fn copy_makes_pairs_more_similar() {
+        let (u, v) = pair();
+        let (cu, cv) = copy_salient(&u, &v, &[AttrRef::new(Side::Left, 0)]);
+        assert_eq!(cv.values()[0], "ua", "u's value copied into v");
+        assert_eq!(cu.values()[0], "ua", "u unchanged");
+        let (cu, _cv) = copy_salient(&u, &v, &[AttrRef::new(Side::Right, 1)]);
+        assert_eq!(cu.values()[1], "vb", "v's value copied into u");
+    }
+
+    #[test]
+    fn originals_untouched() {
+        let (u, v) = pair();
+        let _ = mask_pair(&u, &v, &[AttrRef::new(Side::Left, 0)]);
+        let _ = copy_salient(&u, &v, &[AttrRef::new(Side::Left, 0)]);
+        assert_eq!(u.values()[0], "ua");
+        assert_eq!(v.values()[0], "va");
+    }
+}

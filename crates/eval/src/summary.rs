@@ -1,0 +1,194 @@
+//! Cross-table summaries: per-method win counts and mean ranks.
+//!
+//! The paper argues its case cell-by-cell ("certa reports the best
+//! faithfulness measure, but for the DS and DDA datasets…"); this module
+//! condenses a grid of cells into the per-method statistics those sentences
+//! are built from, so EXPERIMENTS.md claims are computed rather than
+//! eyeballed.
+
+use crate::grid::SaliencyCell;
+use certa_baselines::SaliencyMethod;
+use certa_datagen::DatasetId;
+use certa_models::ModelKind;
+
+/// Win/rank statistics for one method within one model block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodSummary {
+    /// The method summarized.
+    pub method: SaliencyMethod,
+    /// Cells where the method is strictly or jointly best.
+    pub wins: usize,
+    /// Cells counted.
+    pub cells: usize,
+    /// Mean rank (1 = best) across cells.
+    pub mean_rank: f64,
+    /// Mean metric value across cells.
+    pub mean_value: f64,
+}
+
+/// Summarize one model block of a saliency table.
+///
+/// `lower_is_better` selects the orientation (true for faithfulness and
+/// confidence indication). Ties within `1e-9` count as joint wins.
+pub fn summarize_block(
+    cells: &[SaliencyCell],
+    model: ModelKind,
+    methods: &[SaliencyMethod],
+    datasets: &[DatasetId],
+    lower_is_better: bool,
+) -> Vec<MethodSummary> {
+    let mut wins = vec![0usize; methods.len()];
+    let mut rank_sum = vec![0.0f64; methods.len()];
+    let mut value_sum = vec![0.0f64; methods.len()];
+    let mut counted = 0usize;
+
+    for &d in datasets {
+        let row: Vec<Option<f64>> = methods
+            .iter()
+            .map(|&m| {
+                cells
+                    .iter()
+                    .find(|c| c.dataset == d && c.model == model && c.method == m)
+                    .map(|c| c.value)
+            })
+            .collect();
+        if row.iter().any(Option::is_none) {
+            continue; // incomplete row: skip rather than bias
+        }
+        counted += 1;
+        let values: Vec<f64> = row.into_iter().map(Option::unwrap).collect();
+        let best = values
+            .iter()
+            .copied()
+            .fold(if lower_is_better { f64::INFINITY } else { f64::NEG_INFINITY }, |a, b| {
+                if lower_is_better {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }
+            });
+        for (i, &v) in values.iter().enumerate() {
+            if (v - best).abs() < 1e-9 {
+                wins[i] += 1;
+            }
+            // Rank = 1 + number of strictly better methods.
+            let better = values
+                .iter()
+                .filter(|&&o| if lower_is_better { o < v - 1e-12 } else { o > v + 1e-12 })
+                .count();
+            rank_sum[i] += (better + 1) as f64;
+            value_sum[i] += v;
+        }
+    }
+
+    methods
+        .iter()
+        .enumerate()
+        .map(|(i, &method)| MethodSummary {
+            method,
+            wins: wins[i],
+            cells: counted,
+            mean_rank: if counted > 0 { rank_sum[i] / counted as f64 } else { 0.0 },
+            mean_value: if counted > 0 { value_sum[i] / counted as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Render a block summary as one text line per method.
+pub fn render_summary(model: ModelKind, summaries: &[MethodSummary]) -> String {
+    let mut out = format!("{}:", model.paper_name());
+    for s in summaries {
+        out.push_str(&format!(
+            "  {} wins {}/{} (mean rank {:.2}, mean {:.3})",
+            s.method.paper_name(),
+            s.wins,
+            s.cells,
+            s.mean_rank,
+            s.mean_value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(d: DatasetId, m: SaliencyMethod, v: f64) -> SaliencyCell {
+        SaliencyCell { dataset: d, model: ModelKind::Ditto, method: m, value: v }
+    }
+
+    #[test]
+    fn win_counts_and_ranks() {
+        let methods = [SaliencyMethod::Certa, SaliencyMethod::Shap];
+        let cells = vec![
+            cell(DatasetId::AB, SaliencyMethod::Certa, 0.1),
+            cell(DatasetId::AB, SaliencyMethod::Shap, 0.5),
+            cell(DatasetId::AG, SaliencyMethod::Certa, 0.4),
+            cell(DatasetId::AG, SaliencyMethod::Shap, 0.2),
+        ];
+        let s = summarize_block(
+            &cells,
+            ModelKind::Ditto,
+            &methods,
+            &[DatasetId::AB, DatasetId::AG],
+            true,
+        );
+        assert_eq!(s[0].wins, 1);
+        assert_eq!(s[1].wins, 1);
+        assert_eq!(s[0].cells, 2);
+        assert!((s[0].mean_rank - 1.5).abs() < 1e-12);
+        assert!((s[0].mean_value - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_for_both() {
+        let methods = [SaliencyMethod::Certa, SaliencyMethod::Mojito];
+        let cells = vec![
+            cell(DatasetId::AB, SaliencyMethod::Certa, 0.3),
+            cell(DatasetId::AB, SaliencyMethod::Mojito, 0.3),
+        ];
+        let s =
+            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], true);
+        assert_eq!(s[0].wins, 1);
+        assert_eq!(s[1].wins, 1);
+        assert_eq!(s[0].mean_rank, 1.0);
+        assert_eq!(s[1].mean_rank, 1.0);
+    }
+
+    #[test]
+    fn higher_is_better_orientation() {
+        let methods = [SaliencyMethod::Certa, SaliencyMethod::Shap];
+        let cells = vec![
+            cell(DatasetId::AB, SaliencyMethod::Certa, 0.9),
+            cell(DatasetId::AB, SaliencyMethod::Shap, 0.2),
+        ];
+        let s =
+            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
+        assert_eq!(s[0].wins, 1);
+        assert_eq!(s[1].wins, 0);
+    }
+
+    #[test]
+    fn incomplete_rows_are_skipped() {
+        let methods = [SaliencyMethod::Certa, SaliencyMethod::Shap];
+        let cells = vec![cell(DatasetId::AB, SaliencyMethod::Certa, 0.9)]; // Shap missing
+        let s =
+            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
+        assert_eq!(s[0].cells, 0);
+        assert_eq!(s[0].wins, 0);
+    }
+
+    #[test]
+    fn render_mentions_every_method() {
+        let methods = [SaliencyMethod::Certa, SaliencyMethod::Shap];
+        let cells = vec![
+            cell(DatasetId::AB, SaliencyMethod::Certa, 0.1),
+            cell(DatasetId::AB, SaliencyMethod::Shap, 0.2),
+        ];
+        let s = summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], true);
+        let line = render_summary(ModelKind::Ditto, &s);
+        assert!(line.contains("certa wins 1/1"));
+        assert!(line.contains("SHAP wins 0/1"));
+    }
+}

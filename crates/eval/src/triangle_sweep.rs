@@ -1,0 +1,149 @@
+//! The Figure 11 sweep: how CERTA's probabilities and all quality metrics
+//! move as the triangle budget τ grows.
+//!
+//! §5.5 runs WA, AB, DDA and IA across all three classifiers and reports,
+//! per τ: mean probability of sufficiency (a), mean probability of necessity
+//! (b), confidence indication (c), faithfulness (d), proximity (e),
+//! sparsity (f) and diversity (g). All metrics stabilize beyond τ ≈ 75–80.
+
+use crate::cf_metrics::{example_proximity, example_sparsity, set_diversity};
+use crate::confidence::confidence_indication_with;
+use crate::faithfulness::faithfulness_auc_with;
+use certa_core::{Dataset, LabeledPair, Matcher};
+use certa_explain::{Certa, CertaConfig};
+
+/// One point of the Figure 11 series (all seven panels at one τ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Triangle budget.
+    pub tau: usize,
+    /// Figure 11(a): mean probability of sufficiency.
+    pub sufficiency: f64,
+    /// Figure 11(b): mean probability of necessity.
+    pub necessity: f64,
+    /// Figure 11(c): confidence indication MAE.
+    pub confidence: f64,
+    /// Figure 11(d): faithfulness AUC.
+    pub faithfulness: f64,
+    /// Figure 11(e): counterfactual proximity.
+    pub proximity: f64,
+    /// Figure 11(f): counterfactual sparsity.
+    pub sparsity: f64,
+    /// Figure 11(g): counterfactual diversity.
+    pub diversity: f64,
+}
+
+/// Run CERTA at one τ over `pairs` and aggregate all seven panel metrics.
+pub fn sweep_point(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    pairs: &[LabeledPair],
+    base: &CertaConfig,
+    tau: usize,
+) -> SweepPoint {
+    assert!(!pairs.is_empty());
+    let certa = Certa::new(base.with_triangles(tau));
+    let mut saliencies = Vec::with_capacity(pairs.len());
+    let mut suff_sum = 0.0;
+    let mut nec_sum = 0.0;
+    let mut prox_sum = 0.0;
+    let mut spars_sum = 0.0;
+    let mut with_examples = 0usize;
+    let mut div_sum = 0.0;
+
+    for lp in pairs {
+        let (u, v) = dataset.expect_pair(lp.pair);
+        let exp = certa.explain(matcher, dataset, u, v);
+        suff_sum += exp.mean_sufficiency;
+        nec_sum += exp.mean_necessity;
+        div_sum += set_diversity(&exp.counterfactual);
+        if !exp.counterfactual.examples.is_empty() {
+            let n = exp.counterfactual.examples.len() as f64;
+            prox_sum += exp
+                .counterfactual
+                .examples
+                .iter()
+                .map(|ex| example_proximity(u, v, ex))
+                .sum::<f64>()
+                / n;
+            spars_sum += exp
+                .counterfactual
+                .examples
+                .iter()
+                .map(|ex| example_sparsity(u, v, ex))
+                .sum::<f64>()
+                / n;
+            with_examples += 1;
+        }
+        saliencies.push(exp.saliency);
+    }
+
+    let n = pairs.len() as f64;
+    SweepPoint {
+        tau,
+        sufficiency: suff_sum / n,
+        necessity: nec_sum / n,
+        confidence: confidence_indication_with(matcher, dataset, &saliencies, pairs),
+        faithfulness: faithfulness_auc_with(matcher, dataset, &saliencies, pairs),
+        proximity: if with_examples > 0 { prox_sum / with_examples as f64 } else { 0.0 },
+        sparsity: if with_examples > 0 { spars_sum / with_examples as f64 } else { 0.0 },
+        diversity: div_sum / n,
+    }
+}
+
+/// Sweep a τ grid.
+pub fn sweep(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    pairs: &[LabeledPair],
+    base: &CertaConfig,
+    taus: &[usize],
+) -> Vec<SweepPoint> {
+    taus.iter().map(|&tau| sweep_point(matcher, dataset, pairs, base, tau)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::Split;
+    use certa_datagen::{generate, DatasetId, Scale};
+    use certa_models::{trainer::sample_pairs, RuleMatcher};
+
+    #[test]
+    fn sweep_produces_bounded_series() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 4);
+        let m = RuleMatcher::uniform(3).with_threshold(0.55);
+        let pairs = sample_pairs(&d, Split::Test, 3, 1);
+        let base = CertaConfig { use_augmentation: true, ..Default::default() };
+        let points = sweep(&m, &d, &pairs, &base, &[4, 12]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            for v in [
+                p.sufficiency,
+                p.necessity,
+                p.confidence,
+                p.faithfulness,
+                p.proximity,
+                p.sparsity,
+                p.diversity,
+            ] {
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "{p:?}");
+            }
+        }
+        assert_eq!(points[0].tau, 4);
+        assert_eq!(points[1].tau, 12);
+    }
+
+    #[test]
+    fn larger_tau_changes_estimates_smoothly() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 2);
+        let m = RuleMatcher::uniform(6).with_threshold(0.6);
+        let pairs = sample_pairs(&d, Split::Test, 2, 5);
+        let base = CertaConfig::default();
+        let points = sweep(&m, &d, &pairs, &base, &[2, 30]);
+        // No hard guarantee of monotonicity, but both must be valid numbers
+        // and the larger budget must have explored at least as much.
+        assert!(points[1].tau > points[0].tau);
+        assert!(points.iter().all(|p| p.faithfulness.is_finite()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Probability-of-sufficiency bookkeeping and golden-set selection
+//! (Equations 2–3).
+//!
+//! `χ_A = S[A] / |T_side|` where `S[A]` counts the triangles (on `A`'s side)
+//! whose lattice tagged `A` as a flip, and `|T_side|` is the number of
+//! triangles explored on that side — the estimate of
+//! `P(flip | attributes A changed)`. `A★` maximizes χ, ties broken by
+//! smaller `|A|` then deterministic mask order. The full attribute set of a
+//! side is excluded (Equation 3 searches `P(A_U) \ A_U`).
+
+use crate::lattice::{mask_len, AttrMask};
+use certa_core::hash::FxHashMap;
+use certa_core::Side;
+
+/// Accumulates per-subset flip counts across triangles.
+#[derive(Debug, Clone, Default)]
+pub struct SufficiencyCounter {
+    counts: FxHashMap<(Side, AttrMask), u32>,
+    triangles: FxHashMap<Side, u32>,
+}
+
+impl SufficiencyCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note that one more triangle was explored on `side`.
+    pub fn record_triangle(&mut self, side: Side) {
+        *self.triangles.entry(side).or_insert(0) += 1;
+    }
+
+    /// Record that subset `mask` flipped within a triangle on `side`.
+    pub fn record_flip(&mut self, side: Side, mask: AttrMask) {
+        *self.counts.entry((side, mask)).or_insert(0) += 1;
+    }
+
+    /// Triangles explored on `side`.
+    pub fn triangles_on(&self, side: Side) -> u32 {
+        self.triangles.get(&side).copied().unwrap_or(0)
+    }
+
+    /// `χ_A` for a subset (0 when no triangles were explored on the side).
+    pub fn chi(&self, side: Side, mask: AttrMask) -> f64 {
+        let t = self.triangles_on(side);
+        if t == 0 {
+            return 0.0;
+        }
+        let s = self.counts.get(&(side, mask)).copied().unwrap_or(0);
+        s as f64 / t as f64
+    }
+
+    /// Mean χ over all recorded subsets (used by the Figure 11(a) sweep).
+    pub fn mean_chi(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.counts.keys().map(|&(side, mask)| self.chi(side, mask)).sum();
+        total / self.counts.len() as f64
+    }
+
+    /// Select the golden set `A★` (Equation 3): maximize χ, tie-break on
+    /// smaller `|A|`, then on `(side, mask)` order for determinism. Full
+    /// side-sets are excluded. Returns `None` when nothing ever flipped.
+    pub fn golden_set(
+        &self,
+        left_arity: usize,
+        right_arity: usize,
+    ) -> Option<(Side, AttrMask, f64)> {
+        let full_of = |side: Side| -> AttrMask {
+            let arity = match side {
+                Side::Left => left_arity,
+                Side::Right => right_arity,
+            };
+            ((1u64 << arity) - 1) as AttrMask
+        };
+        let mut best: Option<(Side, AttrMask, f64)> = None;
+        let mut keys: Vec<(Side, AttrMask)> = self.counts.keys().copied().collect();
+        keys.sort_unstable();
+        for (side, mask) in keys {
+            if mask == full_of(side) {
+                continue; // Equation 3 excludes the full set
+            }
+            let chi = self.chi(side, mask);
+            if chi <= 0.0 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bside, bmask, bchi)) => {
+                    let (bside, bmask, bchi) = (*bside, *bmask, *bchi);
+                    chi > bchi + 1e-12
+                        || ((chi - bchi).abs() <= 1e-12
+                            && (mask_len(mask), side, mask) < (mask_len(bmask), bside, bmask))
+                }
+            };
+            if better {
+                best = Some((side, mask, chi));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §4 worked example: χ values over four left triangles.
+    #[test]
+    fn worked_example_chi_values() {
+        let mut c = SufficiencyCounter::new();
+        for _ in 0..4 {
+            c.record_triangle(Side::Left);
+        }
+        // Flipped masks per triangle (from Figure 9), excluding nothing:
+        let lattices: [&[AttrMask]; 4] = [
+            &[0b001, 0b010, 0b011, 0b101, 0b110, 0b111],
+            &[0b001, 0b011, 0b101, 0b110, 0b111],
+            &[0b001, 0b011, 0b101, 0b111],
+            &[0b011, 0b101, 0b110, 0b111],
+        ];
+        for masks in lattices {
+            for &m in masks {
+                c.record_flip(Side::Left, m);
+            }
+        }
+        assert_eq!(c.chi(Side::Left, 0b001), 3.0 / 4.0); // χ_{N}
+        assert_eq!(c.chi(Side::Left, 0b010), 1.0 / 4.0); // χ_{D}
+        assert_eq!(c.chi(Side::Left, 0b100), 0.0); // χ_{P}
+        assert_eq!(c.chi(Side::Left, 0b011), 1.0); // χ_{N,D}
+        assert_eq!(c.chi(Side::Left, 0b101), 1.0); // χ_{N,P}
+        assert_eq!(c.chi(Side::Left, 0b110), 3.0 / 4.0); // χ_{D,P}
+
+        // A★: max χ = 1 at {N,D} and {N,P}; both size 2; deterministic
+        // tie-break picks the smaller mask {N,D} = 0b011. The paper notes
+        // A★ ∈ {{N,D},{N,P}} — either is valid; we pick canonically.
+        let (side, mask, chi) = c.golden_set(3, 3).unwrap();
+        assert_eq!(side, Side::Left);
+        assert_eq!(mask, 0b011);
+        assert_eq!(chi, 1.0);
+    }
+
+    #[test]
+    fn full_set_excluded_from_golden() {
+        let mut c = SufficiencyCounter::new();
+        c.record_triangle(Side::Left);
+        c.record_flip(Side::Left, 0b111); // only the full 3-attr set flips
+        assert!(c.golden_set(3, 3).is_none());
+        // But if the side has 4 attributes, 0b111 is a proper subset.
+        let g = c.golden_set(4, 4).unwrap();
+        assert_eq!(g.1, 0b111);
+    }
+
+    #[test]
+    fn smaller_sets_win_ties() {
+        let mut c = SufficiencyCounter::new();
+        for _ in 0..2 {
+            c.record_triangle(Side::Left);
+        }
+        c.record_flip(Side::Left, 0b011);
+        c.record_flip(Side::Left, 0b011);
+        c.record_flip(Side::Left, 0b100);
+        c.record_flip(Side::Left, 0b100);
+        // Both have χ = 1; {P} (singleton) beats {N,D}.
+        let (_, mask, _) = c.golden_set(3, 3).unwrap();
+        assert_eq!(mask, 0b100);
+    }
+
+    #[test]
+    fn sides_normalize_independently() {
+        let mut c = SufficiencyCounter::new();
+        c.record_triangle(Side::Left);
+        c.record_triangle(Side::Left);
+        c.record_triangle(Side::Right);
+        c.record_flip(Side::Left, 0b1);
+        c.record_flip(Side::Right, 0b1);
+        assert_eq!(c.chi(Side::Left, 0b1), 0.5);
+        assert_eq!(c.chi(Side::Right, 0b1), 1.0);
+        let (side, _, chi) = c.golden_set(2, 2).unwrap();
+        assert_eq!(side, Side::Right);
+        assert_eq!(chi, 1.0);
+    }
+
+    #[test]
+    fn empty_counter_behaviour() {
+        let c = SufficiencyCounter::new();
+        assert_eq!(c.chi(Side::Left, 0b1), 0.0);
+        assert_eq!(c.mean_chi(), 0.0);
+        assert!(c.golden_set(3, 3).is_none());
+    }
+
+    #[test]
+    fn mean_chi_averages_recorded_subsets() {
+        let mut c = SufficiencyCounter::new();
+        for _ in 0..2 {
+            c.record_triangle(Side::Left);
+        }
+        c.record_flip(Side::Left, 0b01); // χ = 0.5
+        c.record_flip(Side::Left, 0b10);
+        c.record_flip(Side::Left, 0b10); // χ = 1.0
+        assert!((c.mean_chi() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! # certa-explain
+//!
+//! The paper's contribution: **CERTA**, a saliency + counterfactual
+//! explainer for black-box entity-resolution classifiers (§3–4).
+//!
+//! The pipeline for one prediction `M(⟨u, v⟩) = y`:
+//!
+//! 1. [`triangles`] — find *open triangles*: support records `w` on one side
+//!    that the model classifies **opposite** to `y` against the fixed pivot
+//!    (`M(⟨w, v⟩) = ȳ` for left triangles). When the tables cannot supply
+//!    enough, [`augment`] synthesizes extra candidates by dropping leading /
+//!    trailing tokens (§3.3).
+//! 2. [`perturb`] — the ψ function: copy the support's values for an
+//!    attribute subset `A` into the free record.
+//! 3. [`lattice`] — explore the powerset of one side's attributes bottom-up,
+//!    tagging each subset with whether its perturbation flips the
+//!    prediction; under the monotone-classifier assumption a flip at `A`
+//!    is propagated to every superset without testing (§4), and the tested
+//!    flips form the *minimal flipping antichain*.
+//! 4. [`saliency`] / [`counterfactual`] — frequency estimates of the
+//!    probability of **necessity** (per attribute → saliency scores Φ) and
+//!    of **sufficiency** (per subset → the golden set `A★` and the
+//!    counterfactual examples `E`), per Equations 1–3.
+//!
+//! [`Certa`] assembles these into Algorithm 1. Everything is deterministic
+//! given the [`CertaConfig`] seed, and the model is only ever accessed via
+//! [`certa_core::Matcher::score`].
+
+pub mod augment;
+pub mod certa;
+pub mod config;
+pub mod counterfactual;
+pub mod explanation;
+pub mod lattice;
+pub mod perturb;
+pub mod saliency;
+pub mod token_level;
+pub mod triangles;
+
+pub use certa::{Certa, CertaExplanation};
+pub use config::CertaConfig;
+pub use explanation::{
+    AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer,
+    SaliencyExplainer, SaliencyExplanation,
+};
+pub use lattice::{AttrMask, Exploration, LatticeStats};
+pub use token_level::{occlusion_token_saliency, triangle_token_saliency, TokenScore};
+pub use triangles::{find_triangles, OpenTriangle, TriangleStats};

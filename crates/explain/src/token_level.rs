@@ -1,0 +1,270 @@
+//! Token-level explanation drill-down — the paper's §6 future-work
+//! direction ("Extension of certa's principled explanation framework for ER
+//! to token-level explanations").
+//!
+//! Attribute-level saliency says *which field* drove a prediction;
+//! this module drills into one attribute and scores its individual tokens.
+//! Two estimators are provided:
+//!
+//! * [`occlusion_token_saliency`] — leave-one-token-out: each token's score
+//!   is the prediction-score change when only that token is removed. Fast,
+//!   model-agnostic, but out-of-distribution in the same way LIME's DROP is.
+//! * [`triangle_token_saliency`] — CERTA-flavoured: re-uses open-triangle
+//!   support records and progressively splices the support's token sequence
+//!   into the attribute (prefix by prefix, mirroring ψ at sub-attribute
+//!   granularity); a token's necessity is the frequency with which splices
+//!   that *overwrite it* co-occur with a prediction flip. In-distribution,
+//!   because replacement content comes from real records.
+
+use crate::config::CertaConfig;
+use crate::explanation::AttrRef;
+use crate::triangles::find_triangles;
+use certa_core::tokens::{join, tokenize};
+use certa_core::{Dataset, MatchLabel, Matcher, Record, Side};
+
+/// A token of an attribute value with its saliency score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenScore {
+    /// The token text.
+    pub token: String,
+    /// Position within the attribute's token sequence.
+    pub position: usize,
+    /// Saliency in `[0, 1]` (estimator-specific semantics).
+    pub score: f64,
+}
+
+fn record_of<'a>(u: &'a Record, v: &'a Record, side: Side) -> &'a Record {
+    match side {
+        Side::Left => u,
+        Side::Right => v,
+    }
+}
+
+fn score_with(
+    matcher: &dyn Matcher,
+    u: &Record,
+    v: &Record,
+    side: Side,
+    modified: Record,
+) -> f64 {
+    match side {
+        Side::Left => matcher.score(&modified, v),
+        Side::Right => matcher.score(u, &modified),
+    }
+}
+
+/// Leave-one-token-out saliency for `attr`'s value.
+///
+/// Returns one [`TokenScore`] per token, with score
+/// `|score(u, v) − score(pair with token i removed)|`, un-normalized so the
+/// values are directly comparable to attribute-level "actual" saliency
+/// (§5.8's masking-in-isolation protocol, at token granularity).
+pub fn occlusion_token_saliency(
+    matcher: &dyn Matcher,
+    u: &Record,
+    v: &Record,
+    attr: AttrRef,
+) -> Vec<TokenScore> {
+    let base = matcher.score(u, v);
+    let target = record_of(u, v, attr.side);
+    let toks = tokenize(target.value(attr.attr));
+    let mut out = Vec::with_capacity(toks.len());
+    for (i, tok) in toks.iter().enumerate() {
+        let mut kept: Vec<&str> = Vec::with_capacity(toks.len() - 1);
+        kept.extend(toks.iter().take(i));
+        kept.extend(toks.iter().skip(i + 1));
+        let modified = target.with_value(attr.attr, join(&kept));
+        let s = score_with(matcher, u, v, attr.side, modified);
+        out.push(TokenScore { token: (*tok).to_string(), position: i, score: (base - s).abs() });
+    }
+    out
+}
+
+/// CERTA-flavoured token necessity via open-triangle prefix splicing.
+///
+/// For every support record `w` of an open triangle on `attr.side`, the
+/// attribute's token sequence is replaced by progressively longer prefixes
+/// of `w[attr]` (the remainder keeping the original tail), and each variant
+/// is scored. A token's necessity is the fraction of *flipping* variants in
+/// which it had been overwritten — the frequentist estimate of Equation 1,
+/// one level down.
+///
+/// Returns an empty vector when the attribute has no tokens or no triangles
+/// can be built.
+pub fn triangle_token_saliency(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    u: &Record,
+    v: &Record,
+    attr: AttrRef,
+    cfg: &CertaConfig,
+) -> Vec<TokenScore> {
+    let y = matcher.predict(u, v);
+    let target = record_of(u, v, attr.side);
+    let original: Vec<String> =
+        tokenize(target.value(attr.attr)).iter().map(|t| t.to_string()).collect();
+    if original.is_empty() {
+        return Vec::new();
+    }
+
+    let (triangles, _) = find_triangles(matcher, dataset, u, v, y, cfg);
+    let mut overwritten_in_flips = vec![0u32; original.len()];
+    let mut flips = 0u32;
+
+    for t in triangles.iter().filter(|t| t.side == attr.side) {
+        let donor_toks = tokenize(t.support.value(attr.attr));
+        if donor_toks.is_empty() {
+            continue;
+        }
+        // Prefix splices: donor[0..k] ++ original[k..], k = 1..=len.
+        for k in 1..=original.len().min(donor_toks.len()) {
+            let mut spliced: Vec<&str> = donor_toks[..k].to_vec();
+            for tok in original.iter().skip(k) {
+                spliced.push(tok);
+            }
+            let modified = target.with_value(attr.attr, join(&spliced));
+            let s = score_with(matcher, u, v, attr.side, modified);
+            if MatchLabel::from_score(s) != y {
+                flips += 1;
+                for slot in overwritten_in_flips.iter_mut().take(k) {
+                    *slot += 1;
+                }
+            }
+        }
+    }
+
+    if flips == 0 {
+        return original
+            .into_iter()
+            .enumerate()
+            .map(|(i, token)| TokenScore { token, position: i, score: 0.0 })
+            .collect();
+    }
+    original
+        .into_iter()
+        .enumerate()
+        .map(|(i, token)| TokenScore {
+            token,
+            position: i,
+            score: overwritten_in_flips[i] as f64 / flips as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, LabeledPair, RecordId, Schema, Table};
+
+    /// Match iff the left record's first attribute contains "davis50b".
+    fn code_matcher() -> impl Matcher {
+        FnMatcher::new("code", |u: &Record, _v: &Record| {
+            if u.values()[0].split_whitespace().any(|t| t == "davis50b") {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    fn dataset() -> Dataset {
+        let ls = Schema::shared("U", ["name"]);
+        let rs = Schema::shared("V", ["name"]);
+        let left = Table::from_records(
+            ls,
+            vec![
+                Record::new(RecordId(0), vec!["sony bravia davis50b theater".into()]),
+                Record::new(RecordId(1), vec!["altec lansing im600 audio".into()]),
+                Record::new(RecordId(2), vec!["canon pixma mx700 printer".into()]),
+            ],
+        )
+        .unwrap();
+        let right = Table::from_records(
+            rs,
+            vec![Record::new(RecordId(0), vec!["sony bravia home theater".into()])],
+        )
+        .unwrap();
+        Dataset::new(
+            "toy",
+            left,
+            right,
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn occlusion_finds_the_decisive_token() {
+        let d = dataset();
+        let m = code_matcher();
+        let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
+        let scores = occlusion_token_saliency(&m, u, v, AttrRef::new(Side::Left, 0));
+        assert_eq!(scores.len(), 4);
+        let decisive = scores.iter().max_by(|a, b| a.score.partial_cmp(&b.score).unwrap()).unwrap();
+        assert_eq!(decisive.token, "davis50b");
+        assert!((decisive.score - 0.8).abs() < 1e-9, "removing it drops 0.9 → 0.1");
+        for ts in scores.iter().filter(|t| t.token != "davis50b") {
+            assert_eq!(ts.score, 0.0, "other tokens are irrelevant: {ts:?}");
+        }
+    }
+
+    #[test]
+    fn occlusion_positions_are_stable() {
+        let d = dataset();
+        let m = code_matcher();
+        let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
+        let scores = occlusion_token_saliency(&m, u, v, AttrRef::new(Side::Left, 0));
+        for (i, ts) in scores.iter().enumerate() {
+            assert_eq!(ts.position, i);
+        }
+        assert_eq!(scores[2].token, "davis50b");
+    }
+
+    #[test]
+    fn triangle_token_saliency_ranks_the_code_highest() {
+        let d = dataset();
+        let m = code_matcher();
+        let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
+        let cfg = CertaConfig { num_triangles: 4, use_augmentation: false, ..Default::default() };
+        let scores =
+            triangle_token_saliency(&m, &d, u, v, AttrRef::new(Side::Left, 0), &cfg);
+        assert_eq!(scores.len(), 4);
+        // Splices flip only once they overwrite position 2 ("davis50b"), so
+        // every flipping splice overwrites tokens 0..=2, never necessarily 3.
+        assert_eq!(scores[0].score, 1.0);
+        assert_eq!(scores[1].score, 1.0);
+        assert_eq!(scores[2].score, 1.0);
+        assert!(scores[3].score < 1.0, "{scores:?}");
+        assert!(scores.iter().all(|t| (0.0..=1.0).contains(&t.score)));
+    }
+
+    #[test]
+    fn empty_attribute_yields_no_tokens() {
+        let d = dataset();
+        let m = code_matcher();
+        let u = Record::new(RecordId(7), vec![String::new()]);
+        let v = d.right().expect(RecordId(0));
+        let cfg = CertaConfig { num_triangles: 2, use_augmentation: false, ..Default::default() };
+        assert!(occlusion_token_saliency(&m, &u, v, AttrRef::new(Side::Left, 0)).is_empty());
+        assert!(triangle_token_saliency(&m, &d, &u, v, AttrRef::new(Side::Left, 0), &cfg)
+            .is_empty());
+    }
+
+    #[test]
+    fn right_side_attributes_work_too() {
+        // A matcher sensitive to the right record's first token.
+        let m = FnMatcher::new("right", |_u: &Record, v: &Record| {
+            if v.values()[0].starts_with("sony") {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        let d = dataset();
+        let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
+        let scores = occlusion_token_saliency(&m, u, v, AttrRef::new(Side::Right, 0));
+        assert_eq!(scores[0].token, "sony");
+        assert!(scores[0].score > 0.5);
+    }
+}

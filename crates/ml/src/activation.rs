@@ -1,0 +1,125 @@
+//! Activation functions and their derivatives.
+
+/// Activation functions supported by the dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (linear output layer).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => sigmoid(z),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* value `a = f(z)`,
+    /// the form backprop caches.
+    #[inline]
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse sigmoid (logit), clamping the input away from {0, 1}.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // No overflow at extremes.
+        assert!(sigmoid(1e6).is_finite());
+        assert!(sigmoid(-1e6).is_finite());
+    }
+
+    #[test]
+    fn activations_apply() {
+        assert_eq!(Activation::Linear.apply(-3.0), -3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_in_unit_interval(z in -100.0f64..100.0) {
+            let s = sigmoid(z);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn sigmoid_monotone(a in -50.0f64..50.0, d in 0.001f64..10.0) {
+            prop_assert!(sigmoid(a + d) >= sigmoid(a));
+        }
+
+        #[test]
+        fn logit_inverts_sigmoid(z in -20.0f64..20.0) {
+            prop_assert!((logit(sigmoid(z)) - z).abs() < 1e-6);
+        }
+
+        #[test]
+        fn derivatives_match_numeric(z in -5.0f64..5.0) {
+            let eps = 1e-6;
+            for act in [Activation::Linear, Activation::Tanh, Activation::Sigmoid] {
+                let numeric = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(act.apply(z));
+                prop_assert!((numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {z}: numeric {numeric} vs analytic {analytic}");
+            }
+            // Relu: avoid the kink at 0.
+            if z.abs() > 1e-3 {
+                let act = Activation::Relu;
+                let numeric = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(act.apply(z));
+                prop_assert!((numeric - analytic).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Feature hashing ("the hashing trick") for sparse text features.
+//!
+//! The Ditto-style matcher featurizes a serialized record pair as hashed
+//! unigrams/bigrams; the DeepER-style matcher builds its word embeddings from
+//! the same primitive. Signed hashing (±1 based on one hash bit) keeps the
+//! expectation of collisions at zero, the standard construction.
+
+use certa_core::hash::fx_hash_one;
+
+/// Hashes string features into a fixed-dimension dense vector.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureHasher {
+    dim: usize,
+    salt: u64,
+}
+
+impl FeatureHasher {
+    /// A hasher into `dim` buckets; `salt` decorrelates independent hashers
+    /// (e.g. per-attribute embedding spaces).
+    pub fn new(dim: usize, salt: u64) -> Self {
+        assert!(dim > 0, "hash dimension must be positive");
+        FeatureHasher { dim, salt }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bucket and sign for one feature string.
+    #[inline]
+    pub fn slot(&self, feature: &str) -> (usize, f64) {
+        let h = fx_hash_one(&(self.salt, feature));
+        let idx = (h % self.dim as u64) as usize;
+        let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
+        (idx, sign)
+    }
+
+    /// Accumulate `weight` for `feature` into `out` (len == `dim`).
+    #[inline]
+    pub fn add(&self, out: &mut [f64], feature: &str, weight: f64) {
+        debug_assert_eq!(out.len(), self.dim);
+        let (idx, sign) = self.slot(feature);
+        out[idx] += sign * weight;
+    }
+
+    /// Hash an iterator of features into a fresh vector, one unit of weight
+    /// each.
+    pub fn hash_features<'a>(&self, feats: impl IntoIterator<Item = &'a str>) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for f in feats {
+            self.add(&mut out, f, 1.0);
+        }
+        out
+    }
+
+    /// L2-normalize in place (no-op on the zero vector).
+    pub fn l2_normalize(v: &mut [f64]) {
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            v.iter_mut().for_each(|x| *x /= norm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_and_salt_sensitive() {
+        let h1 = FeatureHasher::new(64, 1);
+        let h2 = FeatureHasher::new(64, 2);
+        assert_eq!(h1.slot("sony"), h1.slot("sony"));
+        // Different salts should disagree on at least one of many tokens.
+        let tokens = ["sony", "bravia", "theater", "black", "micro", "system"];
+        let differs = tokens.iter().any(|t| h1.slot(t) != h2.slot(t));
+        assert!(differs);
+    }
+
+    #[test]
+    fn hash_features_accumulates() {
+        let h = FeatureHasher::new(8, 0);
+        let v = h.hash_features(["a", "a", "b"]);
+        let (ia, sa) = h.slot("a");
+        assert_eq!(v[ia], 2.0 * sa);
+        assert!((v.iter().map(|x| x.abs()).sum::<f64>() - 3.0).abs() < 1e-12 || v[ia].abs() == 1.0,
+            "either no collision (sum 3) or a/b collided");
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        FeatureHasher::l2_normalize(&mut v);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        FeatureHasher::l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = FeatureHasher::new(0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn slots_in_range(f in "[a-z]{1,12}", dim in 1usize..256) {
+            let h = FeatureHasher::new(dim, 42);
+            let (idx, sign) = h.slot(&f);
+            prop_assert!(idx < dim);
+            prop_assert!(sign == 1.0 || sign == -1.0);
+        }
+
+        #[test]
+        fn identical_token_bags_hash_identically(
+            toks in proptest::collection::vec("[a-z]{1,6}", 0..12)
+        ) {
+            let h = FeatureHasher::new(32, 9);
+            let refs1: Vec<&str> = toks.iter().map(|s| s.as_str()).collect();
+            let v1 = h.hash_features(refs1.iter().copied());
+            let v2 = h.hash_features(refs1.iter().copied());
+            prop_assert_eq!(v1, v2);
+        }
+    }
+}

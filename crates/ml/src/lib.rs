@@ -1,0 +1,36 @@
+//! # certa-ml
+//!
+//! The minimal machine-learning stack backing the ER matcher zoo and the
+//! perturbation-based explainers.
+//!
+//! The paper's matchers are deep networks (LSTM, hybrid attention,
+//! DistilBERT); this workspace re-creates their *decision-surface role* with
+//! small feed-forward networks trained by the backprop/Adam implementation
+//! here (see DESIGN.md §1.1 for the substitution argument). The baseline
+//! explainers additionally need weighted linear solvers: LIME fits a locally
+//! weighted ridge regression and KernelSHAP solves a weighted least-squares
+//! system — both provided by [`ridge`].
+//!
+//! Everything is deterministic given a seed; pure `f64`-on-`Vec` math with no
+//! BLAS or SIMD intrinsics — dataset scales in this reproduction keep dense
+//! layers tiny (tens of inputs, tens of hidden units).
+
+pub mod activation;
+pub mod dataset;
+pub mod hashing_features;
+pub mod logistic;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod optim;
+pub mod ridge;
+
+pub use activation::Activation;
+pub use dataset::TrainSet;
+pub use hashing_features::FeatureHasher;
+pub use logistic::LogisticRegression;
+pub use matrix::Matrix;
+pub use metrics::{accuracy, auc_trapezoid, confusion, f1_score, mae, ConfusionCounts};
+pub use mlp::{Mlp, MlpConfig};
+pub use optim::{Adam, AdamConfig};
+pub use ridge::{ridge_regression, solve_linear_system, weighted_ridge};

@@ -1,0 +1,211 @@
+//! Classification and curve metrics used throughout the evaluation.
+
+/// Confusion-matrix counts for binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Accumulate one (prediction, truth) observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Confusion counts from parallel prediction/label slices.
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> ConfusionCounts {
+    assert_eq!(predicted.len(), actual.len());
+    let mut c = ConfusionCounts::default();
+    for (&p, &a) in predicted.iter().zip(actual.iter()) {
+        c.observe(p, a);
+    }
+    c
+}
+
+/// F1 score from parallel slices.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).f1()
+}
+
+/// Accuracy from parallel slices.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).accuracy()
+}
+
+/// Mean absolute error between predictions and targets.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(actual.iter()).map(|(p, a)| (p - a).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Trapezoidal area under a piecewise-linear curve given as `(x, y)` points.
+///
+/// Points are sorted by `x` internally; duplicate `x` values contribute zero
+/// width. This is the paper's Faithfulness AUC over the masking-threshold /
+/// F1 curve (§5.3): the area is taken over the threshold range covered by the
+/// points and normalized by that range, yielding a value comparable across
+/// threshold grids.
+pub fn auc_trapezoid(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return points.first().map_or(0.0, |&(_, y)| y);
+    }
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    let span = pts.last().expect("non-empty").0 - pts[0].0;
+    if span <= 0.0 {
+        return pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64;
+    }
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        area += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    area / span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, false, true, true];
+        let c = confusion(&pred, &act);
+        assert_eq!(c, ConfusionCounts { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_degenerate_f1() {
+        assert_eq!(f1_score(&[true, false], &[true, false]), 1.0);
+        assert_eq!(f1_score(&[false, false], &[false, false]), 0.0); // no positives
+        assert_eq!(f1_score(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[true], &[false]), 0.0);
+    }
+
+    #[test]
+    fn mae_known() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_of_constant_curve_is_constant() {
+        let pts = [(0.1, 0.8), (0.5, 0.8), (0.9, 0.8)];
+        assert!((auc_trapezoid(&pts) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_linear_ramp() {
+        // y = x over [0,1] → normalized area 0.5
+        let pts = [(0.0, 0.0), (1.0, 1.0)];
+        assert!((auc_trapezoid(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_sorts_points() {
+        let sorted = [(0.0, 0.0), (0.5, 1.0), (1.0, 0.0)];
+        let shuffled = [(1.0, 0.0), (0.0, 0.0), (0.5, 1.0)];
+        assert_eq!(auc_trapezoid(&sorted), auc_trapezoid(&shuffled));
+    }
+
+    #[test]
+    fn auc_degenerate_inputs() {
+        assert_eq!(auc_trapezoid(&[]), 0.0);
+        assert_eq!(auc_trapezoid(&[(0.3, 0.7)]), 0.7);
+        // All same x → mean of ys.
+        assert!((auc_trapezoid(&[(0.5, 0.2), (0.5, 0.8)]) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn f1_bounded(pred in proptest::collection::vec(any::<bool>(), 0..30),
+                      len in 0usize..30) {
+            let n = pred.len().min(len);
+            let act: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let f = f1_score(&pred[..n], &act);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn auc_bounded_by_extremes(ys in proptest::collection::vec(0.0f64..1.0, 2..10)) {
+            let pts: Vec<(f64, f64)> =
+                ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+            let auc = auc_trapezoid(&pts);
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(auc >= lo - 1e-9 && auc <= hi + 1e-9);
+        }
+
+        #[test]
+        fn mae_nonnegative_symmetric(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        ) {
+            let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+            prop_assert!((mae(&a, &b) - 1.0).abs() < 1e-9);
+            prop_assert_eq!(mae(&a, &a), 0.0);
+        }
+    }
+}

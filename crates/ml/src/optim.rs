@@ -1,0 +1,141 @@
+//! Optimizers: Adam (and plain SGD) over flat parameter buffers.
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate (α).
+    pub lr: f64,
+    /// First-moment decay (β₁).
+    pub beta1: f64,
+    /// Second-moment decay (β₂).
+    pub beta2: f64,
+    /// Denominator fuzz (ε).
+    pub eps: f64,
+    /// L2 weight decay applied to the gradient.
+    pub weight_decay: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Adam state for one parameter buffer.
+///
+/// The MLP keeps one `Adam` per layer tensor; `step` applies a bias-corrected
+/// update in place.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Fresh optimizer state for a buffer of `len` parameters.
+    pub fn new(len: usize, cfg: AdamConfig) -> Self {
+        Adam { cfg, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// One update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grads` differ in length from the state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "optimizer buffer mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient buffer mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.cfg.weight_decay * params[i];
+            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * g;
+            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Plain SGD step with optional L2 decay; used by the logistic baseline.
+pub fn sgd_step(params: &mut [f64], grads: &[f64], lr: f64, weight_decay: f64) {
+    assert_eq!(params.len(), grads.len());
+    for i in 0..params.len() {
+        params[i] -= lr * (grads[i] + weight_decay * params[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2; gradient 2(x-3).
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut x = vec![0.0f64];
+        let mut opt = Adam::new(1, AdamConfig { lr: 0.1, ..Default::default() });
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut x = vec![10.0f64];
+        for _ in 0..200 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            sgd_step(&mut x, &g, 0.1, 0.0);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut with_decay = vec![1.0f64];
+        let mut without = vec![1.0f64];
+        let zero_grad = vec![0.0];
+        let mut o1 = Adam::new(1, AdamConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() });
+        let mut o2 = Adam::new(1, AdamConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() });
+        for _ in 0..50 {
+            o1.step(&mut with_decay, &zero_grad);
+            o2.step(&mut without, &zero_grad);
+        }
+        assert!(with_decay[0] < without[0]);
+        assert!((without[0] - 1.0).abs() < 1e-9, "no decay, no grad → unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "optimizer buffer mismatch")]
+    fn mismatched_buffers_panic() {
+        let mut opt = Adam::new(2, AdamConfig::default());
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[0.0]);
+    }
+
+    #[test]
+    fn adam_2d_rosenbrock_progress() {
+        // Not full convergence (Rosenbrock is hard); assert monotone-ish progress.
+        let f = |x: f64, y: f64| (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let mut p = vec![-1.0f64, 1.0];
+        let mut opt = Adam::new(2, AdamConfig { lr: 0.02, ..Default::default() });
+        let start = f(p[0], p[1]);
+        for _ in 0..2000 {
+            let (x, y) = (p[0], p[1]);
+            let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+            let gy = 200.0 * (y - x * x);
+            opt.step(&mut p, &[gx, gy]);
+        }
+        assert!(f(p[0], p[1]) < start / 10.0);
+    }
+}

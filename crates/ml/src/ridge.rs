@@ -1,0 +1,198 @@
+//! (Weighted) ridge regression via normal equations.
+//!
+//! LIME fits `argmin_β Σ_i π_i (f(z_i) − β·z_i)² + λ‖β‖²` around the instance
+//! being explained, and KernelSHAP solves the same shape with the Shapley
+//! kernel as `π`. Feature counts here are the number of attributes of an ER
+//! pair (≤ ~16), so a dense `O(d³)` solve is plenty.
+
+/// Solve `A x = b` for a small dense symmetric-positive-definite-ish system
+/// using Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when the system is singular beyond rescue.
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n), "system must be square");
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let v = a[col][k];
+                a[row][k] -= factor * v;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Weighted ridge regression with intercept.
+///
+/// Fits `y ≈ β₀ + β·x` minimizing `Σ w_i (y_i − ŷ_i)² + λ‖β‖²` (the intercept
+/// is not penalized). Returns `(intercept, coefficients)`.
+///
+/// # Panics
+/// Panics on shape mismatches or an empty design matrix.
+pub fn weighted_ridge(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    weights: &[f64],
+    lambda: f64,
+) -> (f64, Vec<f64>) {
+    assert!(!xs.is_empty(), "empty design matrix");
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), weights.len());
+    let d = xs[0].len();
+    assert!(xs.iter().all(|x| x.len() == d), "ragged design matrix");
+
+    // Augmented design: column 0 is the intercept.
+    let n_aug = d + 1;
+    let mut ata = vec![vec![0.0; n_aug]; n_aug];
+    let mut atb = vec![0.0; n_aug];
+    let mut xi_aug = vec![0.0; n_aug];
+    for (i, x) in xs.iter().enumerate() {
+        let w = weights[i];
+        if w == 0.0 {
+            continue;
+        }
+        xi_aug[0] = 1.0;
+        xi_aug[1..].copy_from_slice(x);
+        for r in 0..n_aug {
+            let wr = w * xi_aug[r];
+            atb[r] += wr * ys[i];
+            for c in r..n_aug {
+                ata[r][c] += wr * xi_aug[c];
+            }
+        }
+    }
+    // Symmetrize + regularize (skip intercept).
+    for r in 0..n_aug {
+        for c in 0..r {
+            ata[r][c] = ata[c][r];
+        }
+    }
+    for j in 1..n_aug {
+        ata[j][j] += lambda;
+    }
+    // Tiny jitter on the intercept keeps all-zero-weight corner cases solvable.
+    ata[0][0] += 1e-12;
+
+    match solve_linear_system(ata, atb) {
+        Some(beta) => (beta[0], beta[1..].to_vec()),
+        None => (0.0, vec![0.0; d]),
+    }
+}
+
+/// Unweighted ridge regression (all weights 1).
+pub fn ridge_regression(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> (f64, Vec<f64>) {
+    let w = vec![1.0; xs.len()];
+    weighted_ridge(xs, ys, &w, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_linear_system(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_is_none() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        // y = 2 + 3 x0 − x1, exact data, tiny lambda.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64) / 5.0, ((i * 7 % 13) as f64) / 3.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] - x[1]).collect();
+        let (b0, beta) = ridge_regression(&xs, &ys, 1e-9);
+        assert!((b0 - 2.0).abs() < 1e-5, "intercept {b0}");
+        assert!((beta[0] - 3.0).abs() < 1e-5);
+        assert!((beta[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weights_localize_the_fit() {
+        // Two clusters with different slopes; heavy weights on cluster A
+        // should recover A's slope.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut w = Vec::new();
+        for i in 0..10 {
+            let x = i as f64 / 10.0;
+            xs.push(vec![x]);
+            ys.push(2.0 * x); // cluster A: slope 2
+            w.push(1000.0);
+            xs.push(vec![x]);
+            ys.push(-5.0 * x); // cluster B: slope −5
+            w.push(0.001);
+        }
+        let (_, beta) = weighted_ridge(&xs, &ys, &w, 1e-9);
+        assert!((beta[0] - 2.0).abs() < 0.05, "slope {}", beta[0]);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0]).collect();
+        let (_, small) = ridge_regression(&xs, &ys, 1e-9);
+        let (_, large) = ridge_regression(&xs, &ys, 1e6);
+        assert!(large[0].abs() < small[0].abs());
+        assert!(large[0].abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_weights_dont_crash() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0, 2.0];
+        let w = vec![0.0, 0.0];
+        let (b0, beta) = weighted_ridge(&xs, &ys, &w, 1e-3);
+        assert!(b0.is_finite() && beta[0].is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn exact_interpolation_of_linear_data(
+            slope in -5.0f64..5.0,
+            intercept in -5.0f64..5.0,
+        ) {
+            let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 3.0]).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x[0]).collect();
+            let (b0, beta) = ridge_regression(&xs, &ys, 1e-10);
+            prop_assert!((b0 - intercept).abs() < 1e-4);
+            prop_assert!((beta[0] - slope).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Matcher decorators: content-addressed score caching and prediction
+//! counting.
+//!
+//! CERTA's lattice exploration scores many *repeated* perturbed copies (the
+//! same subset-copy can arise from different antichain walks), and every
+//! experiment re-scores the same test pairs across explainers.
+//! [`CachingMatcher`] memoizes by record content hash;
+//! [`CountingMatcher`] counts **uncached** model invocations, which is the
+//! quantity the Table 7 monotonicity audit reports ("predictions performed").
+
+use certa_core::hash::FxHashMap;
+use certa_core::{BoxedMatcher, Matcher, Record};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe memoization of `score(u, v)` keyed by content hashes.
+pub struct CachingMatcher {
+    inner: BoxedMatcher,
+    cache: RwLock<FxHashMap<(u64, u64), f64>>,
+}
+
+impl CachingMatcher {
+    /// Wrap a matcher with a fresh cache.
+    pub fn new(inner: BoxedMatcher) -> Arc<Self> {
+        Arc::new(CachingMatcher { inner, cache: RwLock::new(FxHashMap::default()) })
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// True when nothing has been scored yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+
+    /// Drop all cached scores.
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+}
+
+impl Matcher for CachingMatcher {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, u: &Record, v: &Record) -> f64 {
+        let key = (u.content_hash(), v.content_hash());
+        if let Some(&s) = self.cache.read().get(&key) {
+            return s;
+        }
+        let s = self.inner.score(u, v);
+        self.cache.write().insert(key, s);
+        s
+    }
+}
+
+/// Counts every `score` call that reaches the wrapped matcher.
+pub struct CountingMatcher {
+    inner: BoxedMatcher,
+    count: AtomicU64,
+}
+
+impl CountingMatcher {
+    /// Wrap a matcher with a zeroed counter.
+    pub fn new(inner: BoxedMatcher) -> Arc<Self> {
+        Arc::new(CountingMatcher { inner, count: AtomicU64::new(0) })
+    }
+
+    /// Number of scores computed since construction / the last reset.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Matcher for CountingMatcher {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, u: &Record, v: &Record) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.score(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, RecordId};
+    use std::sync::atomic::AtomicU64 as RawCounter;
+
+    fn rec(id: u32, val: &str) -> Record {
+        Record::new(RecordId(id), vec![val.to_string()])
+    }
+
+    fn counted_base() -> (BoxedMatcher, Arc<RawCounter>) {
+        let calls = Arc::new(RawCounter::new(0));
+        let c2 = Arc::clone(&calls);
+        let m: BoxedMatcher = Arc::new(FnMatcher::new("base", move |u: &Record, _v: &Record| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            if u.values()[0].contains("match") {
+                0.9
+            } else {
+                0.1
+            }
+        }));
+        (m, calls)
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let u = rec(0, "match me");
+        let v = rec(1, "x");
+        assert_eq!(cached.score(&u, &v), 0.9);
+        assert_eq!(cached.score(&u, &v), 0.9);
+        assert_eq!(cached.score(&u, &v), 0.9);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "only first call hits the model");
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn cache_keys_on_content_not_id() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let u1 = rec(0, "match me");
+        let u2 = rec(99, "match me"); // same content, different id
+        let v = rec(1, "x");
+        cached.score(&u1, &v);
+        cached.score(&u2, &v);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // Different content misses.
+        let u3 = rec(0, "other");
+        cached.score(&u3, &v);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let u = rec(0, "a");
+        let v = rec(1, "b");
+        cached.score(&u, &v);
+        cached.clear();
+        assert!(cached.is_empty());
+        cached.score(&u, &v);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn counting_matcher_counts_and_resets() {
+        let (base, _) = counted_base();
+        let counting = CountingMatcher::new(base);
+        let u = rec(0, "a");
+        let v = rec(1, "b");
+        counting.score(&u, &v);
+        counting.score(&u, &v);
+        assert_eq!(counting.count(), 2, "counting matcher does not dedupe");
+        counting.reset();
+        assert_eq!(counting.count(), 0);
+    }
+
+    #[test]
+    fn counting_under_cache_counts_misses_only() {
+        let (base, _) = counted_base();
+        let counting = CountingMatcher::new(base);
+        let cached = CachingMatcher::new(counting.clone() as BoxedMatcher);
+        let u = rec(0, "a");
+        let v = rec(1, "b");
+        for _ in 0..5 {
+            cached.score(&u, &v);
+        }
+        assert_eq!(counting.count(), 1, "cache shields the counter");
+        assert_eq!(cached.name(), "base");
+    }
+}

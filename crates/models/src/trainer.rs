@@ -1,0 +1,246 @@
+//! Training harness: featurize a dataset's train split, fit the MLP head,
+//! and report train/test quality.
+
+use crate::features::{Featurizer, FeaturizerKind};
+use crate::zoo::ModelKind;
+use certa_core::tokens::tokenize;
+use certa_core::{Dataset, MatchLabel, Matcher, Record, Split};
+use certa_ml::dataset::Standardizer;
+use certa_ml::metrics::confusion;
+use certa_ml::{Mlp, MlpConfig, TrainSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration for one ER model.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// MLP architecture + optimizer settings.
+    pub mlp: MlpConfig,
+    /// Ditto-style augmented copies per training pair (ignored for other
+    /// models).
+    pub augment_copies: usize,
+    /// RNG seed for augmentation.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Per-model defaults (architecture widths mirror the relative capacity
+    /// of the original systems).
+    pub fn for_kind(kind: ModelKind) -> TrainConfig {
+        let (hidden, epochs, augment) = match kind {
+            ModelKind::DeepEr => (vec![24], 35, 0),
+            ModelKind::DeepMatcher => (vec![16], 45, 0),
+            ModelKind::Ditto => (vec![32], 40, 1),
+        };
+        TrainConfig {
+            mlp: MlpConfig {
+                hidden,
+                epochs,
+                batch_size: 16,
+                seed: 0x5eed ^ kind as u64,
+                ..MlpConfig::default()
+            },
+            augment_copies: augment,
+            seed: 0xA06 ^ kind as u64,
+        }
+    }
+}
+
+/// A trained ER matcher: featurizer + standardizer + MLP head.
+///
+/// Implements [`Matcher`]; everything downstream treats it as a black box.
+#[derive(Debug, Clone)]
+pub struct ErModel {
+    kind: ModelKind,
+    name: String,
+    featurizer: Featurizer,
+    standardizer: Standardizer,
+    net: Mlp,
+}
+
+impl ErModel {
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+}
+
+impl Matcher for ErModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, u: &Record, v: &Record) -> f64 {
+        let mut feats = self.featurizer.features(u, v);
+        self.standardizer.apply(&mut feats);
+        self.net.predict_proba(&feats)
+    }
+}
+
+/// Quality report from [`train_model`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    /// F1 on the train split.
+    pub train_f1: f64,
+    /// F1 on the held-out test split.
+    pub test_f1: f64,
+    /// Final training loss.
+    pub final_loss: f64,
+}
+
+/// Train one matcher family on a dataset. Deterministic in the configs.
+pub fn train_model(kind: ModelKind, dataset: &Dataset, cfg: &TrainConfig) -> (ErModel, TrainReport) {
+    let fkind = match kind {
+        ModelKind::DeepEr => FeaturizerKind::DeepEr,
+        ModelKind::DeepMatcher => FeaturizerKind::DeepMatcher,
+        ModelKind::Ditto => FeaturizerKind::Ditto,
+    };
+    let featurizer = Featurizer::fit(fkind, dataset);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut train = TrainSet::new();
+    for lp in dataset.split(Split::Train) {
+        let (u, v) = dataset.expect_pair(lp.pair);
+        let y = if lp.label.is_match() { 1.0 } else { 0.0 };
+        train.push(featurizer.features(u, v), y);
+        for _ in 0..cfg.augment_copies {
+            // Ditto §3.2-style data augmentation: train on corrupted copies
+            // so the model is robust to in-distribution token noise.
+            let ua = augment_record(u, &mut rng);
+            let va = augment_record(v, &mut rng);
+            train.push(featurizer.features(&ua, &va), y);
+        }
+    }
+
+    let standardizer = train.fit_standardizer();
+    let xs: Vec<Vec<f64>> =
+        train.features().iter().map(|x| standardizer.transform(x)).collect();
+    let mut net = Mlp::new(featurizer.dim(), &cfg.mlp);
+    let losses = net.fit(&xs, train.labels(), &cfg.mlp);
+
+    let model = ErModel {
+        kind,
+        name: kind.model_name().to_string(),
+        featurizer,
+        standardizer,
+        net,
+    };
+    let report = TrainReport {
+        train_f1: evaluate_f1(&model, dataset, Split::Train),
+        test_f1: evaluate_f1(&model, dataset, Split::Test),
+        final_loss: losses.last().copied().unwrap_or(f64::NAN),
+    };
+    (model, report)
+}
+
+/// F1 of a matcher on one split of a dataset.
+pub fn evaluate_f1(matcher: &dyn Matcher, dataset: &Dataset, split: Split) -> f64 {
+    let pairs = dataset.split(split);
+    let mut pred = Vec::with_capacity(pairs.len());
+    let mut actual = Vec::with_capacity(pairs.len());
+    for lp in pairs {
+        let (u, v) = dataset.expect_pair(lp.pair);
+        pred.push(matcher.predict(u, v) == MatchLabel::Match);
+        actual.push(lp.label.is_match());
+    }
+    confusion(&pred, &actual).f1()
+}
+
+/// Random token drop/swap on each attribute (the augmentation operator).
+fn augment_record(r: &Record, rng: &mut StdRng) -> Record {
+    let values = r
+        .values()
+        .iter()
+        .map(|v| {
+            let mut toks: Vec<&str> = tokenize(v);
+            if toks.len() >= 2 && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..toks.len());
+                toks.remove(i);
+            }
+            if toks.len() >= 2 && rng.gen_bool(0.3) {
+                let i = rng.gen_range(0..toks.len() - 1);
+                toks.swap(i, i + 1);
+            }
+            toks.join(" ")
+        })
+        .collect();
+    Record::new(r.id(), values)
+}
+
+/// Shuffle + subsample labeled pairs (used by experiments that explain a
+/// bounded number of test predictions).
+pub fn sample_pairs(
+    dataset: &Dataset,
+    split: Split,
+    n: usize,
+    seed: u64,
+) -> Vec<certa_core::LabeledPair> {
+    let mut pairs = dataset.split(split).to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.shuffle(&mut rng);
+    pairs.truncate(n);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_datagen::{generate, DatasetId, Scale};
+
+    #[test]
+    fn all_models_learn_smoke_ab_above_chance() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 11);
+        for kind in ModelKind::all() {
+            let cfg = TrainConfig::for_kind(kind);
+            let (_, report) = train_model(kind, &d, &cfg);
+            assert!(
+                report.test_f1 > 0.5,
+                "{kind:?} test F1 {:.3} too low (train {:.3})",
+                report.test_f1,
+                report.train_f1
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 2);
+        let (model, _) = train_model(ModelKind::DeepMatcher, &d, &TrainConfig::for_kind(ModelKind::DeepMatcher));
+        for lp in d.split(Split::Test) {
+            let (u, v) = d.expect_pair(lp.pair);
+            let s = model.score(u, v);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = generate(DatasetId::BA, Scale::Smoke, 4);
+        let cfg = TrainConfig::for_kind(ModelKind::Ditto);
+        let (m1, r1) = train_model(ModelKind::Ditto, &d, &cfg);
+        let (m2, r2) = train_model(ModelKind::Ditto, &d, &cfg);
+        assert_eq!(r1.test_f1, r2.test_f1);
+        let (u, v) = d.expect_pair(d.split(Split::Test)[0].pair);
+        assert_eq!(m1.score(u, v), m2.score(u, v));
+    }
+
+    #[test]
+    fn sample_pairs_bounded_and_deterministic() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 1);
+        let a = sample_pairs(&d, Split::Test, 5, 3);
+        let b = sample_pairs(&d, Split::Test, 5, 3);
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+        let c = sample_pairs(&d, Split::Test, 5, 4);
+        assert_ne!(a, c, "different seed, different sample (overwhelmingly likely)");
+    }
+
+    #[test]
+    fn model_kind_is_exposed() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 1);
+        let (m, _) = train_model(ModelKind::DeepEr, &d, &TrainConfig::for_kind(ModelKind::DeepEr));
+        assert_eq!(m.kind(), ModelKind::DeepEr);
+        assert_eq!(m.name(), "deeper-sim");
+    }
+}

@@ -1,0 +1,123 @@
+//! The model zoo: the three matcher families of §5.1, trained together.
+
+use crate::trainer::{train_model, ErModel, TrainConfig, TrainReport};
+use certa_core::{BoxedMatcher, Dataset};
+use std::fmt;
+use std::sync::Arc;
+
+/// The three deep-learning ER systems the paper evaluates, by family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    /// DeepER's LSTM model → record-embedding stand-in.
+    DeepEr = 0,
+    /// DeepMatcher's Hybrid model → attribute-similarity stand-in.
+    DeepMatcher = 1,
+    /// Ditto's DistilBERT model → serialized-cross-features stand-in.
+    Ditto = 2,
+}
+
+impl ModelKind {
+    /// All three families, in the paper's column order.
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::DeepEr, ModelKind::DeepMatcher, ModelKind::Ditto]
+    }
+
+    /// Display name used in tables ("DeepER", "DeepMatcher", "Ditto").
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ModelKind::DeepEr => "DeepER",
+            ModelKind::DeepMatcher => "DeepMatcher",
+            ModelKind::Ditto => "Ditto",
+        }
+    }
+
+    /// Internal model identifier (marks these as simulations).
+    pub fn model_name(self) -> &'static str {
+        match self {
+            ModelKind::DeepEr => "deeper-sim",
+            ModelKind::DeepMatcher => "deepmatcher-sim",
+            ModelKind::Ditto => "ditto-sim",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// All three trained matchers for one dataset, plus their quality reports.
+pub struct TrainedZoo {
+    models: Vec<(ModelKind, Arc<ErModel>, TrainReport)>,
+}
+
+impl TrainedZoo {
+    /// The trained matcher of one family.
+    pub fn matcher(&self, kind: ModelKind) -> BoxedMatcher {
+        let model = &self.models.iter().find(|(k, _, _)| *k == kind).expect("zoo has all kinds").1;
+        Arc::clone(model) as BoxedMatcher
+    }
+
+    /// Quality report of one family.
+    pub fn report(&self, kind: ModelKind) -> TrainReport {
+        self.models.iter().find(|(k, _, _)| *k == kind).expect("zoo has all kinds").2
+    }
+
+    /// Iterate `(kind, matcher)` pairs in paper order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModelKind, BoxedMatcher)> + '_ {
+        self.models.iter().map(|(k, m, _)| (*k, Arc::clone(m) as BoxedMatcher))
+    }
+}
+
+/// Train all three families on one dataset with per-family default configs.
+pub fn train_zoo(dataset: &Dataset) -> TrainedZoo {
+    let models = ModelKind::all()
+        .into_iter()
+        .map(|kind| {
+            let cfg = TrainConfig::for_kind(kind);
+            let (model, report) = train_model(kind, dataset, &cfg);
+            (kind, Arc::new(model), report)
+        })
+        .collect();
+    TrainedZoo { models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::Matcher;
+    use certa_datagen::{generate, DatasetId, Scale};
+
+    #[test]
+    fn zoo_trains_all_three() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 21);
+        let zoo = train_zoo(&d);
+        let mut names = Vec::new();
+        for (kind, matcher) in zoo.iter() {
+            names.push(matcher.name().to_string());
+            assert!(zoo.report(kind).test_f1 > 0.4, "{kind} F1 {}", zoo.report(kind).test_f1);
+        }
+        assert_eq!(names, vec!["deeper-sim", "deepmatcher-sim", "ditto-sim"]);
+    }
+
+    #[test]
+    fn paper_names_and_order() {
+        assert_eq!(
+            ModelKind::all().map(|k| k.paper_name()),
+            ["DeepER", "DeepMatcher", "Ditto"]
+        );
+        assert_eq!(ModelKind::Ditto.to_string(), "Ditto");
+    }
+
+    #[test]
+    fn matcher_accessor_returns_working_matcher() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 5);
+        let zoo = train_zoo(&d);
+        let m = zoo.matcher(ModelKind::Ditto);
+        let lp = d.split(certa_core::Split::Test)[0];
+        let (u, v) = d.expect_pair(lp.pair);
+        let s = m.score(u, v);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,155 @@
+//! Cosine similarity over term-frequency vectors, with optional IDF weights.
+
+use certa_core::hash::FxHashMap;
+use certa_core::tokens::tokenize;
+
+fn tf(s: &str) -> FxHashMap<&str, f64> {
+    let mut m: FxHashMap<&str, f64> = FxHashMap::default();
+    for t in tokenize(s) {
+        *m.entry(t).or_insert(0.0) += 1.0;
+    }
+    m
+}
+
+/// Plain TF cosine similarity between two strings' token-count vectors.
+pub fn cosine_tf(a: &str, b: &str) -> f64 {
+    let ta = tf(a);
+    let tb = tf(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    cosine_of(&ta, &tb, None)
+}
+
+fn cosine_of(ta: &FxHashMap<&str, f64>, tb: &FxHashMap<&str, f64>, idf: Option<&CorpusStats>) -> f64 {
+    let weight = |tok: &str| idf.map_or(1.0, |c| c.idf(tok));
+    let mut dot = 0.0;
+    for (tok, &fa) in ta {
+        if let Some(&fb) = tb.get(tok) {
+            let w = weight(tok);
+            dot += fa * w * fb * w;
+        }
+    }
+    let na: f64 = ta.iter().map(|(t, f)| (f * weight(t)).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = tb.iter().map(|(t, f)| (f * weight(t)).powi(2)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Document-frequency statistics over a corpus of strings, providing smoothed
+/// IDF weights: `ln(1 + N / (1 + df))`.
+///
+/// The DeepMatcher-style matcher weighs attribute tokens by corpus IDF so
+/// that brand names ("sony") count less than model numbers ("davis50b") —
+/// matching how the real systems lean on distinctive tokens.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    doc_count: usize,
+    df: FxHashMap<String, usize>,
+}
+
+impl CorpusStats {
+    /// Empty corpus (all tokens get the same weight).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document's distinct tokens.
+    pub fn add_document(&mut self, text: &str) {
+        self.doc_count += 1;
+        let mut seen: certa_core::hash::FxHashSet<&str> = certa_core::hash::FxHashSet::default();
+        for t in tokenize(text) {
+            if seen.insert(t) {
+                *self.df.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents added.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Smoothed inverse document frequency of a token.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.df.get(token).copied().unwrap_or(0);
+        (1.0 + self.doc_count as f64 / (1.0 + df as f64)).ln()
+    }
+
+    /// TF-IDF cosine similarity under this corpus' weights.
+    pub fn cosine_tfidf(&self, a: &str, b: &str) -> f64 {
+        let ta = tf(a);
+        let tb = tf(b);
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        cosine_of(&ta, &tb, Some(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cosine_known_values() {
+        assert!((cosine_tf("a b", "a b") - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_tf("a", "b"), 0.0);
+        // ("a b", "a c"): dot = 1, norms = sqrt(2) each → 0.5
+        assert!((cosine_tf("a b", "a c") - 0.5).abs() < 1e-12);
+        assert_eq!(cosine_tf("", ""), 1.0);
+        assert_eq!(cosine_tf("a", ""), 0.0);
+    }
+
+    #[test]
+    fn tf_weighting_counts_repeats() {
+        // "a a b" = (2,1); "a b" = (1,1): dot = 3, norms √5·√2 → 3/√10
+        let expected = 3.0 / (10.0f64).sqrt();
+        assert!((cosine_tf("a a b", "a b") - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        let mut c = CorpusStats::new();
+        for _ in 0..50 {
+            c.add_document("sony product");
+        }
+        c.add_document("davis50b rare");
+        assert!(c.idf("davis50b") > c.idf("sony"));
+        assert!(c.idf("unseen-token") > c.idf("davis50b"));
+        assert_eq!(c.doc_count(), 51);
+    }
+
+    #[test]
+    fn tfidf_prefers_distinctive_overlap() {
+        let mut c = CorpusStats::new();
+        for _ in 0..40 {
+            c.add_document("sony tv common words");
+        }
+        c.add_document("davis50b");
+        c.add_document("im600usb");
+        // Shared rare token beats shared common token.
+        let rare = c.cosine_tfidf("davis50b sony", "davis50b tv");
+        let common = c.cosine_tfidf("sony davis50b", "sony im600usb");
+        assert!(rare > common);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded_symmetric(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            let s = cosine_tf(&a, &b);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
+            prop_assert!((s - cosine_tf(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn tfidf_identity_is_one(a in "[a-z]{1,8}( [a-z]{1,8}){0,4}") {
+            let mut c = CorpusStats::new();
+            c.add_document(&a);
+            prop_assert!((c.cosine_tfidf(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Character-level edit distances.
+
+/// Levenshtein distance (insert / delete / substitute, unit costs).
+///
+/// Two-row dynamic program, `O(|a|·|b|)` time, `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the inner row the shorter one.
+    let (long, short) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)`.
+///
+/// Empty-vs-empty is 1.0.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+/// Optimal string alignment distance (Levenshtein + adjacent transposition,
+/// each substring edited at most once). Catches the "typo swaps two letters"
+/// corruption the data generator emits.
+pub fn osa_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rows: i-2, i-1, i.
+    let mut row2: Vec<usize> = vec![0; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row0: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        row0[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(row2[j - 2] + 1);
+            }
+            row0[j] = best;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("sony", "sony"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("über", "uber"), 1);
+    }
+
+    #[test]
+    fn sim_normalization() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("ab", "ab"), 1.0);
+        assert_eq!(levenshtein_sim("ab", "cd"), 0.0);
+        assert!((levenshtein_sim("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn osa_counts_transposition_as_one() {
+        assert_eq!(osa_distance("ab", "ba"), 1);
+        assert_eq!(levenshtein("ab", "ba"), 2);
+        assert_eq!(osa_distance("ca", "abc"), 3); // OSA (not full Damerau)
+        assert_eq!(osa_distance("", "xy"), 2);
+        assert_eq!(osa_distance("xy", ""), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn levenshtein_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn osa_never_exceeds_levenshtein(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert!(osa_distance(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn single_edit_costs_one(a in "[a-z]{1,12}", idx in 0usize..12) {
+            let chars: Vec<char> = a.chars().collect();
+            let i = idx % chars.len();
+            let mut edited = chars.clone();
+            edited[i] = if edited[i] == 'z' { 'a' } else { 'z' };
+            let edited: String = edited.into_iter().collect();
+            if edited != a {
+                prop_assert_eq!(levenshtein(&a, &edited), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Jaro and Jaro-Winkler similarities.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matching window is `max(|a|,|b|)/2 − 1`; transpositions counted over the
+/// matched subsequences.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut b_match_flags = vec![false; b.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                b_match_flags[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> =
+        b.iter().zip(b_match_flags.iter()).filter(|&(_, &f)| f).map(|(&c, _)| c).collect();
+    let transpositions =
+        a_matches.iter().zip(b_matches.iter()).filter(|&(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix (up to 4 chars,
+/// scaling factor 0.1), the standard parameterization.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic textbook examples.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.9444));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.7667));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.8963));
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.9611));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.8133));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn jaro_bounded_and_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let s = jaro(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prop_assert!((s - jaro(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn winkler_bounded_never_below_jaro(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let j = jaro(&a, &b);
+            let w = jaro_winkler(&a, &b);
+            prop_assert!(w + 1e-12 >= j);
+            prop_assert!(w <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-z]{1,12}") {
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

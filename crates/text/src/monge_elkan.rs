@@ -1,0 +1,79 @@
+//! Monge-Elkan hybrid similarity: token-level alignment with a
+//! character-level inner measure.
+
+use crate::jaro::jaro_winkler;
+use certa_core::tokens::tokenize;
+
+/// Monge-Elkan similarity with Jaro-Winkler as the inner measure:
+/// for each token of `a`, take its best Jaro-Winkler match in `b`, then
+/// average. Note: **asymmetric** by definition; use
+/// [`monge_elkan_symmetric`] when symmetry is required.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = ta
+        .iter()
+        .map(|x| tb.iter().map(|y| jaro_winkler(x, y)).fold(0.0, f64::max))
+        .sum();
+    total / ta.len() as f64
+}
+
+/// Symmetrized Monge-Elkan: mean of both directions.
+pub fn monge_elkan_symmetric(a: &str, b: &str) -> f64 {
+    0.5 * (monge_elkan(a, b) + monge_elkan(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert!((monge_elkan("sony bravia theater", "sony bravia theater") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_subset_scores_high_one_way() {
+        // Every token of "sony bravia" has a perfect match in the longer string.
+        let forward = monge_elkan("sony bravia", "sony bravia theater black");
+        assert!((forward - 1.0).abs() < 1e-12);
+        // The reverse direction is penalized for unmatched tokens.
+        let backward = monge_elkan("sony bravia theater black", "sony bravia");
+        assert!(backward < forward);
+    }
+
+    #[test]
+    fn tolerates_token_typos() {
+        let s = monge_elkan("sony bravia", "sonny bravia");
+        assert!(s > 0.85 && s < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+        assert_eq!(monge_elkan("", "a"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            let s = monge_elkan(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+
+        #[test]
+        fn symmetric_variant_is_symmetric(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            let s1 = monge_elkan_symmetric(&a, &b);
+            let s2 = monge_elkan_symmetric(&b, &a);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Character n-gram extraction and n-gram-set similarity.
+
+use certa_core::hash::FxHashSet;
+
+/// Extract the set of character `n`-grams of `s` (padding-free).
+///
+/// Strings shorter than `n` yield the whole string as a single gram so that
+/// short model codes ("b")" still compare non-trivially.
+pub fn char_ngrams(s: &str, n: usize) -> FxHashSet<String> {
+    assert!(n >= 1, "n-gram size must be >= 1");
+    let chars: Vec<char> = s.chars().collect();
+    let mut grams = FxHashSet::default();
+    if chars.is_empty() {
+        return grams;
+    }
+    if chars.len() < n {
+        grams.insert(chars.iter().collect());
+        return grams;
+    }
+    for w in chars.windows(n) {
+        grams.insert(w.iter().collect());
+    }
+    grams
+}
+
+/// Jaccard similarity of character trigram sets — a cheap typo-tolerant
+/// similarity used by the Ditto-style serialized matcher.
+pub fn trigram_sim(a: &str, b: &str) -> f64 {
+    let ga = char_ngrams(a, 3);
+    let gb = char_ngrams(b, 3);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ngram_extraction() {
+        let grams = char_ngrams("abcd", 2);
+        assert_eq!(grams.len(), 3);
+        assert!(grams.contains("ab") && grams.contains("bc") && grams.contains("cd"));
+    }
+
+    #[test]
+    fn short_strings_become_single_gram() {
+        let grams = char_ngrams("ab", 3);
+        assert_eq!(grams.len(), 1);
+        assert!(grams.contains("ab"));
+        assert!(char_ngrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn trigram_sim_tolerates_typos() {
+        let clean = trigram_sim("bravia theater", "bravia theater");
+        let typo = trigram_sim("bravia theater", "bravia thaeter");
+        let different = trigram_sim("bravia theater", "walkman player");
+        assert_eq!(clean, 1.0);
+        assert!(typo > 0.4 && typo < 1.0);
+        assert!(different < typo);
+    }
+
+    #[test]
+    fn trigram_degenerate() {
+        assert_eq!(trigram_sim("", ""), 1.0);
+        assert_eq!(trigram_sim("abc", ""), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram size")]
+    fn zero_n_rejected() {
+        let _ = char_ngrams("abc", 0);
+    }
+
+    proptest! {
+        #[test]
+        fn trigram_bounded_symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let s = trigram_sim(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - trigram_sim(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn gram_count_bound(s in "[a-z]{0,20}", n in 1usize..5) {
+            let grams = char_ngrams(&s, n);
+            let len = s.chars().count();
+            prop_assert!(grams.len() <= len.saturating_sub(n) + 1 || grams.len() <= 1);
+        }
+    }
+}

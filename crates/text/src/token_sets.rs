@@ -1,0 +1,109 @@
+//! Token-set similarities (Jaccard, Dice, overlap coefficient).
+
+use certa_core::hash::FxHashSet;
+use certa_core::tokens::tokenize;
+
+fn token_set(s: &str) -> FxHashSet<&str> {
+    tokenize(s).into_iter().collect()
+}
+
+/// Jaccard similarity over whitespace token sets: `|A∩B| / |A∪B|`.
+///
+/// Both-empty is 1.0.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient over token sets: `2|A∩B| / (|A| + |B|)`.
+pub fn dice(a: &str, b: &str) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Overlap coefficient: `|A∩B| / min(|A|, |B|)` — 1.0 when one token set
+/// contains the other, which flags the "description embeds the name"
+/// structure common in product datasets like Abt-Buy.
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard("a b", "c d"), 0.0);
+        assert!((jaccard("a b c", "b c d") - 0.5).abs() < 1e-12); // 2 / 4
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("a", ""), 0.0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        assert_eq!(jaccard("a a a", "a"), 1.0);
+        assert_eq!(dice("b b", "b"), 1.0);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        assert!((dice("a b c", "b c d") - (2.0 * 2.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(dice("", ""), 1.0);
+        assert_eq!(dice("x", "y"), 0.0);
+    }
+
+    #[test]
+    fn overlap_detects_containment() {
+        assert_eq!(overlap_coefficient("sony bravia", "sony bravia theater black micro"), 1.0);
+        assert_eq!(overlap_coefficient("a", ""), 0.0);
+        assert_eq!(overlap_coefficient("", ""), 1.0);
+        assert!((overlap_coefficient("a b", "b c d") - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn all_bounded_symmetric(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            for f in [jaccard, dice, overlap_coefficient] {
+                let s = f(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn dice_at_least_jaccard(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            prop_assert!(dice(&a, &b) + 1e-12 >= jaccard(&a, &b));
+        }
+
+        #[test]
+        fn identity_is_one(a in "[a-z ]{1,16}") {
+            prop_assume!(!a.trim().is_empty());
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+            prop_assert_eq!(dice(&a, &a), 1.0);
+            prop_assert_eq!(overlap_coefficient(&a, &a), 1.0);
+        }
+    }
+}

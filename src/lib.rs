@@ -1,0 +1,50 @@
+//! # certa-repro
+//!
+//! Facade crate for the `certa-rs` workspace — a pure-Rust reproduction of
+//! *Effective Explanations for Entity Resolution Models* (Teofili et al.,
+//! ICDE 2022).
+//!
+//! The workspace implements the paper's CERTA explainer plus every substrate
+//! it depends on. This crate re-exports the public APIs of all member crates
+//! under stable module names, so downstream users depend on one crate:
+//!
+//! ```
+//! use certa_repro::prelude::*;
+//!
+//! // Generate a benchmark, train a matcher, explain one prediction.
+//! let dataset = certa_repro::datagen::generate(certa_repro::datagen::DatasetId::FZ,
+//!                                              certa_repro::datagen::Scale::Smoke, 7);
+//! assert!(dataset.left().len() > 0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and
+//! `crates/bench/src/bin/` for the binaries regenerating each table and
+//! figure of the paper.
+
+/// ER data model (records, tables, pairs, the black-box [`core::Matcher`] trait).
+pub use certa_core as core;
+/// String similarity measures.
+pub use certa_text as text;
+/// Minimal neural-network / regression stack.
+pub use certa_ml as ml;
+/// Synthetic versions of the 12 DeepMatcher benchmark datasets.
+pub use certa_datagen as datagen;
+/// The ER matcher zoo (DeepER-sim, DeepMatcher-sim, Ditto-sim, rule-based).
+pub use certa_models as models;
+/// The CERTA explainer (the paper's contribution).
+pub use certa_explain as explain;
+/// Baseline explainers (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C).
+pub use certa_baselines as baselines;
+/// Evaluation metrics and experiment runners for §5.
+pub use certa_eval as eval;
+
+/// Commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use certa_core::{
+        AttrId, Dataset, LabeledPair, MatchLabel, Matcher, Record, RecordId, RecordPair, Schema,
+        Side, Split, Table,
+    };
+    pub use certa_datagen::{generate, DatasetId, Scale};
+    pub use certa_explain::{Certa, CertaConfig, CounterfactualExplainer, SaliencyExplainer};
+    pub use certa_models::{train_model, ModelKind};
+}
