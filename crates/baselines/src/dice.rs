@@ -11,7 +11,9 @@
 
 use crate::pair_seed;
 use certa_core::{AttrId, Dataset, MatchLabel, Matcher, Record, Side};
-use certa_explain::{AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer};
+use certa_explain::{
+    AttrRef, CounterfactualExample, CounterfactualExplainer, CounterfactualExplanation,
+};
 use certa_text::attribute_dist;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -115,16 +117,11 @@ impl Dice {
             .sum::<f64>()
             / changes.len().max(1) as f64;
         let sparsity_cost = changes.len() as f64 / (u.arity() + v.arity()) as f64;
-        let fitness =
-            margin - self.proximity_weight * prox_cost - 0.1 * sparsity_cost;
+        let fitness = margin - self.proximity_weight * prox_cost - 0.1 * sparsity_cost;
         (fitness, score)
     }
 
-    fn random_individual(
-        &self,
-        pools: &[(AttrRef, Vec<String>)],
-        rng: &mut StdRng,
-    ) -> Changes {
+    fn random_individual(&self, pools: &[(AttrRef, Vec<String>)], rng: &mut StdRng) -> Changes {
         let n = rng.gen_range(1..=self.max_changes.min(pools.len()));
         let mut idxs: Vec<usize> = (0..pools.len()).collect();
         idxs.shuffle(rng);
@@ -185,8 +182,9 @@ impl CounterfactualExplainer for Dice {
             return CounterfactualExplanation::default();
         }
 
-        let mut population: Vec<Changes> =
-            (0..self.population).map(|_| self.random_individual(&pools, &mut rng)).collect();
+        let mut population: Vec<Changes> = (0..self.population)
+            .map(|_| self.random_individual(&pools, &mut rng))
+            .collect();
 
         for _ in 0..self.generations {
             let mut scored: Vec<(f64, f64, Changes)> = population
@@ -198,8 +196,11 @@ impl CounterfactualExplainer for Dice {
                 .collect();
             scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
             let elite = (self.population / 3).max(2).min(scored.len());
-            let parents: Vec<Changes> =
-                scored.iter().take(elite).map(|(_, _, c)| c.clone()).collect();
+            let parents: Vec<Changes> = scored
+                .iter()
+                .take(elite)
+                .map(|(_, _, c)| c.clone())
+                .collect();
             population = parents.clone();
             while population.len() < self.population {
                 let pa = &parents[rng.gen_range(0..parents.len())];
@@ -247,10 +248,16 @@ impl CounterfactualExplainer for Dice {
                 }
             })
             .collect();
-        let golden_set =
-            examples.first().map(|e| e.changed.clone()).unwrap_or_default();
+        let golden_set = examples
+            .first()
+            .map(|e| e.changed.clone())
+            .unwrap_or_default();
         let sufficiency = if examples.is_empty() { 0.0 } else { 1.0 };
-        CounterfactualExplanation { examples, golden_set, sufficiency }
+        CounterfactualExplanation {
+            examples,
+            golden_set,
+            sufficiency,
+        }
     }
 }
 
@@ -261,7 +268,11 @@ fn change_set_distance(a: &Changes, b: &Changes) -> f64 {
     let attrs_b: Vec<AttrRef> = b.iter().map(|(x, _)| *x).collect();
     let inter = attrs_a.iter().filter(|x| attrs_b.contains(x)).count();
     let union = attrs_a.len() + attrs_b.len() - inter;
-    let attr_dist = if union == 0 { 0.0 } else { 1.0 - inter as f64 / union as f64 };
+    let attr_dist = if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f64 / union as f64
+    };
     let mut value_dist = 0.0;
     let mut shared = 0;
     for (attr, val_a) in a {
@@ -280,7 +291,10 @@ fn change_set_distance(a: &Changes, b: &Changes) -> f64 {
 /// Expose the AttrId index for change application (test helper).
 #[allow(dead_code)]
 fn attr_of(side: Side, i: u16) -> AttrRef {
-    AttrRef { side, attr: AttrId(i) }
+    AttrRef {
+        side,
+        attr: AttrId(i),
+    }
 }
 
 #[cfg(test)]
@@ -292,12 +306,20 @@ mod tests {
         let ls = Schema::shared("U", ["key", "noise"]);
         let rs = Schema::shared("V", ["key", "noise"]);
         let mk = |i: u32, k: &str| Record::new(RecordId(i), vec![k.into(), format!("n{i}")]);
-        let left =
-            Table::from_records(ls, (0..8).map(|i| mk(i, if i < 4 { "alpha" } else { "beta" })).collect())
-                .unwrap();
-        let right =
-            Table::from_records(rs, (0..8).map(|i| mk(i, if i < 4 { "alpha" } else { "beta" })).collect())
-                .unwrap();
+        let left = Table::from_records(
+            ls,
+            (0..8)
+                .map(|i| mk(i, if i < 4 { "alpha" } else { "beta" }))
+                .collect(),
+        )
+        .unwrap();
+        let right = Table::from_records(
+            rs,
+            (0..8)
+                .map(|i| mk(i, if i < 4 { "alpha" } else { "beta" }))
+                .collect(),
+        )
+        .unwrap();
         Dataset::new(
             "toy",
             left,
@@ -347,7 +369,10 @@ mod tests {
             assert!(ex.score > 0.5);
         }
         // The flip requires touching a key attribute.
-        assert!(cf.examples.iter().any(|e| e.changed.iter().any(|a| a.attr.index() == 0)));
+        assert!(cf
+            .examples
+            .iter()
+            .any(|e| e.changed.iter().any(|a| a.attr.index() == 0)));
     }
 
     #[test]
@@ -356,7 +381,10 @@ mod tests {
         let m = key_matcher();
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(0));
-        let dice = Dice { total_cfs: 2, ..Default::default() };
+        let dice = Dice {
+            total_cfs: 2,
+            ..Default::default()
+        };
         let cf = dice.explain_counterfactual(&m, &d, u, v);
         assert!(cf.examples.len() <= 2);
     }

@@ -111,6 +111,9 @@ mod tests {
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(1));
         let lm = LandMark::default();
-        assert_eq!(lm.explain_saliency(&m, &d, u, v), lm.explain_saliency(&m, &d, u, v));
+        assert_eq!(
+            lm.explain_saliency(&m, &d, u, v),
+            lm.explain_saliency(&m, &d, u, v)
+        );
     }
 }

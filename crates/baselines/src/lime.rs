@@ -39,7 +39,12 @@ pub struct LimeCore {
 
 impl Default for LimeCore {
     fn default() -> Self {
-        LimeCore { n_samples: 128, lambda: 1e-3, kernel_width: 0.75, seed: 0x117E }
+        LimeCore {
+            n_samples: 128,
+            lambda: 1e-3,
+            kernel_width: 0.75,
+            seed: 0x117E,
+        }
     }
 }
 
@@ -150,13 +155,17 @@ impl LimeCore {
             }
             let (pu, pv) = match side {
                 Side::Left => {
-                    let full: Vec<bool> =
-                        z.iter().copied().chain(std::iter::repeat(true).take(v.arity())).collect();
+                    let full: Vec<bool> = z
+                        .iter()
+                        .copied()
+                        .chain(std::iter::repeat_n(true, v.arity()))
+                        .collect();
                     apply_mask(u, v, &full, op)
                 }
                 Side::Right => {
-                    let full: Vec<bool> =
-                        std::iter::repeat(true).take(u.arity()).chain(z.iter().copied()).collect();
+                    let full: Vec<bool> = std::iter::repeat_n(true, u.arity())
+                        .chain(z.iter().copied())
+                        .collect();
                     apply_mask(u, v, &full, op)
                 }
             };
@@ -182,8 +191,8 @@ pub(crate) fn apply_mask(
     debug_assert_eq!(active.len(), u.arity() + v.arity());
     let mut pu = u.clone();
     let mut pv = v.clone();
-    for i in 0..u.arity() {
-        if !active[i] {
+    for (i, &is_active) in active.iter().enumerate().take(u.arity()) {
+        if !is_active {
             let a = AttrId(i as u16);
             match op {
                 PerturbOp::Drop => {
@@ -274,8 +283,12 @@ mod tests {
         let lime = LimeCore::default();
         let (wl_drop, _) = lime.joint_weights(&m, &u, &v, PerturbOp::Drop, 1);
         let (wl_copy, _) = lime.joint_weights(&m, &u, &v, PerturbOp::Copy, 1);
-        assert!(wl_copy[0].abs() > wl_drop[0].abs() + 0.05,
-            "copy sees key influence ({:.3}) that drop cannot ({:.3})", wl_copy[0], wl_drop[0]);
+        assert!(
+            wl_copy[0].abs() > wl_drop[0].abs() + 0.05,
+            "copy sees key influence ({:.3}) that drop cannot ({:.3})",
+            wl_copy[0],
+            wl_drop[0]
+        );
         // Under copy, de-activating the key (copying "beta"→"alpha"... i.e.
         // v's key into u) *creates* the match: coefficient negative.
         assert!(wl_copy[0] < 0.0);
@@ -284,20 +297,26 @@ mod tests {
     #[test]
     fn side_weights_only_touch_one_side() {
         // Matcher sensitive to u[0] emptiness only.
-        let m = FnMatcher::new("u0", |u: &Record, _: &Record| {
-            if u.values()[0].is_empty() {
-                0.2
-            } else {
-                0.8
-            }
-        });
+        let m = FnMatcher::new(
+            "u0",
+            |u: &Record, _: &Record| {
+                if u.values()[0].is_empty() {
+                    0.2
+                } else {
+                    0.8
+                }
+            },
+        );
         let u = rec(0, &["val", "x"]);
         let v = rec(1, &["val", "x"]);
         let lime = LimeCore::default();
         let wl = lime.side_weights(&m, &u, &v, Side::Left, PerturbOp::Drop, 3);
         let wr = lime.side_weights(&m, &u, &v, Side::Right, PerturbOp::Drop, 3);
         assert!(wl[0].abs() > 0.1, "left fit sees u0: {wl:?}");
-        assert!(wr.iter().all(|c| c.abs() < 0.05), "right fit sees nothing: {wr:?}");
+        assert!(
+            wr.iter().all(|c| c.abs() < 0.05),
+            "right fit sees nothing: {wr:?}"
+        );
     }
 
     #[test]

@@ -54,9 +54,9 @@ impl SaliencyExplainer for Mojito {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use certa_core::Side;
     use certa_core::{FnMatcher, LabeledPair, RecordId, Schema, Table};
     use certa_explain::AttrRef;
-    use certa_core::Side;
 
     fn dataset() -> Dataset {
         let ls = Schema::shared("U", ["key", "noise"]);
@@ -118,7 +118,10 @@ mod tests {
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(0));
         let mojito = Mojito::default();
-        assert_eq!(mojito.explain_saliency(&m, &d, u, v), mojito.explain_saliency(&m, &d, u, v));
+        assert_eq!(
+            mojito.explain_saliency(&m, &d, u, v),
+            mojito.explain_saliency(&m, &d, u, v)
+        );
         assert_eq!(mojito.name(), "mojito");
     }
 }

@@ -26,7 +26,12 @@ pub enum SaliencyMethod {
 impl SaliencyMethod {
     /// All methods in the tables' column order.
     pub fn all() -> [SaliencyMethod; 4] {
-        [SaliencyMethod::Certa, SaliencyMethod::LandMark, SaliencyMethod::Mojito, SaliencyMethod::Shap]
+        [
+            SaliencyMethod::Certa,
+            SaliencyMethod::LandMark,
+            SaliencyMethod::Mojito,
+            SaliencyMethod::Shap,
+        ]
     }
 
     /// Column header as printed in the paper.
@@ -44,14 +49,43 @@ impl SaliencyMethod {
     pub fn build(self, certa_cfg: CertaConfig, seed: u64) -> Box<dyn SaliencyExplainer> {
         match self {
             SaliencyMethod::Certa => Box::new(Certa::new(certa_cfg.with_seed(seed))),
-            SaliencyMethod::LandMark => {
-                Box::new(LandMark::new(LimeCore { seed, ..Default::default() }))
-            }
-            SaliencyMethod::Mojito => {
-                Box::new(Mojito::new(LimeCore { seed, ..Default::default() }))
-            }
-            SaliencyMethod::Shap => Box::new(KernelShap { seed, ..Default::default() }),
+            SaliencyMethod::LandMark => Box::new(LandMark::new(LimeCore {
+                seed,
+                ..Default::default()
+            })),
+            SaliencyMethod::Mojito => Box::new(Mojito::new(LimeCore {
+                seed,
+                ..Default::default()
+            })),
+            SaliencyMethod::Shap => Box::new(KernelShap {
+                seed,
+                ..Default::default()
+            }),
         }
+    }
+}
+
+impl SaliencyMethod {
+    /// Resolve a method by its paper name (case-insensitive). Unknown names
+    /// are an `Err` listing the registered line-up, never a panic.
+    pub fn from_name(name: &str) -> Result<SaliencyMethod, String> {
+        SaliencyMethod::all()
+            .into_iter()
+            .find(|m| m.paper_name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!(
+                    "unknown saliency method `{name}`; registered: {}",
+                    SaliencyMethod::all().map(|m| m.paper_name()).join(", ")
+                )
+            })
+    }
+}
+
+impl std::str::FromStr for SaliencyMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SaliencyMethod::from_name(s)
     }
 }
 
@@ -77,7 +111,12 @@ pub enum CfMethod {
 impl CfMethod {
     /// All methods in the tables' column order.
     pub fn all() -> [CfMethod; 4] {
-        [CfMethod::Certa, CfMethod::Dice, CfMethod::ShapC, CfMethod::LimeC]
+        [
+            CfMethod::Certa,
+            CfMethod::Dice,
+            CfMethod::ShapC,
+            CfMethod::LimeC,
+        ]
     }
 
     /// Column header as printed in the paper.
@@ -94,12 +133,43 @@ impl CfMethod {
     pub fn build(self, certa_cfg: CertaConfig, seed: u64) -> Box<dyn CounterfactualExplainer> {
         match self {
             CfMethod::Certa => Box::new(Certa::new(certa_cfg.with_seed(seed))),
-            CfMethod::Dice => Box::new(Dice { seed, ..Default::default() }),
-            CfMethod::ShapC => Box::new(ShapC::new(KernelShap { seed, ..Default::default() })),
-            CfMethod::LimeC => {
-                Box::new(LimeC::new(Mojito::new(LimeCore { seed, ..Default::default() })))
-            }
+            CfMethod::Dice => Box::new(Dice {
+                seed,
+                ..Default::default()
+            }),
+            CfMethod::ShapC => Box::new(ShapC::new(KernelShap {
+                seed,
+                ..Default::default()
+            })),
+            CfMethod::LimeC => Box::new(LimeC::new(Mojito::new(LimeCore {
+                seed,
+                ..Default::default()
+            }))),
         }
+    }
+}
+
+impl CfMethod {
+    /// Resolve a method by its paper name (case-insensitive). Unknown names
+    /// are an `Err` listing the registered line-up, never a panic.
+    pub fn from_name(name: &str) -> Result<CfMethod, String> {
+        CfMethod::all()
+            .into_iter()
+            .find(|m| m.paper_name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!(
+                    "unknown counterfactual method `{name}`; registered: {}",
+                    CfMethod::all().map(|m| m.paper_name()).join(", ")
+                )
+            })
+    }
+}
+
+impl std::str::FromStr for CfMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CfMethod::from_name(s)
     }
 }
 
@@ -140,5 +210,32 @@ mod tests {
         assert_eq!(CfMethod::Dice.build(cfg, 1).name(), "dice");
         assert_eq!(format!("{}", SaliencyMethod::Shap), "SHAP");
         assert_eq!(format!("{}", CfMethod::LimeC), "LIME-C");
+    }
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for m in SaliencyMethod::all() {
+            assert_eq!(SaliencyMethod::from_name(m.paper_name()), Ok(m));
+            assert_eq!(m.paper_name().parse::<SaliencyMethod>(), Ok(m));
+        }
+        for m in CfMethod::all() {
+            assert_eq!(CfMethod::from_name(m.paper_name()), Ok(m));
+            assert_eq!(m.paper_name().parse::<CfMethod>(), Ok(m));
+        }
+        // Resolution is case-insensitive, like the CLI flags.
+        assert_eq!(
+            SaliencyMethod::from_name("CERTA"),
+            Ok(SaliencyMethod::Certa)
+        );
+        assert_eq!(CfMethod::from_name("dice"), Ok(CfMethod::Dice));
+    }
+
+    #[test]
+    fn unknown_names_are_errors_not_panics() {
+        let err = SaliencyMethod::from_name("gradcam").unwrap_err();
+        assert!(err.contains("gradcam") && err.contains("Mojito"), "{err}");
+        let err = CfMethod::from_name("").unwrap_err();
+        assert!(err.contains("registered"), "{err}");
+        assert!("nope".parse::<CfMethod>().is_err());
     }
 }

@@ -16,7 +16,7 @@ use crate::mojito::Mojito;
 use crate::shap::KernelShap;
 use certa_core::{Dataset, MatchLabel, Matcher, Record, Side};
 use certa_explain::{
-    AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer,
+    AttrRef, CounterfactualExample, CounterfactualExplainer, CounterfactualExplanation,
     SaliencyExplainer,
 };
 
@@ -30,7 +30,9 @@ fn sedc_search(
     max_masked: usize,
 ) -> CounterfactualExplanation {
     let y = matcher.predict(u, v);
-    let ranking = saliency_source.explain_saliency(matcher, dataset, u, v).ranked();
+    let ranking = saliency_source
+        .explain_saliency(matcher, dataset, u, v)
+        .ranked();
     let d = u.arity() + v.arity();
     let budget = max_masked.min(d.saturating_sub(1));
 
@@ -58,9 +60,16 @@ fn sedc_search(
         }
     }
 
-    let golden_set = examples.first().map(|e| e.changed.clone()).unwrap_or_default();
+    let golden_set = examples
+        .first()
+        .map(|e| e.changed.clone())
+        .unwrap_or_default();
     let sufficiency = if examples.is_empty() { 0.0 } else { 1.0 };
-    CounterfactualExplanation { examples, golden_set, sufficiency }
+    CounterfactualExplanation {
+        examples,
+        golden_set,
+        sufficiency,
+    }
 }
 
 /// LIME-C: SEDC guided by Mojito saliency.
@@ -74,7 +83,10 @@ pub struct LimeC {
 impl LimeC {
     /// LIME-C with an explicit Mojito configuration.
     pub fn new(mojito: Mojito) -> Self {
-        LimeC { mojito, max_masked: usize::MAX }
+        LimeC {
+            mojito,
+            max_masked: usize::MAX,
+        }
     }
 }
 
@@ -90,7 +102,11 @@ impl CounterfactualExplainer for LimeC {
         u: &Record,
         v: &Record,
     ) -> CounterfactualExplanation {
-        let budget = if self.max_masked == 0 { usize::MAX } else { self.max_masked };
+        let budget = if self.max_masked == 0 {
+            usize::MAX
+        } else {
+            self.max_masked
+        };
         sedc_search(&self.mojito, matcher, dataset, u, v, budget)
     }
 }
@@ -106,7 +122,10 @@ pub struct ShapC {
 impl ShapC {
     /// SHAP-C with an explicit KernelSHAP configuration.
     pub fn new(shap: KernelShap) -> Self {
-        ShapC { shap, max_masked: usize::MAX }
+        ShapC {
+            shap,
+            max_masked: usize::MAX,
+        }
     }
 }
 
@@ -122,7 +141,11 @@ impl CounterfactualExplainer for ShapC {
         u: &Record,
         v: &Record,
     ) -> CounterfactualExplanation {
-        let budget = if self.max_masked == 0 { usize::MAX } else { self.max_masked };
+        let budget = if self.max_masked == 0 {
+            usize::MAX
+        } else {
+            self.max_masked
+        };
         sedc_search(&self.shap, matcher, dataset, u, v, budget)
     }
 }
@@ -165,9 +188,16 @@ mod tests {
         let m = key_matcher();
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(0));
-        for method in [&LimeC::default() as &dyn CounterfactualExplainer, &ShapC::default()] {
+        for method in [
+            &LimeC::default() as &dyn CounterfactualExplainer,
+            &ShapC::default(),
+        ] {
             let cf = method.explain_counterfactual(&m, &d, u, v);
-            assert!(cf.found(), "{} should flip by masking the key", method.name());
+            assert!(
+                cf.found(),
+                "{} should flip by masking the key",
+                method.name()
+            );
             let ex = &cf.examples[0];
             assert!(ex.score <= 0.5);
             // The masked attributes include a key.
@@ -192,9 +222,16 @@ mod tests {
         let m = key_matcher();
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(1));
-        for method in [&LimeC::default() as &dyn CounterfactualExplainer, &ShapC::default()] {
+        for method in [
+            &LimeC::default() as &dyn CounterfactualExplainer,
+            &ShapC::default(),
+        ] {
             let cf = method.explain_counterfactual(&m, &d, u, v);
-            assert!(!cf.found(), "{} cannot create evidence by masking", method.name());
+            assert!(
+                !cf.found(),
+                "{} cannot create evidence by masking",
+                method.name()
+            );
             assert_eq!(cf.sufficiency, 0.0);
         }
     }

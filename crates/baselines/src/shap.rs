@@ -29,18 +29,17 @@ pub struct KernelShap {
 
 impl Default for KernelShap {
     fn default() -> Self {
-        KernelShap { max_coalitions: 256, lambda: 1e-6, seed: 0x5AA9 }
+        KernelShap {
+            max_coalitions: 256,
+            lambda: 1e-6,
+            seed: 0x5AA9,
+        }
     }
 }
 
 impl KernelShap {
     /// Signed Shapley-value estimates for all `d = |A_U| + |A_V|` attributes.
-    pub fn shap_values(
-        &self,
-        matcher: &dyn Matcher,
-        u: &Record,
-        v: &Record,
-    ) -> Vec<f64> {
+    pub fn shap_values(&self, matcher: &dyn Matcher, u: &Record, v: &Record) -> Vec<f64> {
         let d = u.arity() + v.arity();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
@@ -68,13 +67,11 @@ impl KernelShap {
         } else {
             let mut rng = StdRng::seed_from_u64(pair_seed(self.seed, u, v));
             (0..self.max_coalitions)
-                .map(|_| {
-                    loop {
-                        let z: Vec<bool> = (0..d).map(|_| rng.gen_bool(0.5)).collect();
-                        let k = z.iter().filter(|&&b| b).count();
-                        if k != 0 && k != d {
-                            return z;
-                        }
+                .map(|_| loop {
+                    let z: Vec<bool> = (0..d).map(|_| rng.gen_bool(0.5)).collect();
+                    let k = z.iter().filter(|&&b| b).count();
+                    if k != 0 && k != d {
+                        return z;
                     }
                 })
                 .collect()
@@ -234,7 +231,10 @@ mod tests {
         let u = rec(0, &vals);
         let v = rec(1, &vals);
         let m = FnMatcher::new("const", |_: &Record, _: &Record| 0.7);
-        let shap = KernelShap { max_coalitions: 64, ..Default::default() };
+        let shap = KernelShap {
+            max_coalitions: 64,
+            ..Default::default()
+        };
         let phi = shap.shap_values(&m, &u, &v);
         assert_eq!(phi.len(), 16);
         assert!(phi.iter().all(|x| x.is_finite()));

@@ -40,7 +40,12 @@ fn bench_explainers(c: &mut Criterion) {
             |b, &method| {
                 let explainer = method.build(cfg, 7);
                 b.iter(|| {
-                    black_box(explainer.explain_counterfactual(&matcher, &dataset, u, v).examples.len())
+                    black_box(
+                        explainer
+                            .explain_counterfactual(&matcher, &dataset, u, v)
+                            .examples
+                            .len(),
+                    )
                 })
             },
         );

@@ -18,14 +18,18 @@ fn bench_lattice(c: &mut Criterion) {
                 black_box(e.stats().performed)
             })
         });
-        group.bench_with_input(BenchmarkId::new("exhaustive", arity), &arity, |b, &arity| {
-            b.iter(|| {
-                let e = explore(arity, ExploreMode::Exhaustive, false, |m| {
-                    black_box(mask_len(m) >= 2)
-                });
-                black_box(e.stats().performed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", arity),
+            &arity,
+            |b, &arity| {
+                b.iter(|| {
+                    let e = explore(arity, ExploreMode::Exhaustive, false, |m| {
+                        black_box(mask_len(m) >= 2)
+                    });
+                    black_box(e.stats().performed)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("mfa", arity), &arity, |b, &arity| {
             let e = explore(arity, ExploreMode::Monotone, false, |m| mask_len(m) >= 2);
             b.iter(|| black_box(e.minimal_flipping_antichain().len()))

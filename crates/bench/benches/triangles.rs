@@ -15,17 +15,27 @@ fn bench_triangles(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("find_triangles");
     for tau in [10usize, 50, 100] {
-        group.bench_with_input(BenchmarkId::new("with_augmentation", tau), &tau, |b, &tau| {
-            let cfg = CertaConfig { num_triangles: tau, ..Default::default() };
-            b.iter(|| {
-                let (tris, stats) =
-                    find_triangles(&matcher, &dataset, u, v, MatchLabel::Match, &cfg);
-                black_box((tris.len(), stats.candidates_scored))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("with_augmentation", tau),
+            &tau,
+            |b, &tau| {
+                let cfg = CertaConfig {
+                    num_triangles: tau,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let (tris, stats) =
+                        find_triangles(&matcher, &dataset, u, v, MatchLabel::Match, &cfg);
+                    black_box((tris.len(), stats.candidates_scored))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("natural_only", tau), &tau, |b, &tau| {
-            let cfg =
-                CertaConfig { num_triangles: tau, use_augmentation: false, ..Default::default() };
+            let cfg = CertaConfig {
+                num_triangles: tau,
+                use_augmentation: false,
+                ..Default::default()
+            };
             b.iter(|| {
                 let (tris, stats) =
                     find_triangles(&matcher, &dataset, u, v, MatchLabel::Match, &cfg);

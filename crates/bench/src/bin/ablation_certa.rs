@@ -26,26 +26,68 @@ struct Variant {
 
 fn variants(base: CertaConfig) -> Vec<Variant> {
     vec![
-        Variant { name: "default", cfg: base },
-        Variant { name: "exhaustive lattice", cfg: CertaConfig { monotone: false, ..base } },
-        Variant { name: "no augmentation", cfg: CertaConfig { use_augmentation: false, ..base } },
+        Variant {
+            name: "default",
+            cfg: base,
+        },
+        Variant {
+            name: "exhaustive lattice",
+            cfg: CertaConfig {
+                monotone: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "no augmentation",
+            cfg: CertaConfig {
+                use_augmentation: false,
+                ..base
+            },
+        },
         Variant {
             name: "augmentation only",
-            cfg: CertaConfig { augmentation_only: true, ..base },
+            cfg: CertaConfig {
+                augmentation_only: true,
+                ..base
+            },
         },
-        Variant { name: "candidates<=50", cfg: CertaConfig { max_candidates: 50, ..base } },
-        Variant { name: "candidates<=500", cfg: CertaConfig { max_candidates: 500, ..base } },
-        Variant { name: "1 example", cfg: CertaConfig { max_examples: 1, ..base } },
+        Variant {
+            name: "candidates<=50",
+            cfg: CertaConfig {
+                max_candidates: 50,
+                ..base
+            },
+        },
+        Variant {
+            name: "candidates<=500",
+            cfg: CertaConfig {
+                max_candidates: 500,
+                ..base
+            },
+        },
+        Variant {
+            name: "1 example",
+            cfg: CertaConfig {
+                max_examples: 1,
+                ..base
+            },
+        },
         Variant {
             name: "unlimited examples",
-            cfg: CertaConfig { max_examples: usize::MAX, ..base },
+            cfg: CertaConfig {
+                max_examples: usize::MAX,
+                ..base
+            },
         },
     ]
 }
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Ablation — CERTA design choices (DeepMatcher-sim on AB)", &opts);
+    banner(
+        "Ablation — CERTA design choices (DeepMatcher-sim on AB)",
+        &opts,
+    );
     let mut grid: GridConfig = opts.grid();
     grid.datasets = vec![DatasetId::AB];
     if opts.tau.is_none() {
@@ -61,7 +103,13 @@ fn main() {
         grid.tau,
         p.explained.len()
     ))
-    .header(["Variant", "Calls/expl", "Faithfulness", "CF proximity", "CF count"]);
+    .header([
+        "Variant",
+        "Calls/expl",
+        "Faithfulness",
+        "CF proximity",
+        "CF count",
+    ]);
 
     for v in variants(grid.certa_config().with_triangles(grid.tau)) {
         let counting = CountingMatcher::new(raw.clone());

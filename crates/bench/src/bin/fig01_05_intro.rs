@@ -36,7 +36,11 @@ fn main() {
     for (i, lp) in matches.iter().enumerate() {
         let (u, v) = p.dataset.expect_pair(lp.pair);
         println!("u{} = {}", i + 1, u.display_with(p.dataset.left().schema()));
-        println!("v{} = {}", i + 1, v.display_with(p.dataset.right().schema()));
+        println!(
+            "v{} = {}",
+            i + 1,
+            v.display_with(p.dataset.right().schema())
+        );
     }
     println!();
 
@@ -83,11 +87,14 @@ fn main() {
             let explainer = method.build(cfg.certa_config(), cfg.seed);
             let phi = explainer.explain_saliency(&matcher, &p.dataset, u, v);
             let top2 = phi.top_k(2);
-            let names: Vec<String> =
-                top2.iter().map(|a| a.qualified(&p.dataset)).collect();
+            let names: Vec<String> = top2.iter().map(|a| a.qualified(&p.dataset)).collect();
             let (cu, cv) = copy_salient(u, v, &top2);
             let new_score = matcher.score(&cu, &cv);
-            table.row([method.paper_name().to_string(), names.join(", "), format!("{new_score:.3}")]);
+            table.row([
+                method.paper_name().to_string(),
+                names.join(", "),
+                format!("{new_score:.3}"),
+            ]);
         }
         println!("{}", table.render());
     }
@@ -114,8 +121,14 @@ fn main() {
                         ex.score,
                         changed.join(", ")
                     );
-                    println!("         u' = {}", ex.left.display_with(p.dataset.left().schema()));
-                    println!("         v' = {}", ex.right.display_with(p.dataset.right().schema()));
+                    println!(
+                        "         u' = {}",
+                        ex.left.display_with(p.dataset.left().schema())
+                    );
+                    println!(
+                        "         v' = {}",
+                        ex.right.display_with(p.dataset.right().schema())
+                    );
                 }
                 None => println!("  {:<6} produced no counterfactual", method.paper_name()),
             }

@@ -8,7 +8,10 @@ use certa_eval::TableBuilder;
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Figure 10 — Average number of CF examples per method", &opts);
+    banner(
+        "Figure 10 — Average number of CF examples per method",
+        &opts,
+    );
     let cfg = opts.grid();
     let prepared = prepare(&cfg);
     let methods = CfMethod::all();

@@ -47,8 +47,7 @@ fn main() {
             };
             for &model in &cfg.models {
                 let matcher = p.cached_matcher(model);
-                let pt =
-                    sweep_point(&matcher, &p.dataset, &p.explained, &cfg.certa_config(), tau);
+                let pt = sweep_point(&matcher, &p.dataset, &p.explained, &cfg.certa_config(), tau);
                 acc.sufficiency += pt.sufficiency;
                 acc.necessity += pt.necessity;
                 acc.confidence += pt.confidence;

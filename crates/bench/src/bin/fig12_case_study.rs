@@ -38,16 +38,13 @@ fn main() {
             cfg.seed,
         );
         let label = if lp.label.is_match() { 1 } else { 0 };
-        let mut table = TableBuilder::new(format!(
-            "({kind}) Label={label}, Score={:.2}",
-            cs.score
-        ))
-        .header(
-            ["Attribute", "Actual"]
-                .into_iter()
-                .map(str::to_string)
-                .chain(methods.iter().map(|m| m.paper_name().to_string())),
-        );
+        let mut table = TableBuilder::new(format!("({kind}) Label={label}, Score={:.2}", cs.score))
+            .header(
+                ["Attribute", "Actual"]
+                    .into_iter()
+                    .map(str::to_string)
+                    .chain(methods.iter().map(|m| m.paper_name().to_string())),
+            );
         for row in &cs.rows {
             let mut cells = vec![row.attr.qualified(&p.dataset), format!("{:.3}", row.actual)];
             for (_, s) in &row.by_method {

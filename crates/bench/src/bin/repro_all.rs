@@ -33,7 +33,11 @@ fn main() {
     println!("## Table 1 — dataset characteristics\n");
     let rows = table1_rows(cfg.scale, cfg.seed);
     let mut t1 = TableBuilder::new(format!("scale `{}`", cfg.scale)).header([
-        "Dataset", "Matches", "Attr.s", "Records (L-R)", "Values (L-R)",
+        "Dataset",
+        "Matches",
+        "Attr.s",
+        "Records (L-R)",
+        "Values (L-R)",
     ]);
     for s in &rows {
         t1.row([
@@ -49,9 +53,17 @@ fn main() {
 
     // ---------------- Shared preparation ----------------
     let prepared = prepare(&cfg);
-    eprintln!("[{:?}] {} datasets prepared (zoo F1s below)", t0.elapsed(), prepared.len());
-    let mut zoo_table =
-        TableBuilder::new("Matcher quality (test F1)").header(["Dataset", "DeepER", "DeepMatcher", "Ditto"]);
+    eprintln!(
+        "[{:?}] {} datasets prepared (zoo F1s below)",
+        t0.elapsed(),
+        prepared.len()
+    );
+    let mut zoo_table = TableBuilder::new("Matcher quality (test F1)").header([
+        "Dataset",
+        "DeepER",
+        "DeepMatcher",
+        "Ditto",
+    ]);
     for p in &prepared {
         zoo_table.row([
             p.id.code().to_string(),
@@ -70,7 +82,14 @@ fn main() {
     println!("## Table 2 — faithfulness (lower = better)\n");
     println!(
         "{}",
-        render_saliency_table("Faithfulness AUC", &faith_cells, &cfg.models, &sal_methods, &cfg.datasets, true)
+        render_saliency_table(
+            "Faithfulness AUC",
+            &faith_cells,
+            &cfg.models,
+            &sal_methods,
+            &cfg.datasets,
+            true
+        )
     );
     eprintln!("[{:?}] table 2 done", t0.elapsed());
 
@@ -80,7 +99,14 @@ fn main() {
     println!("## Table 3 — confidence indication (lower = better)\n");
     println!(
         "{}",
-        render_saliency_table("Confidence MAE", &ci_cells, &cfg.models, &sal_methods, &cfg.datasets, true)
+        render_saliency_table(
+            "Confidence MAE",
+            &ci_cells,
+            &cfg.models,
+            &sal_methods,
+            &cfg.datasets,
+            true
+        )
     );
     eprintln!("[{:?}] table 3 done", t0.elapsed());
 
@@ -88,14 +114,30 @@ fn main() {
     let cf_methods = CfMethod::all();
     let cf_cells = run_cf_grid(&prepared, &cfg, &cf_methods);
     for (title, metric) in [
-        ("## Table 4 — proximity (higher = better)", CfMetricKind::Proximity),
-        ("## Table 5 — sparsity (higher = better)", CfMetricKind::Sparsity),
-        ("## Table 6 — diversity (higher = better)", CfMetricKind::Diversity),
+        (
+            "## Table 4 — proximity (higher = better)",
+            CfMetricKind::Proximity,
+        ),
+        (
+            "## Table 5 — sparsity (higher = better)",
+            CfMetricKind::Sparsity,
+        ),
+        (
+            "## Table 6 — diversity (higher = better)",
+            CfMetricKind::Diversity,
+        ),
     ] {
         println!("{title}\n");
         println!(
             "{}",
-            render_cf_table("", &cf_cells, &cfg.models, &cf_methods, &cfg.datasets, metric)
+            render_cf_table(
+                "",
+                &cf_cells,
+                &cfg.models,
+                &cf_methods,
+                &cfg.datasets,
+                metric
+            )
         );
     }
     println!("## Figure 10 — average number of CF examples\n");
@@ -111,7 +153,10 @@ fn main() {
                 .filter(|c| c.model == model && c.method == method)
                 .map(|c| c.value.count)
                 .collect();
-            row.push(format!("{:.2}", vals.iter().sum::<f64>() / vals.len().max(1) as f64));
+            row.push(format!(
+                "{:.2}",
+                vals.iter().sum::<f64>() / vals.len().max(1) as f64
+            ));
         }
         f10.row(row);
     }
@@ -123,14 +168,30 @@ fn main() {
     let sweep_ids = [DatasetId::WA, DatasetId::AB, DatasetId::DDA, DatasetId::IA];
     let taus = [5usize, 10, 20, 35, 50, 75, 100];
     for &id in &sweep_ids {
-        let p = prepared.iter().find(|p| p.id == id).expect("sweep dataset prepared");
+        let p = prepared
+            .iter()
+            .find(|p| p.id == id)
+            .expect("sweep dataset prepared");
         let mut table = TableBuilder::new(format!("{id}")).header([
-            "tau", "(a) suff.", "(b) nec.", "(c) CI", "(d) faith.", "(e) prox.", "(f) spars.", "(g) div.",
+            "tau",
+            "(a) suff.",
+            "(b) nec.",
+            "(c) CI",
+            "(d) faith.",
+            "(e) prox.",
+            "(f) spars.",
+            "(g) div.",
         ]);
         for &tau in &taus {
             let mut acc = SweepPoint {
-                tau, sufficiency: 0.0, necessity: 0.0, confidence: 0.0,
-                faithfulness: 0.0, proximity: 0.0, sparsity: 0.0, diversity: 0.0,
+                tau,
+                sufficiency: 0.0,
+                necessity: 0.0,
+                confidence: 0.0,
+                faithfulness: 0.0,
+                proximity: 0.0,
+                sparsity: 0.0,
+                diversity: 0.0,
             };
             for &model in &cfg.models {
                 let matcher = p.cached_matcher(model);
@@ -161,13 +222,28 @@ fn main() {
 
     // ---------------- Table 7 ----------------
     println!("## Table 7 — monotonicity audit\n");
-    let audit_ids = [DatasetId::AB, DatasetId::BA, DatasetId::WA, DatasetId::DDS, DatasetId::IA];
+    let audit_ids = [
+        DatasetId::AB,
+        DatasetId::BA,
+        DatasetId::WA,
+        DatasetId::DDS,
+        DatasetId::IA,
+    ];
     let mut audit_cfg = cfg.certa_config();
     audit_cfg.num_triangles = audit_cfg.num_triangles.min(20);
-    let mut t7 = TableBuilder::new("Per-lattice averages")
-        .header(["Dataset", "Attributes", "Expected", "Performed", "Saved", "Error rate"]);
+    let mut t7 = TableBuilder::new("Per-lattice averages").header([
+        "Dataset",
+        "Attributes",
+        "Expected",
+        "Performed",
+        "Saved",
+        "Error rate",
+    ]);
     for &id in &audit_ids {
-        let p = prepared.iter().find(|p| p.id == id).expect("audit dataset prepared");
+        let p = prepared
+            .iter()
+            .find(|p| p.id == id)
+            .expect("audit dataset prepared");
         let mut performed = 0.0;
         let mut saved = 0.0;
         let mut err = 0.0;
@@ -201,10 +277,16 @@ fn main() {
     println!("## Table 8 — natural triangle supply without augmentation\n");
     let aug_ids = [DatasetId::BA, DatasetId::FZ];
     let aug_models = [ModelKind::DeepMatcher, ModelKind::Ditto];
-    let mut t8 = TableBuilder::new(format!("target τ = {}", cfg.tau))
-        .header(["Dataset", "DeepMatcher", "Ditto"]);
+    let mut t8 = TableBuilder::new(format!("target τ = {}", cfg.tau)).header([
+        "Dataset",
+        "DeepMatcher",
+        "Ditto",
+    ]);
     for &id in &aug_ids {
-        let p = prepared.iter().find(|p| p.id == id).expect("aug dataset prepared");
+        let p = prepared
+            .iter()
+            .find(|p| p.id == id)
+            .expect("aug dataset prepared");
         let mut row = vec![id.code().to_string()];
         for &model in &aug_models {
             let matcher = p.cached_matcher(model);
@@ -218,13 +300,23 @@ fn main() {
     eprintln!("[{:?}] table 8 done", t0.elapsed());
 
     println!("## Tables 9-10 — augmentation-only deltas\n");
-    for (model, label) in
-        [(ModelKind::DeepMatcher, "Table 9 (DeepMatcher)"), (ModelKind::Ditto, "Table 10 (Ditto)")]
-    {
-        let mut t = TableBuilder::new(label)
-            .header(["Dataset", "ΔProximity", "ΔSparsity", "ΔDiversity", "ΔFaithfulness", "ΔCI"]);
+    for (model, label) in [
+        (ModelKind::DeepMatcher, "Table 9 (DeepMatcher)"),
+        (ModelKind::Ditto, "Table 10 (Ditto)"),
+    ] {
+        let mut t = TableBuilder::new(label).header([
+            "Dataset",
+            "ΔProximity",
+            "ΔSparsity",
+            "ΔDiversity",
+            "ΔFaithfulness",
+            "ΔCI",
+        ]);
         for &id in &aug_ids {
-            let p = prepared.iter().find(|p| p.id == id).expect("aug dataset prepared");
+            let p = prepared
+                .iter()
+                .find(|p| p.id == id)
+                .expect("aug dataset prepared");
             let matcher = p.cached_matcher(model);
             let eff = augmentation_effect(&matcher, &p.dataset, &p.explained, &cfg.certa_config());
             t.row([
@@ -242,11 +334,22 @@ fn main() {
 
     // ---------------- Figure 12 ----------------
     println!("## Figure 12 — case study (Ditto on BA)\n");
-    let p = prepared.iter().find(|p| p.id == DatasetId::BA).expect("BA prepared");
+    let p = prepared
+        .iter()
+        .find(|p| p.id == DatasetId::BA)
+        .expect("BA prepared");
     let matcher = p.cached_matcher(ModelKind::Ditto);
     let test_pairs = p.dataset.split(certa_core::Split::Test).to_vec();
     for (lp, kind) in pick_cases(&matcher, &p.dataset, &test_pairs) {
-        let cs = case_study(&matcher, &p.dataset, lp, kind, &sal_methods, cfg.certa_config(), cfg.seed);
+        let cs = case_study(
+            &matcher,
+            &p.dataset,
+            lp,
+            kind,
+            &sal_methods,
+            cfg.certa_config(),
+            cfg.seed,
+        );
         let mut table = TableBuilder::new(format!(
             "({kind}) Label={}, Score={:.2}",
             u8::from(lp.label.is_match()),
@@ -277,7 +380,10 @@ fn main() {
         }
         println!("{}", aggr.render());
     }
-    eprintln!("[{:?}] figure 12 done — all artifacts regenerated", t0.elapsed());
+    eprintln!(
+        "[{:?}] figure 12 done — all artifacts regenerated",
+        t0.elapsed()
+    );
     println!("\nall artifacts regenerated in {:?}", t0.elapsed());
 }
 

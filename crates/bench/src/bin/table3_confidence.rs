@@ -9,7 +9,10 @@ use certa_eval::report::render_saliency_table;
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Table 3 — Confidence Indication evaluation on saliency explanations", &opts);
+    banner(
+        "Table 3 — Confidence Indication evaluation on saliency explanations",
+        &opts,
+    );
     let cfg = opts.grid();
     let prepared = prepare(&cfg);
     let methods = SaliencyMethod::all();

@@ -8,7 +8,10 @@ use certa_eval::report::render_cf_table;
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Table 5 — Sparsity evaluation on counterfactual explanations", &opts);
+    banner(
+        "Table 5 — Sparsity evaluation on counterfactual explanations",
+        &opts,
+    );
     let cfg = opts.grid();
     let prepared = prepare(&cfg);
     let methods = CfMethod::all();

@@ -12,8 +12,13 @@ fn main() {
     let opts = CliOptions::from_env();
     banner("Table 7 — Monotonicity assumption audit", &opts);
     let mut cfg: GridConfig = opts.grid();
-    cfg.datasets =
-        vec![DatasetId::AB, DatasetId::BA, DatasetId::WA, DatasetId::DDS, DatasetId::IA];
+    cfg.datasets = vec![
+        DatasetId::AB,
+        DatasetId::BA,
+        DatasetId::WA,
+        DatasetId::DDS,
+        DatasetId::IA,
+    ];
     // Exhaustive lattices on 8 attributes are 254 predictions each; keep the
     // audited triangle budget modest unless overridden.
     if opts.tau.is_none() {
@@ -21,7 +26,15 @@ fn main() {
     }
 
     let mut table = TableBuilder::new("Per-lattice averages (across all three classifiers)")
-        .header(["Dataset", "Attributes", "Expected", "Performed", "Saved", "Error rate", "Lattices"]);
+        .header([
+            "Dataset",
+            "Attributes",
+            "Expected",
+            "Performed",
+            "Saved",
+            "Error rate",
+            "Lattices",
+        ]);
     for &id in &cfg.datasets {
         let p = PreparedDataset::build(id, &cfg);
         let mut performed = 0.0;

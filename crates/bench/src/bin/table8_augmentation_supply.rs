@@ -11,7 +11,10 @@ use certa_models::ModelKind;
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Table 8 — Open triangles without data augmentation (target = τ)", &opts);
+    banner(
+        "Table 8 — Open triangles without data augmentation (target = τ)",
+        &opts,
+    );
     let mut cfg: GridConfig = opts.grid();
     cfg.datasets = vec![DatasetId::BA, DatasetId::FZ];
     cfg.models = vec![ModelKind::DeepMatcher, ModelKind::Ditto];

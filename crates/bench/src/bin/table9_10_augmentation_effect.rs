@@ -14,18 +14,29 @@ use certa_models::ModelKind;
 
 fn main() {
     let opts = CliOptions::from_env();
-    banner("Tables 9-10 — Effect of augmentation-only open triangles", &opts);
+    banner(
+        "Tables 9-10 — Effect of augmentation-only open triangles",
+        &opts,
+    );
     let mut cfg: GridConfig = opts.grid();
     cfg.datasets = vec![DatasetId::BA, DatasetId::FZ];
 
-    for (model, label) in [(ModelKind::DeepMatcher, "Table 9 (DeepMatcher)"), (ModelKind::Ditto, "Table 10 (Ditto)")] {
-        let mut table = TableBuilder::new(label)
-            .header(["Dataset", "ΔProximity", "ΔSparsity", "ΔDiversity", "ΔFaithfulness", "ΔCI"]);
+    for (model, label) in [
+        (ModelKind::DeepMatcher, "Table 9 (DeepMatcher)"),
+        (ModelKind::Ditto, "Table 10 (Ditto)"),
+    ] {
+        let mut table = TableBuilder::new(label).header([
+            "Dataset",
+            "ΔProximity",
+            "ΔSparsity",
+            "ΔDiversity",
+            "ΔFaithfulness",
+            "ΔCI",
+        ]);
         for &id in &cfg.datasets {
             let p = PreparedDataset::build(id, &cfg);
             let matcher = p.cached_matcher(model);
-            let eff =
-                augmentation_effect(&matcher, &p.dataset, &p.explained, &cfg.certa_config());
+            let eff = augmentation_effect(&matcher, &p.dataset, &p.explained, &cfg.certa_config());
             table.row([
                 id.code().to_string(),
                 format!("{:+.3}", eff.proximity),

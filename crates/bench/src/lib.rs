@@ -34,7 +34,12 @@ pub struct CliOptions {
 
 impl Default for CliOptions {
     fn default() -> Self {
-        CliOptions { scale: Scale::Smoke, seed: 7, tau: None, pairs: None }
+        CliOptions {
+            scale: Scale::Smoke,
+            seed: 7,
+            tau: None,
+            pairs: None,
+        }
     }
 }
 
@@ -124,8 +129,10 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d.scale, Scale::Smoke);
         assert_eq!(d.seed, 7);
-        let o = parse(&["--scale", "default", "--seed", "42", "--tau", "20", "--pairs", "5"])
-            .unwrap();
+        let o = parse(&[
+            "--scale", "default", "--seed", "42", "--tau", "20", "--pairs", "5",
+        ])
+        .unwrap();
         assert_eq!(o.scale, Scale::Default);
         assert_eq!(o.seed, 42);
         assert_eq!(o.tau, Some(20));

@@ -39,7 +39,10 @@ impl TokenIndex {
                 }
             }
         }
-        TokenIndex { postings, max_posting }
+        TokenIndex {
+            postings,
+            max_posting,
+        }
     }
 
     /// Records sharing at least `min_overlap` distinct indexed tokens with
@@ -72,8 +75,10 @@ impl TokenIndex {
                 }
             }
         }
-        let mut out: Vec<(RecordId, usize)> =
-            counts.into_iter().filter(|&(_, c)| c >= min_overlap).collect();
+        let mut out: Vec<(RecordId, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_overlap)
+            .collect();
         // Deterministic order: overlap desc, then id asc.
         out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out

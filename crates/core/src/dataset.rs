@@ -41,7 +41,9 @@ impl Dataset {
     ) -> Result<Self> {
         let name = name.into();
         if left.is_empty() || right.is_empty() {
-            return Err(CoreError::InvalidDataset(format!("dataset `{name}` has an empty side")));
+            return Err(CoreError::InvalidDataset(format!(
+                "dataset `{name}` has an empty side"
+            )));
         }
         for lp in train.iter().chain(test.iter()) {
             if !left.contains(lp.pair.left) {
@@ -57,7 +59,13 @@ impl Dataset {
                 )));
             }
         }
-        Ok(Dataset { name, left, right, train, test })
+        Ok(Dataset {
+            name,
+            left,
+            right,
+            train,
+            test,
+        })
     }
 
     /// The dataset's short name (e.g. `"AB"`).
@@ -104,13 +112,20 @@ impl Dataset {
     /// Number of ground-truth matching pairs across both splits — the
     /// "Matches" column of Table 1.
     pub fn match_count(&self) -> usize {
-        self.train.iter().chain(self.test.iter()).filter(|lp| lp.label.is_match()).count()
+        self.train
+            .iter()
+            .chain(self.test.iter())
+            .filter(|lp| lp.label.is_match())
+            .count()
     }
 
     /// Per-side statistics for the Table 1 row.
     pub fn side_stats(&self, side: Side) -> SideStats {
         let t = self.table(side);
-        SideStats { records: t.len(), distinct_values: t.distinct_values() }
+        SideStats {
+            records: t.len(),
+            distinct_values: t.distinct_values(),
+        }
     }
 }
 

@@ -10,7 +10,11 @@ pub enum CoreError {
     /// A record id was not present in a table.
     UnknownRecord { table: String, id: u32 },
     /// A record's value count does not match its schema's attribute count.
-    ArityMismatch { schema: String, expected: usize, got: usize },
+    ArityMismatch {
+        schema: String,
+        expected: usize,
+        got: usize,
+    },
     /// Two sides of a dataset were wired up inconsistently.
     InvalidDataset(String),
 }
@@ -24,7 +28,11 @@ impl fmt::Display for CoreError {
             CoreError::UnknownRecord { table, id } => {
                 write!(f, "record id {id} not found in table `{table}`")
             }
-            CoreError::ArityMismatch { schema, expected, got } => write!(
+            CoreError::ArityMismatch {
+                schema,
+                expected,
+                got,
+            } => write!(
                 f,
                 "record arity mismatch for schema `{schema}`: expected {expected} values, got {got}"
             ),
@@ -44,14 +52,24 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = CoreError::UnknownAttribute { schema: "Abt".into(), attr: "Nome".into() };
+        let e = CoreError::UnknownAttribute {
+            schema: "Abt".into(),
+            attr: "Nome".into(),
+        };
         assert!(e.to_string().contains("Nome"));
         assert!(e.to_string().contains("Abt"));
 
-        let e = CoreError::UnknownRecord { table: "Buy".into(), id: 7 };
+        let e = CoreError::UnknownRecord {
+            table: "Buy".into(),
+            id: 7,
+        };
         assert!(e.to_string().contains('7'));
 
-        let e = CoreError::ArityMismatch { schema: "S".into(), expected: 3, got: 2 };
+        let e = CoreError::ArityMismatch {
+            schema: "S".into(),
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
 
         let e = CoreError::InvalidDataset("empty".into());

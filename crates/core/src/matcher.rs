@@ -49,7 +49,10 @@ impl Prediction {
             (0.0..=1.0).contains(&score) || score.is_nan(),
             "matcher scores must lie in [0,1], got {score}"
         );
-        Prediction { score, label: MatchLabel::from_score(score) }
+        Prediction {
+            score,
+            label: MatchLabel::from_score(score),
+        }
     }
 
     /// True when the predicted label is Match.
@@ -92,7 +95,10 @@ where
 {
     /// Wrap a scoring closure as a [`Matcher`].
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnMatcher { name: name.into(), f }
+        FnMatcher {
+            name: name.into(),
+            f,
+        }
     }
 }
 

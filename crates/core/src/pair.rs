@@ -135,7 +135,10 @@ pub struct LabeledPair {
 impl LabeledPair {
     /// Build a labeled pair.
     pub fn new(left: RecordId, right: RecordId, is_match: bool) -> Self {
-        LabeledPair { pair: RecordPair::new(left, right), label: MatchLabel::from_bool(is_match) }
+        LabeledPair {
+            pair: RecordPair::new(left, right),
+            label: MatchLabel::from_bool(is_match),
+        }
     }
 }
 

@@ -109,7 +109,10 @@ impl Record {
 
     /// Total whitespace token count across all attributes.
     pub fn total_tokens(&self) -> usize {
-        self.values.iter().map(|v| crate::tokens::token_count(v)).sum()
+        self.values
+            .iter()
+            .map(|v| crate::tokens::token_count(v))
+            .sum()
     }
 }
 
@@ -120,7 +123,11 @@ mod tests {
     fn rec() -> Record {
         Record::new(
             RecordId(1),
-            vec!["sony bravia theater".into(), "black micro system".into(), String::new()],
+            vec![
+                "sony bravia theater".into(),
+                "black micro system".into(),
+                String::new(),
+            ],
         )
     }
 

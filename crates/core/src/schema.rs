@@ -43,11 +43,20 @@ impl Schema {
     /// # Panics
     /// Panics if `attrs` is empty or holds more than `u16::MAX` entries, or if
     /// attribute names repeat — all construction-time programming errors.
-    pub fn new(name: impl Into<String>, attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let name = name.into();
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
-        assert!(!attrs.is_empty(), "schema `{name}` must have at least one attribute");
-        assert!(attrs.len() <= u16::MAX as usize, "schema `{name}` has too many attributes");
+        assert!(
+            !attrs.is_empty(),
+            "schema `{name}` must have at least one attribute"
+        );
+        assert!(
+            attrs.len() <= u16::MAX as usize,
+            "schema `{name}` has too many attributes"
+        );
         for (i, a) in attrs.iter().enumerate() {
             assert!(
                 !attrs[..i].contains(a),

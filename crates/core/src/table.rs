@@ -21,7 +21,11 @@ pub struct Table {
 impl Table {
     /// Empty table for `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Table { schema, records: Vec::new(), by_id: FxHashMap::default() }
+        Table {
+            schema,
+            records: Vec::new(),
+            by_id: FxHashMap::default(),
+        }
     }
 
     /// Build a table from records, validating arity and id uniqueness.
@@ -45,7 +49,12 @@ impl Table {
             });
         }
         let prev = self.by_id.insert(record.id(), self.records.len());
-        assert!(prev.is_none(), "duplicate record id {} in table {}", record.id(), self.name());
+        assert!(
+            prev.is_none(),
+            "duplicate record id {} in table {}",
+            record.id(),
+            self.name()
+        );
         self.records.push(record);
         Ok(())
     }
@@ -80,7 +89,10 @@ impl Table {
         self.by_id
             .get(&id)
             .map(|&i| &self.records[i])
-            .ok_or_else(|| CoreError::UnknownRecord { table: self.name().to_string(), id: id.0 })
+            .ok_or_else(|| CoreError::UnknownRecord {
+                table: self.name().to_string(),
+                id: id.0,
+            })
     }
 
     /// Record by id, panicking form for internal use where ids are known good.
@@ -133,21 +145,28 @@ mod tests {
         assert_eq!(t.get(RecordId(1)).unwrap().value(AttrId(0)), "lg tv");
         assert!(t.contains(RecordId(0)));
         assert!(!t.contains(RecordId(5)));
-        assert!(matches!(t.get(RecordId(5)), Err(CoreError::UnknownRecord { .. })));
+        assert!(matches!(
+            t.get(RecordId(5)),
+            Err(CoreError::UnknownRecord { .. })
+        ));
     }
 
     #[test]
     fn arity_checked_on_insert() {
         let mut t = table();
         let bad = Record::new(RecordId(9), vec!["only one".into()]);
-        assert!(matches!(t.insert(bad), Err(CoreError::ArityMismatch { .. })));
+        assert!(matches!(
+            t.insert(bad),
+            Err(CoreError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     #[should_panic(expected = "duplicate record id")]
     fn duplicate_ids_panic() {
         let mut t = table();
-        t.insert(Record::new(RecordId(0), vec!["x".into(), "y".into()])).unwrap();
+        t.insert(Record::new(RecordId(0), vec!["x".into(), "y".into()]))
+            .unwrap();
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn tokenize_basic() {
-        assert_eq!(tokenize("sony bravia theater"), vec!["sony", "bravia", "theater"]);
+        assert_eq!(
+            tokenize("sony bravia theater"),
+            vec!["sony", "bravia", "theater"]
+        );
         assert_eq!(tokenize("  spaced   out  "), vec!["spaced", "out"]);
         assert!(tokenize("").is_empty());
         assert!(tokenize("   ").is_empty());

@@ -70,12 +70,15 @@ impl NoiseProfile {
 /// Corrupt one attribute value. Deterministic in the RNG state.
 pub fn corrupt_value(value: &str, profile: &NoiseProfile, rng: &mut StdRng) -> String {
     let is_numeric = looks_numeric(value);
-    let missing_p = if is_numeric { profile.missing_numeric } else { profile.missing };
+    let missing_p = if is_numeric {
+        profile.missing_numeric
+    } else {
+        profile.missing
+    };
     if rng.gen_bool(missing_p.clamp(0.0, 1.0)) {
         return String::new();
     }
-    let mut tokens: Vec<String> =
-        value.split_whitespace().map(|t| t.to_string()).collect();
+    let mut tokens: Vec<String> = value.split_whitespace().map(|t| t.to_string()).collect();
     if tokens.is_empty() {
         return String::new();
     }
@@ -160,8 +163,10 @@ fn typo(token: &str, rng: &mut StdRng) -> String {
 
 fn looks_numeric(value: &str) -> bool {
     certa_text::parse_number(value).is_some()
-        || value.split_whitespace().all(|t| t.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '$' || c == ':' || c == '%'))
-            && !value.trim().is_empty()
+        || value.split_whitespace().all(|t| {
+            t.chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == '$' || c == ':' || c == '%')
+        }) && !value.trim().is_empty()
 }
 
 #[cfg(test)]
@@ -185,13 +190,22 @@ mod tests {
             dirty_migrate: 0.0,
         };
         let mut r = rng(1);
-        assert_eq!(corrupt_value("sony bravia theater", &profile, &mut r), "sony bravia theater");
-        assert_eq!(corrupt_value("  spaced   value ", &profile, &mut r), "spaced value");
+        assert_eq!(
+            corrupt_value("sony bravia theater", &profile, &mut r),
+            "sony bravia theater"
+        );
+        assert_eq!(
+            corrupt_value("  spaced   value ", &profile, &mut r),
+            "spaced value"
+        );
     }
 
     #[test]
     fn full_missing_blanks_everything() {
-        let profile = NoiseProfile { missing: 1.0, ..NoiseProfile::light() };
+        let profile = NoiseProfile {
+            missing: 1.0,
+            ..NoiseProfile::light()
+        };
         let mut r = rng(2);
         assert_eq!(corrupt_value("anything here", &profile, &mut r), "");
     }
@@ -241,8 +255,11 @@ mod tests {
     fn migrate_moves_value_left() {
         let profile = NoiseProfile::light().with_dirty(1.0);
         let mut r = rng(6);
-        let mut values =
-            vec!["title words".to_string(), "john smith".to_string(), "vldb".to_string()];
+        let mut values = vec![
+            "title words".to_string(),
+            "john smith".to_string(),
+            "vldb".to_string(),
+        ];
         maybe_migrate(&mut values, &profile, &mut r);
         let blanks = values.iter().filter(|v| v.is_empty()).count();
         assert_eq!(blanks, 1, "exactly one column blanked: {values:?}");

@@ -90,8 +90,10 @@ fn bibliographic(rng: &mut StdRng) -> Vec<String> {
     let n_title = rng.gen_range(4..8);
     let title = pick_phrase(rng, vocab::TITLE_WORDS, n_title);
     let n_authors = rng.gen_range(1..4usize);
-    let authors =
-        (0..n_authors).map(|_| vocab::person(rng)).collect::<Vec<_>>().join(" , ");
+    let authors = (0..n_authors)
+        .map(|_| vocab::person(rng))
+        .collect::<Vec<_>>()
+        .join(" , ");
     let venue = pick(rng, vocab::VENUES).to_string();
     let year = rng.gen_range(1985..2021u32).to_string();
     vec![title, authors, venue, year]
@@ -113,9 +115,17 @@ fn restaurant(rng: &mut StdRng) -> Vec<String> {
 }
 
 fn music(rng: &mut StdRng) -> Vec<String> {
-    let song = format!("{} {}", pick(rng, vocab::SONG_WORDS), pick(rng, vocab::SONG_NOUNS));
+    let song = format!(
+        "{} {}",
+        pick(rng, vocab::SONG_WORDS),
+        pick(rng, vocab::SONG_NOUNS)
+    );
     let artist = vocab::person(rng);
-    let album = format!("{} {}", pick(rng, vocab::SONG_WORDS), pick(rng, vocab::SONG_NOUNS));
+    let album = format!(
+        "{} {}",
+        pick(rng, vocab::SONG_WORDS),
+        pick(rng, vocab::SONG_NOUNS)
+    );
     let genre = pick(rng, vocab::GENRES).to_string();
     let price = format!("$ {:.2}", rng.gen_range(0.69..1.99));
     let year = rng.gen_range(1995..2021u32);
@@ -139,7 +149,10 @@ mod tests {
             for _ in 0..20 {
                 let e = Entity::sample(&spec, &mut rng);
                 assert_eq!(e.values().len(), spec.arity(), "{id}");
-                assert!(e.values().iter().all(|v| !v.trim().is_empty()), "{id}: canonical values are never missing");
+                assert!(
+                    e.values().iter().all(|v| !v.trim().is_empty()),
+                    "{id}: canonical values are never missing"
+                );
             }
         }
     }

@@ -41,15 +41,16 @@ pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Dataset {
     let heavy = side_profile(&spec, NoiseProfile::heavy());
 
     // 1. Entities.
-    let shared: Vec<Entity> =
-        (0..matched_entities).map(|_| Entity::sample(&spec, &mut rng)).collect();
+    let shared: Vec<Entity> = (0..matched_entities)
+        .map(|_| Entity::sample(&spec, &mut rng))
+        .collect();
     let left_only: Vec<Entity> = (0..n_left.saturating_sub(matched_entities))
         .map(|_| Entity::sample(&spec, &mut rng))
         .collect();
-    let right_only_count =
-        n_right.saturating_sub(matched_entities + extra_views);
-    let right_only: Vec<Entity> =
-        (0..right_only_count).map(|_| Entity::sample(&spec, &mut rng)).collect();
+    let right_only_count = n_right.saturating_sub(matched_entities + extra_views);
+    let right_only: Vec<Entity> = (0..right_only_count)
+        .map(|_| Entity::sample(&spec, &mut rng))
+        .collect();
 
     // 2-3. Views.
     let mut left_records = Vec::with_capacity(n_left);
@@ -61,19 +62,37 @@ pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Dataset {
     }
     let mut next_right = 0u32;
     for (i, e) in shared.iter().enumerate() {
-        right_records.push(render(RecordId(next_right), e, &heavy, spec.dirty, &mut rng));
+        right_records.push(render(
+            RecordId(next_right),
+            e,
+            &heavy,
+            spec.dirty,
+            &mut rng,
+        ));
         positives.push(RecordPair::new(RecordId(i as u32), RecordId(next_right)));
         next_right += 1;
     }
     // Duplicate right views for multiplicity.
     for _ in 0..extra_views {
         let ei = rng.gen_range(0..shared.len());
-        right_records.push(render(RecordId(next_right), &shared[ei], &heavy, spec.dirty, &mut rng));
+        right_records.push(render(
+            RecordId(next_right),
+            &shared[ei],
+            &heavy,
+            spec.dirty,
+            &mut rng,
+        ));
         positives.push(RecordPair::new(RecordId(ei as u32), RecordId(next_right)));
         next_right += 1;
     }
     for e in &right_only {
-        right_records.push(render(RecordId(next_right), e, &heavy, spec.dirty, &mut rng));
+        right_records.push(render(
+            RecordId(next_right),
+            e,
+            &heavy,
+            spec.dirty,
+            &mut rng,
+        ));
         next_right += 1;
     }
 
@@ -101,8 +120,11 @@ fn render(
     dirty: bool,
     rng: &mut StdRng,
 ) -> Record {
-    let mut values: Vec<String> =
-        entity.values().iter().map(|v| corrupt_value(v, profile, rng)).collect();
+    let mut values: Vec<String> = entity
+        .values()
+        .iter()
+        .map(|v| corrupt_value(v, profile, rng))
+        .collect();
     // Guarantee the record is not entirely blank: restore the first attribute
     // from the canonical value if corruption wiped everything.
     if values.iter().all(|v| v.trim().is_empty()) {
@@ -213,7 +235,12 @@ mod tests {
         // Figure 1 shows NaN price cells; our product data must too.
         let d = generate(DatasetId::AB, Scale::Default, 9);
         let price = certa_core::AttrId(2);
-        let missing = d.right().records().iter().filter(|r| r.is_missing(price)).count();
+        let missing = d
+            .right()
+            .records()
+            .iter()
+            .filter(|r| r.is_missing(price))
+            .count();
         assert!(missing > 0, "no missing prices generated");
     }
 }

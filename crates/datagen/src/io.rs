@@ -30,7 +30,9 @@ pub enum CsvError {
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CsvError::Syntax { line, message } => write!(f, "CSV syntax error at line {line}: {message}"),
+            CsvError::Syntax { line, message } => {
+                write!(f, "CSV syntax error at line {line}: {message}")
+            }
             CsvError::Layout(m) => write!(f, "CSV layout error: {m}"),
             CsvError::Io(m) => write!(f, "I/O error: {m}"),
         }
@@ -90,7 +92,10 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError::Syntax { line, message: "unterminated quoted field".into() });
+        return Err(CsvError::Syntax {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if !field.is_empty() || !row.is_empty() {
         row.push(field);
@@ -127,16 +132,23 @@ pub fn to_csv(rows: &[Vec<String>]) -> String {
 pub fn table_from_csv(source_name: &str, text: &str) -> Result<Table, CsvError> {
     let rows = parse_csv(text)?;
     let mut it = rows.into_iter();
-    let header = it.next().ok_or_else(|| CsvError::Layout("empty table file".into()))?;
+    let header = it
+        .next()
+        .ok_or_else(|| CsvError::Layout("empty table file".into()))?;
     if header.first().map(|h| h.trim().to_ascii_lowercase()) != Some("id".into()) {
         return Err(CsvError::Layout(format!(
             "table `{source_name}` must start with an `id` column, got {header:?}"
         )));
     }
     if header.len() < 2 {
-        return Err(CsvError::Layout(format!("table `{source_name}` has no attributes")));
+        return Err(CsvError::Layout(format!(
+            "table `{source_name}` has no attributes"
+        )));
     }
-    let schema = Schema::shared(source_name, header[1..].iter().map(|h| h.trim().to_string()));
+    let schema = Schema::shared(
+        source_name,
+        header[1..].iter().map(|h| h.trim().to_string()),
+    );
     let mut table = Table::new(schema);
     for (i, row) in it.enumerate() {
         if row.len() != header.len() {
@@ -151,8 +163,7 @@ pub fn table_from_csv(source_name: &str, text: &str) -> Result<Table, CsvError> 
             .trim()
             .parse()
             .map_err(|_| CsvError::Layout(format!("bad id `{}` in `{source_name}`", row[0])))?;
-        let values: Vec<String> =
-            row[1..].iter().map(|v| normalize_missing(v)).collect();
+        let values: Vec<String> = row[1..].iter().map(|v| normalize_missing(v)).collect();
         table
             .insert(Record::new(RecordId(id), values))
             .map_err(|e| CsvError::Layout(e.to_string()))?;
@@ -165,7 +176,9 @@ pub fn table_from_csv(source_name: &str, text: &str) -> Result<Table, CsvError> 
 pub fn pairs_from_csv(text: &str) -> Result<Vec<LabeledPair>, CsvError> {
     let rows = parse_csv(text)?;
     let mut it = rows.into_iter();
-    let header = it.next().ok_or_else(|| CsvError::Layout("empty pairs file".into()))?;
+    let header = it
+        .next()
+        .ok_or_else(|| CsvError::Layout("empty pairs file".into()))?;
     let col = |name: &str| {
         header
             .iter()
@@ -190,7 +203,10 @@ pub fn pairs_from_csv(text: &str) -> Result<Vec<LabeledPair>, CsvError> {
             "1" => true,
             "0" => false,
             other => {
-                return Err(CsvError::Layout(format!("bad label `{other}` in row {}", i + 2)))
+                return Err(CsvError::Layout(format!(
+                    "bad label `{other}` in row {}",
+                    i + 2
+                )))
             }
         };
         out.push(LabeledPair::new(RecordId(l), RecordId(r), label));
@@ -235,7 +251,11 @@ pub fn write_deepmatcher_dir(dataset: &Dataset, dir: &Path) -> Result<(), CsvErr
         rows
     };
     let pair_rows = |pairs: &[LabeledPair]| -> Vec<Vec<String>> {
-        let mut rows = vec![vec!["ltable_id".to_string(), "rtable_id".to_string(), "label".to_string()]];
+        let mut rows = vec![vec![
+            "ltable_id".to_string(),
+            "rtable_id".to_string(),
+            "label".to_string(),
+        ]];
         for lp in pairs {
             rows.push(vec![
                 lp.pair.left.0.to_string(),
@@ -250,8 +270,14 @@ pub fn write_deepmatcher_dir(dataset: &Dataset, dir: &Path) -> Result<(), CsvErr
     };
     write("tableA.csv", &table_rows(dataset.left()))?;
     write("tableB.csv", &table_rows(dataset.right()))?;
-    write("train.csv", &pair_rows(dataset.split(certa_core::Split::Train)))?;
-    write("test.csv", &pair_rows(dataset.split(certa_core::Split::Test)))?;
+    write(
+        "train.csv",
+        &pair_rows(dataset.split(certa_core::Split::Train)),
+    )?;
+    write(
+        "test.csv",
+        &pair_rows(dataset.split(certa_core::Split::Test)),
+    )?;
     Ok(())
 }
 
@@ -285,8 +311,14 @@ mod tests {
 
     #[test]
     fn syntax_errors_are_reported() {
-        assert!(matches!(parse_csv("a,\"unterminated\n"), Err(CsvError::Syntax { .. })));
-        assert!(matches!(parse_csv("a,b\"c\n"), Err(CsvError::Syntax { .. })));
+        assert!(matches!(
+            parse_csv("a,\"unterminated\n"),
+            Err(CsvError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_csv("a,b\"c\n"),
+            Err(CsvError::Syntax { .. })
+        ));
     }
 
     #[test]
@@ -305,8 +337,14 @@ mod tests {
         let t = table_from_csv("Abt", "id,name,price\n0,sony tv,100\n1,lg tv,NaN\n").unwrap();
         assert_eq!(t.schema().arity(), 2);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.expect(RecordId(0)).value(certa_core::AttrId(0)), "sony tv");
-        assert!(t.expect(RecordId(1)).is_missing(certa_core::AttrId(1)), "NaN → missing");
+        assert_eq!(
+            t.expect(RecordId(0)).value(certa_core::AttrId(0)),
+            "sony tv"
+        );
+        assert!(
+            t.expect(RecordId(1)).is_missing(certa_core::AttrId(1)),
+            "NaN → missing"
+        );
     }
 
     #[test]
@@ -330,7 +368,10 @@ mod tests {
 
     #[test]
     fn pairs_layout_errors() {
-        assert!(pairs_from_csv("ltable_id,rtable_id\n1,2\n").is_err(), "missing label");
+        assert!(
+            pairs_from_csv("ltable_id,rtable_id\n1,2\n").is_err(),
+            "missing label"
+        );
         assert!(pairs_from_csv("ltable_id,rtable_id,label\n1,2,maybe\n").is_err());
         assert!(pairs_from_csv("ltable_id,rtable_id,label\nx,2,1\n").is_err());
     }
@@ -343,8 +384,14 @@ mod tests {
         let loaded = load_deepmatcher_dir(&dir, "FZ").unwrap();
         assert_eq!(loaded.left().len(), dataset.left().len());
         assert_eq!(loaded.right().len(), dataset.right().len());
-        assert_eq!(loaded.split(certa_core::Split::Train), dataset.split(certa_core::Split::Train));
-        assert_eq!(loaded.split(certa_core::Split::Test), dataset.split(certa_core::Split::Test));
+        assert_eq!(
+            loaded.split(certa_core::Split::Train),
+            dataset.split(certa_core::Split::Train)
+        );
+        assert_eq!(
+            loaded.split(certa_core::Split::Test),
+            dataset.split(certa_core::Split::Test)
+        );
         for (a, b) in loaded.left().records().iter().zip(dataset.left().records()) {
             assert_eq!(a.values(), b.values());
         }

@@ -138,7 +138,9 @@ impl std::str::FromStr for Scale {
             "smoke" => Ok(Scale::Smoke),
             "default" => Ok(Scale::Default),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown scale `{other}` (expected smoke|default|paper)")),
+            other => Err(format!(
+                "unknown scale `{other}` (expected smoke|default|paper)"
+            )),
         }
     }
 }
@@ -190,8 +192,8 @@ impl DatasetSpec {
         let scale_side = |n: usize| ((n as f64 * f).round() as usize).clamp(24, cap);
         let left = scale_side(self.paper_left);
         let right = scale_side(self.paper_right);
-        let matches = (((self.paper_matches as f64) * f).round() as usize)
-            .clamp(8, 2 * left.min(right));
+        let matches =
+            (((self.paper_matches as f64) * f).round() as usize).clamp(8, 2 * left.min(right));
         (left, right, matches)
     }
 }
@@ -421,7 +423,10 @@ mod tests {
 
     #[test]
     fn base_seeds_are_distinct() {
-        let mut seeds: Vec<u64> = DatasetId::all().iter().map(|id| id.spec().base_seed).collect();
+        let mut seeds: Vec<u64> = DatasetId::all()
+            .iter()
+            .map(|id| id.spec().base_seed)
+            .collect();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 12);

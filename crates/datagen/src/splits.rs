@@ -22,7 +22,11 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        SplitConfig { neg_ratio: 3.0, train_frac: 0.7, hard_fraction: 0.6 }
+        SplitConfig {
+            neg_ratio: 3.0,
+            train_frac: 0.7,
+            hard_fraction: 0.6,
+        }
     }
 }
 
@@ -81,7 +85,11 @@ pub fn build_splits(
     let mut labeled: Vec<LabeledPair> = positives
         .iter()
         .map(|&p| LabeledPair::new(p.left, p.right, true))
-        .chain(negatives.iter().map(|&p| LabeledPair::new(p.left, p.right, false)))
+        .chain(
+            negatives
+                .iter()
+                .map(|&p| LabeledPair::new(p.left, p.right, false)),
+        )
         .collect();
     labeled.shuffle(rng);
 
@@ -99,8 +107,9 @@ pub fn build_splits(
 fn ensure_both_classes(target: &mut Vec<LabeledPair>, source: &mut Vec<LabeledPair>) {
     for want_match in [true, false] {
         if !target.iter().any(|lp| lp.label.is_match() == want_match) {
-            if let Some(idx) =
-                source.iter().position(|lp| lp.label.is_match() == want_match)
+            if let Some(idx) = source
+                .iter()
+                .position(|lp| lp.label.is_match() == want_match)
             {
                 // Move one example over (source keeps its classes: callers
                 // re-check it afterwards).
@@ -125,7 +134,10 @@ mod tests {
             ls,
             (0..n)
                 .map(|i| {
-                    Record::new(RecordId(i), vec![format!("brand{} series{} model{}", i % 5, i % 3, i)])
+                    Record::new(
+                        RecordId(i),
+                        vec![format!("brand{} series{} model{}", i % 5, i % 3, i)],
+                    )
                 })
                 .collect(),
         )
@@ -142,8 +154,9 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let positives: Vec<RecordPair> =
-            (0..10).map(|i| RecordPair::new(RecordId(i), RecordId(i))).collect();
+        let positives: Vec<RecordPair> = (0..10)
+            .map(|i| RecordPair::new(RecordId(i), RecordId(i)))
+            .collect();
         (left, right, positives)
     }
 
@@ -154,11 +167,21 @@ mod tests {
         let cfg = SplitConfig::default();
         let (train, test) = build_splits(&left, &right, &pos, &cfg, &mut rng);
         for (name, split) in [("train", &train), ("test", &test)] {
-            assert!(split.iter().any(|lp| lp.label.is_match()), "{name} has a positive");
-            assert!(split.iter().any(|lp| !lp.label.is_match()), "{name} has a negative");
+            assert!(
+                split.iter().any(|lp| lp.label.is_match()),
+                "{name} has a positive"
+            );
+            assert!(
+                split.iter().any(|lp| !lp.label.is_match()),
+                "{name} has a negative"
+            );
         }
         let total = train.len() + test.len();
-        let positives = train.iter().chain(test.iter()).filter(|lp| lp.label.is_match()).count();
+        let positives = train
+            .iter()
+            .chain(test.iter())
+            .filter(|lp| lp.label.is_match())
+            .count();
         assert_eq!(positives, pos.len());
         // ~3 negatives per positive.
         assert!(total >= pos.len() * 3, "total {total}");
@@ -173,7 +196,12 @@ mod tests {
         for lp in train.iter().chain(test.iter()) {
             assert!(seen.insert(lp.pair), "duplicate pair {:?}", lp.pair);
             let is_true_match = pos.contains(&lp.pair);
-            assert_eq!(lp.label.is_match(), is_true_match, "label mismatch for {:?}", lp.pair);
+            assert_eq!(
+                lp.label.is_match(),
+                is_true_match,
+                "label mismatch for {:?}",
+                lp.pair
+            );
         }
     }
 
@@ -192,16 +220,22 @@ mod tests {
     fn hard_negatives_share_tokens() {
         let (left, right, pos) = tables();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = SplitConfig { neg_ratio: 2.0, hard_fraction: 1.0, ..Default::default() };
+        let cfg = SplitConfig {
+            neg_ratio: 2.0,
+            hard_fraction: 1.0,
+            ..Default::default()
+        };
         let (train, test) = build_splits(&left, &right, &pos, &cfg, &mut rng);
         // At least one negative shares a rare token with its left record.
-        let some_hard = train.iter().chain(test.iter()).filter(|lp| !lp.label.is_match()).any(
-            |lp| {
+        let some_hard = train
+            .iter()
+            .chain(test.iter())
+            .filter(|lp| !lp.label.is_match())
+            .any(|lp| {
                 let u = left.expect(lp.pair.left);
                 let v = right.expect(lp.pair.right);
                 certa_text::jaccard(&u.values()[0], &v.values()[0]) > 0.2
-            },
-        );
+            });
         assert!(some_hard);
     }
 }

@@ -10,38 +10,141 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 pub(crate) const BRANDS: &[&str] = &[
-    "sony", "panasonic", "lg", "samsung", "bose", "altec", "canon", "denon", "jvc", "pioneer",
-    "philips", "toshiba", "sharp", "yamaha", "kenwood", "sanyo", "nikon", "olympus", "garmin",
-    "logitech", "netgear", "linksys", "belkin", "epson",
+    "sony",
+    "panasonic",
+    "lg",
+    "samsung",
+    "bose",
+    "altec",
+    "canon",
+    "denon",
+    "jvc",
+    "pioneer",
+    "philips",
+    "toshiba",
+    "sharp",
+    "yamaha",
+    "kenwood",
+    "sanyo",
+    "nikon",
+    "olympus",
+    "garmin",
+    "logitech",
+    "netgear",
+    "linksys",
+    "belkin",
+    "epson",
 ];
 
 pub(crate) const PRODUCT_NOUNS: &[&str] = &[
-    "theater", "system", "speaker", "player", "camera", "tv", "headphones", "receiver",
-    "camcorder", "monitor", "printer", "router", "keyboard", "subwoofer", "projector",
-    "radio", "recorder", "adapter", "charger", "dock", "turntable", "soundbar", "amplifier",
+    "theater",
+    "system",
+    "speaker",
+    "player",
+    "camera",
+    "tv",
+    "headphones",
+    "receiver",
+    "camcorder",
+    "monitor",
+    "printer",
+    "router",
+    "keyboard",
+    "subwoofer",
+    "projector",
+    "radio",
+    "recorder",
+    "adapter",
+    "charger",
+    "dock",
+    "turntable",
+    "soundbar",
+    "amplifier",
     "microphone",
 ];
 
 pub(crate) const MODIFIERS: &[&str] = &[
-    "black", "silver", "white", "portable", "wireless", "digital", "compact", "micro",
-    "professional", "premium", "slim", "mini", "dual", "stereo", "surround", "bluetooth",
-    "rechargeable", "waterproof", "hd", "lcd",
+    "black",
+    "silver",
+    "white",
+    "portable",
+    "wireless",
+    "digital",
+    "compact",
+    "micro",
+    "professional",
+    "premium",
+    "slim",
+    "mini",
+    "dual",
+    "stereo",
+    "surround",
+    "bluetooth",
+    "rechargeable",
+    "waterproof",
+    "hd",
+    "lcd",
 ];
 
 pub(crate) const CATEGORIES: &[&str] = &[
-    "electronics", "audio", "video", "computers", "accessories", "cameras", "networking",
-    "office", "home theater", "portable audio", "televisions", "printers",
+    "electronics",
+    "audio",
+    "video",
+    "computers",
+    "accessories",
+    "cameras",
+    "networking",
+    "office",
+    "home theater",
+    "portable audio",
+    "televisions",
+    "printers",
 ];
 
 pub(crate) const SOFTWARE_WORDS: &[&str] = &[
-    "studio", "suite", "pro", "deluxe", "premier", "office", "photo", "video", "security",
-    "antivirus", "backup", "tax", "finance", "design", "publisher", "creator", "manager",
-    "tutor", "encyclopedia", "atlas", "typing", "greeting", "landscape", "architect",
+    "studio",
+    "suite",
+    "pro",
+    "deluxe",
+    "premier",
+    "office",
+    "photo",
+    "video",
+    "security",
+    "antivirus",
+    "backup",
+    "tax",
+    "finance",
+    "design",
+    "publisher",
+    "creator",
+    "manager",
+    "tutor",
+    "encyclopedia",
+    "atlas",
+    "typing",
+    "greeting",
+    "landscape",
+    "architect",
 ];
 
 pub(crate) const SOFTWARE_VENDORS: &[&str] = &[
-    "microsoft", "adobe", "intuit", "symantec", "mcafee", "corel", "autodesk", "broderbund",
-    "encore", "topics", "individual", "nova", "riverdeep", "valusoft", "apple", "sage",
+    "microsoft",
+    "adobe",
+    "intuit",
+    "symantec",
+    "mcafee",
+    "corel",
+    "autodesk",
+    "broderbund",
+    "encore",
+    "topics",
+    "individual",
+    "nova",
+    "riverdeep",
+    "valusoft",
+    "apple",
+    "sage",
 ];
 
 pub(crate) const BEER_WORDS: &[&str] = &[
@@ -51,28 +154,102 @@ pub(crate) const BEER_WORDS: &[&str] = &[
 ];
 
 pub(crate) const BEER_NOUNS: &[&str] = &[
-    "ale", "lager", "stout", "porter", "ipa", "pilsner", "wheat", "bock", "dunkel", "saison",
-    "tripel", "dubbel", "kolsch", "barleywine", "brown",
+    "ale",
+    "lager",
+    "stout",
+    "porter",
+    "ipa",
+    "pilsner",
+    "wheat",
+    "bock",
+    "dunkel",
+    "saison",
+    "tripel",
+    "dubbel",
+    "kolsch",
+    "barleywine",
+    "brown",
 ];
 
 pub(crate) const BEER_STYLES: &[&str] = &[
-    "american ipa", "imperial stout", "english porter", "belgian tripel", "german pilsner",
-    "american pale ale", "russian imperial stout", "witbier", "hefeweizen", "scotch ale",
-    "amber lager", "barleywine", "saison", "brown ale", "oatmeal stout", "doppelbock",
+    "american ipa",
+    "imperial stout",
+    "english porter",
+    "belgian tripel",
+    "german pilsner",
+    "american pale ale",
+    "russian imperial stout",
+    "witbier",
+    "hefeweizen",
+    "scotch ale",
+    "amber lager",
+    "barleywine",
+    "saison",
+    "brown ale",
+    "oatmeal stout",
+    "doppelbock",
 ];
 
 pub(crate) const BREWERY_WORDS: &[&str] = &[
-    "stone", "anchor", "harpoon", "lagunitas", "founders", "bells", "victory", "odell",
-    "deschutes", "ballast", "cascade", "summit", "granite", "prairie", "ridge", "hollow",
+    "stone",
+    "anchor",
+    "harpoon",
+    "lagunitas",
+    "founders",
+    "bells",
+    "victory",
+    "odell",
+    "deschutes",
+    "ballast",
+    "cascade",
+    "summit",
+    "granite",
+    "prairie",
+    "ridge",
+    "hollow",
 ];
 
 pub(crate) const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "query",
-    "processing", "optimization", "entity", "resolution", "matching", "learning", "deep",
-    "neural", "probabilistic", "indexing", "mining", "streams", "graphs", "joins",
-    "aggregation", "sampling", "estimation", "integration", "cleaning", "schemas", "databases",
-    "knowledge", "semantic", "approximate", "similarity", "clustering", "classification",
-    "ranking", "retrieval", "transactions", "concurrency", "recovery", "caching",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "query",
+    "processing",
+    "optimization",
+    "entity",
+    "resolution",
+    "matching",
+    "learning",
+    "deep",
+    "neural",
+    "probabilistic",
+    "indexing",
+    "mining",
+    "streams",
+    "graphs",
+    "joins",
+    "aggregation",
+    "sampling",
+    "estimation",
+    "integration",
+    "cleaning",
+    "schemas",
+    "databases",
+    "knowledge",
+    "semantic",
+    "approximate",
+    "similarity",
+    "clustering",
+    "classification",
+    "ranking",
+    "retrieval",
+    "transactions",
+    "concurrency",
+    "recovery",
+    "caching",
 ];
 
 pub(crate) const FIRST_NAMES: &[&str] = &[
@@ -87,34 +264,89 @@ pub(crate) const LAST_NAMES: &[&str] = &[
 ];
 
 pub(crate) const VENUES: &[&str] = &[
-    "sigmod conference", "vldb", "icde", "kdd", "sigmod record", "vldb journal", "tkde",
-    "edbt", "cikm", "icdm", "wsdm", "www conference",
+    "sigmod conference",
+    "vldb",
+    "icde",
+    "kdd",
+    "sigmod record",
+    "vldb journal",
+    "tkde",
+    "edbt",
+    "cikm",
+    "icdm",
+    "wsdm",
+    "www conference",
 ];
 
 pub(crate) const RESTAURANT_WORDS: &[&str] = &[
     "golden", "blue", "royal", "little", "grand", "silver", "green", "happy", "lucky", "old",
-    "new", "spicy", "garden", "palace", "corner", "village", "ocean", "sunset", "harbor",
-    "union",
+    "new", "spicy", "garden", "palace", "corner", "village", "ocean", "sunset", "harbor", "union",
 ];
 
 pub(crate) const RESTAURANT_NOUNS: &[&str] = &[
-    "bistro", "grill", "kitchen", "cafe", "diner", "house", "tavern", "brasserie", "trattoria",
-    "cantina", "steakhouse", "noodle bar", "pizzeria", "chophouse", "oyster bar",
+    "bistro",
+    "grill",
+    "kitchen",
+    "cafe",
+    "diner",
+    "house",
+    "tavern",
+    "brasserie",
+    "trattoria",
+    "cantina",
+    "steakhouse",
+    "noodle bar",
+    "pizzeria",
+    "chophouse",
+    "oyster bar",
 ];
 
 pub(crate) const CUISINES: &[&str] = &[
-    "italian", "french", "chinese", "mexican", "japanese", "thai", "indian", "american",
-    "mediterranean", "seafood", "bbq", "vegetarian", "korean", "vietnamese", "greek",
+    "italian",
+    "french",
+    "chinese",
+    "mexican",
+    "japanese",
+    "thai",
+    "indian",
+    "american",
+    "mediterranean",
+    "seafood",
+    "bbq",
+    "vegetarian",
+    "korean",
+    "vietnamese",
+    "greek",
 ];
 
 pub(crate) const CITIES: &[&str] = &[
-    "new york", "los angeles", "san francisco", "chicago", "boston", "seattle", "austin",
-    "atlanta", "denver", "portland", "miami", "dallas",
+    "new york",
+    "los angeles",
+    "san francisco",
+    "chicago",
+    "boston",
+    "seattle",
+    "austin",
+    "atlanta",
+    "denver",
+    "portland",
+    "miami",
+    "dallas",
 ];
 
 pub(crate) const STREETS: &[&str] = &[
-    "main st", "oak ave", "maple dr", "broadway", "market st", "5th ave", "sunset blvd",
-    "park ave", "elm st", "lake shore dr", "mission st", "grand ave",
+    "main st",
+    "oak ave",
+    "maple dr",
+    "broadway",
+    "market st",
+    "5th ave",
+    "sunset blvd",
+    "park ave",
+    "elm st",
+    "lake shore dr",
+    "mission st",
+    "grand ave",
 ];
 
 pub(crate) const SONG_WORDS: &[&str] = &[
@@ -124,19 +356,36 @@ pub(crate) const SONG_WORDS: &[&str] = &[
 ];
 
 pub(crate) const SONG_NOUNS: &[&str] = &[
-    "heart", "dreams", "lights", "road", "river", "fire", "rain", "sky", "night", "city",
-    "love", "echoes", "waves", "stars", "storm", "wings", "memories", "horizon", "mirror",
-    "ghost",
+    "heart", "dreams", "lights", "road", "river", "fire", "rain", "sky", "night", "city", "love",
+    "echoes", "waves", "stars", "storm", "wings", "memories", "horizon", "mirror", "ghost",
 ];
 
 pub(crate) const GENRES: &[&str] = &[
-    "pop", "rock", "hip-hop rap", "country", "dance", "r&b soul", "alternative", "electronic",
-    "indie", "jazz", "folk", "metal",
+    "pop",
+    "rock",
+    "hip-hop rap",
+    "country",
+    "dance",
+    "r&b soul",
+    "alternative",
+    "electronic",
+    "indie",
+    "jazz",
+    "folk",
+    "metal",
 ];
 
 pub(crate) const LABELS: &[&str] = &[
-    "universal records", "columbia", "atlantic records", "interscope", "capitol records",
-    "rca", "def jam", "warner bros", "epic", "motown",
+    "universal records",
+    "columbia",
+    "atlantic records",
+    "interscope",
+    "capitol records",
+    "rca",
+    "def jam",
+    "warner bros",
+    "epic",
+    "motown",
 ];
 
 /// Pick one item from a pool.
@@ -150,7 +399,10 @@ pub(crate) fn pick_phrase(rng: &mut StdRng, pool: &[&str], n: usize) -> String {
     let mut idxs: Vec<usize> = (0..pool.len()).collect();
     idxs.shuffle(rng);
     idxs.truncate(n.min(pool.len()));
-    idxs.into_iter().map(|i| pool[i]).collect::<Vec<_>>().join(" ")
+    idxs.into_iter()
+        .map(|i| pool[i])
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A product model code like `dav-is50` or `im600usb` — the distinctive
@@ -199,10 +451,25 @@ pub(crate) fn duration(rng: &mut StdRng) -> String {
 /// A release date like `march 4 2011`.
 pub(crate) fn release_date(rng: &mut StdRng) -> String {
     const MONTHS: &[&str] = &[
-        "january", "february", "march", "april", "may", "june", "july", "august", "september",
-        "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
-    format!("{} {} {}", pick(rng, MONTHS), rng.gen_range(1..29u32), rng.gen_range(1995..2021u32))
+    format!(
+        "{} {} {}",
+        pick(rng, MONTHS),
+        rng.gen_range(1..29u32),
+        rng.gen_range(1995..2021u32)
+    )
 }
 
 #[cfg(test)]
@@ -217,8 +484,15 @@ mod tests {
     #[test]
     fn pools_are_reasonably_sized() {
         for pool in [
-            BRANDS, PRODUCT_NOUNS, MODIFIERS, SOFTWARE_WORDS, BEER_WORDS, TITLE_WORDS,
-            FIRST_NAMES, LAST_NAMES, SONG_WORDS,
+            BRANDS,
+            PRODUCT_NOUNS,
+            MODIFIERS,
+            SOFTWARE_WORDS,
+            BEER_WORDS,
+            TITLE_WORDS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            SONG_WORDS,
         ] {
             assert!(pool.len() >= 12, "pool too small: {pool:?}");
         }

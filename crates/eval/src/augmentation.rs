@@ -21,7 +21,11 @@ pub fn natural_triangle_supply(
     cfg: &CertaConfig,
 ) -> f64 {
     assert!(!pairs.is_empty());
-    let no_aug = CertaConfig { use_augmentation: false, augmentation_only: false, ..*cfg };
+    let no_aug = CertaConfig {
+        use_augmentation: false,
+        augmentation_only: false,
+        ..*cfg
+    };
     let mut total = 0usize;
     for lp in pairs {
         let (u, v) = dataset.expect_pair(lp.pair);
@@ -58,7 +62,11 @@ pub fn augmentation_effect(
     cfg: &CertaConfig,
 ) -> AugmentationEffect {
     let default_cfg = *cfg;
-    let forced_cfg = CertaConfig { augmentation_only: true, use_augmentation: true, ..*cfg };
+    let forced_cfg = CertaConfig {
+        augmentation_only: true,
+        use_augmentation: true,
+        ..*cfg
+    };
 
     let run = |c: CertaConfig| {
         let certa = Certa::new(c);
@@ -97,7 +105,10 @@ mod tests {
     #[test]
     fn natural_supply_is_bounded_by_tau() {
         let (d, m, pairs) = setup();
-        let cfg = CertaConfig { num_triangles: 20, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 20,
+            ..Default::default()
+        };
         let supply = natural_triangle_supply(m.as_ref(), &d, &pairs, &cfg);
         assert!(supply >= 0.0);
         assert!(supply <= 20.0, "cannot exceed the requested τ: {supply}");
@@ -106,9 +117,18 @@ mod tests {
     #[test]
     fn augmentation_effect_produces_finite_deltas() {
         let (d, m, pairs) = setup();
-        let cfg = CertaConfig { num_triangles: 10, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 10,
+            ..Default::default()
+        };
         let eff = augmentation_effect(m.as_ref(), &d, &pairs, &cfg);
-        for v in [eff.proximity, eff.sparsity, eff.diversity, eff.faithfulness, eff.confidence] {
+        for v in [
+            eff.proximity,
+            eff.sparsity,
+            eff.diversity,
+            eff.faithfulness,
+            eff.confidence,
+        ] {
             assert!(v.is_finite());
             assert!(v.abs() <= 1.0 + 1e-9, "deltas of [0,1] metrics: {eff:?}");
         }

@@ -56,16 +56,26 @@ pub fn case_study(
         .left()
         .schema()
         .attr_ids()
-        .map(|a| AttrRef { side: Side::Left, attr: a })
-        .chain(
-            dataset.right().schema().attr_ids().map(|a| AttrRef { side: Side::Right, attr: a }),
-        )
+        .map(|a| AttrRef {
+            side: Side::Left,
+            attr: a,
+        })
+        .chain(dataset.right().schema().attr_ids().map(|a| AttrRef {
+            side: Side::Right,
+            attr: a,
+        }))
         .collect();
 
     // Explanations, one per method.
     let explanations: Vec<(SaliencyMethod, certa_explain::SaliencyExplanation)> = methods
         .iter()
-        .map(|&m| (m, m.build(certa_cfg, seed).explain_saliency(matcher, dataset, u, v)))
+        .map(|&m| {
+            (
+                m,
+                m.build(certa_cfg, seed)
+                    .explain_saliency(matcher, dataset, u, v),
+            )
+        })
         .collect();
 
     // Per-attribute actual saliency + method scores.
@@ -74,9 +84,15 @@ pub fn case_study(
         .map(|&attr| {
             let (mu, mv) = mask_pair(u, v, &[attr]);
             let actual = (score - matcher.score(&mu, &mv)).abs();
-            let by_method =
-                explanations.iter().map(|(m, e)| (*m, e.score(attr))).collect();
-            CaseStudyRow { attr, actual, by_method }
+            let by_method = explanations
+                .iter()
+                .map(|(m, e)| (*m, e.score(attr)))
+                .collect();
+            CaseStudyRow {
+                attr,
+                actual,
+                by_method,
+            }
         })
         .collect();
 
@@ -95,7 +111,13 @@ pub fn case_study(
         })
         .collect();
 
-    CaseStudy { pair: lp, kind, score, rows, aggr }
+    CaseStudy {
+        pair: lp,
+        kind,
+        score,
+        rows,
+        aggr,
+    }
 }
 
 /// Pick one TP, TN, FP and FN test pair for a matcher (the four panels of
@@ -165,10 +187,16 @@ mod tests {
         );
         assert_eq!(cs.rows.len(), 4);
         // Key attributes have actual saliency 0.8; noise attributes 0.
-        let key_rows: Vec<&CaseStudyRow> =
-            cs.rows.iter().filter(|r| r.attr.attr.index() == 0).collect();
-        let noise_rows: Vec<&CaseStudyRow> =
-            cs.rows.iter().filter(|r| r.attr.attr.index() == 1).collect();
+        let key_rows: Vec<&CaseStudyRow> = cs
+            .rows
+            .iter()
+            .filter(|r| r.attr.attr.index() == 0)
+            .collect();
+        let noise_rows: Vec<&CaseStudyRow> = cs
+            .rows
+            .iter()
+            .filter(|r| r.attr.attr.index() == 1)
+            .collect();
         for r in key_rows {
             assert!((r.actual - 0.8).abs() < 1e-9, "{r:?}");
         }

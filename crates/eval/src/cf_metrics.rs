@@ -138,12 +138,18 @@ pub fn cf_metrics_for(
         count_sum += cf.examples.len() as f64;
         div_sum += set_diversity(&cf);
         if !cf.examples.is_empty() {
-            let p: f64 =
-                cf.examples.iter().map(|ex| example_proximity(u, v, ex)).sum::<f64>()
-                    / cf.examples.len() as f64;
-            let s: f64 =
-                cf.examples.iter().map(|ex| example_sparsity(u, v, ex)).sum::<f64>()
-                    / cf.examples.len() as f64;
+            let p: f64 = cf
+                .examples
+                .iter()
+                .map(|ex| example_proximity(u, v, ex))
+                .sum::<f64>()
+                / cf.examples.len() as f64;
+            let s: f64 = cf
+                .examples
+                .iter()
+                .map(|ex| example_sparsity(u, v, ex))
+                .sum::<f64>()
+                / cf.examples.len() as f64;
             prox_sum += p;
             spars_sum += s;
             with_examples += 1;
@@ -151,8 +157,16 @@ pub fn cf_metrics_for(
     }
     let n = pairs.len() as f64;
     CfAggregate {
-        proximity: if with_examples > 0 { prox_sum / with_examples as f64 } else { 0.0 },
-        sparsity: if with_examples > 0 { spars_sum / with_examples as f64 } else { 0.0 },
+        proximity: if with_examples > 0 {
+            prox_sum / with_examples as f64
+        } else {
+            0.0
+        },
+        sparsity: if with_examples > 0 {
+            spars_sum / with_examples as f64
+        } else {
+            0.0
+        },
         diversity: div_sum / n,
         count: count_sum / n,
         pairs: pairs.len(),
@@ -172,10 +186,20 @@ mod tests {
         )
     }
 
-    fn example(left_vals: &[&str], right_vals: &[&str], changed: Vec<AttrRef>) -> CounterfactualExample {
+    fn example(
+        left_vals: &[&str],
+        right_vals: &[&str],
+        changed: Vec<AttrRef>,
+    ) -> CounterfactualExample {
         CounterfactualExample {
-            left: Record::new(RecordId(0), left_vals.iter().map(|s| s.to_string()).collect()),
-            right: Record::new(RecordId(1), right_vals.iter().map(|s| s.to_string()).collect()),
+            left: Record::new(
+                RecordId(0),
+                left_vals.iter().map(|s| s.to_string()).collect(),
+            ),
+            right: Record::new(
+                RecordId(1),
+                right_vals.iter().map(|s| s.to_string()).collect(),
+            ),
             changed,
             score: 0.4,
         }
@@ -197,7 +221,11 @@ mod tests {
             &["sony bravia tv", "110"],
             vec![AttrRef::new(Side::Left, 0)],
         );
-        assert_eq!(example_sparsity(&u, &v, &ex), 0.75, "3 of 4 attrs unchanged");
+        assert_eq!(
+            example_sparsity(&u, &v, &ex),
+            0.75,
+            "3 of 4 attrs unchanged"
+        );
         assert!(example_proximity(&u, &v, &ex) < 1.0);
     }
 
@@ -239,7 +267,13 @@ mod tests {
 
     #[test]
     fn aggregate_get_matches_fields() {
-        let agg = CfAggregate { proximity: 0.7, sparsity: 0.9, diversity: 0.4, count: 3.0, pairs: 5 };
+        let agg = CfAggregate {
+            proximity: 0.7,
+            sparsity: 0.9,
+            diversity: 0.4,
+            count: 3.0,
+            pairs: 5,
+        };
         assert_eq!(agg.get(CfMetricKind::Proximity), 0.7);
         assert_eq!(agg.get(CfMetricKind::Sparsity), 0.9);
         assert_eq!(agg.get(CfMetricKind::Diversity), 0.4);

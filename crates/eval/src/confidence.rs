@@ -21,8 +21,18 @@ fn saliency_features(expl: &SaliencyExplanation, predicted_match: bool) -> Vec<f
     let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
     let mut sorted = scores.clone();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-    let gap = if sorted.len() >= 2 { sorted[0] - sorted[1] } else { sorted.first().copied().unwrap_or(0.0) };
-    vec![max, mean, var.sqrt(), gap, if predicted_match { 1.0 } else { 0.0 }]
+    let gap = if sorted.len() >= 2 {
+        sorted[0] - sorted[1]
+    } else {
+        sorted.first().copied().unwrap_or(0.0)
+    };
+    vec![
+        max,
+        mean,
+        var.sqrt(),
+        gap,
+        if predicted_match { 1.0 } else { 0.0 },
+    ]
 }
 
 /// Compute the confidence-indication MAE of `explainer` on `pairs`.
@@ -60,7 +70,16 @@ pub fn confidence_indication_with(
         ys.push(pred.score);
     }
     let mut reg = LogisticRegression::new(xs[0].len());
-    reg.fit(&xs, &ys, &LogisticConfig { epochs: 200, lr: 0.1, l2: 1e-4, seed: 13 });
+    reg.fit(
+        &xs,
+        &ys,
+        &LogisticConfig {
+            epochs: 200,
+            lr: 0.1,
+            l2: 1e-4,
+            seed: 13,
+        },
+    );
     let predicted: Vec<f64> = xs.iter().map(|x| reg.predict_proba(x)).collect();
     mae(&predicted, &ys)
 }
@@ -74,10 +93,11 @@ mod tests {
         let ls = Schema::shared("U", ["key", "noise"]);
         let rs = Schema::shared("V", ["key", "noise"]);
         let mk = |i: u32, k: &str| Record::new(RecordId(i), vec![k.into(), format!("n{i}")]);
-        let left =
-            Table::from_records(ls, (0..8).map(|i| mk(i, &format!("k{}", i % 4))).collect()).unwrap();
+        let left = Table::from_records(ls, (0..8).map(|i| mk(i, &format!("k{}", i % 4))).collect())
+            .unwrap();
         let right =
-            Table::from_records(rs, (0..8).map(|i| mk(i, &format!("k{}", i % 4))).collect()).unwrap();
+            Table::from_records(rs, (0..8).map(|i| mk(i, &format!("k{}", i % 4))).collect())
+                .unwrap();
         let train = vec![LabeledPair::new(RecordId(0), RecordId(0), true)];
         let test: Vec<LabeledPair> = (0..8)
             .map(|i| LabeledPair::new(RecordId(i), RecordId((i + i % 2) % 8), i % 2 == 0))

@@ -73,16 +73,11 @@ mod tests {
         let ls = Schema::shared("U", ["key", "noise"]);
         let rs = Schema::shared("V", ["key", "noise"]);
         let mk = |i: u32, k: &str| Record::new(RecordId(i), vec![k.into(), format!("n{i}")]);
-        let left = Table::from_records(
-            ls,
-            (0..6).map(|i| mk(i, &format!("k{}", i % 3))).collect(),
-        )
-        .unwrap();
-        let right = Table::from_records(
-            rs,
-            (0..6).map(|i| mk(i, &format!("k{}", i % 3))).collect(),
-        )
-        .unwrap();
+        let left = Table::from_records(ls, (0..6).map(|i| mk(i, &format!("k{}", i % 3))).collect())
+            .unwrap();
+        let right =
+            Table::from_records(rs, (0..6).map(|i| mk(i, &format!("k{}", i % 3))).collect())
+                .unwrap();
         let train = vec![LabeledPair::new(RecordId(0), RecordId(0), true)];
         let test = vec![
             LabeledPair::new(RecordId(0), RecordId(0), true),
@@ -154,12 +149,15 @@ mod tests {
         let d = dataset();
         let m = key_matcher();
         let pairs = d.split(certa_core::Split::Test).to_vec();
-        let expl =
-            FixedExplainer(SaliencyExplanation::new(vec![0.9, 0.1], vec![0.8, 0.2]));
+        let expl = FixedExplainer(SaliencyExplanation::new(vec![0.9, 0.1], vec![0.8, 0.2]));
         let explanations = vec![expl.0.clone(); pairs.len()];
         // Direct check of the protocol's masking at k = 4.
         let (u, v) = d.expect_pair(pairs[0].pair);
-        let all: Vec<AttrRef> = explanations[0].ranked().into_iter().map(|(a, _)| a).collect();
+        let all: Vec<AttrRef> = explanations[0]
+            .ranked()
+            .into_iter()
+            .map(|(a, _)| a)
+            .collect();
         let (mu, mv) = mask_pair(u, v, &all);
         assert!(!m.prediction(&mu, &mv).is_match());
         assert_eq!(mu.values()[0], "");

@@ -5,7 +5,7 @@ use certa_baselines::{CfMethod, SaliencyMethod};
 use certa_core::{BoxedMatcher, Dataset, LabeledPair, Split};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::CertaConfig;
-use certa_models::{trainer::sample_pairs, train_zoo, CachingMatcher, ModelKind, TrainedZoo};
+use certa_models::{train_zoo, trainer::sample_pairs, CachingMatcher, ModelKind, TrainedZoo};
 
 use crate::cf_metrics::{cf_metrics_for, CfAggregate};
 
@@ -48,7 +48,9 @@ impl GridConfig {
 
     /// CERTA configuration induced by this grid.
     pub fn certa_config(&self) -> CertaConfig {
-        CertaConfig::default().with_triangles(self.tau).with_seed(self.seed)
+        CertaConfig::default()
+            .with_triangles(self.tau)
+            .with_seed(self.seed)
     }
 }
 
@@ -74,13 +76,18 @@ impl PreparedDataset {
     pub fn build(id: DatasetId, cfg: &GridConfig) -> PreparedDataset {
         let dataset = generate(id, cfg.scale, cfg.seed);
         let zoo = train_zoo(&dataset);
-        let explained =
-            sample_pairs(&dataset, Split::Test, cfg.n_explained, cfg.seed ^ 0xE11A);
+        let explained = sample_pairs(&dataset, Split::Test, cfg.n_explained, cfg.seed ^ 0xE11A);
         let caches = ModelKind::all()
             .into_iter()
             .map(|k| (k, CachingMatcher::new(zoo.matcher(k))))
             .collect();
-        PreparedDataset { id, dataset, zoo, explained, caches }
+        PreparedDataset {
+            id,
+            dataset,
+            zoo,
+            explained,
+            caches,
+        }
     }
 
     /// The cached matcher for one model family (content-addressed score
@@ -99,21 +106,23 @@ impl PreparedDataset {
 
 /// Prepare all configured datasets, parallelized with scoped threads.
 pub fn prepare(cfg: &GridConfig) -> Vec<PreparedDataset> {
-    let mut out: Vec<Option<PreparedDataset>> =
-        cfg.datasets.iter().map(|_| None).collect();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-    let chunk = cfg.datasets.len().div_ceil(workers.max(1));
-    crossbeam::thread::scope(|s| {
+    let mut out: Vec<Option<PreparedDataset>> = cfg.datasets.iter().map(|_| None).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let chunk = cfg.datasets.len().div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|s| {
         for (ids, outs) in cfg.datasets.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (id, slot) in ids.iter().zip(outs.iter_mut()) {
                     *slot = Some(PreparedDataset::build(*id, cfg));
                 }
             });
         }
-    })
-    .expect("prepare threads must not panic");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// One cell of a saliency table (Tables 2–3).
@@ -163,25 +172,26 @@ where
 {
     let metric = &metric;
     let mut all: Vec<Vec<SaliencyCell>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = prepared
             .iter()
             .map(|p| {
                 let cfg = cfg.clone();
                 let methods = methods.to_vec();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut cells = Vec::new();
                     for &model in &cfg.models {
                         let matcher = p.cached_matcher(model);
                         for &method in &methods {
                             let explainer = method.build(cfg.certa_config(), cfg.seed);
-                            let value = metric(
-                                &matcher,
-                                &p.dataset,
-                                explainer.as_ref(),
-                                &p.explained,
-                            );
-                            cells.push(SaliencyCell { dataset: p.id, model, method, value });
+                            let value =
+                                metric(&matcher, &p.dataset, explainer.as_ref(), &p.explained);
+                            cells.push(SaliencyCell {
+                                dataset: p.id,
+                                model,
+                                method,
+                                value,
+                            });
                         }
                     }
                     cells
@@ -191,8 +201,7 @@ where
         for h in handles {
             all.push(h.join().expect("grid worker must not panic"));
         }
-    })
-    .expect("scope");
+    });
     all.into_iter().flatten().collect()
 }
 
@@ -203,13 +212,13 @@ pub fn run_cf_grid(
     methods: &[CfMethod],
 ) -> Vec<CfCell> {
     let mut all: Vec<Vec<CfCell>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = prepared
             .iter()
             .map(|p| {
                 let cfg = cfg.clone();
                 let methods = methods.to_vec();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut cells = Vec::new();
                     for &model in &cfg.models {
                         let matcher = p.cached_matcher(model);
@@ -221,7 +230,12 @@ pub fn run_cf_grid(
                                 explainer.as_ref(),
                                 &p.explained,
                             );
-                            cells.push(CfCell { dataset: p.id, model, method, value });
+                            cells.push(CfCell {
+                                dataset: p.id,
+                                model,
+                                method,
+                                value,
+                            });
                         }
                     }
                     cells
@@ -231,8 +245,7 @@ pub fn run_cf_grid(
         for h in handles {
             all.push(h.join().expect("grid worker must not panic"));
         }
-    })
-    .expect("scope");
+    });
     all.into_iter().flatten().collect()
 }
 
@@ -240,6 +253,13 @@ pub fn run_cf_grid(
 mod tests {
     use super::*;
     use crate::faithfulness::faithfulness_auc;
+
+    #[test]
+    fn prepare_with_no_datasets_is_empty_not_a_panic() {
+        let mut cfg = GridConfig::for_scale(Scale::Smoke);
+        cfg.datasets.clear();
+        assert!(prepare(&cfg).is_empty());
+    }
 
     fn tiny_cfg() -> GridConfig {
         GridConfig {
@@ -259,7 +279,7 @@ mod tests {
         assert_eq!(prepared.len(), 1);
         assert_eq!(prepared[0].id, DatasetId::FZ);
         assert_eq!(prepared[0].explained.len(), 2);
-        assert!(prepared[0].dataset.left().len() > 0);
+        assert!(!prepared[0].dataset.left().is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! | [`grid`] | the (dataset × model × method) experiment driver |
 //! | [`report`] | ASCII/markdown table rendering |
 //!
-//! The grid parallelizes across datasets with `crossbeam` scoped threads;
+//! The grid parallelizes across datasets with `std::thread::scope`;
 //! every matcher is wrapped in a content-addressed score cache, so repeated
 //! perturbations (which dominate explainer workloads) hit the model once.
 

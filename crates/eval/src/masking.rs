@@ -64,8 +64,11 @@ mod tests {
     #[test]
     fn mask_blanks_selected_attributes() {
         let (u, v) = pair();
-        let (mu, mv) =
-            mask_pair(&u, &v, &[AttrRef::new(Side::Left, 0), AttrRef::new(Side::Right, 1)]);
+        let (mu, mv) = mask_pair(
+            &u,
+            &v,
+            &[AttrRef::new(Side::Left, 0), AttrRef::new(Side::Right, 1)],
+        );
         assert_eq!(mu.values(), &["".to_string(), "ub".to_string()]);
         assert_eq!(mv.values(), &["va".to_string(), "".to_string()]);
     }

@@ -77,7 +77,11 @@ pub fn audit(
             let saved = stats.saved();
             performed_sum += stats.performed as f64;
             saved_sum += saved as f64;
-            error_rate_sum += if saved > 0 { wrong as f64 / saved as f64 } else { 0.0 };
+            error_rate_sum += if saved > 0 {
+                wrong as f64 / saved as f64
+            } else {
+                0.0
+            };
             lattices += 1;
         }
     }
@@ -135,7 +139,11 @@ mod tests {
         let d = dataset();
         let m = RuleMatcher::uniform(3);
         let pairs = d.split(certa_core::Split::Test).to_vec();
-        let cfg = CertaConfig { num_triangles: 6, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 6,
+            use_augmentation: false,
+            ..Default::default()
+        };
         let a = audit(&m, &d, &pairs, &cfg);
         assert!(a.lattices > 0);
         assert_eq!(a.error_rate, 0.0, "{a:?}");
@@ -156,20 +164,31 @@ mod tests {
         let plain = |i: u32| {
             Record::new(
                 RecordId(i),
-                vec![format!("red{i} a"), format!("red{i} b"), format!("red{i} c")],
+                vec![
+                    format!("red{i} a"),
+                    format!("red{i} b"),
+                    format!("red{i} c"),
+                ],
             )
         };
         let zrec = |i: u32| {
-            Record::new(RecordId(i), vec!["z one".into(), "z two".into(), "z three".into()])
+            Record::new(
+                RecordId(i),
+                vec!["z one".into(), "z two".into(), "z three".into()],
+            )
         };
         let left = Table::from_records(
             ls,
-            (0..10).map(|i| if i < 5 { plain(i) } else { zrec(i) }).collect(),
+            (0..10)
+                .map(|i| if i < 5 { plain(i) } else { zrec(i) })
+                .collect(),
         )
         .unwrap();
         let right = Table::from_records(
             rs,
-            (0..10).map(|i| if i < 5 { plain(i) } else { zrec(i) }).collect(),
+            (0..10)
+                .map(|i| if i < 5 { plain(i) } else { zrec(i) })
+                .collect(),
         )
         .unwrap();
         let d = Dataset::new(
@@ -194,11 +213,18 @@ mod tests {
             }
         });
         let pairs = d.split(certa_core::Split::Test).to_vec();
-        let cfg = CertaConfig { num_triangles: 6, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 6,
+            use_augmentation: false,
+            ..Default::default()
+        };
         let a = audit(&m, &d, &pairs, &cfg);
         assert!(a.lattices > 0, "{a:?}");
         assert!(a.saved > 0.0, "{a:?}");
-        assert!(a.error_rate > 0.0, "inferred pair-flips must be wrong: {a:?}");
+        assert!(
+            a.error_rate > 0.0,
+            "inferred pair-flips must be wrong: {a:?}"
+        );
     }
 
     #[test]

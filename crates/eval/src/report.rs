@@ -18,7 +18,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// New table with a title line.
     pub fn new(title: impl Into<String>) -> Self {
-        TableBuilder { title: title.into(), header: Vec::new(), rows: Vec::new() }
+        TableBuilder {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Set the header cells.
@@ -69,7 +73,9 @@ impl TableBuilder {
         if !self.header.is_empty() {
             out.push_str(&render_row(&self.header));
             out.push('\n');
-            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+            out.push_str(
+                &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+            );
             out.push('\n');
         }
         for row in &self.rows {
@@ -129,15 +135,26 @@ pub fn render_saliency_table(
                 .iter()
                 .map(|&(_, v)| v)
                 .filter(|v| v.is_finite())
-                .fold(if lower_is_better { f64::INFINITY } else { f64::NEG_INFINITY }, |a, b| {
+                .fold(
                     if lower_is_better {
-                        a.min(b)
+                        f64::INFINITY
                     } else {
-                        a.max(b)
-                    }
-                });
+                        f64::NEG_INFINITY
+                    },
+                    |a, b| {
+                        if lower_is_better {
+                            a.min(b)
+                        } else {
+                            a.max(b)
+                        }
+                    },
+                );
             for (_, v) in block {
-                let star = if v.is_finite() && (v - best).abs() < 1e-9 { "*" } else { "" };
+                let star = if v.is_finite() && (v - best).abs() < 1e-9 {
+                    "*"
+                } else {
+                    ""
+                };
                 row.push(format!("{v:.3}{star}"));
             }
         }
@@ -175,9 +192,17 @@ pub fn render_cf_table(
                         .map_or(f64::NAN, |c| c.value.get(metric))
                 })
                 .collect();
-            let best = block.iter().copied().filter(|v| v.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+            let best = block
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(f64::NEG_INFINITY, f64::max);
             for v in block {
-                let star = if v.is_finite() && (v - best).abs() < 1e-9 { "*" } else { "" };
+                let star = if v.is_finite() && (v - best).abs() < 1e-9 {
+                    "*"
+                } else {
+                    ""
+                };
                 row.push(format!("{v:.3}{star}"));
             }
         }
@@ -256,7 +281,13 @@ mod tests {
             dataset: DatasetId::FZ,
             model: ModelKind::DeepEr,
             method: CfMethod::Dice,
-            value: CfAggregate { proximity: 0.7, sparsity: 0.9, diversity: 0.2, count: 3.0, pairs: 4 },
+            value: CfAggregate {
+                proximity: 0.7,
+                sparsity: 0.9,
+                diversity: 0.2,
+                count: 3.0,
+                pairs: 4,
+            },
         }];
         let out = render_cf_table(
             "T",

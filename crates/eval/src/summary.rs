@@ -57,16 +57,20 @@ pub fn summarize_block(
         }
         counted += 1;
         let values: Vec<f64> = row.into_iter().map(Option::unwrap).collect();
-        let best = values
-            .iter()
-            .copied()
-            .fold(if lower_is_better { f64::INFINITY } else { f64::NEG_INFINITY }, |a, b| {
+        let best = values.iter().copied().fold(
+            if lower_is_better {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            },
+            |a, b| {
                 if lower_is_better {
                     a.min(b)
                 } else {
                     a.max(b)
                 }
-            });
+            },
+        );
         for (i, &v) in values.iter().enumerate() {
             if (v - best).abs() < 1e-9 {
                 wins[i] += 1;
@@ -74,7 +78,13 @@ pub fn summarize_block(
             // Rank = 1 + number of strictly better methods.
             let better = values
                 .iter()
-                .filter(|&&o| if lower_is_better { o < v - 1e-12 } else { o > v + 1e-12 })
+                .filter(|&&o| {
+                    if lower_is_better {
+                        o < v - 1e-12
+                    } else {
+                        o > v + 1e-12
+                    }
+                })
                 .count();
             rank_sum[i] += (better + 1) as f64;
             value_sum[i] += v;
@@ -88,8 +98,16 @@ pub fn summarize_block(
             method,
             wins: wins[i],
             cells: counted,
-            mean_rank: if counted > 0 { rank_sum[i] / counted as f64 } else { 0.0 },
-            mean_value: if counted > 0 { value_sum[i] / counted as f64 } else { 0.0 },
+            mean_rank: if counted > 0 {
+                rank_sum[i] / counted as f64
+            } else {
+                0.0
+            },
+            mean_value: if counted > 0 {
+                value_sum[i] / counted as f64
+            } else {
+                0.0
+            },
         })
         .collect()
 }
@@ -115,7 +133,12 @@ mod tests {
     use super::*;
 
     fn cell(d: DatasetId, m: SaliencyMethod, v: f64) -> SaliencyCell {
-        SaliencyCell { dataset: d, model: ModelKind::Ditto, method: m, value: v }
+        SaliencyCell {
+            dataset: d,
+            model: ModelKind::Ditto,
+            method: m,
+            value: v,
+        }
     }
 
     #[test]
@@ -148,8 +171,7 @@ mod tests {
             cell(DatasetId::AB, SaliencyMethod::Certa, 0.3),
             cell(DatasetId::AB, SaliencyMethod::Mojito, 0.3),
         ];
-        let s =
-            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], true);
+        let s = summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], true);
         assert_eq!(s[0].wins, 1);
         assert_eq!(s[1].wins, 1);
         assert_eq!(s[0].mean_rank, 1.0);
@@ -163,8 +185,7 @@ mod tests {
             cell(DatasetId::AB, SaliencyMethod::Certa, 0.9),
             cell(DatasetId::AB, SaliencyMethod::Shap, 0.2),
         ];
-        let s =
-            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
+        let s = summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
         assert_eq!(s[0].wins, 1);
         assert_eq!(s[1].wins, 0);
     }
@@ -173,8 +194,7 @@ mod tests {
     fn incomplete_rows_are_skipped() {
         let methods = [SaliencyMethod::Certa, SaliencyMethod::Shap];
         let cells = vec![cell(DatasetId::AB, SaliencyMethod::Certa, 0.9)]; // Shap missing
-        let s =
-            summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
+        let s = summarize_block(&cells, ModelKind::Ditto, &methods, &[DatasetId::AB], false);
         assert_eq!(s[0].cells, 0);
         assert_eq!(s[0].wins, 0);
     }

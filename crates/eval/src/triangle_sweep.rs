@@ -85,8 +85,16 @@ pub fn sweep_point(
         necessity: nec_sum / n,
         confidence: confidence_indication_with(matcher, dataset, &saliencies, pairs),
         faithfulness: faithfulness_auc_with(matcher, dataset, &saliencies, pairs),
-        proximity: if with_examples > 0 { prox_sum / with_examples as f64 } else { 0.0 },
-        sparsity: if with_examples > 0 { spars_sum / with_examples as f64 } else { 0.0 },
+        proximity: if with_examples > 0 {
+            prox_sum / with_examples as f64
+        } else {
+            0.0
+        },
+        sparsity: if with_examples > 0 {
+            spars_sum / with_examples as f64
+        } else {
+            0.0
+        },
         diversity: div_sum / n,
     }
 }
@@ -99,7 +107,9 @@ pub fn sweep(
     base: &CertaConfig,
     taus: &[usize],
 ) -> Vec<SweepPoint> {
-    taus.iter().map(|&tau| sweep_point(matcher, dataset, pairs, base, tau)).collect()
+    taus.iter()
+        .map(|&tau| sweep_point(matcher, dataset, pairs, base, tau))
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,7 +124,10 @@ mod tests {
         let d = generate(DatasetId::AB, Scale::Smoke, 4);
         let m = RuleMatcher::uniform(3).with_threshold(0.55);
         let pairs = sample_pairs(&d, Split::Test, 3, 1);
-        let base = CertaConfig { use_augmentation: true, ..Default::default() };
+        let base = CertaConfig {
+            use_augmentation: true,
+            ..Default::default()
+        };
         let points = sweep(&m, &d, &pairs, &base, &[4, 12]);
         assert_eq!(points.len(), 2);
         for p in &points {

@@ -34,12 +34,13 @@ pub fn augmented_candidates(record: &Record, budget: usize) -> Vec<Record> {
         for a in 0..arity {
             let attr = AttrId(a as u16);
             let value = record.value(attr);
-            for variant in [drop_first_k(value, k), drop_last_k(value, k)] {
-                if let Some(new_value) = variant {
-                    out.push(record.with_value(attr, new_value));
-                    if out.len() >= budget {
-                        return out;
-                    }
+            for new_value in [drop_first_k(value, k), drop_last_k(value, k)]
+                .into_iter()
+                .flatten()
+            {
+                out.push(record.with_value(attr, new_value));
+                if out.len() >= budget {
+                    return out;
                 }
             }
         }
@@ -50,8 +51,14 @@ pub fn augmented_candidates(record: &Record, budget: usize) -> Vec<Record> {
         for b in (a + 1)..arity {
             let (ia, ib) = (AttrId(a as u16), AttrId(b as u16));
             for (fa, fb) in [
-                (drop_first_k(record.value(ia), 1), drop_first_k(record.value(ib), 1)),
-                (drop_last_k(record.value(ia), 1), drop_last_k(record.value(ib), 1)),
+                (
+                    drop_first_k(record.value(ia), 1),
+                    drop_first_k(record.value(ib), 1),
+                ),
+                (
+                    drop_last_k(record.value(ia), 1),
+                    drop_last_k(record.value(ib), 1),
+                ),
             ] {
                 if let (Some(va), Some(vb)) = (fa, fb) {
                     let mut r = record.with_value(ia, va);
@@ -95,14 +102,14 @@ mod tests {
         // has 2 tokens → k ∈ {1}: 2 variants. Plus pass-2 pairs: 2.
         let singles = cands
             .iter()
-            .filter(|c| {
-                (c.values()[0] != "a b c d") ^ (c.values()[1] != "x y")
-            })
+            .filter(|c| (c.values()[0] != "a b c d") ^ (c.values()[1] != "x y"))
             .count();
         assert_eq!(singles, 8);
         assert_eq!(cands.len(), 10);
         // No variant drops *all* tokens.
-        assert!(cands.iter().all(|c| !c.values()[0].is_empty() || !c.values()[1].is_empty()));
+        assert!(cands
+            .iter()
+            .all(|c| !c.values()[0].is_empty() || !c.values()[1].is_empty()));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::CertaConfig;
 use crate::counterfactual::SufficiencyCounter;
 use crate::explanation::{
-    AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer,
+    AttrRef, CounterfactualExample, CounterfactualExplainer, CounterfactualExplanation,
     SaliencyExplainer, SaliencyExplanation,
 };
 use crate::lattice::{explore, mask_attrs, ExploreMode, LatticeStats};
@@ -62,8 +62,7 @@ impl Certa {
         let right_arity = dataset.right().schema().arity();
 
         // Line 8: open triangles, τ/2 per side (with §3.3 augmentation).
-        let (triangles, triangle_stats) =
-            find_triangles(matcher, dataset, u, v, y, &self.config);
+        let (triangles, triangle_stats) = find_triangles(matcher, dataset, u, v, y, &self.config);
 
         let mut necessity = NecessityCounter::new(left_arity, right_arity);
         let mut sufficiency = SufficiencyCounter::new();
@@ -157,7 +156,10 @@ impl Certa {
         chi: f64,
     ) -> CounterfactualExplanation {
         let golden_set: Vec<AttrRef> = mask_attrs(mask)
-            .map(|i| AttrRef { side, attr: AttrId(i as u16) })
+            .map(|i| AttrRef {
+                side,
+                attr: AttrId(i as u16),
+            })
             .collect();
         let mut examples = Vec::new();
         for t in triangles.iter().filter(|t| t.side == side) {
@@ -197,7 +199,11 @@ impl Certa {
             ranked.truncate(self.config.max_examples);
             examples = ranked.into_iter().map(|(_, ex)| ex).collect();
         }
-        CounterfactualExplanation { examples, golden_set, sufficiency: chi }
+        CounterfactualExplanation {
+            examples,
+            golden_set,
+            sufficiency: chi,
+        }
     }
 }
 
@@ -275,17 +281,25 @@ mod tests {
         let mk = |i: u32, key: &str| {
             Record::new(
                 RecordId(i),
-                vec![key.to_string(), format!("noise{i} extra pad"), format!("{}", 10 + i)],
+                vec![
+                    key.to_string(),
+                    format!("noise{i} extra pad"),
+                    format!("{}", 10 + i),
+                ],
             )
         };
         let left = Table::from_records(
             ls,
-            (0..12).map(|i| mk(i, if i < 6 { "alpha" } else { "beta" })).collect(),
+            (0..12)
+                .map(|i| mk(i, if i < 6 { "alpha" } else { "beta" }))
+                .collect(),
         )
         .unwrap();
         let right = Table::from_records(
             rs,
-            (0..12).map(|i| mk(i, if i < 6 { "alpha" } else { "beta" })).collect(),
+            (0..12)
+                .map(|i| mk(i, if i < 6 { "alpha" } else { "beta" }))
+                .collect(),
         )
         .unwrap();
         Dataset::new(
@@ -392,7 +406,7 @@ mod tests {
         assert!(!exp.lattice_stats.is_empty());
         for ls in &exp.lattice_stats {
             assert_eq!(ls.expected, 6); // 2^3 − 2
-            // key flips at level 1 → savings kick in.
+                                        // key flips at level 1 → savings kick in.
             assert!(ls.performed < ls.expected, "{ls:?}");
         }
         assert!(exp.triangle_stats.total() == exp.lattice_stats.len());
@@ -427,7 +441,10 @@ mod tests {
         let e2 = certa_small().explain(&m, &d, u, v);
         assert_eq!(e1.saliency, e2.saliency);
         assert_eq!(e1.counterfactual.golden_set, e2.counterfactual.golden_set);
-        assert_eq!(e1.counterfactual.examples.len(), e2.counterfactual.examples.len());
+        assert_eq!(
+            e1.counterfactual.examples.len(),
+            e2.counterfactual.examples.len()
+        );
     }
 
     #[test]

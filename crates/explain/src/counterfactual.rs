@@ -55,7 +55,11 @@ impl SufficiencyCounter {
         if self.counts.is_empty() {
             return 0.0;
         }
-        let total: f64 = self.counts.keys().map(|&(side, mask)| self.chi(side, mask)).sum();
+        let total: f64 = self
+            .counts
+            .keys()
+            .map(|&(side, mask)| self.chi(side, mask))
+            .sum();
         total / self.counts.len() as f64
     }
 

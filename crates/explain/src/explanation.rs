@@ -16,7 +16,10 @@ pub struct AttrRef {
 impl AttrRef {
     /// Shorthand constructor.
     pub fn new(side: Side, attr: u16) -> Self {
-        AttrRef { side, attr: AttrId(attr) }
+        AttrRef {
+            side,
+            attr: AttrId(attr),
+        }
     }
 
     /// Paper-style qualified name, e.g. `name_Abt`.
@@ -48,7 +51,10 @@ impl SaliencyExplanation {
 
     /// All-zero explanation with the given arities.
     pub fn zeros(left_arity: usize, right_arity: usize) -> Self {
-        SaliencyExplanation { left: vec![0.0; left_arity], right: vec![0.0; right_arity] }
+        SaliencyExplanation {
+            left: vec![0.0; left_arity],
+            right: vec![0.0; right_arity],
+        }
     }
 
     /// Score of one attribute.
@@ -96,7 +102,11 @@ impl SaliencyExplanation {
     /// for determinism).
     pub fn ranked(&self) -> Vec<(AttrRef, f64)> {
         let mut v: Vec<(AttrRef, f64)> = self.iter().collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite saliency").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite saliency")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 

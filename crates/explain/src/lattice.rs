@@ -92,7 +92,8 @@ impl Exploration {
 
     /// Flipped masks whose tag came from an actual model call.
     pub fn tested_flips(&self) -> impl Iterator<Item = AttrMask> + '_ {
-        self.flipped_masks().filter(|&m| self.provenance[m as usize] == Provenance::Tested)
+        self.flipped_masks()
+            .filter(|&m| self.provenance[m as usize] == Provenance::Tested)
     }
 
     /// The minimal flipping antichain: flipped nodes none of whose proper
@@ -201,16 +202,15 @@ pub fn explore(
             propagate_up(mask, full, &mut tags, &mut provenance);
         }
     }
-    Exploration { arity, tags, provenance }
+    Exploration {
+        arity,
+        tags,
+        provenance,
+    }
 }
 
 /// Tag every proper superset of `mask` as an inferred flip.
-fn propagate_up(
-    mask: AttrMask,
-    full: AttrMask,
-    tags: &mut [bool],
-    provenance: &mut [Provenance],
-) {
+fn propagate_up(mask: AttrMask, full: AttrMask, tags: &mut [bool], provenance: &mut [Provenance]) {
     // Standard superset enumeration: s = (s + 1) | mask walks all supersets.
     let mut s = mask;
     while s != full {
@@ -263,14 +263,22 @@ mod tests {
         assert_eq!(stats.saved(), 3);
     }
 
+    /// One Figure 9 scenario: (name, oracle, expected MFA, expected flips).
+    type WScenario = (&'static str, fn(AttrMask) -> bool, Vec<AttrMask>, usize);
+
     /// The four worked-example lattices of Figure 9.
-    fn w_scenarios() -> Vec<(&'static str, fn(AttrMask) -> bool, Vec<AttrMask>, usize)> {
+    fn w_scenarios() -> Vec<WScenario> {
         // (name, oracle, expected MFA, expected flip count incl. inferred)
         vec![
             // w1: N, D flip; P doesn't. 6 flips total.
             ("w1", |m| m != 0b100, vec![0b001, 0b010], 6),
             // w2: only N flips at level 1; {D,P} flips at level 2. 5 flips.
-            ("w2", |m| m == 0b001 || mask_len(m) >= 2, vec![0b001, 0b110], 5),
+            (
+                "w2",
+                |m| m == 0b001 || mask_len(m) >= 2,
+                vec![0b001, 0b110],
+                5,
+            ),
             // w3: only N; {D,P} does NOT flip. 4 flips.
             (
                 "w3",
@@ -369,7 +377,10 @@ mod tests {
             let exp = explore(3, ExploreMode::Monotone, false, oracle);
             let tested: FxHashSet<AttrMask> = exp.tested_flips().collect();
             for m in exp.minimal_flipping_antichain() {
-                assert!(tested.contains(&m), "MFA node {m:b} must be a real model call");
+                assert!(
+                    tested.contains(&m),
+                    "MFA node {m:b} must be a real model call"
+                );
             }
         }
     }

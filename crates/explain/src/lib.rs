@@ -40,7 +40,7 @@ pub mod triangles;
 pub use certa::{Certa, CertaExplanation};
 pub use config::CertaConfig;
 pub use explanation::{
-    AttrRef, CounterfactualExample, CounterfactualExplanation, CounterfactualExplainer,
+    AttrRef, CounterfactualExample, CounterfactualExplainer, CounterfactualExplanation,
     SaliencyExplainer, SaliencyExplanation,
 };
 pub use lattice::{AttrMask, Exploration, LatticeStats};

@@ -11,7 +11,11 @@ use certa_core::{AttrId, Record};
 /// Apply ψ: copy the attributes selected by `mask` from `support` into a
 /// fresh copy of `free`.
 pub fn perturb(free: &Record, support: &Record, mask: AttrMask) -> Record {
-    debug_assert_eq!(free.arity(), support.arity(), "ψ requires same-schema records");
+    debug_assert_eq!(
+        free.arity(),
+        support.arity(),
+        "ψ requires same-schema records"
+    );
     let attrs: Vec<AttrId> = mask_attrs(mask)
         .filter(|&i| i < free.arity())
         .map(|i| AttrId(i as u16))
@@ -47,14 +51,22 @@ mod tests {
     fn free() -> Record {
         Record::new(
             RecordId(1),
-            vec!["sony bravia theater".into(), "black micro system".into(), String::new()],
+            vec![
+                "sony bravia theater".into(),
+                "black micro system".into(),
+                String::new(),
+            ],
         )
     }
 
     fn support() -> Record {
         Record::new(
             RecordId(2),
-            vec!["altec lansing inmotion".into(), "portable audio system".into(), "49.99".into()],
+            vec![
+                "altec lansing inmotion".into(),
+                "portable audio system".into(),
+                "49.99".into(),
+            ],
         )
     }
 
@@ -75,7 +87,11 @@ mod tests {
     fn empty_mask_is_identity_copy() {
         let p = perturb(&free(), &support(), 0);
         assert_eq!(p.values(), free().values());
-        assert_eq!(p.id(), free().id(), "perturbed copy keeps the free record's id");
+        assert_eq!(
+            p.id(),
+            free().id(),
+            "perturbed copy keeps the free record's id"
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct NecessityCounter {
 impl NecessityCounter {
     /// Counter for the two sides' arities.
     pub fn new(left_arity: usize, right_arity: usize) -> Self {
-        NecessityCounter { left: vec![0; left_arity], right: vec![0; right_arity], flips: 0 }
+        NecessityCounter {
+            left: vec![0; left_arity],
+            right: vec![0; right_arity],
+            flips: 0,
+        }
     }
 
     /// Record one flipped lattice node on `side` with changed set `mask`.

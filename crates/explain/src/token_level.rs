@@ -40,13 +40,7 @@ fn record_of<'a>(u: &'a Record, v: &'a Record, side: Side) -> &'a Record {
     }
 }
 
-fn score_with(
-    matcher: &dyn Matcher,
-    u: &Record,
-    v: &Record,
-    side: Side,
-    modified: Record,
-) -> f64 {
+fn score_with(matcher: &dyn Matcher, u: &Record, v: &Record, side: Side, modified: Record) -> f64 {
     match side {
         Side::Left => matcher.score(&modified, v),
         Side::Right => matcher.score(u, &modified),
@@ -75,7 +69,11 @@ pub fn occlusion_token_saliency(
         kept.extend(toks.iter().skip(i + 1));
         let modified = target.with_value(attr.attr, join(&kept));
         let s = score_with(matcher, u, v, attr.side, modified);
-        out.push(TokenScore { token: (*tok).to_string(), position: i, score: (base - s).abs() });
+        out.push(TokenScore {
+            token: (*tok).to_string(),
+            position: i,
+            score: (base - s).abs(),
+        });
     }
     out
 }
@@ -101,8 +99,10 @@ pub fn triangle_token_saliency(
 ) -> Vec<TokenScore> {
     let y = matcher.predict(u, v);
     let target = record_of(u, v, attr.side);
-    let original: Vec<String> =
-        tokenize(target.value(attr.attr)).iter().map(|t| t.to_string()).collect();
+    let original: Vec<String> = tokenize(target.value(attr.attr))
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
     if original.is_empty() {
         return Vec::new();
     }
@@ -137,7 +137,11 @@ pub fn triangle_token_saliency(
         return original
             .into_iter()
             .enumerate()
-            .map(|(i, token)| TokenScore { token, position: i, score: 0.0 })
+            .map(|(i, token)| TokenScore {
+                token,
+                position: i,
+                score: 0.0,
+            })
             .collect();
     }
     original
@@ -181,7 +185,10 @@ mod tests {
         .unwrap();
         let right = Table::from_records(
             rs,
-            vec![Record::new(RecordId(0), vec!["sony bravia home theater".into()])],
+            vec![Record::new(
+                RecordId(0),
+                vec!["sony bravia home theater".into()],
+            )],
         )
         .unwrap();
         Dataset::new(
@@ -201,9 +208,15 @@ mod tests {
         let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
         let scores = occlusion_token_saliency(&m, u, v, AttrRef::new(Side::Left, 0));
         assert_eq!(scores.len(), 4);
-        let decisive = scores.iter().max_by(|a, b| a.score.partial_cmp(&b.score).unwrap()).unwrap();
+        let decisive = scores
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
         assert_eq!(decisive.token, "davis50b");
-        assert!((decisive.score - 0.8).abs() < 1e-9, "removing it drops 0.9 → 0.1");
+        assert!(
+            (decisive.score - 0.8).abs() < 1e-9,
+            "removing it drops 0.9 → 0.1"
+        );
         for ts in scores.iter().filter(|t| t.token != "davis50b") {
             assert_eq!(ts.score, 0.0, "other tokens are irrelevant: {ts:?}");
         }
@@ -226,9 +239,12 @@ mod tests {
         let d = dataset();
         let m = code_matcher();
         let (u, v) = d.expect_pair(d.split(certa_core::Split::Test)[0].pair);
-        let cfg = CertaConfig { num_triangles: 4, use_augmentation: false, ..Default::default() };
-        let scores =
-            triangle_token_saliency(&m, &d, u, v, AttrRef::new(Side::Left, 0), &cfg);
+        let cfg = CertaConfig {
+            num_triangles: 4,
+            use_augmentation: false,
+            ..Default::default()
+        };
+        let scores = triangle_token_saliency(&m, &d, u, v, AttrRef::new(Side::Left, 0), &cfg);
         assert_eq!(scores.len(), 4);
         // Splices flip only once they overwrite position 2 ("davis50b"), so
         // every flipping splice overwrites tokens 0..=2, never necessarily 3.
@@ -245,10 +261,15 @@ mod tests {
         let m = code_matcher();
         let u = Record::new(RecordId(7), vec![String::new()]);
         let v = d.right().expect(RecordId(0));
-        let cfg = CertaConfig { num_triangles: 2, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 2,
+            use_augmentation: false,
+            ..Default::default()
+        };
         assert!(occlusion_token_saliency(&m, &u, v, AttrRef::new(Side::Left, 0)).is_empty());
-        assert!(triangle_token_saliency(&m, &d, &u, v, AttrRef::new(Side::Left, 0), &cfg)
-            .is_empty());
+        assert!(
+            triangle_token_saliency(&m, &d, &u, v, AttrRef::new(Side::Left, 0), &cfg).is_empty()
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn find_triangles(
                 scanned.push(w);
                 stats.candidates_scored += 1;
                 if score_support(w) == want {
-                    triangles.push(OpenTriangle { side, support: w.clone(), augmented: false });
+                    triangles.push(OpenTriangle {
+                        side,
+                        support: w.clone(),
+                        augmented: false,
+                    });
                     stats.natural += 1;
                     found_side += 1;
                 }
@@ -123,8 +127,10 @@ pub fn find_triangles(
                 .filter(|t| t.side == side && !t.augmented)
                 .map(|t| t.support.clone())
                 .collect();
-            let bases: Vec<&Record> =
-                support_bases.iter().chain(scanned.iter().copied()).collect();
+            let bases: Vec<&Record> = support_bases
+                .iter()
+                .chain(scanned.iter().copied())
+                .collect();
             'aug: for base in bases {
                 if found_side >= quota || budget == 0 {
                     break;
@@ -140,7 +146,11 @@ pub fn find_triangles(
                     budget -= 1;
                     stats.candidates_scored += 1;
                     if score_support(&cand) == want {
-                        triangles.push(OpenTriangle { side, support: cand, augmented: true });
+                        triangles.push(OpenTriangle {
+                            side,
+                            support: cand,
+                            augmented: true,
+                        });
                         stats.augmented += 1;
                         found_side += 1;
                     }
@@ -165,17 +175,24 @@ mod tests {
         let mk = |i: u32, color: &str| {
             Record::new(
                 RecordId(i),
-                vec![format!("{color} item{i} token{} word{}", i % 3, i % 2), format!("filler{i} pad")],
+                vec![
+                    format!("{color} item{i} token{} word{}", i % 3, i % 2),
+                    format!("filler{i} pad"),
+                ],
             )
         };
         let left = Table::from_records(
             ls,
-            (0..10).map(|i| mk(i, if i < 5 { "red" } else { "blue" })).collect(),
+            (0..10)
+                .map(|i| mk(i, if i < 5 { "red" } else { "blue" }))
+                .collect(),
         )
         .unwrap();
         let right = Table::from_records(
             rs,
-            (0..10).map(|i| mk(i, if i < 5 { "red" } else { "blue" })).collect(),
+            (0..10)
+                .map(|i| mk(i, if i < 5 { "red" } else { "blue" }))
+                .collect(),
         )
         .unwrap();
         Dataset::new(
@@ -207,7 +224,11 @@ mod tests {
         let m = color_matcher();
         let u = d.left().expect(RecordId(0)); // red
         let v = d.right().expect(RecordId(0)); // red → Match
-        let cfg = CertaConfig { num_triangles: 8, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 8,
+            use_augmentation: false,
+            ..Default::default()
+        };
         let (tris, stats) = find_triangles(&m, &d, u, v, MatchLabel::Match, &cfg);
         assert!(!tris.is_empty());
         assert_eq!(stats.augmented, 0);
@@ -229,7 +250,11 @@ mod tests {
         let m = color_matcher();
         let u = d.left().expect(RecordId(0)); // red
         let v = d.right().expect(RecordId(7)); // blue → NonMatch
-        let cfg = CertaConfig { num_triangles: 6, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 6,
+            use_augmentation: false,
+            ..Default::default()
+        };
         let (tris, _) = find_triangles(&m, &d, u, v, MatchLabel::NonMatch, &cfg);
         for t in &tris {
             let support_color = t.support.values()[0].split_whitespace().next().unwrap();
@@ -248,7 +273,11 @@ mod tests {
         let m = color_matcher();
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(0));
-        let cfg = CertaConfig { num_triangles: 20, use_augmentation: false, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 20,
+            use_augmentation: false,
+            ..Default::default()
+        };
         let (tris, _) = find_triangles(&m, &d, u, v, MatchLabel::Match, &cfg);
         for t in &tris {
             if !t.augmented {
@@ -266,8 +295,8 @@ mod tests {
         // whose first attribute lost its leading token.
         let d = dataset();
         let m = FnMatcher::new("picky", |u: &Record, v: &Record| {
-            let shortened =
-                u.values()[0].split_whitespace().count() < 4 || v.values()[0].split_whitespace().count() < 4;
+            let shortened = u.values()[0].split_whitespace().count() < 4
+                || v.values()[0].split_whitespace().count() < 4;
             if shortened {
                 0.1
             } else {
@@ -276,9 +305,15 @@ mod tests {
         });
         let u = d.left().expect(RecordId(0));
         let v = d.right().expect(RecordId(0)); // natural pairs all score 0.9 → Match
-        let cfg = CertaConfig { num_triangles: 6, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 6,
+            ..Default::default()
+        };
         let (tris, stats) = find_triangles(&m, &d, u, v, MatchLabel::Match, &cfg);
-        assert!(stats.augmented > 0, "augmented triangles expected: {stats:?}");
+        assert!(
+            stats.augmented > 0,
+            "augmented triangles expected: {stats:?}"
+        );
         assert_eq!(stats.natural, 0);
         assert!(tris.iter().all(|t| t.augmented));
     }
@@ -309,7 +344,10 @@ mod tests {
         let m = color_matcher();
         let u = d.left().expect(RecordId(1));
         let v = d.right().expect(RecordId(1));
-        let cfg = CertaConfig { num_triangles: 6, ..Default::default() };
+        let cfg = CertaConfig {
+            num_triangles: 6,
+            ..Default::default()
+        };
         let (t1, s1) = find_triangles(&m, &d, u, v, MatchLabel::Match, &cfg);
         let (t2, s2) = find_triangles(&m, &d, u, v, MatchLabel::Match, &cfg);
         assert_eq!(s1, s2);

@@ -92,7 +92,10 @@ pub struct Standardizer {
 impl Standardizer {
     /// Identity transform of width `d` (mean 0, std 1).
     pub fn identity(d: usize) -> Self {
-        Standardizer { mean: vec![0.0; d], std: vec![1.0; d] }
+        Standardizer {
+            mean: vec![0.0; d],
+            std: vec![1.0; d],
+        }
     }
 
     /// Transform one row in place.

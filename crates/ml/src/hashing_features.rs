@@ -85,8 +85,10 @@ mod tests {
         let v = h.hash_features(["a", "a", "b"]);
         let (ia, sa) = h.slot("a");
         assert_eq!(v[ia], 2.0 * sa);
-        assert!((v.iter().map(|x| x.abs()).sum::<f64>() - 3.0).abs() < 1e-12 || v[ia].abs() == 1.0,
-            "either no collision (sum 3) or a/b collided");
+        assert!(
+            (v.iter().map(|x| x.abs()).sum::<f64>() - 3.0).abs() < 1e-12 || v[ia].abs() == 1.0,
+            "either no collision (sum 3) or a/b collided"
+        );
     }
 
     #[test]

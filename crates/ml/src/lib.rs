@@ -15,6 +15,10 @@
 //! BLAS or SIMD intrinsics — dataset scales in this reproduction keep dense
 //! layers tiny (tens of inputs, tens of hidden units).
 
+// Dense linear-algebra kernels index rows/columns explicitly; the iterator
+// rewrites clippy suggests obscure the row-major indexing they implement.
+#![allow(clippy::needless_range_loop)]
+
 pub mod activation;
 pub mod dataset;
 pub mod hashing_features;

@@ -33,14 +33,22 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        LogisticConfig { epochs: 100, lr: 0.1, l2: 1e-4, seed: 7 }
+        LogisticConfig {
+            epochs: 100,
+            lr: 0.1,
+            l2: 1e-4,
+            seed: 7,
+        }
     }
 }
 
 impl LogisticRegression {
     /// Zero-initialized model over `dim` features.
     pub fn new(dim: usize) -> Self {
-        LogisticRegression { w: vec![0.0; dim], b: 0.0 }
+        LogisticRegression {
+            w: vec![0.0; dim],
+            b: 0.0,
+        }
     }
 
     /// Feature dimension.
@@ -93,8 +101,9 @@ mod tests {
 
     #[test]
     fn separates_linear_data() {
-        let xs: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64 / 40.0, 1.0 - i as f64 / 40.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, 1.0 - i as f64 / 40.0])
+            .collect();
         let ys: Vec<f64> = (0..40).map(|i| if i >= 20 { 1.0 } else { 0.0 }).collect();
         let mut m = LogisticRegression::new(2);
         m.fit(&xs, &ys, &LogisticConfig::default());
@@ -109,7 +118,16 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![1.0]).collect();
         let ys = vec![0.3; 50];
         let mut m = LogisticRegression::new(1);
-        m.fit(&xs, &ys, &LogisticConfig { epochs: 300, lr: 0.05, l2: 0.0, seed: 1 });
+        m.fit(
+            &xs,
+            &ys,
+            &LogisticConfig {
+                epochs: 300,
+                lr: 0.05,
+                l2: 0.0,
+                seed: 1,
+            },
+        );
         assert!((m.predict_proba(&[1.0]) - 0.3).abs() < 0.02);
     }
 

@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -34,7 +38,9 @@ impl Matrix {
     pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 

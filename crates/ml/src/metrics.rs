@@ -90,7 +90,11 @@ pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted.iter().zip(actual.iter()).map(|(p, a)| (p - a).abs()).sum::<f64>()
+    predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
         / predicted.len() as f64
 }
 
@@ -130,7 +134,15 @@ mod tests {
         let pred = [true, true, false, false, true];
         let act = [true, false, false, true, true];
         let c = confusion(&pred, &act);
-        assert_eq!(c, ConfusionCounts { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            ConfusionCounts {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);

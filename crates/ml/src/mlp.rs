@@ -50,7 +50,11 @@ impl Default for MlpConfig {
             activation: Activation::Tanh,
             epochs: 30,
             batch_size: 16,
-            adam: AdamConfig { lr: 5e-3, weight_decay: 1e-4, ..Default::default() },
+            adam: AdamConfig {
+                lr: 5e-3,
+                weight_decay: 1e-4,
+                ..Default::default()
+            },
             seed: 17,
         }
     }
@@ -73,8 +77,11 @@ impl Mlp {
         dims.push(1);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act =
-                if i == dims.len() - 2 { Activation::Sigmoid } else { cfg.activation };
+            let act = if i == dims.len() - 2 {
+                Activation::Sigmoid
+            } else {
+                cfg.activation
+            };
             layers.push(Dense {
                 w: Matrix::xavier(dims[i + 1], dims[i], cfg.seed.wrapping_add(i as u64 * 7919)),
                 b: vec![0.0; dims[i + 1]],
@@ -113,12 +120,7 @@ impl Mlp {
     /// Accumulate the BCE gradient of one example into `grads`; returns loss.
     ///
     /// The sigmoid output + BCE pairing gives `dL/dz_out = p − y`.
-    fn accumulate_grads(
-        &self,
-        x: &[f64],
-        y: f64,
-        grads: &mut [(Matrix, Vec<f64>)],
-    ) -> f64 {
+    fn accumulate_grads(&self, x: &[f64], y: f64, grads: &mut [(Matrix, Vec<f64>)]) -> f64 {
         let acts = self.forward_cached(x);
         let p = acts.last().expect("output")[0];
         let loss = bce_loss(p, y);
@@ -259,14 +261,21 @@ mod tests {
             hidden: vec![8],
             epochs: 800,
             batch_size: 4,
-            adam: AdamConfig { lr: 0.05, ..Default::default() },
+            adam: AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
             seed: 3,
             ..Default::default()
         };
         let (xs, ys) = xor_data();
         let mut net = Mlp::new(2, &cfg);
         let losses = net.fit(&xs, &ys, &cfg);
-        assert!(losses.last().unwrap() < &0.1, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {:?}",
+            losses.last()
+        );
         for (x, y) in xs.iter().zip(ys.iter()) {
             let p = net.predict_proba(x);
             assert_eq!(p > 0.5, *y > 0.5, "xor({x:?}) predicted {p}");
@@ -275,7 +284,11 @@ mod tests {
 
     #[test]
     fn gradient_check_small_net() {
-        let cfg = MlpConfig { hidden: vec![3], seed: 11, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![3],
+            seed: 11,
+            ..Default::default()
+        };
         let net = Mlp::new(4, &cfg);
         let x = vec![0.3, -0.8, 0.5, 0.1];
         for y in [0.0, 1.0] {
@@ -299,7 +312,11 @@ mod tests {
 
     #[test]
     fn deterministic_training() {
-        let cfg = MlpConfig { epochs: 5, seed: 42, ..Default::default() };
+        let cfg = MlpConfig {
+            epochs: 5,
+            seed: 42,
+            ..Default::default()
+        };
         let (xs, ys) = xor_data();
         let mut a = Mlp::new(2, &cfg);
         let mut b = Mlp::new(2, &cfg);
@@ -341,7 +358,10 @@ mod tests {
             hidden: vec![],
             epochs: 300,
             batch_size: 4,
-            adam: AdamConfig { lr: 0.1, ..Default::default() },
+            adam: AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
             seed: 1,
             ..Default::default()
         };

@@ -17,7 +17,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -36,7 +42,12 @@ pub struct Adam {
 impl Adam {
     /// Fresh optimizer state for a buffer of `len` parameters.
     pub fn new(len: usize, cfg: AdamConfig) -> Self {
-        Adam { cfg, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        Adam {
+            cfg,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     /// One update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
@@ -81,7 +92,13 @@ mod tests {
     #[test]
     fn adam_converges_on_quadratic() {
         let mut x = vec![0.0f64];
-        let mut opt = Adam::new(1, AdamConfig { lr: 0.1, ..Default::default() });
+        let mut opt = Adam::new(
+            1,
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
         for _ in 0..500 {
             let g = vec![2.0 * (x[0] - 3.0)];
             opt.step(&mut x, &g);
@@ -105,14 +122,31 @@ mod tests {
         let mut with_decay = vec![1.0f64];
         let mut without = vec![1.0f64];
         let zero_grad = vec![0.0];
-        let mut o1 = Adam::new(1, AdamConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() });
-        let mut o2 = Adam::new(1, AdamConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() });
+        let mut o1 = Adam::new(
+            1,
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.1,
+                ..Default::default()
+            },
+        );
+        let mut o2 = Adam::new(
+            1,
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         for _ in 0..50 {
             o1.step(&mut with_decay, &zero_grad);
             o2.step(&mut without, &zero_grad);
         }
         assert!(with_decay[0] < without[0]);
-        assert!((without[0] - 1.0).abs() < 1e-9, "no decay, no grad → unchanged");
+        assert!(
+            (without[0] - 1.0).abs() < 1e-9,
+            "no decay, no grad → unchanged"
+        );
     }
 
     #[test]
@@ -128,7 +162,13 @@ mod tests {
         // Not full convergence (Rosenbrock is hard); assert monotone-ish progress.
         let f = |x: f64, y: f64| (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
         let mut p = vec![-1.0f64, 1.0];
-        let mut opt = Adam::new(2, AdamConfig { lr: 0.02, ..Default::default() });
+        let mut opt = Adam::new(
+            2,
+            AdamConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
+        );
         let start = f(p[0], p[1]);
         for _ in 0..2000 {
             let (x, y) = (p[0], p[1]);

@@ -11,11 +11,19 @@
 /// Returns `None` when the system is singular beyond rescue.
 pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|row| row.len() == n), "system must be square");
+    assert!(
+        a.len() == n && a.iter().all(|row| row.len() == n),
+        "system must be square"
+    );
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
             return None;

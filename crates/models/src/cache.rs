@@ -23,7 +23,10 @@ pub struct CachingMatcher {
 impl CachingMatcher {
     /// Wrap a matcher with a fresh cache.
     pub fn new(inner: BoxedMatcher) -> Arc<Self> {
-        Arc::new(CachingMatcher { inner, cache: RwLock::new(FxHashMap::default()) })
+        Arc::new(CachingMatcher {
+            inner,
+            cache: RwLock::new(FxHashMap::default()),
+        })
     }
 
     /// Number of cached entries.
@@ -67,7 +70,10 @@ pub struct CountingMatcher {
 impl CountingMatcher {
     /// Wrap a matcher with a zeroed counter.
     pub fn new(inner: BoxedMatcher) -> Arc<Self> {
-        Arc::new(CountingMatcher { inner, count: AtomicU64::new(0) })
+        Arc::new(CountingMatcher {
+            inner,
+            count: AtomicU64::new(0),
+        })
     }
 
     /// Number of scores computed since construction / the last reset.
@@ -125,7 +131,11 @@ mod tests {
         assert_eq!(cached.score(&u, &v), 0.9);
         assert_eq!(cached.score(&u, &v), 0.9);
         assert_eq!(cached.score(&u, &v), 0.9);
-        assert_eq!(calls.load(Ordering::Relaxed), 1, "only first call hits the model");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "only first call hits the model"
+        );
         assert_eq!(cached.len(), 1);
     }
 

@@ -4,7 +4,9 @@ use crate::embedding::{cosine, HashedEmbedder};
 use certa_core::tokens::{clean, tokenize};
 use certa_core::{Dataset, Record, Split};
 use certa_ml::FeatureHasher;
-use certa_text::{jaccard, jaro_winkler, levenshtein_sim, numeric_sim, parse_number, trigram_sim, CorpusStats};
+use certa_text::{
+    jaccard, jaro_winkler, levenshtein_sim, numeric_sim, parse_number, trigram_sim, CorpusStats,
+};
 
 /// Number of per-attribute similarity features produced by
 /// [`Featurizer::DeepMatcher`].
@@ -40,9 +42,9 @@ impl Featurizer {
     /// Fit a featurizer of the requested family on a dataset.
     pub fn fit(kind: FeaturizerKind, dataset: &Dataset) -> Featurizer {
         match kind {
-            FeaturizerKind::DeepEr => {
-                Featurizer::DeepEr { embedder: HashedEmbedder::new(24, 0xDEE9) }
-            }
+            FeaturizerKind::DeepEr => Featurizer::DeepEr {
+                embedder: HashedEmbedder::new(24, 0xDEE9),
+            },
             FeaturizerKind::DeepMatcher => {
                 let mut corpus = CorpusStats::new();
                 for lp in dataset.split(Split::Train) {
@@ -51,11 +53,14 @@ impl Featurizer {
                         corpus.add_document(&clean(val));
                     }
                 }
-                Featurizer::DeepMatcher { corpus, arity: dataset.left().schema().arity() }
+                Featurizer::DeepMatcher {
+                    corpus,
+                    arity: dataset.left().schema().arity(),
+                }
             }
-            FeaturizerKind::Ditto => {
-                Featurizer::Ditto { hasher: FeatureHasher::new(48, 0xD177) }
-            }
+            FeaturizerKind::Ditto => Featurizer::Ditto {
+                hasher: FeatureHasher::new(48, 0xD177),
+            },
         }
     }
 
@@ -72,9 +77,7 @@ impl Featurizer {
     pub fn features(&self, u: &Record, v: &Record) -> Vec<f64> {
         match self {
             Featurizer::DeepEr { embedder } => deeper_features(embedder, u, v),
-            Featurizer::DeepMatcher { corpus, arity } => {
-                deepmatcher_features(corpus, *arity, u, v)
-            }
+            Featurizer::DeepMatcher { corpus, arity } => deepmatcher_features(corpus, *arity, u, v),
             Featurizer::Ditto { hasher } => ditto_features(hasher, u, v),
         }
     }
@@ -168,8 +171,14 @@ pub fn serialize_ditto(r: &Record) -> String {
 fn ditto_features(hasher: &FeatureHasher, u: &Record, v: &Record) -> Vec<f64> {
     let su = serialize_ditto(u);
     let sv = serialize_ditto(v);
-    let tu: Vec<&str> = tokenize(&su).into_iter().filter(|t| !t.starts_with("col")).collect();
-    let tv: Vec<&str> = tokenize(&sv).into_iter().filter(|t| !t.starts_with("col")).collect();
+    let tu: Vec<&str> = tokenize(&su)
+        .into_iter()
+        .filter(|t| !t.starts_with("col"))
+        .collect();
+    let tv: Vec<&str> = tokenize(&sv)
+        .into_iter()
+        .filter(|t| !t.starts_with("col"))
+        .collect();
     let set_u: certa_core::hash::FxHashSet<&str> = tu.iter().copied().collect();
     let set_v: certa_core::hash::FxHashSet<&str> = tv.iter().copied().collect();
 
@@ -204,8 +213,8 @@ fn ditto_features(hasher: &FeatureHasher, u: &Record, v: &Record) -> Vec<f64> {
     out.push(if union > 0.0 { inter / union } else { 1.0 }); // token jaccard
     out.push(trigram_sim(&su, &sv));
     out.push(levenshtein_sim(
-        &tu.first().copied().unwrap_or(""),
-        &tv.first().copied().unwrap_or(""),
+        tu.first().copied().unwrap_or(""),
+        tv.first().copied().unwrap_or(""),
     ));
     out.push((tu.len() as f64 - tv.len() as f64).abs() / (tu.len() + tv.len()).max(1) as f64);
     out
@@ -243,8 +252,14 @@ mod tests {
 
     #[test]
     fn identical_pairs_score_higher_than_disjoint() {
-        let u = rec(0, &["sony bravia tv davis50b", "black theater system", "100"]);
-        let same = rec(1, &["sony bravia tv davis50b", "black theater system", "100"]);
+        let u = rec(
+            0,
+            &["sony bravia tv davis50b", "black theater system", "100"],
+        );
+        let same = rec(
+            1,
+            &["sony bravia tv davis50b", "black theater system", "100"],
+        );
         let diff = rec(2, &["canon pixma printer mx700", "photo inkjet", "89"]);
         for f in fit_all() {
             let f_same = f.features(&u, &same);
@@ -253,9 +268,7 @@ mod tests {
             // DeepER's last feature is the record cosine; for the others the
             // feature sum tracks similarity.
             let (s1, s2) = match &f {
-                Featurizer::DeepEr { .. } => {
-                    (*f_same.last().unwrap(), *f_diff.last().unwrap())
-                }
+                Featurizer::DeepEr { .. } => (*f_same.last().unwrap(), *f_diff.last().unwrap()),
                 _ => (f_same.iter().sum::<f64>(), f_diff.iter().sum::<f64>()),
             };
             assert!(s1 > s2, "{f:?}: {s1} vs {s2}");

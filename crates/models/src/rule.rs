@@ -30,9 +30,20 @@ impl RuleMatcher {
     /// Matcher with explicit attribute weights (non-negative, not all zero).
     pub fn with_weights(weights: Vec<f64>) -> Self {
         assert!(!weights.is_empty(), "need at least one attribute weight");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
-        RuleMatcher { name: "rule".into(), weights, threshold: 0.5, sharpness: 8.0 }
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
+        RuleMatcher {
+            name: "rule".into(),
+            weights,
+            threshold: 0.5,
+            sharpness: 8.0,
+        }
     }
 
     /// Adjust the decision threshold (similarity value mapping to score 0.5).
@@ -122,7 +133,10 @@ mod tests {
         let name_only = RuleMatcher::with_weights(vec![1.0, 0.0]);
         let u = rec(0, &["same name", "10"]);
         let v = rec(1, &["same name", "99999"]);
-        assert!(name_only.score(&u, &v) > 0.9, "price ignored under zero weight");
+        assert!(
+            name_only.score(&u, &v) > 0.9,
+            "price ignored under zero weight"
+        );
     }
 
     #[test]

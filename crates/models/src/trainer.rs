@@ -90,7 +90,11 @@ pub struct TrainReport {
 }
 
 /// Train one matcher family on a dataset. Deterministic in the configs.
-pub fn train_model(kind: ModelKind, dataset: &Dataset, cfg: &TrainConfig) -> (ErModel, TrainReport) {
+pub fn train_model(
+    kind: ModelKind,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+) -> (ErModel, TrainReport) {
     let fkind = match kind {
         ModelKind::DeepEr => FeaturizerKind::DeepEr,
         ModelKind::DeepMatcher => FeaturizerKind::DeepMatcher,
@@ -114,8 +118,11 @@ pub fn train_model(kind: ModelKind, dataset: &Dataset, cfg: &TrainConfig) -> (Er
     }
 
     let standardizer = train.fit_standardizer();
-    let xs: Vec<Vec<f64>> =
-        train.features().iter().map(|x| standardizer.transform(x)).collect();
+    let xs: Vec<Vec<f64>> = train
+        .features()
+        .iter()
+        .map(|x| standardizer.transform(x))
+        .collect();
     let mut net = Mlp::new(featurizer.dim(), &cfg.mlp);
     let losses = net.fit(&xs, train.labels(), &cfg.mlp);
 
@@ -206,7 +213,11 @@ mod tests {
     #[test]
     fn scores_are_probabilities() {
         let d = generate(DatasetId::FZ, Scale::Smoke, 2);
-        let (model, _) = train_model(ModelKind::DeepMatcher, &d, &TrainConfig::for_kind(ModelKind::DeepMatcher));
+        let (model, _) = train_model(
+            ModelKind::DeepMatcher,
+            &d,
+            &TrainConfig::for_kind(ModelKind::DeepMatcher),
+        );
         for lp in d.split(Split::Test) {
             let (u, v) = d.expect_pair(lp.pair);
             let s = model.score(u, v);
@@ -233,13 +244,20 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.len() <= 5);
         let c = sample_pairs(&d, Split::Test, 5, 4);
-        assert_ne!(a, c, "different seed, different sample (overwhelmingly likely)");
+        assert_ne!(
+            a, c,
+            "different seed, different sample (overwhelmingly likely)"
+        );
     }
 
     #[test]
     fn model_kind_is_exposed() {
         let d = generate(DatasetId::AB, Scale::Smoke, 1);
-        let (m, _) = train_model(ModelKind::DeepEr, &d, &TrainConfig::for_kind(ModelKind::DeepEr));
+        let (m, _) = train_model(
+            ModelKind::DeepEr,
+            &d,
+            &TrainConfig::for_kind(ModelKind::DeepEr),
+        );
         assert_eq!(m.kind(), ModelKind::DeepEr);
         assert_eq!(m.name(), "deeper-sim");
     }

@@ -55,18 +55,29 @@ pub struct TrainedZoo {
 impl TrainedZoo {
     /// The trained matcher of one family.
     pub fn matcher(&self, kind: ModelKind) -> BoxedMatcher {
-        let model = &self.models.iter().find(|(k, _, _)| *k == kind).expect("zoo has all kinds").1;
+        let model = &self
+            .models
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .expect("zoo has all kinds")
+            .1;
         Arc::clone(model) as BoxedMatcher
     }
 
     /// Quality report of one family.
     pub fn report(&self, kind: ModelKind) -> TrainReport {
-        self.models.iter().find(|(k, _, _)| *k == kind).expect("zoo has all kinds").2
+        self.models
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .expect("zoo has all kinds")
+            .2
     }
 
     /// Iterate `(kind, matcher)` pairs in paper order.
     pub fn iter(&self) -> impl Iterator<Item = (ModelKind, BoxedMatcher)> + '_ {
-        self.models.iter().map(|(k, m, _)| (*k, Arc::clone(m) as BoxedMatcher))
+        self.models
+            .iter()
+            .map(|(k, m, _)| (*k, Arc::clone(m) as BoxedMatcher))
     }
 }
 
@@ -96,7 +107,11 @@ mod tests {
         let mut names = Vec::new();
         for (kind, matcher) in zoo.iter() {
             names.push(matcher.name().to_string());
-            assert!(zoo.report(kind).test_f1 > 0.4, "{kind} F1 {}", zoo.report(kind).test_f1);
+            assert!(
+                zoo.report(kind).test_f1 > 0.4,
+                "{kind} F1 {}",
+                zoo.report(kind).test_f1
+            );
         }
         assert_eq!(names, vec!["deeper-sim", "deepmatcher-sim", "ditto-sim"]);
     }

@@ -21,7 +21,11 @@ pub fn cosine_tf(a: &str, b: &str) -> f64 {
     cosine_of(&ta, &tb, None)
 }
 
-fn cosine_of(ta: &FxHashMap<&str, f64>, tb: &FxHashMap<&str, f64>, idf: Option<&CorpusStats>) -> f64 {
+fn cosine_of(
+    ta: &FxHashMap<&str, f64>,
+    tb: &FxHashMap<&str, f64>,
+    idf: Option<&CorpusStats>,
+) -> f64 {
     let weight = |tok: &str| idf.map_or(1.0, |c| c.idf(tok));
     let mut dot = 0.0;
     for (tok, &fa) in ta {
@@ -30,8 +34,16 @@ fn cosine_of(ta: &FxHashMap<&str, f64>, tb: &FxHashMap<&str, f64>, idf: Option<&
             dot += fa * w * fb * w;
         }
     }
-    let na: f64 = ta.iter().map(|(t, f)| (f * weight(t)).powi(2)).sum::<f64>().sqrt();
-    let nb: f64 = tb.iter().map(|(t, f)| (f * weight(t)).powi(2)).sum::<f64>().sqrt();
+    let na: f64 = ta
+        .iter()
+        .map(|(t, f)| (f * weight(t)).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = tb
+        .iter()
+        .map(|(t, f)| (f * weight(t)).powi(2))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }

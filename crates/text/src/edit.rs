@@ -7,7 +7,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the inner row the shorter one.
-    let (long, short) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let (long, short) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }

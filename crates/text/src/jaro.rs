@@ -33,10 +33,18 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let b_matches: Vec<char> =
-        b.iter().zip(b_match_flags.iter()).filter(|&(_, &f)| f).map(|(&c, _)| c).collect();
-    let transpositions =
-        a_matches.iter().zip(b_matches.iter()).filter(|&(x, y)| x != y).count() / 2;
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_match_flags.iter())
+        .filter(|&(_, &f)| f)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|&(x, y)| x != y)
+        .count()
+        / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }

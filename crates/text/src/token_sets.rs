@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn overlap_detects_containment() {
-        assert_eq!(overlap_coefficient("sony bravia", "sony bravia theater black micro"), 1.0);
+        assert_eq!(
+            overlap_coefficient("sony bravia", "sony bravia theater black micro"),
+            1.0
+        );
         assert_eq!(overlap_coefficient("a", ""), 0.0);
         assert_eq!(overlap_coefficient("", ""), 1.0);
         assert!((overlap_coefficient("a b", "b c d") - 0.5).abs() < 1e-12);

@@ -41,10 +41,18 @@ fn main() {
                 continue;
             }
             let n = cf.examples.len();
-            let prox: f64 =
-                cf.examples.iter().map(|e| example_proximity(u, v, e)).sum::<f64>() / n as f64;
-            let spars: f64 =
-                cf.examples.iter().map(|e| example_sparsity(u, v, e)).sum::<f64>() / n as f64;
+            let prox: f64 = cf
+                .examples
+                .iter()
+                .map(|e| example_proximity(u, v, e))
+                .sum::<f64>()
+                / n as f64;
+            let spars: f64 = cf
+                .examples
+                .iter()
+                .map(|e| example_sparsity(u, v, e))
+                .sum::<f64>()
+                / n as f64;
             let valid = cf
                 .examples
                 .iter()

@@ -42,7 +42,10 @@ fn main() {
     println!("{} got this pair wrong:", kind.paper_name());
     println!("  u = {}", u.display_with(dataset.left().schema()));
     println!("  v = {}", v.display_with(dataset.right().schema()));
-    println!("  ground truth: {}   prediction: {} ({:.3})\n", lp.label, pred.label, pred.score);
+    println!(
+        "  ground truth: {}   prediction: {} ({:.3})\n",
+        lp.label, pred.label, pred.score
+    );
 
     // Ask CERTA why.
     let certa = Certa::new(CertaConfig::default().with_triangles(60));

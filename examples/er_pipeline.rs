@@ -44,8 +44,11 @@ fn main() {
     );
 
     // 2. Matching: train a matcher on the labeled split, score candidates.
-    let (matcher, report) =
-        train_model(ModelKind::Ditto, &dataset, &TrainConfig::for_kind(ModelKind::Ditto));
+    let (matcher, report) = train_model(
+        ModelKind::Ditto,
+        &dataset,
+        &TrainConfig::for_kind(ModelKind::Ditto),
+    );
     println!("matcher {} (test F1 {:.2})", matcher.name(), report.test_f1);
     let mut matched: Vec<(RecordPair, f64)> = candidates
         .iter()

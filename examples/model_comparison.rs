@@ -35,7 +35,11 @@ fn rank_correlation(a: &SaliencyExplanation, b: &SaliencyExplanation) -> f64 {
     if n < 2.0 {
         return 1.0;
     }
-    let d2: f64 = ra.iter().zip(rb.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    let d2: f64 = ra
+        .iter()
+        .zip(rb.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
     1.0 - 6.0 * d2 / (n * (n * n - 1.0))
 }
 
@@ -62,9 +66,7 @@ fn main() {
         let (u, v) = dataset.expect_pair(lp.pair);
         let explanations: Vec<(ModelKind, SaliencyExplanation)> = zoo
             .iter()
-            .map(|(kind, matcher)| {
-                (kind, certa.explain(&matcher, &dataset, u, v).saliency)
-            })
+            .map(|(kind, matcher)| (kind, certa.explain(&matcher, &dataset, u, v).saliency))
             .collect();
         println!("  pair {}:", lp.pair);
         for i in 0..explanations.len() {

@@ -33,7 +33,11 @@ fn main() {
     );
 
     // 3. Pick one test prediction and explain it with CERTA.
-    let lp = dataset.split(Split::Test).iter().find(|lp| lp.label.is_match()).expect("a match");
+    let lp = dataset
+        .split(Split::Test)
+        .iter()
+        .find(|lp| lp.label.is_match())
+        .expect("a match");
     let (u, v) = dataset.expect_pair(lp.pair);
     println!("\nexplaining the pair:");
     println!("  u = {}", u.display_with(dataset.left().schema()));
@@ -53,7 +57,11 @@ fn main() {
     // 5. Counterfactual: what minimal change flips it?
     let cf = &explanation.counterfactual;
     if cf.found() {
-        let golden: Vec<String> = cf.golden_set.iter().map(|a| a.qualified(&dataset)).collect();
+        let golden: Vec<String> = cf
+            .golden_set
+            .iter()
+            .map(|a| a.qualified(&dataset))
+            .collect();
         println!(
             "\ncounterfactual: changing [{}] flips the prediction with probability {:.2}",
             golden.join(", "),
@@ -62,7 +70,10 @@ fn main() {
         let ex = &cf.examples[0];
         println!("  example (model score {:.3}):", ex.score);
         println!("    u' = {}", ex.left.display_with(dataset.left().schema()));
-        println!("    v' = {}", ex.right.display_with(dataset.right().schema()));
+        println!(
+            "    v' = {}",
+            ex.right.display_with(dataset.right().schema())
+        );
     } else {
         println!("\nno counterfactual found (prediction is very stable)");
     }

@@ -21,22 +21,22 @@
 //! `crates/bench/src/bin/` for the binaries regenerating each table and
 //! figure of the paper.
 
-/// ER data model (records, tables, pairs, the black-box [`core::Matcher`] trait).
-pub use certa_core as core;
-/// String similarity measures.
-pub use certa_text as text;
-/// Minimal neural-network / regression stack.
-pub use certa_ml as ml;
-/// Synthetic versions of the 12 DeepMatcher benchmark datasets.
-pub use certa_datagen as datagen;
-/// The ER matcher zoo (DeepER-sim, DeepMatcher-sim, Ditto-sim, rule-based).
-pub use certa_models as models;
-/// The CERTA explainer (the paper's contribution).
-pub use certa_explain as explain;
 /// Baseline explainers (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C).
 pub use certa_baselines as baselines;
+/// ER data model (records, tables, pairs, the black-box [`core::Matcher`] trait).
+pub use certa_core as core;
+/// Synthetic versions of the 12 DeepMatcher benchmark datasets.
+pub use certa_datagen as datagen;
 /// Evaluation metrics and experiment runners for §5.
 pub use certa_eval as eval;
+/// The CERTA explainer (the paper's contribution).
+pub use certa_explain as explain;
+/// Minimal neural-network / regression stack.
+pub use certa_ml as ml;
+/// The ER matcher zoo (DeepER-sim, DeepMatcher-sim, Ditto-sim, rule-based).
+pub use certa_models as models;
+/// String similarity measures.
+pub use certa_text as text;
 
 /// Commonly used items, importable with one `use`.
 pub mod prelude {

@@ -32,13 +32,21 @@ fn every_method_is_deterministic_per_pair() {
         for lp in &pairs {
             let (u, v) = dataset.expect_pair(lp.pair);
             for method in SaliencyMethod::all() {
-                let e1 = method.build(cfg, 5).explain_saliency(&matcher, &dataset, u, v);
-                let e2 = method.build(cfg, 5).explain_saliency(&matcher, &dataset, u, v);
+                let e1 = method
+                    .build(cfg, 5)
+                    .explain_saliency(&matcher, &dataset, u, v);
+                let e2 = method
+                    .build(cfg, 5)
+                    .explain_saliency(&matcher, &dataset, u, v);
                 assert_eq!(e1, e2, "{method:?} not deterministic");
             }
             for method in CfMethod::all() {
-                let c1 = method.build(cfg, 5).explain_counterfactual(&matcher, &dataset, u, v);
-                let c2 = method.build(cfg, 5).explain_counterfactual(&matcher, &dataset, u, v);
+                let c1 = method
+                    .build(cfg, 5)
+                    .explain_counterfactual(&matcher, &dataset, u, v);
+                let c2 = method
+                    .build(cfg, 5)
+                    .explain_counterfactual(&matcher, &dataset, u, v);
                 assert_eq!(c1.golden_set, c2.golden_set, "{method:?}");
                 assert_eq!(c1.examples.len(), c2.examples.len(), "{method:?}");
                 for (a, b) in c1.examples.iter().zip(c2.examples.iter()) {
@@ -60,8 +68,12 @@ fn different_seeds_give_different_baseline_samples() {
     let lp = sample_pairs(&dataset, Split::Test, 1, 3)[0];
     let (u, v) = dataset.expect_pair(lp.pair);
     let cfg = CertaConfig::default().with_triangles(10);
-    let e1 = SaliencyMethod::Mojito.build(cfg, 1).explain_saliency(&matcher, &dataset, u, v);
-    let e2 = SaliencyMethod::Mojito.build(cfg, 2).explain_saliency(&matcher, &dataset, u, v);
+    let e1 = SaliencyMethod::Mojito
+        .build(cfg, 1)
+        .explain_saliency(&matcher, &dataset, u, v);
+    let e2 = SaliencyMethod::Mojito
+        .build(cfg, 2)
+        .explain_saliency(&matcher, &dataset, u, v);
     // Scores come from sampled regressions: overwhelmingly unlikely to match
     // to the last bit under different seeds.
     assert_ne!(e1, e2);

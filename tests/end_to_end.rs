@@ -79,7 +79,10 @@ fn counterfactual_methods_respect_schema() {
             for ex in &cf.examples {
                 assert_eq!(ex.left.arity(), u.arity(), "{method:?}");
                 assert_eq!(ex.right.arity(), v.arity());
-                assert!(!ex.changed.is_empty(), "{method:?}: counterfactual must change something");
+                assert!(
+                    !ex.changed.is_empty(),
+                    "{method:?}: counterfactual must change something"
+                );
                 assert!((0.0..=1.0).contains(&ex.score));
             }
         }
@@ -97,7 +100,11 @@ fn prediction_caching_is_transparent() {
     for lp in dataset.split(Split::Test) {
         let (u, v) = dataset.expect_pair(lp.pair);
         assert_eq!(raw.score(u, v), cached.score(u, v));
-        assert_eq!(raw.score(u, v), cached.score(u, v), "second read hits the cache");
+        assert_eq!(
+            raw.score(u, v),
+            cached.score(u, v),
+            "second read hits the cache"
+        );
     }
     assert!(cached.len() >= dataset.split(Split::Test).len().min(1));
 }

@@ -20,8 +20,10 @@ fn support_value(k: usize, attr: usize) -> String {
 fn build_dataset() -> Dataset {
     let ls = Schema::shared("Abt", ["Name", "Description", "Price"]);
     let rs = Schema::shared("Buy", ["Name", "Description", "Price"]);
-    let mut left_records =
-        vec![Record::new(RecordId(0), vec!["u_n".into(), "u_d".into(), "u_p".into()])];
+    let mut left_records = vec![Record::new(
+        RecordId(0),
+        vec!["u_n".into(), "u_d".into(), "u_p".into()],
+    )];
     for k in 1..=4 {
         left_records.push(Record::new(
             RecordId(k as u32),
@@ -31,7 +33,10 @@ fn build_dataset() -> Dataset {
     let left = Table::from_records(ls, left_records).unwrap();
     let right = Table::from_records(
         rs,
-        vec![Record::new(RecordId(0), vec!["v_n".into(), "v_d".into(), "v_p".into()])],
+        vec![Record::new(
+            RecordId(0),
+            vec!["v_n".into(), "v_d".into(), "v_p".into()],
+        )],
     )
     .unwrap();
     Dataset::new(
@@ -67,10 +72,10 @@ fn figure9_matcher() -> impl Matcher {
             }
             let len = mask.count_ones();
             let flips = match k {
-                1 => mask & 0b011 != 0,          // N or D alone suffice
+                1 => mask & 0b011 != 0,             // N or D alone suffice
                 2 => mask & 0b001 != 0 || len >= 2, // N, or any pair
-                3 => mask & 0b001 != 0,          // only sets containing N
-                4 => len >= 2,                   // no singleton flips
+                3 => mask & 0b001 != 0,             // only sets containing N
+                4 => len >= 2,                      // no singleton flips
                 _ => unreachable!(),
             };
             return if flips { 0.1 } else { 0.9 };
@@ -98,7 +103,10 @@ fn explain() -> certa_repro::explain::CertaExplanation {
 fn prediction_and_triangles_match_the_setup() {
     let exp = explain();
     assert!(exp.prediction.is_match());
-    assert_eq!(exp.triangle_stats.natural, 4, "w1..w4 all qualify as supports");
+    assert_eq!(
+        exp.triangle_stats.natural, 4,
+        "w1..w4 all qualify as supports"
+    );
     assert_eq!(exp.triangle_stats.augmented, 0);
     assert_eq!(exp.lattice_stats.len(), 4);
 }
@@ -155,7 +163,10 @@ fn lattice_exploration_cost_matches_hand_count() {
     let expected: usize = exp.lattice_stats.iter().map(|s| s.expected).sum();
     assert_eq!(expected, 24);
     assert_eq!(performed, 17);
-    assert_eq!(exp.lattice_stats.iter().map(|s| s.saved()).sum::<usize>(), 7);
+    assert_eq!(
+        exp.lattice_stats.iter().map(|s| s.saved()).sum::<usize>(),
+        7
+    );
 }
 
 #[test]
@@ -164,5 +175,8 @@ fn deterministic_end_to_end() {
     let b = explain();
     assert_eq!(a.saliency, b.saliency);
     assert_eq!(a.counterfactual.golden_set, b.counterfactual.golden_set);
-    assert_eq!(a.counterfactual.examples.len(), b.counterfactual.examples.len());
+    assert_eq!(
+        a.counterfactual.examples.len(),
+        b.counterfactual.examples.len()
+    );
 }

@@ -1,0 +1,223 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset the workspace's `benches/` use — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkId`] and [`Bencher::iter`] —
+//! with a simple time-boxed wall-clock measurement instead of criterion's
+//! statistical machinery. Each benchmark prints one line:
+//! `group/name  <mean time per iteration>`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which most benches here already use).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.measurement, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's time-boxed measurement
+    /// ignores the sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.criterion.measurement, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<T: ?Sized, I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op beyond dropping it, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly for the measurement budget and record the mean
+    /// wall-clock time per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate a batch size so clock reads stay cheap.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(label: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+    } else if b.mean_ns >= 1_000_000.0 {
+        println!("{label:<48} {:10.3} ms/iter", b.mean_ns / 1_000_000.0);
+    } else if b.mean_ns >= 1_000.0 {
+        println!("{label:<48} {:10.3} µs/iter", b.mean_ns / 1_000.0);
+    } else {
+        println!("{label:<48} {:10.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// Collect benchmark functions into one callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running each group, as criterion does for `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies (`vec` only).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Strategy generating a `Vec` whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors of values from `element` with a length drawn from
+/// `size` (a fixed length or a half-open range, as in real proptest).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_exclusive - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::for_test("collection-tests");
+        let fixed = vec(0.0f64..1.0, 6).generate(&mut rng);
+        assert_eq!(fixed.len(), 6);
+        for _ in 0..100 {
+            let v = vec(0u32..10, 2..10).generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn nested_string_elements() {
+        let mut rng = TestRng::for_test("collection-tests-2");
+        let toks = vec("[a-z]{1,6}", 0..12).generate(&mut rng);
+        assert!(toks.len() < 12);
+        assert!(toks.iter().all(|t| (1..=6).contains(&t.len())));
+    }
+}

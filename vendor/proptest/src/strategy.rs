@@ -1,0 +1,282 @@
+//! The [`Strategy`] trait and the built-in strategies: numeric ranges and a
+//! regex-subset string generator.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic sampler over the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategies are shared by reference inside `collection::vec` etc.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                assert!(span > 0, "empty range strategy {:?}", self);
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                self.start + (self.end - self.start) * rng.unit() as $t
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// String literals act as regex-subset strategies, as in real proptest.
+///
+/// Supported grammar: literal characters, character classes `[a-z0-9 ]`
+/// (ranges + literals, no negation), groups `( … )`, and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = parse_seq(&mut self.chars().peekable(), self, false);
+        let mut out = String::new();
+        render(&ast, rng, &mut out);
+        out
+    }
+}
+
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, (u32, u32))>),
+}
+
+type Seq = Vec<(Node, (u32, u32))>;
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+    in_group: bool,
+) -> Seq {
+    let mut seq = Seq::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unmatched `)` in pattern {pattern:?}");
+            chars.next();
+            return seq;
+        }
+        chars.next();
+        let node = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated `[` in pattern {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        assert!(lo <= hi, "reversed class range in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty class `[]` in pattern {pattern:?}"
+                );
+                Node::Class(ranges)
+            }
+            '(' => Node::Group(parse_seq(chars, pattern, true)),
+            '\\' => Node::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}")),
+            ),
+            other => Node::Literal(other),
+        };
+        let quant = parse_quant(chars, pattern);
+        seq.push((node, quant));
+    }
+    assert!(!in_group, "unterminated `(` in pattern {pattern:?}");
+    seq
+}
+
+fn parse_quant(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut first = String::new();
+            let mut second: Option<String> = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => second = Some(String::new()),
+                    Some(d) => match &mut second {
+                        Some(s) => s.push(d),
+                        None => first.push(d),
+                    },
+                    None => panic!("unterminated `{{` in pattern {pattern:?}"),
+                }
+            }
+            let lo: u32 = first.parse().unwrap_or_else(|_| {
+                panic!("bad repetition count {first:?} in pattern {pattern:?}")
+            });
+            let hi = match second {
+                None => lo,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    panic!("bad repetition count {s:?} in pattern {pattern:?}")
+                }),
+            };
+            assert!(
+                lo <= hi,
+                "reversed repetition {{{lo},{hi}}} in pattern {pattern:?}"
+            );
+            (lo, hi)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn render(seq: &Seq, rng: &mut TestRng, out: &mut String) {
+    for (node, (lo, hi)) in seq {
+        let n = if lo == hi {
+            *lo
+        } else {
+            *lo + rng.below((*hi - *lo + 1) as u64) as u32
+        };
+        for _ in 0..n {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64 - *a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (a, b) in ranges {
+                        let width = (*b as u64 - *a as u64) + 1;
+                        if pick < width {
+                            out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+                Node::Group(inner) => render(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (2usize..7).generate(&mut r);
+            assert!((2..7).contains(&v));
+            let f = (-1e6f64..1e6).generate(&mut r);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_counts() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_groups_make_token_lists() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}( [a-z]{1,6}){1,8}".generate(&mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((2..=9).contains(&words.len()), "{s:?}");
+            assert!(words.iter().all(|w| !w.is_empty() && w.len() <= 6), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literal_spaces_and_digits() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[ a-z0-9]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let s1 = "[a-z]{3,9}".generate(&mut a);
+        let s2 = "[a-z]{3,9}".generate(&mut b);
+        assert_eq!(s1, s2);
+    }
+}

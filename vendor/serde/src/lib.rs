@@ -1,0 +1,21 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so the intent (and the upgrade path to the real crate) is
+//! preserved, but nothing in-tree actually serializes — there is no
+//! `serde_json` here. This shim therefore only has to make the derives and
+//! `use serde::{Serialize, Deserialize}` imports *resolve*:
+//!
+//! * the re-exported derive macros expand to nothing, and
+//! * the traits are blanket-implemented markers, so any future
+//!   `T: Serialize` bound is satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

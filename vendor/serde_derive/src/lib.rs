@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace's types carry serde derives so that downstream users can
+//! re-enable real serialization by swapping the vendored `serde` shim for
+//! the published crate. Offline, the derives must still *resolve*; they
+//! expand to nothing, and the shim `serde` crate provides blanket marker
+//! impls instead (no code in this workspace calls serialize/deserialize).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
