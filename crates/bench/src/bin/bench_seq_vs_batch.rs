@@ -1,0 +1,98 @@
+//! Sequential vs batch explanation throughput — the acceptance check for
+//! the parallel batch engine.
+//!
+//! Explains the same sampled test pairs twice over cold caches: once as a
+//! sequential loop of `Certa::explain` calls (one worker), once through
+//! `Certa::explain_batch` (one worker per core). Verifies the two outputs
+//! are **byte-identical** (the engine's determinism guarantee — any mismatch
+//! exits non-zero, so a CI smoke run of this binary gates regressions in
+//! the parallel path) and reports the throughput ratio. On a ≥4-core runner
+//! the batch path is expected to clear 2×; on fewer cores the ratio is
+//! reported as informational.
+//!
+//! Set `CERTA_BENCH_REQUIRE_SPEEDUP=<ratio>` to additionally fail the run
+//! when the measured speedup falls below a floor (for dedicated multi-core
+//! benchmark machines; CI containers are too noisy for a hard gate).
+
+use certa_bench::{banner, CliOptions};
+use certa_core::{BoxedMatcher, Split};
+use certa_datagen::{generate, DatasetId};
+use certa_explain::{Certa, CertaExplanation};
+use certa_models::{train_zoo, trainer::sample_pairs, CachingMatcher, ModelKind};
+use std::time::Instant;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    banner("seq vs batch — parallel batch explanation engine", &opts);
+    let cfg = opts.grid();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let dataset = generate(DatasetId::FZ, cfg.scale, cfg.seed);
+    let zoo = train_zoo(&dataset);
+    let matcher = zoo.matcher(ModelKind::DeepMatcher);
+    let n_pairs = cfg.n_explained.max(8);
+    let pairs = sample_pairs(&dataset, Split::Test, n_pairs, cfg.seed ^ 0xBA7C);
+    let refs: Vec<_> = pairs
+        .iter()
+        .map(|lp| dataset.expect_pair(lp.pair))
+        .collect();
+    let certa_cfg = cfg.certa_config();
+    println!(
+        "dataset=FZ model=DeepMatcher pairs={} tau={} cores={cores}",
+        refs.len(),
+        certa_cfg.num_triangles
+    );
+
+    // Sequential reference: one worker, cold sharded cache.
+    let seq_matcher: BoxedMatcher = CachingMatcher::new(matcher.clone());
+    let seq = Certa::new(certa_cfg.with_workers(1));
+    let t0 = Instant::now();
+    let seq_out: Vec<CertaExplanation> = refs
+        .iter()
+        .map(|&(u, v)| seq.explain(&seq_matcher, &dataset, u, v))
+        .collect();
+    let seq_time = t0.elapsed();
+
+    // Batch engine: one worker per core, its own cold sharded cache.
+    let batch_matcher: BoxedMatcher = CachingMatcher::new(matcher);
+    let batch = Certa::new(certa_cfg);
+    let t0 = Instant::now();
+    let batch_out = batch.explain_batch(&batch_matcher, &dataset, &refs);
+    let batch_time = t0.elapsed();
+
+    if seq_out != batch_out {
+        eprintln!("FAIL: explain_batch output differs from the sequential loop");
+        std::process::exit(1);
+    }
+    println!(
+        "outputs: byte-identical across {} explanations ✔",
+        seq_out.len()
+    );
+
+    let seq_s = seq_time.as_secs_f64();
+    let batch_s = batch_time.as_secs_f64();
+    let speedup = seq_s / batch_s.max(1e-9);
+    println!(
+        "sequential: {seq_s:.3}s ({:.2} pairs/s)",
+        refs.len() as f64 / seq_s.max(1e-9)
+    );
+    println!(
+        "batch     : {batch_s:.3}s ({:.2} pairs/s)",
+        refs.len() as f64 / batch_s.max(1e-9)
+    );
+    if cores >= 4 && speedup >= 2.0 {
+        println!("speedup   : {speedup:.2}x on {cores} cores — PASS (≥2x target)");
+    } else {
+        println!("speedup   : {speedup:.2}x on {cores} cores (2x target applies to ≥4 cores)");
+    }
+
+    if let Ok(floor) = std::env::var("CERTA_BENCH_REQUIRE_SPEEDUP") {
+        let floor: f64 = floor
+            .parse()
+            .expect("CERTA_BENCH_REQUIRE_SPEEDUP must be a number");
+        if speedup < floor {
+            eprintln!("FAIL: speedup {speedup:.2}x below required {floor:.2}x");
+            std::process::exit(1);
+        }
+    }
+}

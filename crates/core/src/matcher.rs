@@ -18,6 +18,17 @@ pub trait Matcher: Send + Sync {
     /// Matching score for the pair `⟨u, v⟩`; `score > 0.5` means Match.
     fn score(&self, u: &Record, v: &Record) -> f64;
 
+    /// Matching scores for a batch of pairs, in input order.
+    ///
+    /// The default delegates to [`Matcher::score`] pair-by-pair. Models whose
+    /// forward pass amortizes across inputs (feature extraction, matrix
+    /// forward passes, cache lookups) should override this; the override
+    /// **must** return exactly `score(u, v)` per pair — batch explainers and
+    /// the score caches rely on the two paths being value-identical.
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        pairs.iter().map(|(u, v)| self.score(u, v)).collect()
+    }
+
     /// Thresholded prediction — the paper's `M(⟨u, v⟩)`.
     fn predict(&self, u: &Record, v: &Record) -> MatchLabel {
         MatchLabel::from_score(self.score(u, v))
@@ -62,12 +73,17 @@ impl Prediction {
 }
 
 /// Blanket impl so `Arc<dyn Matcher>` and `&M` satisfy `Matcher` bounds.
+/// `score_batch` is forwarded explicitly so wrappers never silently fall
+/// back to the sequential default and drop a model's vectorized override.
 impl<M: Matcher + ?Sized> Matcher for &M {
     fn name(&self) -> &str {
         (**self).name()
     }
     fn score(&self, u: &Record, v: &Record) -> f64 {
         (**self).score(u, v)
+    }
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        (**self).score_batch(pairs)
     }
 }
 
@@ -77,6 +93,9 @@ impl<M: Matcher + ?Sized> Matcher for Arc<M> {
     }
     fn score(&self, u: &Record, v: &Record) -> f64 {
         (**self).score(u, v)
+    }
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        (**self).score_batch(pairs)
     }
 }
 
@@ -153,5 +172,51 @@ mod tests {
     fn prediction_threshold() {
         assert!(Prediction::from_score(0.51).is_match());
         assert!(!Prediction::from_score(0.5).is_match());
+    }
+
+    #[test]
+    fn score_batch_default_matches_sequential_scores() {
+        let m = FnMatcher::new("len", |u: &Record, _v: &Record| {
+            (u.values()[0].len() as f64 / 10.0).min(1.0)
+        });
+        let records: Vec<Record> = (0..4u32)
+            .map(|i| Record::new(RecordId(i), vec!["x".repeat(i as usize + 1)]))
+            .collect();
+        let pairs: Vec<(&Record, &Record)> = records.iter().zip(records.iter().rev()).collect();
+        let batch = m.score_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for ((u, v), s) in pairs.iter().zip(&batch) {
+            assert_eq!(*s, m.score(u, v));
+        }
+        assert!(m.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn score_batch_forwards_through_wrappers() {
+        /// A matcher whose batch path is deliberately distinguishable so the
+        /// test can observe whether a wrapper preserved the override.
+        struct MarkedBatch;
+        impl Matcher for MarkedBatch {
+            fn name(&self) -> &str {
+                "marked"
+            }
+            fn score(&self, _u: &Record, _v: &Record) -> f64 {
+                0.25
+            }
+            fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+                vec![0.75; pairs.len()]
+            }
+        }
+        let u = rec(0, &["a"]);
+        let v = rec(1, &["b"]);
+        let pairs = [(&u, &v)];
+        let direct = MarkedBatch;
+        assert_eq!(direct.score_batch(&pairs), vec![0.75]);
+        let by_ref: &dyn Matcher = &MarkedBatch;
+        assert_eq!(by_ref.score_batch(&pairs), vec![0.75]);
+        let arced: BoxedMatcher = Arc::new(MarkedBatch);
+        assert_eq!(arced.score_batch(&pairs), vec![0.75]);
+        let arced_ref: &BoxedMatcher = &arced;
+        assert_eq!(arced_ref.score_batch(&pairs), vec![0.75]);
     }
 }

@@ -78,12 +78,20 @@ pub fn case_study(
         })
         .collect();
 
-    // Per-attribute actual saliency + method scores.
+    // Per-attribute actual saliency + method scores. All masked probes go
+    // through one `score_batch` call so vectorized matchers amortize.
+    let masked: Vec<(certa_core::Record, certa_core::Record)> = all_attrs
+        .iter()
+        .map(|&attr| mask_pair(u, v, &[attr]))
+        .collect();
+    let probes: Vec<(&certa_core::Record, &certa_core::Record)> =
+        masked.iter().map(|(mu, mv)| (mu, mv)).collect();
+    let actuals = matcher.score_batch(&probes);
     let rows: Vec<CaseStudyRow> = all_attrs
         .iter()
-        .map(|&attr| {
-            let (mu, mv) = mask_pair(u, v, &[attr]);
-            let actual = (score - matcher.score(&mu, &mv)).abs();
+        .zip(&actuals)
+        .map(|(&attr, &masked_score)| {
+            let actual = (score - masked_score).abs();
             let by_method = explanations
                 .iter()
                 .map(|(m, e)| (*m, e.score(attr)))
@@ -96,16 +104,19 @@ pub fn case_study(
         })
         .collect();
 
-    // Aggr@k per method.
+    // Aggr@k per method — the k top-k masking probes batched per method.
     let aggr: Vec<(SaliencyMethod, Vec<f64>)> = explanations
         .iter()
         .map(|(m, e)| {
-            let series: Vec<f64> = (1..=all_attrs.len())
-                .map(|k| {
-                    let top = e.top_k(k);
-                    let (mu, mv) = mask_pair(u, v, &top);
-                    (score - matcher.score(&mu, &mv)).abs()
-                })
+            let masked: Vec<(certa_core::Record, certa_core::Record)> = (1..=all_attrs.len())
+                .map(|k| mask_pair(u, v, &e.top_k(k)))
+                .collect();
+            let probes: Vec<(&certa_core::Record, &certa_core::Record)> =
+                masked.iter().map(|(mu, mv)| (mu, mv)).collect();
+            let series: Vec<f64> = matcher
+                .score_batch(&probes)
+                .into_iter()
+                .map(|s| (score - s).abs())
                 .collect();
             (*m, series)
         })

@@ -120,6 +120,8 @@ fn example_pair_distance(a: &CounterfactualExample, b: &CounterfactualExample) -
 }
 
 /// Run a counterfactual explainer over `pairs` and aggregate all metrics.
+/// Explanations are produced through the explainer's batch entry point
+/// (parallel for CERTA) and aggregated in input order.
 pub fn cf_metrics_for(
     matcher: &dyn Matcher,
     dataset: &Dataset,
@@ -127,16 +129,19 @@ pub fn cf_metrics_for(
     pairs: &[LabeledPair],
 ) -> CfAggregate {
     assert!(!pairs.is_empty(), "need at least one pair");
+    let refs: Vec<_> = pairs
+        .iter()
+        .map(|lp| dataset.expect_pair(lp.pair))
+        .collect();
+    let explanations = explainer.explain_counterfactual_batch(matcher, dataset, &refs);
     let mut prox_sum = 0.0;
     let mut spars_sum = 0.0;
     let mut with_examples = 0usize;
     let mut div_sum = 0.0;
     let mut count_sum = 0.0;
-    for lp in pairs {
-        let (u, v) = dataset.expect_pair(lp.pair);
-        let cf = explainer.explain_counterfactual(matcher, dataset, u, v);
+    for (&(u, v), cf) in refs.iter().zip(&explanations) {
         count_sum += cf.examples.len() as f64;
-        div_sum += set_diversity(&cf);
+        div_sum += set_diversity(cf);
         if !cf.examples.is_empty() {
             let p: f64 = cf
                 .examples

@@ -36,19 +36,19 @@ fn saliency_features(expl: &SaliencyExplanation, predicted_match: bool) -> Vec<f
 }
 
 /// Compute the confidence-indication MAE of `explainer` on `pairs`.
+/// Explanations go through the explainer's batch entry point (parallel for
+/// CERTA, a plain loop for the baselines).
 pub fn confidence_indication(
     matcher: &dyn Matcher,
     dataset: &Dataset,
     explainer: &dyn SaliencyExplainer,
     pairs: &[LabeledPair],
 ) -> f64 {
-    let explanations: Vec<SaliencyExplanation> = pairs
+    let refs: Vec<_> = pairs
         .iter()
-        .map(|lp| {
-            let (u, v) = dataset.expect_pair(lp.pair);
-            explainer.explain_saliency(matcher, dataset, u, v)
-        })
+        .map(|lp| dataset.expect_pair(lp.pair))
         .collect();
+    let explanations = explainer.explain_saliency_batch(matcher, dataset, &refs);
     confidence_indication_with(matcher, dataset, &explanations, pairs)
 }
 

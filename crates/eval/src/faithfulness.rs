@@ -16,7 +16,9 @@ pub const FAITHFULNESS_THRESHOLDS: [f64; 6] = [0.1, 0.2, 0.33, 0.5, 0.7, 0.9];
 
 /// Compute the faithfulness AUC of `explainer` on `pairs`.
 ///
-/// Explanations are computed once per pair and reused across thresholds.
+/// Explanations are computed once per pair — through the explainer's batch
+/// entry point, so parallel engines (CERTA) fan the pairs out across cores —
+/// and reused across thresholds.
 pub fn faithfulness_auc(
     matcher: &dyn Matcher,
     dataset: &Dataset,
@@ -24,13 +26,11 @@ pub fn faithfulness_auc(
     pairs: &[LabeledPair],
 ) -> f64 {
     assert!(!pairs.is_empty(), "need at least one pair to evaluate");
-    let explanations: Vec<SaliencyExplanation> = pairs
+    let refs: Vec<_> = pairs
         .iter()
-        .map(|lp| {
-            let (u, v) = dataset.expect_pair(lp.pair);
-            explainer.explain_saliency(matcher, dataset, u, v)
-        })
+        .map(|lp| dataset.expect_pair(lp.pair))
         .collect();
+    let explanations = explainer.explain_saliency_batch(matcher, dataset, &refs);
     faithfulness_auc_with(matcher, dataset, &explanations, pairs)
 }
 
@@ -50,13 +50,23 @@ pub fn faithfulness_auc_with(
     let mut points = Vec::with_capacity(FAITHFULNESS_THRESHOLDS.len());
     for &t in &FAITHFULNESS_THRESHOLDS {
         let k = ((t * total_attrs as f64).ceil() as usize).clamp(1, total_attrs);
-        let mut predicted = Vec::with_capacity(pairs.len());
-        for (lp, expl) in pairs.iter().zip(explanations.iter()) {
-            let (u, v) = dataset.expect_pair(lp.pair);
-            let top = expl.top_k(k);
-            let (mu, mv) = mask_pair(u, v, &top);
-            predicted.push(matcher.prediction(&mu, &mv).is_match());
-        }
+        // One `score_batch` call re-predicts the whole masked set at this
+        // threshold (vectorized matchers amortize the forward pass).
+        let masked: Vec<(certa_core::Record, certa_core::Record)> = pairs
+            .iter()
+            .zip(explanations.iter())
+            .map(|(lp, expl)| {
+                let (u, v) = dataset.expect_pair(lp.pair);
+                mask_pair(u, v, &expl.top_k(k))
+            })
+            .collect();
+        let probes: Vec<(&certa_core::Record, &certa_core::Record)> =
+            masked.iter().map(|(mu, mv)| (mu, mv)).collect();
+        let predicted: Vec<bool> = matcher
+            .score_batch(&probes)
+            .into_iter()
+            .map(|s| certa_core::Prediction::from_score(s).is_match())
+            .collect();
         points.push((t, confusion(&predicted, &actual).f1()));
     }
     auc_trapezoid(&points)

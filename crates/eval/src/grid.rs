@@ -151,10 +151,26 @@ pub struct CfCell {
     pub value: CfAggregate,
 }
 
+/// Per-cell explainer worker budget: the grid already runs one thread per
+/// dataset, so each cell's batch engine gets its share of the cores —
+/// nesting full `available_parallelism` under the dataset fan-out would
+/// oversubscribe the CPU with no extra throughput.
+fn cell_workers(datasets: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores / datasets.max(1)).max(1)
+}
+
 /// Evaluate a saliency metric over the full grid.
 ///
 /// `metric` receives `(matcher, dataset, explainer, pairs)` and returns the
-/// scalar for one cell. Runs datasets in parallel.
+/// scalar for one cell. Runs datasets in parallel; within a cell, the
+/// metrics route explanations through the explainer's *batch* entry point
+/// (`explain_saliency_batch`), so CERTA's work-stealing engine and the
+/// sharded score cache are exercised by every table binary. The batch
+/// engine's worker count is divided by the dataset fan-out ([`cell_workers`])
+/// so the two parallelism levels share the machine instead of multiplying.
 pub fn run_saliency_grid<F>(
     prepared: &[PreparedDataset],
     cfg: &GridConfig,
@@ -171,6 +187,7 @@ where
         + Sync,
 {
     let metric = &metric;
+    let workers = cell_workers(prepared.len());
     let mut all: Vec<Vec<SaliencyCell>> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = prepared
@@ -183,7 +200,8 @@ where
                     for &model in &cfg.models {
                         let matcher = p.cached_matcher(model);
                         for &method in &methods {
-                            let explainer = method.build(cfg.certa_config(), cfg.seed);
+                            let explainer =
+                                method.build(cfg.certa_config().with_workers(workers), cfg.seed);
                             let value =
                                 metric(&matcher, &p.dataset, explainer.as_ref(), &p.explained);
                             cells.push(SaliencyCell {
@@ -205,12 +223,14 @@ where
     all.into_iter().flatten().collect()
 }
 
-/// Evaluate all counterfactual metrics over the full grid.
+/// Evaluate all counterfactual metrics over the full grid (same
+/// parallelism-sharing scheme as [`run_saliency_grid`]).
 pub fn run_cf_grid(
     prepared: &[PreparedDataset],
     cfg: &GridConfig,
     methods: &[CfMethod],
 ) -> Vec<CfCell> {
+    let workers = cell_workers(prepared.len());
     let mut all: Vec<Vec<CfCell>> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = prepared
@@ -223,7 +243,8 @@ pub fn run_cf_grid(
                     for &model in &cfg.models {
                         let matcher = p.cached_matcher(model);
                         for &method in &methods {
-                            let explainer = method.build(cfg.certa_config(), cfg.seed);
+                            let explainer =
+                                method.build(cfg.certa_config().with_workers(workers), cfg.seed);
                             let value = cf_metrics_for(
                                 &matcher,
                                 &p.dataset,
@@ -313,6 +334,16 @@ mod tests {
             assert!(c.value.count >= 0.0);
             assert_eq!(c.value.pairs, 2);
         }
+    }
+
+    #[test]
+    fn cell_worker_budget_is_positive_and_bounded() {
+        assert!(cell_workers(1) >= 1);
+        assert_eq!(cell_workers(usize::MAX), 1, "huge fan-out degrades to 1");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(cell_workers(1) <= cores);
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct SweepPoint {
 }
 
 /// Run CERTA at one τ over `pairs` and aggregate all seven panel metrics.
+/// Explanations come from [`Certa::explain_labeled`] (the parallel batch
+/// engine) and are aggregated in input order.
 pub fn sweep_point(
     matcher: &dyn Matcher,
     dataset: &Dataset,
@@ -43,6 +45,7 @@ pub fn sweep_point(
 ) -> SweepPoint {
     assert!(!pairs.is_empty());
     let certa = Certa::new(base.with_triangles(tau));
+    let explanations = certa.explain_labeled(matcher, dataset, pairs);
     let mut saliencies = Vec::with_capacity(pairs.len());
     let mut suff_sum = 0.0;
     let mut nec_sum = 0.0;
@@ -51,9 +54,8 @@ pub fn sweep_point(
     let mut with_examples = 0usize;
     let mut div_sum = 0.0;
 
-    for lp in pairs {
+    for (lp, exp) in pairs.iter().zip(explanations) {
         let (u, v) = dataset.expect_pair(lp.pair);
-        let exp = certa.explain(matcher, dataset, u, v);
         suff_sum += exp.mean_sufficiency;
         nec_sum += exp.mean_necessity;
         div_sum += set_diversity(&exp.counterfactual);

@@ -19,7 +19,11 @@ pub struct Certa {
 }
 
 /// Everything CERTA produces for one prediction.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (scores included) — the batch
+/// engine's determinism tests rely on batch and sequential runs producing
+/// *identical* values, not merely close ones.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CertaExplanation {
     /// The original prediction being explained.
     pub prediction: Prediction,
@@ -49,12 +53,32 @@ impl Certa {
     }
 
     /// Explain the prediction `M(⟨u, v⟩)` — Algorithm 1.
+    ///
+    /// When the machine has more than one core (and `config.workers` permits
+    /// it), the per-triangle lattice explorations run on a scoped worker
+    /// pool; triangles are independent, and the flip counters are merged in
+    /// triangle order afterwards, so the result is identical to a sequential
+    /// run.
     pub fn explain(
         &self,
         matcher: &dyn Matcher,
         dataset: &Dataset,
         u: &Record,
         v: &Record,
+    ) -> CertaExplanation {
+        self.explain_impl(matcher, dataset, u, v, self.config.effective_workers())
+    }
+
+    /// Algorithm 1 with an explicit triangle-exploration worker count
+    /// (`explain_batch` workers pass 1 — the batch layer already saturates
+    /// the cores with whole pairs).
+    pub(crate) fn explain_impl(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        u: &Record,
+        v: &Record,
+        triangle_workers: usize,
     ) -> CertaExplanation {
         let prediction = matcher.prediction(u, v);
         let y = prediction.label;
@@ -64,14 +88,15 @@ impl Certa {
         // Line 8: open triangles, τ/2 per side (with §3.3 augmentation).
         let (triangles, triangle_stats) = find_triangles(matcher, dataset, u, v, y, &self.config);
 
+        // Lines 9–17: explore one lattice per triangle (independent, so
+        // parallelizable), then merge flip counts in triangle order — the
+        // merge order, not the completion order, defines the output.
+        let explorations = self.explore_all(matcher, u, v, &triangles, y, triangle_workers);
         let mut necessity = NecessityCounter::new(left_arity, right_arity);
         let mut sufficiency = SufficiencyCounter::new();
         let mut lattice_stats = Vec::with_capacity(triangles.len());
-
-        // Lines 9–17: explore one lattice per triangle, counting flips.
-        for t in &triangles {
+        for (t, exploration) in triangles.iter().zip(&explorations) {
             sufficiency.record_triangle(t.side);
-            let exploration = self.explore_triangle(matcher, u, v, t, y);
             lattice_stats.push(exploration.stats());
             for mask in exploration.flipped_masks() {
                 necessity.record_flip(t.side, mask);
@@ -82,11 +107,7 @@ impl Certa {
         // Lines 18–20: Φ = N[a] / f.
         let mean_sufficiency = sufficiency.mean_chi();
         let saliency = necessity.into_explanation();
-        let mean_necessity = if saliency.is_empty() {
-            0.0
-        } else {
-            saliency.iter().map(|(_, s)| s).sum::<f64>() / saliency.len() as f64
-        };
+        let mean_necessity = mean_necessity_of(&saliency);
 
         // Lines 21–33: golden set A★ and the counterfactual examples E.
         let counterfactual = match sufficiency.golden_set(left_arity, right_arity) {
@@ -105,6 +126,25 @@ impl Certa {
             mean_sufficiency,
             mean_necessity,
         }
+    }
+
+    /// Explore every triangle's lattice, in triangle order. With more than
+    /// one worker and more than one triangle, exploration is fanned out over
+    /// the engine's work-stealing pool ([`crate::batch::run_indexed`]); each
+    /// exploration is deterministic in isolation, so only wall-clock time
+    /// depends on the schedule.
+    fn explore_all(
+        &self,
+        matcher: &dyn Matcher,
+        u: &Record,
+        v: &Record,
+        triangles: &[OpenTriangle],
+        y: MatchLabel,
+        workers: usize,
+    ) -> Vec<crate::lattice::Exploration> {
+        crate::batch::run_indexed(triangles.len(), workers, |i| {
+            self.explore_triangle(matcher, u, v, &triangles[i], y)
+        })
     }
 
     /// Explore one triangle's lattice, scoring perturbed copies through the
@@ -207,6 +247,30 @@ impl Certa {
     }
 }
 
+/// Mean probability of necessity — the Figure 11(b) statistic.
+///
+/// The paper's mean is taken over the attributes that **participate in at
+/// least one flip** (the attributes Φ actually scores); attributes the
+/// lattice walk never implicated carry no necessity evidence and are *not*
+/// part of the denominator. Averaging over the whole union schema instead
+/// (an earlier bug here) deflated the curve on wide schemas — e.g. a
+/// one-key world where Φ = 1/2 on each side's key reports ½, not ⅙.
+pub fn mean_necessity_of(saliency: &SaliencyExplanation) -> f64 {
+    let mut sum = 0.0;
+    let mut flipped_attrs = 0usize;
+    for (_, s) in saliency.iter() {
+        if s > 0.0 {
+            sum += s;
+            flipped_attrs += 1;
+        }
+    }
+    if flipped_attrs == 0 {
+        0.0
+    } else {
+        sum / flipped_attrs as f64
+    }
+}
+
 /// Mean per-attribute token-set overlap between two same-schema records —
 /// a dependency-free proximity used only for ranking the example list.
 fn pair_token_overlap(original: &Record, modified: &Record) -> f64 {
@@ -249,6 +313,18 @@ impl SaliencyExplainer for Certa {
     ) -> SaliencyExplanation {
         self.explain(matcher, dataset, u, v).saliency
     }
+
+    fn explain_saliency_batch(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        pairs: &[(&Record, &Record)],
+    ) -> Vec<SaliencyExplanation> {
+        self.explain_batch(matcher, dataset, pairs)
+            .into_iter()
+            .map(|e| e.saliency)
+            .collect()
+    }
 }
 
 impl CounterfactualExplainer for Certa {
@@ -264,6 +340,18 @@ impl CounterfactualExplainer for Certa {
         v: &Record,
     ) -> CounterfactualExplanation {
         self.explain(matcher, dataset, u, v).counterfactual
+    }
+
+    fn explain_counterfactual_batch(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        pairs: &[(&Record, &Record)],
+    ) -> Vec<CounterfactualExplanation> {
+        self.explain_batch(matcher, dataset, pairs)
+            .into_iter()
+            .map(|e| e.counterfactual)
+            .collect()
     }
 }
 
@@ -500,5 +588,84 @@ mod tests {
         let exp = certa_small().explain(&m, &d, u, v);
         assert!(exp.mean_sufficiency > 0.0 && exp.mean_sufficiency <= 1.0);
         assert!(exp.mean_necessity > 0.0 && exp.mean_necessity <= 1.0);
+    }
+
+    /// Regression: Figure 11(b)'s denominator. The §4 worked example yields
+    /// Φ = {15/19, 12/19, 11/19} over the three left attributes and zero on
+    /// the untouched right side; the mean probability of necessity averages
+    /// the three scored attributes — 38/57 ≈ 0.667 — not the whole
+    /// six-attribute union schema (which would halve it to 1/3).
+    #[test]
+    fn mean_necessity_excludes_never_flipped_attributes() {
+        let phi = SaliencyExplanation::new(
+            vec![15.0 / 19.0, 12.0 / 19.0, 11.0 / 19.0],
+            vec![0.0, 0.0, 0.0],
+        );
+        let m = mean_necessity_of(&phi);
+        assert!((m - 38.0 / 57.0).abs() < 1e-12, "got {m}, want 38/57");
+        // All-zero saliency (no flips anywhere) stays well-defined.
+        assert_eq!(mean_necessity_of(&SaliencyExplanation::zeros(3, 3)), 0.0);
+        assert_eq!(
+            mean_necessity_of(&SaliencyExplanation::new(vec![], vec![])),
+            0.0
+        );
+    }
+
+    #[test]
+    fn explanation_mean_necessity_uses_flipped_attr_denominator() {
+        // Asymmetric world: every right record keys "alpha", so the Match
+        // prediction ⟨0, 0⟩ has no right-side supports — right attributes
+        // can never flip and must stay out of the Fig. 11(b) denominator.
+        let ls = Schema::shared("U", ["key", "noise", "price"]);
+        let rs = Schema::shared("V", ["key", "noise", "price"]);
+        let mk = |i: u32, key: &str| {
+            Record::new(
+                RecordId(i),
+                vec![
+                    key.to_string(),
+                    format!("noise{i} extra pad"),
+                    format!("{}", 10 + i),
+                ],
+            )
+        };
+        let left = Table::from_records(
+            ls,
+            (0..12)
+                .map(|i| mk(i, if i < 6 { "alpha" } else { "beta" }))
+                .collect(),
+        )
+        .unwrap();
+        let right = Table::from_records(rs, (0..12).map(|i| mk(i, "alpha")).collect()).unwrap();
+        let d = Dataset::new(
+            "asym",
+            left,
+            right,
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+            vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+        )
+        .unwrap();
+        let m = key_matcher();
+        let u = d.left().expect(RecordId(0));
+        let v = d.right().expect(RecordId(0));
+        let exp = certa_small().explain(&m, &d, u, v);
+        let nonzero: Vec<f64> = exp
+            .saliency
+            .iter()
+            .map(|(_, s)| s)
+            .filter(|&s| s > 0.0)
+            .collect();
+        assert!(
+            !nonzero.is_empty() && nonzero.len() < exp.saliency.len(),
+            "world must mix flipped and never-flipped attributes"
+        );
+        let expected = nonzero.iter().sum::<f64>() / nonzero.len() as f64;
+        assert_eq!(exp.mean_necessity, expected);
+        // The all-attributes average is strictly smaller — the old buggy
+        // denominator deflated the statistic on never-flipped attributes.
+        let deflated = exp.saliency.iter().map(|(_, s)| s).sum::<f64>() / exp.saliency.len() as f64;
+        assert!(
+            exp.mean_necessity > deflated,
+            "never-flipped attributes must not deflate the mean"
+        );
     }
 }

@@ -29,6 +29,12 @@ pub struct CertaConfig {
     pub test_full_set: bool,
     /// Base RNG seed (candidate scan order).
     pub seed: u64,
+    /// Worker threads for [`Certa::explain_batch`](crate::Certa) and for
+    /// intra-`explain` triangle exploration. `0` = one per available core.
+    /// The worker count never changes results — scheduling only affects
+    /// wall-clock time, not output (results are merged in input / triangle
+    /// order).
+    pub workers: usize,
 }
 
 impl Default for CertaConfig {
@@ -43,6 +49,7 @@ impl Default for CertaConfig {
             monotone: true,
             test_full_set: false,
             seed: 0xCE27A,
+            workers: 0,
         }
     }
 }
@@ -58,6 +65,24 @@ impl CertaConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style worker-count override (`0` = one per available core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Effective worker count: the configured value, or the machine's
+    /// available parallelism when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 
     /// Triangles requested per side (τ/2, at least 1).
@@ -88,5 +113,14 @@ mod tests {
         assert_eq!(c.per_side(), 5);
         assert_eq!(c.seed, 9);
         assert_eq!(CertaConfig::default().with_triangles(1).per_side(), 1);
+    }
+
+    #[test]
+    fn worker_settings() {
+        let auto = CertaConfig::default();
+        assert_eq!(auto.workers, 0, "auto-detect by default");
+        assert!(auto.effective_workers() >= 1);
+        let fixed = CertaConfig::default().with_workers(3);
+        assert_eq!(fixed.effective_workers(), 3);
     }
 }

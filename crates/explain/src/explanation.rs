@@ -123,7 +123,7 @@ impl SaliencyExplanation {
 
 /// One counterfactual example: a full record pair that flips the prediction,
 /// plus which attributes were changed and the score the model gave it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterfactualExample {
     /// The (possibly perturbed) left record.
     pub left: Record,
@@ -137,7 +137,7 @@ pub struct CounterfactualExample {
 
 /// A counterfactual explanation (§3.2): examples realizing the golden
 /// attribute set `A★`, with its probability of sufficiency.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CounterfactualExplanation {
     /// The flip-realizing examples (empty when no flip was found).
     pub examples: Vec<CounterfactualExample>,
@@ -170,6 +170,23 @@ pub trait SaliencyExplainer {
         u: &Record,
         v: &Record,
     ) -> SaliencyExplanation;
+
+    /// Explain a batch of predictions, returning one explanation per pair in
+    /// input order. The default is a sequential loop; methods with a
+    /// parallel engine (CERTA) override it. Overrides **must** return
+    /// exactly what the sequential loop would — the evaluation grid treats
+    /// the two as interchangeable.
+    fn explain_saliency_batch(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        pairs: &[(&Record, &Record)],
+    ) -> Vec<SaliencyExplanation> {
+        pairs
+            .iter()
+            .map(|(u, v)| self.explain_saliency(matcher, dataset, u, v))
+            .collect()
+    }
 }
 
 /// A counterfactual explanation method.
@@ -185,6 +202,22 @@ pub trait CounterfactualExplainer {
         u: &Record,
         v: &Record,
     ) -> CounterfactualExplanation;
+
+    /// Explain a batch of predictions, one explanation per pair in input
+    /// order. Same contract as
+    /// [`SaliencyExplainer::explain_saliency_batch`]: overrides must be
+    /// output-identical to the sequential loop.
+    fn explain_counterfactual_batch(
+        &self,
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        pairs: &[(&Record, &Record)],
+    ) -> Vec<CounterfactualExplanation> {
+        pairs
+            .iter()
+            .map(|(u, v)| self.explain_counterfactual(matcher, dataset, u, v))
+            .collect()
+    }
 }
 
 #[cfg(test)]

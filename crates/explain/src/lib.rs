@@ -24,9 +24,30 @@
 //!
 //! [`Certa`] assembles these into Algorithm 1. Everything is deterministic
 //! given the [`CertaConfig`] seed, and the model is only ever accessed via
-//! [`certa_core::Matcher::score`].
+//! [`certa_core::Matcher::score`] /
+//! [`score_batch`](certa_core::Matcher::score_batch).
+//!
+//! ## The batch engine ([`batch`])
+//!
+//! [`Certa::explain_batch`] explains many predictions at once on a
+//! work-stealing scoped-thread pool, and a single [`Certa::explain`] call
+//! fans its independent triangle lattices out the same way
+//! (`CertaConfig::workers`; `0` = one per core). **Determinism guarantee:**
+//! batch output is byte-identical to a sequential loop of `explain` calls in
+//! input order — per-pair work is deterministic in the config, flip counters
+//! are merged in triangle order regardless of completion order, and workers
+//! share no mutable state. Scheduling can only change wall-clock time.
+//! Pair this engine with `certa_models::CachingMatcher` (sharded,
+//! at-most-once per distinct pair) so concurrent workers never serialize on
+//! one cache lock nor double-score the model.
+//!
+//! New matchers get the vectorized path by overriding
+//! [`certa_core::Matcher::score_batch`]; the override must stay
+//! value-identical to `score` pair-by-pair — the explainers and caches treat
+//! the two as interchangeable.
 
 pub mod augment;
+pub mod batch;
 pub mod certa;
 pub mod config;
 pub mod counterfactual;
@@ -37,7 +58,7 @@ pub mod saliency;
 pub mod token_level;
 pub mod triangles;
 
-pub use certa::{Certa, CertaExplanation};
+pub use certa::{mean_necessity_of, Certa, CertaExplanation};
 pub use config::CertaConfig;
 pub use explanation::{
     AttrRef, CounterfactualExample, CounterfactualExplainer, CounterfactualExplanation,

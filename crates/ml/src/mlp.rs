@@ -106,6 +106,28 @@ impl Mlp {
         a[0]
     }
 
+    /// Batched positive-class probabilities, in input order.
+    ///
+    /// The forward pass is swept layer-by-layer across the whole batch
+    /// (rather than sample-by-sample through the network), which keeps each
+    /// layer's weight matrix hot in cache and gives `Matcher::score_batch`
+    /// overrides a single entry point to vectorize against.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let mut acts: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), self.input_dim, "feature dimension mismatch");
+                x.clone()
+            })
+            .collect();
+        for layer in &self.layers {
+            for a in acts.iter_mut() {
+                *a = layer.forward(a);
+            }
+        }
+        acts.into_iter().map(|a| a[0]).collect()
+    }
+
     /// Forward pass caching all activations (input first, output last).
     fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
         let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
@@ -253,6 +275,23 @@ mod tests {
         ];
         let ys = vec![0.0, 1.0, 1.0, 0.0];
         (xs, ys)
+    }
+
+    #[test]
+    fn batch_forward_matches_single_forward() {
+        let cfg = MlpConfig::default();
+        let net = Mlp::new(3, &cfg);
+        let xs = vec![
+            vec![0.1, -0.4, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.5, 0.7, 0.3],
+        ];
+        let batch = net.predict_proba_batch(&xs);
+        assert_eq!(batch.len(), 3);
+        for (x, p) in xs.iter().zip(&batch) {
+            assert_eq!(*p, net.predict_proba(x), "batch diverged on {x:?}");
+        }
+        assert!(net.predict_proba_batch(&[]).is_empty());
     }
 
     #[test]

@@ -7,17 +7,47 @@
 //! [`CachingMatcher`] memoizes by record content hash;
 //! [`CountingMatcher`] counts **uncached** model invocations, which is the
 //! quantity the Table 7 monotonicity audit reports ("predictions performed").
+//!
+//! ## Concurrency design
+//!
+//! The cache is **sharded**: keys are spread over [`SHARD_COUNT`] independent
+//! maps, each behind its own `parking_lot` lock, so concurrent explainers
+//! (e.g. [`Certa::explain_batch`] workers) never serialize on one global
+//! lock. Each key owns a *cell* — a tiny per-pair mutex around the memoized
+//! score — which gives a strict **at-most-once** guarantee: when several
+//! threads race on the same cold pair, exactly one computes the score while
+//! the rest block on that cell (no thundering-herd double-scoring), and
+//! threads working on other pairs are never blocked at all. The batch path
+//! locks its miss cells in sorted key order (deadlock-free total order),
+//! scores all misses through one `inner.score_batch` call, then publishes —
+//! so the inner model sees each distinct pair at most once there too, and
+//! [`CountingMatcher`] counts stay exact under arbitrary interleavings.
+//!
+//! [`Certa::explain_batch`]: https://docs.rs/certa-explain
 
 use certa_core::hash::FxHashMap;
 use certa_core::{BoxedMatcher, Matcher, Record};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Thread-safe memoization of `score(u, v)` keyed by content hashes.
+/// Number of independent cache shards (power of two, so shard selection is a
+/// mask). 16 keeps lock contention negligible at explainer-level fan-out
+/// while staying cheap to clear and iterate.
+pub const SHARD_COUNT: usize = 16;
+
+/// Cache key: content hashes of the two records (id-independent).
+type Key = (u64, u64);
+
+/// One memoized score slot. `None` = not computed yet; the mutex makes the
+/// compute-and-fill step atomic per pair.
+type Cell = Arc<Mutex<Option<f64>>>;
+
+/// Thread-safe memoization of `score(u, v)` keyed by content hashes, sharded
+/// to avoid cross-thread lock contention (see the module docs).
 pub struct CachingMatcher {
     inner: BoxedMatcher,
-    cache: RwLock<FxHashMap<(u64, u64), f64>>,
+    shards: Vec<RwLock<FxHashMap<Key, Cell>>>,
 }
 
 impl CachingMatcher {
@@ -25,23 +55,43 @@ impl CachingMatcher {
     pub fn new(inner: BoxedMatcher) -> Arc<Self> {
         Arc::new(CachingMatcher {
             inner,
-            cache: RwLock::new(FxHashMap::default()),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
         })
     }
 
-    /// Number of cached entries.
+    fn shard_of(key: Key) -> usize {
+        // Content hashes are already well-mixed FxHash outputs; xor-fold the
+        // pair and mask down to the shard index.
+        ((key.0 ^ key.1.rotate_left(17)) as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Fetch (or create) the cell for one key. Shard locks are held only for
+    /// the lookup/insert, never while a score is being computed.
+    fn cell(&self, key: Key) -> Cell {
+        let shard = &self.shards[Self::shard_of(key)];
+        if let Some(cell) = shard.read().get(&key) {
+            return Arc::clone(cell);
+        }
+        let mut map = shard.write();
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Number of cached entries (cells created; a cell being computed right
+    /// now by another thread is counted — it will hold a score momentarily).
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when nothing has been scored yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drop all cached scores.
     pub fn clear(&self) {
-        self.cache.write().clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
     }
 }
 
@@ -52,12 +102,66 @@ impl Matcher for CachingMatcher {
 
     fn score(&self, u: &Record, v: &Record) -> f64 {
         let key = (u.content_hash(), v.content_hash());
-        if let Some(&s) = self.cache.read().get(&key) {
+        let cell = self.cell(key);
+        let mut slot = cell.lock();
+        if let Some(s) = *slot {
             return s;
         }
+        // First thread through computes while holding the cell (racers on
+        // this pair block here; other pairs proceed on their own cells).
         let s = self.inner.score(u, v);
-        self.cache.write().insert(key, s);
+        *slot = Some(s);
         s
+    }
+
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        // Dedup to distinct keys, then lock the distinct cells in sorted key
+        // order — a global acquisition order, so concurrent batches (and
+        // per-pair `score` calls, which lock a single cell) cannot deadlock.
+        let keys: Vec<Key> = pairs
+            .iter()
+            .map(|(u, v)| (u.content_hash(), v.content_hash()))
+            .collect();
+        let mut distinct: Vec<(Key, usize)> = {
+            let mut seen: FxHashMap<Key, usize> = FxHashMap::default();
+            for (i, &k) in keys.iter().enumerate() {
+                seen.entry(k).or_insert(i);
+            }
+            seen.into_iter().collect()
+        };
+        distinct.sort_unstable_by_key(|&(k, _)| k);
+
+        let cells: Vec<(Key, usize, Cell)> = distinct
+            .iter()
+            .map(|&(k, i)| (k, i, self.cell(k)))
+            .collect();
+        let mut resolved: FxHashMap<Key, f64> = FxHashMap::default();
+        // Guards for cold cells stay held (keeping the at-most-once claim)
+        // until their scores are published below.
+        let mut miss_guards = Vec::new();
+        let mut miss_pairs = Vec::new();
+        for (key, first_idx, cell) in &cells {
+            let guard = cell.lock();
+            match *guard {
+                Some(s) => {
+                    resolved.insert(*key, s);
+                }
+                None => {
+                    miss_pairs.push(pairs[*first_idx]);
+                    miss_guards.push((*key, guard));
+                }
+            }
+        }
+        if !miss_pairs.is_empty() {
+            // One vectorized inner call for every cold pair of this batch.
+            let scores = self.inner.score_batch(&miss_pairs);
+            debug_assert_eq!(scores.len(), miss_pairs.len());
+            for ((key, mut guard), s) in miss_guards.into_iter().zip(scores) {
+                *guard = Some(s);
+                resolved.insert(key, s);
+            }
+        }
+        keys.iter().map(|k| resolved[k]).collect()
     }
 }
 
@@ -95,6 +199,12 @@ impl Matcher for CountingMatcher {
     fn score(&self, u: &Record, v: &Record) -> f64 {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.score(u, v)
+    }
+
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        // Every batched pair is one model invocation, same as `score`.
+        self.count.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        self.inner.score_batch(pairs)
     }
 }
 
@@ -169,6 +279,61 @@ mod tests {
     }
 
     #[test]
+    fn batch_dedupes_and_reuses_cache() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let u = rec(0, "match me");
+        let w = rec(2, "other");
+        let v = rec(1, "x");
+        // Duplicate pairs inside one batch → one inner call each.
+        let scores = cached.score_batch(&[(&u, &v), (&w, &v), (&u, &v), (&u, &v)]);
+        assert_eq!(scores, vec![0.9, 0.1, 0.9, 0.9]);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "two distinct pairs");
+        // A second batch overlapping the first only pays for the new pair.
+        let z = rec(3, "match too");
+        let scores = cached.score_batch(&[(&u, &v), (&z, &v)]);
+        assert_eq!(scores, vec![0.9, 0.9]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cached.len(), 3);
+        assert!(cached.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_and_single_paths_share_entries() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let u = rec(0, "match me");
+        let v = rec(1, "x");
+        cached.score(&u, &v);
+        assert_eq!(cached.score_batch(&[(&u, &v)]), vec![0.9]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "batch reuses single");
+        let w = rec(2, "cold");
+        cached.score_batch(&[(&w, &v)]);
+        assert_eq!(cached.score(&w, &v), 0.1);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "single reuses batch");
+    }
+
+    #[test]
+    fn shards_spread_entries() {
+        let (base, _) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let v = rec(1, "pivot");
+        let records: Vec<Record> = (0..64).map(|i| rec(i, &format!("val {i}"))).collect();
+        for u in &records {
+            cached.score(u, &v);
+        }
+        assert_eq!(cached.len(), 64);
+        // With 64 well-mixed keys over 16 shards, more than one shard must be
+        // populated (all-in-one-shard would defeat the design).
+        let populated = cached
+            .shards
+            .iter()
+            .filter(|s| !s.read().is_empty())
+            .count();
+        assert!(populated > 1, "entries landed in {populated} shard(s)");
+    }
+
+    #[test]
     fn counting_matcher_counts_and_resets() {
         let (base, _) = counted_base();
         let counting = CountingMatcher::new(base);
@@ -177,6 +342,8 @@ mod tests {
         counting.score(&u, &v);
         counting.score(&u, &v);
         assert_eq!(counting.count(), 2, "counting matcher does not dedupe");
+        counting.score_batch(&[(&u, &v), (&u, &v)]);
+        assert_eq!(counting.count(), 4, "batch counts every pair");
         counting.reset();
         assert_eq!(counting.count(), 0);
     }
@@ -192,6 +359,8 @@ mod tests {
             cached.score(&u, &v);
         }
         assert_eq!(counting.count(), 1, "cache shields the counter");
+        cached.score_batch(&[(&u, &v), (&u, &v)]);
+        assert_eq!(counting.count(), 1, "batch hits stay shielded too");
         assert_eq!(cached.name(), "base");
     }
 }

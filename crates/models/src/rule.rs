@@ -82,6 +82,12 @@ impl Matcher for RuleMatcher {
         // Smooth, strictly-monotone squash of similarity around the threshold.
         1.0 / (1.0 + (-self.sharpness * (sim - self.threshold)).exp())
     }
+
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        // Stateless per-pair arithmetic: the batch contract is a fused loop
+        // (no repeated virtual dispatch), value-identical to `score`.
+        pairs.iter().map(|(u, v)| self.score(u, v)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +159,27 @@ mod tests {
     #[should_panic(expected = "not all be zero")]
     fn zero_weights_rejected() {
         let _ = RuleMatcher::with_weights(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_scores_match_sequential() {
+        let m = RuleMatcher::uniform(2);
+        let records: Vec<Record> = [
+            ["sony bravia", "100"],
+            ["canon pixma", "900"],
+            ["sony cinema", "120"],
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, vals)| rec(i as u32, vals))
+        .collect();
+        let pairs: Vec<(&Record, &Record)> = records
+            .iter()
+            .flat_map(|u| records.iter().map(move |v| (u, v)))
+            .collect();
+        let batch = m.score_batch(&pairs);
+        for ((u, v), s) in pairs.iter().zip(&batch) {
+            assert_eq!(*s, m.score(u, v));
+        }
     }
 }

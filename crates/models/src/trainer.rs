@@ -76,6 +76,20 @@ impl Matcher for ErModel {
         self.standardizer.apply(&mut feats);
         self.net.predict_proba(&feats)
     }
+
+    fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
+        // Vectorized path: featurize + standardize the whole batch, then one
+        // layer-swept forward pass. Value-identical to per-pair `score`.
+        let feats: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(u, v)| {
+                let mut f = self.featurizer.features(u, v);
+                self.standardizer.apply(&mut f);
+                f
+            })
+            .collect();
+        self.net.predict_proba_batch(&feats)
+    }
 }
 
 /// Quality report from [`train_model`].
@@ -248,6 +262,24 @@ mod tests {
             a, c,
             "different seed, different sample (overwhelmingly likely)"
         );
+    }
+
+    #[test]
+    fn batch_scores_are_value_identical_across_families() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 2);
+        let pairs: Vec<(&Record, &Record)> = d
+            .split(Split::Test)
+            .iter()
+            .map(|lp| d.expect_pair(lp.pair))
+            .collect();
+        for kind in ModelKind::all() {
+            let (model, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+            let batch = model.score_batch(&pairs);
+            assert_eq!(batch.len(), pairs.len());
+            for ((u, v), s) in pairs.iter().zip(&batch) {
+                assert_eq!(*s, model.score(u, v), "{kind:?} batch diverged");
+            }
+        }
     }
 
     #[test]

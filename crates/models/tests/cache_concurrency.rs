@@ -1,0 +1,168 @@
+//! Concurrency tests for the sharded [`CachingMatcher`]: 8 threads hammer
+//! overlapping pairs through both the per-pair and the batch path, and the
+//! wrapped model must still see **every distinct pair at most once** (no
+//! thundering-herd double-scoring), with [`CountingMatcher`] counts exact.
+
+use certa_core::{BoxedMatcher, FnMatcher, Matcher, Record, RecordId};
+use certa_models::{CachingMatcher, CountingMatcher};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const DISTINCT: usize = 12;
+
+/// Per-distinct-pair invocation counts, keyed by content hashes.
+type SeenCounts = Arc<Mutex<HashMap<(u64, u64), u32>>>;
+
+fn rec(id: u32, val: String) -> Record {
+    Record::new(RecordId(id), vec![val])
+}
+
+/// A deliberately slow inner matcher that records how often each distinct
+/// pair (by content hash) reaches the model.
+fn instrumented_base() -> (BoxedMatcher, SeenCounts) {
+    let seen: SeenCounts = Arc::default();
+    let seen2 = Arc::clone(&seen);
+    let inner = FnMatcher::new("slow-base", move |u: &Record, v: &Record| {
+        let key = (u.content_hash(), v.content_hash());
+        *seen2.lock().unwrap().entry(key).or_insert(0) += 1;
+        // Widen the race window: a thundering herd would pile in here.
+        thread::sleep(Duration::from_millis(2));
+        (u.values()[0].len() % 10) as f64 / 10.0
+    });
+    (Arc::new(inner), seen)
+}
+
+/// `DISTINCT` distinct record pairs (contents unique per index).
+fn pair_pool() -> Vec<(Record, Record)> {
+    (0..DISTINCT as u32)
+        .map(|i| {
+            (
+                rec(i, format!("left value {i}")),
+                rec(100 + i, format!("right value {i}")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_hammering_score_invoke_inner_once_per_pair() {
+    let (base, seen) = instrumented_base();
+    let counting = CountingMatcher::new(base);
+    let cached = CachingMatcher::new(counting.clone() as BoxedMatcher);
+    let pool = pair_pool();
+    let barrier = Barrier::new(THREADS);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let cached = &cached;
+            let pool = &pool;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait(); // maximal overlap: all threads start together
+                for round in 0..3 {
+                    for k in 0..pool.len() {
+                        // Each thread walks the pool at a different rotation,
+                        // so at any instant several threads want the same pair.
+                        let (u, v) = &pool[(k + t * 5 + round) % pool.len()];
+                        let s1 = cached.score(u, v);
+                        assert_eq!(s1, cached.score(u, v), "unstable cached score");
+                    }
+                }
+            });
+        }
+    });
+
+    let seen = seen.lock().unwrap();
+    assert_eq!(
+        seen.len(),
+        DISTINCT,
+        "every distinct pair reached the model"
+    );
+    for (key, count) in seen.iter() {
+        assert_eq!(*count, 1, "pair {key:?} scored {count} times (herd!)");
+    }
+    assert_eq!(
+        counting.count(),
+        DISTINCT as u64,
+        "CountingMatcher must count exactly the uncached invocations"
+    );
+}
+
+#[test]
+fn concurrent_overlapping_batches_stay_at_most_once() {
+    let (base, seen) = instrumented_base();
+    let counting = CountingMatcher::new(base);
+    let cached = CachingMatcher::new(counting.clone() as BoxedMatcher);
+    let pool = pair_pool();
+    let barrier = Barrier::new(THREADS);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let cached = &cached;
+            let pool = &pool;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                // Every thread batches the whole pool at its own rotation —
+                // all batches overlap on all pairs — with in-batch
+                // duplicates thrown in.
+                let refs: Vec<(&Record, &Record)> = (0..pool.len() + 3)
+                    .map(|k| {
+                        let (u, v) = &pool[(k + t * 3) % pool.len()];
+                        (u, v)
+                    })
+                    .collect();
+                let scores = cached.score_batch(&refs);
+                for ((u, v), score) in refs.iter().zip(scores) {
+                    assert_eq!(score, cached.score(u, v), "batch/single divergence");
+                }
+            });
+        }
+    });
+
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), DISTINCT);
+    for (key, count) in seen.iter() {
+        assert_eq!(*count, 1, "pair {key:?} scored {count} times (herd!)");
+    }
+    assert_eq!(counting.count(), DISTINCT as u64);
+}
+
+#[test]
+fn mixed_single_and_batch_hammer_stays_exact() {
+    let (base, seen) = instrumented_base();
+    let counting = CountingMatcher::new(base);
+    let cached = CachingMatcher::new(counting.clone() as BoxedMatcher);
+    let pool = pair_pool();
+    let barrier = Barrier::new(THREADS);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let cached = &cached;
+            let pool = &pool;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                if t % 2 == 0 {
+                    let refs: Vec<(&Record, &Record)> = pool.iter().map(|(u, v)| (u, v)).collect();
+                    cached.score_batch(&refs);
+                } else {
+                    for k in 0..pool.len() {
+                        let (u, v) = &pool[(k + t) % pool.len()];
+                        cached.score(u, v);
+                    }
+                }
+            });
+        }
+    });
+
+    let seen = seen.lock().unwrap();
+    for (key, count) in seen.iter() {
+        assert_eq!(*count, 1, "pair {key:?} scored {count} times");
+    }
+    assert_eq!(counting.count(), DISTINCT as u64);
+    assert_eq!(cached.len(), DISTINCT);
+}
