@@ -1,0 +1,374 @@
+//! Load generator + correctness gate for `certa-serve`.
+//!
+//! Spawns the explanation service on a loopback port (or targets a running
+//! instance via `--addr`), hammers `POST /v1/explain` from N client threads
+//! over keep-alive connections, and verifies **every response byte-for-byte**
+//! against the in-process `Certa::explain_batch` output for the same
+//! `(scale, seed, τ)` — the serving layer's determinism guarantee, enforced
+//! under real concurrency. Any divergence or non-2xx exits non-zero, so a
+//! CI smoke run of this binary gates the serving path.
+//!
+//! Reports client-side throughput and exact p50/p95/p99 latency (raw
+//! samples, not the server's bounded histogram) and writes the
+//! machine-readable `BENCH_serve.json` artifact.
+//!
+//! ```text
+//! bench_serve_load [--scale …] [--seed N] [--tau N] [--pairs N] [--workers N]
+//!                  [--smoke] [--clients N] [--requests N] [--addr HOST:PORT]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI (few clients, few requests — still
+//! asserting byte equality on every response). `--addr` targets an
+//! already-running server, which must have been started with the same
+//! `--scale/--seed/--tau` (the expected bytes are recomputed locally).
+
+use certa_bench::{banner, percentile, write_bench_json, CliOptions};
+use certa_core::Split;
+use certa_explain::CertaExplanation;
+use certa_models::trainer::sample_pairs;
+use certa_serve::wire::dto;
+use certa_serve::{Json, Registry, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MODEL: &str = "FZ/DeepMatcher";
+
+struct LoadArgs {
+    opts: CliOptions,
+    smoke: bool,
+    clients: usize,
+    requests_per_client: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> LoadArgs {
+    let mut smoke = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut addr: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--clients" => clients = it.next().and_then(|v| v.parse().ok()),
+            "--requests" => requests = it.next().and_then(|v| v.parse().ok()),
+            "--addr" => addr = it.next(),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = match CliOptions::parse(rest) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("plus: [--smoke] [--clients N] [--requests N] [--addr HOST:PORT]");
+            std::process::exit(2);
+        }
+    };
+    let (default_clients, default_requests) = if smoke { (4, 6) } else { (8, 25) };
+    LoadArgs {
+        opts,
+        smoke,
+        clients: clients.unwrap_or(default_clients).max(1),
+        requests_per_client: requests.unwrap_or(default_requests).max(1),
+        addr,
+    }
+}
+
+/// One keep-alive HTTP client connection.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        Ok(Client { stream })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, Vec<u8>), String> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(|e| format!("write {path}: {e}"))?;
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            self.stream
+                .read_exact(&mut byte)
+                .map_err(|e| format!("read head {path}: {e}"))?;
+            head.push(byte[0]);
+            if head.len() > 64 * 1024 {
+                return Err(format!("{path}: unterminated response head"));
+            }
+        }
+        let head = String::from_utf8_lossy(&head).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("{path}: bad status line in {head:?}"))?;
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length:"))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("{path}: missing content-length"))?;
+        let mut body = vec![0u8; len];
+        self.stream
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body {path}: {e}"))?;
+        Ok((status, body))
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "serve load — multi-threaded serving gate + latency",
+        &args.opts,
+    );
+    let cfg = args.opts.grid();
+    let serve_config = ServeConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        tau: cfg.tau,
+        ..ServeConfig::default()
+    };
+
+    // ---- In-process reference: the registry builds the same world the
+    // server builds, and the expected bytes come from the same wire layer.
+    eprintln!("[reference] resolving {MODEL} in-process…");
+    let t0 = Instant::now();
+    let reference = Registry::new(serve_config.clone());
+    let entry = match reference.resolve(MODEL) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("FAIL: cannot resolve {MODEL}: {}", e.message);
+            std::process::exit(1);
+        }
+    };
+    let n_pairs = cfg.n_explained.max(4);
+    let pairs = sample_pairs(&entry.dataset, Split::Test, n_pairs, cfg.seed ^ 0xBA7C);
+    let refs: Vec<_> = pairs
+        .iter()
+        .map(|lp| entry.dataset.expect_pair(lp.pair))
+        .collect();
+    let matcher = entry.matcher();
+    let explanations: Vec<CertaExplanation> =
+        entry.certa.explain_batch(&matcher, &entry.dataset, &refs);
+    // Per-pair request body and the exact response bytes the server must
+    // return for it.
+    let workload: Vec<(String, Vec<u8>)> = pairs
+        .iter()
+        .zip(&explanations)
+        .map(|(lp, explanation)| {
+            let body = format!(
+                r#"{{"model":"{MODEL}","pair":{{"left_id":{},"right_id":{}}}}}"#,
+                lp.pair.left.0, lp.pair.right.0
+            );
+            let expected = Json::obj([
+                ("model", Json::str(MODEL)),
+                ("explanation", dto::explanation_to_json(explanation)),
+            ])
+            .serialize()
+            .expect("explanations are finite")
+            .into_bytes();
+            (body, expected)
+        })
+        .collect();
+    let expected_batch: Vec<u8> = {
+        let body = Json::obj([
+            ("model", Json::str(MODEL)),
+            ("count", Json::num(explanations.len() as f64)),
+            (
+                "explanations",
+                Json::Arr(explanations.iter().map(dto::explanation_to_json).collect()),
+            ),
+        ]);
+        body.serialize().expect("finite").into_bytes()
+    };
+    eprintln!(
+        "[reference] {} pairs explained in {:.2?}",
+        refs.len(),
+        t0.elapsed()
+    );
+
+    // ---- Target server: external (--addr) or spawned on loopback.
+    let (addr, spawned) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(serve_config.clone(), "127.0.0.1:0")
+                .unwrap_or_else(|e| panic!("bind loopback: {e}"));
+            // Preload so client latencies measure serving, not training.
+            server
+                .state()
+                .registry
+                .resolve(MODEL)
+                .expect("preload on spawned server");
+            (server.addr().to_string(), Some(server))
+        }
+    };
+    eprintln!(
+        "[load] target {addr} | {} clients × {} requests over {} distinct pairs",
+        args.clients,
+        args.requests_per_client,
+        workload.len()
+    );
+
+    // ---- Hammer: N client threads over keep-alive connections.
+    let workload = Arc::new(workload);
+    let t_load = Instant::now();
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_id| {
+                let workload = Arc::clone(&workload);
+                let addr = addr.clone();
+                let requests = args.requests_per_client;
+                s.spawn(move || -> Result<Vec<f64>, String> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut latencies_ms = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let (body, expected) = &workload[(client_id + i) % workload.len()];
+                        let t = Instant::now();
+                        let (status, bytes) = client.request("POST", "/v1/explain", body)?;
+                        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                        if status != 200 {
+                            return Err(format!(
+                                "client {client_id} req {i}: status {status}: {}",
+                                String::from_utf8_lossy(&bytes)
+                            ));
+                        }
+                        if &bytes != expected {
+                            return Err(format!(
+                                "client {client_id} req {i}: BYTE DIVERGENCE\n  served:   {}\n  expected: {}",
+                                String::from_utf8_lossy(&bytes),
+                                String::from_utf8_lossy(expected)
+                            ));
+                        }
+                    }
+                    Ok(latencies_ms)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t_load.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut failures = 0usize;
+    for r in results {
+        match r {
+            Ok(mut l) => latencies_ms.append(&mut l),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // ---- Batch endpoint + ops endpoints, once, on a fresh connection.
+    let ops_check = (|| -> Result<(), String> {
+        let mut client = Client::connect(&addr)?;
+        let batch_body = format!(
+            r#"{{"model":"{MODEL}","pairs":[{}]}}"#,
+            pairs
+                .iter()
+                .map(|lp| format!(
+                    r#"{{"left_id":{},"right_id":{}}}"#,
+                    lp.pair.left.0, lp.pair.right.0
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (status, bytes) = client.request("POST", "/v1/explain_batch", &batch_body)?;
+        if status != 200 {
+            return Err(format!("explain_batch: status {status}"));
+        }
+        if bytes != expected_batch {
+            return Err("explain_batch: BYTE DIVERGENCE from in-process explain_batch".into());
+        }
+        for path in ["/healthz", "/metrics"] {
+            let (status, _) = client.request("GET", path, "")?;
+            if status != 200 {
+                return Err(format!("{path}: status {status}"));
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = &ops_check {
+        eprintln!("FAIL: {e}");
+        failures += 1;
+    }
+
+    if let Some(server) = spawned {
+        let overloads = server.state().metrics.overload_rejections();
+        let panics = server.state().metrics.worker_panics();
+        server.shutdown();
+        if panics > 0 {
+            eprintln!("FAIL: server caught {panics} worker panic(s)");
+            failures += 1;
+        }
+        if overloads > 0 {
+            eprintln!("[load] note: {overloads} connection(s) shed with 503");
+        }
+    }
+
+    // ---- Report.
+    let total_requests = latencies_ms.len();
+    let throughput = total_requests as f64 / wall.max(1e-9);
+    let (p50, p95, p99) = (
+        percentile(&latencies_ms, 0.5),
+        percentile(&latencies_ms, 0.95),
+        percentile(&latencies_ms, 0.99),
+    );
+    println!(
+        "verified  : {total_requests} explain responses byte-identical to in-process explain_batch ✔"
+    );
+    println!(
+        "throughput: {throughput:.2} req/s ({} clients, {:.3}s wall)",
+        args.clients, wall
+    );
+    println!("latency   : p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms");
+
+    let report = Json::obj([
+        ("bench", Json::str("serve_load")),
+        ("model", Json::str(MODEL)),
+        ("scale", Json::str(cfg.scale.to_string())),
+        ("seed", Json::num(cfg.seed as f64)),
+        ("tau", Json::num(cfg.tau as f64)),
+        ("smoke", Json::Bool(args.smoke)),
+        ("clients", Json::num(args.clients as f64)),
+        ("requests", Json::num(total_requests as f64)),
+        ("distinct_pairs", Json::num(workload.len() as f64)),
+        ("wall_seconds", Json::Num(wall)),
+        ("throughput_rps", Json::Num(throughput)),
+        ("latency_ms_p50", Json::Num(p50)),
+        ("latency_ms_p95", Json::Num(p95)),
+        ("latency_ms_p99", Json::Num(p99)),
+        ("failures", Json::num(failures as f64)),
+    ]);
+    match write_bench_json("BENCH_serve.json", &report) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => {
+            eprintln!("FAIL: could not write BENCH_serve.json: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("serve load: PASS");
+}

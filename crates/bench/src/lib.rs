@@ -9,6 +9,7 @@
 //! --seed N                        master RNG seed
 //! --tau N                         CERTA triangle budget (default 100)
 //! --pairs N                       explained test pairs per (dataset, model)
+//! --workers N                     batch-engine worker threads (0 = auto)
 //! ```
 //!
 //! `cargo run --release -p certa-bench --bin repro_all` regenerates every
@@ -30,6 +31,8 @@ pub struct CliOptions {
     pub tau: Option<usize>,
     /// Explained-pairs override.
     pub pairs: Option<usize>,
+    /// Batch-engine worker threads (`None` = grid default of one per core).
+    pub workers: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -39,6 +42,7 @@ impl Default for CliOptions {
             seed: 7,
             tau: None,
             pairs: None,
+            workers: None,
         }
     }
 }
@@ -66,6 +70,10 @@ impl CliOptions {
                 "--pairs" => {
                     let v = it.next().ok_or("--pairs needs a value")?;
                     opts.pairs = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                }
+                "--workers" => {
+                    let v = it.next().ok_or("--workers needs a value")?;
+                    opts.workers = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
                 }
                 other if other.ends_with("help") || other == "-h" => {
                     return Err(USAGE.to_string());
@@ -97,23 +105,50 @@ impl CliOptions {
         if let Some(pairs) = self.pairs {
             cfg.n_explained = pairs;
         }
+        if let Some(workers) = self.workers {
+            cfg.workers = workers;
+        }
         cfg
     }
 }
 
-const USAGE: &str = "usage: <bin> [--scale smoke|default|paper] [--seed N] [--tau N] [--pairs N]";
+const USAGE: &str =
+    "usage: <bin> [--scale smoke|default|paper] [--seed N] [--tau N] [--pairs N] [--workers N]";
 
 /// Banner printed by every experiment binary.
 pub fn banner(what: &str, opts: &CliOptions) {
     println!("=== {what} ===");
     println!(
-        "scale={} seed={} tau={} pairs={}",
+        "scale={} seed={} tau={} pairs={} workers={}",
         opts.scale,
         opts.seed,
         opts.tau.map_or("default".to_string(), |t| t.to_string()),
         opts.pairs.map_or("default".to_string(), |p| p.to_string()),
+        opts.workers.map_or("auto".to_string(), |w| w.to_string()),
     );
     println!();
+}
+
+/// Exact percentile over raw samples (nearest-rank; `q` in `[0, 1]`).
+/// Returns 0.0 on an empty slice. Used by the latency-reporting bins —
+/// unlike the server's bounded-memory histogram, benches keep every sample.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Write a machine-readable benchmark artifact (`BENCH_*.json`), the
+/// format the perf trajectory tracks across PRs.
+pub fn write_bench_json(path: &str, value: &certa_serve::Json) -> std::io::Result<()> {
+    let body = value
+        .serialize()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, body + "\n")
 }
 
 #[cfg(test)]
@@ -129,18 +164,33 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d.scale, Scale::Smoke);
         assert_eq!(d.seed, 7);
+        assert_eq!(d.workers, None);
         let o = parse(&[
-            "--scale", "default", "--seed", "42", "--tau", "20", "--pairs", "5",
+            "--scale",
+            "default",
+            "--seed",
+            "42",
+            "--tau",
+            "20",
+            "--pairs",
+            "5",
+            "--workers",
+            "3",
         ])
         .unwrap();
         assert_eq!(o.scale, Scale::Default);
         assert_eq!(o.seed, 42);
         assert_eq!(o.tau, Some(20));
         assert_eq!(o.pairs, Some(5));
+        assert_eq!(o.workers, Some(3));
         let g = o.grid();
         assert_eq!(g.tau, 20);
         assert_eq!(g.n_explained, 5);
         assert_eq!(g.seed, 42);
+        assert_eq!(g.workers, 3);
+        assert_eq!(g.certa_config().workers, 3);
+        // Default (`--workers` absent) keeps the grid's auto setting.
+        assert_eq!(parse(&[]).unwrap().grid().workers, 0);
     }
 
     #[test]
@@ -148,6 +198,18 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--scale", "enormous"]).is_err());
+        assert!(parse(&["--workers"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.9), 5.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
     }
 }

@@ -62,6 +62,29 @@ impl DatasetId {
     pub fn spec(self) -> DatasetSpec {
         spec_for(self)
     }
+
+    /// Resolve a Table 1 abbreviation (case-insensitive), e.g. `"FZ"` or
+    /// `"dda"`. Name-based entry point for the serving registry and CLIs.
+    pub fn from_code(code: &str) -> Result<DatasetId, String> {
+        let upper = code.to_ascii_uppercase();
+        DatasetId::all()
+            .into_iter()
+            .find(|id| id.code() == upper)
+            .ok_or_else(|| {
+                format!(
+                    "unknown dataset `{code}` (expected one of {})",
+                    DatasetId::all().map(|id| id.code()).join(", ")
+                )
+            })
+    }
+}
+
+impl std::str::FromStr for DatasetId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetId::from_code(s)
+    }
 }
 
 impl fmt::Display for DatasetId {
@@ -352,6 +375,17 @@ fn spec_for(id: DatasetId) -> DatasetSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dataset_ids_parse_from_codes() {
+        for id in DatasetId::all() {
+            assert_eq!(DatasetId::from_code(id.code()), Ok(id));
+            assert_eq!(id.code().to_ascii_lowercase().parse(), Ok(id));
+        }
+        let err = DatasetId::from_code("XYZ").unwrap_err();
+        assert!(err.contains("XYZ") && err.contains("FZ"), "{err}");
+        assert!("".parse::<DatasetId>().is_err());
+    }
 
     #[test]
     fn twelve_datasets_with_table1_arities() {

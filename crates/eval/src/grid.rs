@@ -24,6 +24,9 @@ pub struct GridConfig {
     pub datasets: Vec<DatasetId>,
     /// Models included (defaults to all three).
     pub models: Vec<ModelKind>,
+    /// Worker threads for the batch explanation engine (`0` = one per
+    /// core). Never changes results — only wall-clock time.
+    pub workers: usize,
 }
 
 impl GridConfig {
@@ -43,6 +46,7 @@ impl GridConfig {
             tau: 100,
             datasets: DatasetId::all().to_vec(),
             models: ModelKind::all().to_vec(),
+            workers: 0,
         }
     }
 
@@ -51,6 +55,7 @@ impl GridConfig {
         CertaConfig::default()
             .with_triangles(self.tau)
             .with_seed(self.seed)
+            .with_workers(self.workers)
     }
 }
 
@@ -151,11 +156,15 @@ pub struct CfCell {
     pub value: CfAggregate,
 }
 
-/// Per-cell explainer worker budget: the grid already runs one thread per
-/// dataset, so each cell's batch engine gets its share of the cores —
-/// nesting full `available_parallelism` under the dataset fan-out would
-/// oversubscribe the CPU with no extra throughput.
-fn cell_workers(datasets: usize) -> usize {
+/// Per-cell explainer worker budget. An explicit `GridConfig::workers`
+/// (the `--workers` flag) wins; otherwise the cores are divided across the
+/// datasets running in parallel — the grid already runs one thread per
+/// dataset, so nesting full `available_parallelism` under that fan-out
+/// would oversubscribe the CPU with no extra throughput.
+fn cell_workers(cfg: &GridConfig, datasets: usize) -> usize {
+    if cfg.workers > 0 {
+        return cfg.workers;
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -187,7 +196,7 @@ where
         + Sync,
 {
     let metric = &metric;
-    let workers = cell_workers(prepared.len());
+    let workers = cell_workers(cfg, prepared.len());
     let mut all: Vec<Vec<SaliencyCell>> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = prepared
@@ -230,7 +239,7 @@ pub fn run_cf_grid(
     cfg: &GridConfig,
     methods: &[CfMethod],
 ) -> Vec<CfCell> {
-    let workers = cell_workers(prepared.len());
+    let workers = cell_workers(cfg, prepared.len());
     let mut all: Vec<Vec<CfCell>> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = prepared
@@ -276,6 +285,15 @@ mod tests {
     use crate::faithfulness::faithfulness_auc;
 
     #[test]
+    fn explicit_workers_override_the_core_split() {
+        let mut cfg = GridConfig::for_scale(Scale::Smoke);
+        assert!(cell_workers(&cfg, 4) >= 1);
+        cfg.workers = 3;
+        assert_eq!(cell_workers(&cfg, 4), 3);
+        assert_eq!(cfg.certa_config().workers, 3);
+    }
+
+    #[test]
     fn prepare_with_no_datasets_is_empty_not_a_panic() {
         let mut cfg = GridConfig::for_scale(Scale::Smoke);
         cfg.datasets.clear();
@@ -290,6 +308,7 @@ mod tests {
             tau: 8,
             datasets: vec![DatasetId::FZ],
             models: vec![ModelKind::DeepMatcher],
+            workers: 0,
         }
     }
 
@@ -338,12 +357,17 @@ mod tests {
 
     #[test]
     fn cell_worker_budget_is_positive_and_bounded() {
-        assert!(cell_workers(1) >= 1);
-        assert_eq!(cell_workers(usize::MAX), 1, "huge fan-out degrades to 1");
+        let auto = GridConfig::for_scale(Scale::Smoke);
+        assert!(cell_workers(&auto, 1) >= 1);
+        assert_eq!(
+            cell_workers(&auto, usize::MAX),
+            1,
+            "huge fan-out degrades to 1"
+        );
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        assert!(cell_workers(1) <= cores);
+        assert!(cell_workers(&auto, 1) <= cores);
     }
 
     #[test]

@@ -73,6 +73,17 @@ impl SaliencyExplanation {
         }
     }
 
+    /// Left-side scores in attribute order (the wire format serializes the
+    /// two sides as separate arrays).
+    pub fn left_scores(&self) -> &[f64] {
+        &self.left
+    }
+
+    /// Right-side scores in attribute order.
+    pub fn right_scores(&self) -> &[f64] {
+        &self.right
+    }
+
     /// Number of attributes covered (both sides).
     pub fn len(&self) -> usize {
         self.left.len() + self.right.len()
@@ -234,6 +245,8 @@ mod tests {
         assert_eq!(s.score(AttrRef::new(Side::Left, 0)), 0.0);
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
+        assert_eq!(s.left_scores(), &[0.0, 0.7]);
+        assert_eq!(s.right_scores(), &[0.0, 0.0, 0.9]);
     }
 
     #[test]

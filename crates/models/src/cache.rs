@@ -43,11 +43,44 @@ type Key = (u64, u64);
 /// compute-and-fill step atomic per pair.
 type Cell = Arc<Mutex<Option<f64>>>;
 
+/// Cache effectiveness counters, cumulative since construction.
+///
+/// `hits` counts requested scores served without reaching the inner model
+/// (warm cells, plus within-batch duplicates of a cold pair); `misses`
+/// counts actual inner-model invocations. `clear` drops the cached scores
+/// but keeps the counters — they describe lifetime traffic, which is what
+/// the serving layer's `/metrics` endpoint reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Scores served from warm cells (no inner call).
+    pub hits: u64,
+    /// Scores that invoked the inner model.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total scores requested.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
 /// Thread-safe memoization of `score(u, v)` keyed by content hashes, sharded
 /// to avoid cross-thread lock contention (see the module docs).
 pub struct CachingMatcher {
     inner: BoxedMatcher,
     shards: Vec<RwLock<FxHashMap<Key, Cell>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl CachingMatcher {
@@ -56,7 +89,17 @@ impl CachingMatcher {
         Arc::new(CachingMatcher {
             inner,
             shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
+    }
+
+    /// Lifetime hit/miss counters (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     fn shard_of(key: Key) -> usize {
@@ -105,12 +148,14 @@ impl Matcher for CachingMatcher {
         let cell = self.cell(key);
         let mut slot = cell.lock();
         if let Some(s) = *slot {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return s;
         }
         // First thread through computes while holding the cell (racers on
         // this pair block here; other pairs proceed on their own cells).
         let s = self.inner.score(u, v);
         *slot = Some(s);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         s
     }
 
@@ -152,6 +197,13 @@ impl Matcher for CachingMatcher {
                 }
             }
         }
+        // Hit/miss accounting matches the single-pair path: every requested
+        // score that avoided an inner invocation (warm cell or within-batch
+        // duplicate of a cold pair) is a hit.
+        self.misses
+            .fetch_add(miss_pairs.len() as u64, Ordering::Relaxed);
+        self.hits
+            .fetch_add((pairs.len() - miss_pairs.len()) as u64, Ordering::Relaxed);
         if !miss_pairs.is_empty() {
             // One vectorized inner call for every cold pair of this batch.
             let scores = self.inner.score_batch(&miss_pairs);
@@ -331,6 +383,31 @@ mod tests {
             .filter(|s| !s.read().is_empty())
             .count();
         assert!(populated > 1, "entries landed in {populated} shard(s)");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses_on_both_paths() {
+        let (base, _) = counted_base();
+        let cached = CachingMatcher::new(base);
+        assert_eq!(cached.stats(), CacheStats::default());
+        assert_eq!(cached.stats().hit_rate(), 0.0);
+        let u = rec(0, "match me");
+        let w = rec(2, "other");
+        let v = rec(1, "x");
+        cached.score(&u, &v); // miss
+        cached.score(&u, &v); // hit
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+        // Batch: one warm pair, one cold pair duplicated → 1 miss, 2 hits.
+        cached.score_batch(&[(&u, &v), (&w, &v), (&w, &v)]);
+        let s = cached.stats();
+        assert_eq!(s, CacheStats { hits: 3, misses: 2 });
+        assert_eq!(s.total(), 5);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        // `clear` drops entries but keeps lifetime counters.
+        cached.clear();
+        assert_eq!(cached.stats().total(), 5);
+        cached.score(&u, &v);
+        assert_eq!(cached.stats(), CacheStats { hits: 3, misses: 3 });
     }
 
     #[test]

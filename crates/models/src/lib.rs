@@ -32,7 +32,7 @@ pub mod rule;
 pub mod trainer;
 pub mod zoo;
 
-pub use cache::{CachingMatcher, CountingMatcher};
+pub use cache::{CacheStats, CachingMatcher, CountingMatcher};
 pub use embedding::HashedEmbedder;
 pub use features::Featurizer;
 pub use rule::RuleMatcher;

@@ -39,6 +39,30 @@ impl ModelKind {
             ModelKind::Ditto => "ditto-sim",
         }
     }
+
+    /// Resolve a family from either its paper name (`"DeepMatcher"`) or its
+    /// internal identifier (`"deepmatcher-sim"`), case-insensitively. The
+    /// name-based entry point for the serving registry and CLIs.
+    pub fn from_name(name: &str) -> Result<ModelKind, String> {
+        let lower = name.to_ascii_lowercase();
+        ModelKind::all()
+            .into_iter()
+            .find(|k| lower == k.paper_name().to_ascii_lowercase() || lower == k.model_name())
+            .ok_or_else(|| {
+                format!(
+                    "unknown model `{name}` (expected one of {})",
+                    ModelKind::all().map(|k| k.paper_name()).join(", ")
+                )
+            })
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::from_name(s)
+    }
 }
 
 impl fmt::Display for ModelKind {
@@ -114,6 +138,17 @@ mod tests {
             );
         }
         assert_eq!(names, vec!["deeper-sim", "deepmatcher-sim", "ditto-sim"]);
+    }
+
+    #[test]
+    fn kinds_parse_from_either_name_form() {
+        for kind in ModelKind::all() {
+            assert_eq!(ModelKind::from_name(kind.paper_name()), Ok(kind));
+            assert_eq!(ModelKind::from_name(kind.model_name()), Ok(kind));
+            assert_eq!(kind.paper_name().to_ascii_uppercase().parse(), Ok(kind));
+        }
+        let err = ModelKind::from_name("bert").unwrap_err();
+        assert!(err.contains("bert") && err.contains("Ditto"), "{err}");
     }
 
     #[test]

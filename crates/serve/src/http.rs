@@ -1,0 +1,506 @@
+//! Minimal HTTP/1.1 on `std::io` streams: request parsing with hard limits,
+//! response writing, keep-alive negotiation, and structured JSON errors.
+//!
+//! The grammar subset is deliberate: request line + headers + an optional
+//! `Content-Length` body. `Transfer-Encoding: chunked` is rejected with
+//! `501` (no endpoint needs streaming bodies), oversized bodies with `413`
+//! *before* reading them, and malformed syntax with `400` — always as a
+//! structured JSON error document, never by dropping the connection from a
+//! panicking worker.
+
+use crate::wire::Json;
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line + headers section.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies (configurable via `ServeConfig`).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Lowercased header names with their raw values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An error response to send: status, machine-readable code, message.
+///
+/// `keep_alive = false` forces connection close (e.g. after a `413` the
+/// unread body would poison the stream framing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable error code (`"bad_json"`, `"payload_too_large"`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether the connection may be reused after this error.
+    pub keep_alive: bool,
+}
+
+impl HttpError {
+    /// A `400 Bad Request` that keeps the connection usable.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            code,
+            message: message.into(),
+            keep_alive: true,
+        }
+    }
+
+    /// An error that also closes the connection.
+    pub fn closing(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            code,
+            message: message.into(),
+            keep_alive: false,
+        }
+    }
+
+    /// Render as a structured JSON error response.
+    pub fn to_response(&self) -> Response {
+        let body = Json::obj([(
+            "error",
+            Json::obj([
+                ("code", Json::str(self.code)),
+                ("message", Json::str(&self.message)),
+            ]),
+        )])
+        .serialize()
+        .expect("error bodies contain no numbers");
+        let mut resp = Response::json(self.status, body);
+        resp.keep_alive = self.keep_alive;
+        resp
+    }
+}
+
+/// What happened while reading a request off the stream.
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Box<Request>),
+    /// The peer closed (or idled past the read timeout) between requests —
+    /// normal keep-alive termination, nothing to send.
+    Closed,
+    /// A protocol violation; send this error and honour its `keep_alive`.
+    Error(HttpError),
+}
+
+/// Read one request from a buffered stream.
+///
+/// `max_body` bounds `Content-Length`; the head section is bounded by
+/// [`MAX_HEAD_BYTES`]. IO errors surface as [`ReadOutcome::Closed`] (for
+/// clean EOF / timeouts on the *first* byte) or as a `400` (for truncation
+/// mid-request).
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
+    // --- request line ---
+    let line = match read_line_limited(stream, MAX_HEAD_BYTES) {
+        Ok(Some(line)) => line,
+        Ok(None) => return ReadOutcome::Closed,
+        Err(LineError::TooLong) => {
+            return ReadOutcome::Error(HttpError::closing(
+                431,
+                "headers_too_large",
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        Err(LineError::Io(_)) => return ReadOutcome::Closed,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_ascii_uppercase(), t.to_string(), v),
+        _ => {
+            return ReadOutcome::Error(HttpError::closing(
+                400,
+                "bad_request_line",
+                format!("malformed request line `{line}`"),
+            ));
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return ReadOutcome::Error(HttpError::closing(
+                505,
+                "http_version_not_supported",
+                format!("unsupported version `{other}`"),
+            ));
+        }
+    };
+
+    // --- headers ---
+    let mut headers = Vec::new();
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
+    loop {
+        let line = match read_line_limited(stream, head_budget) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return ReadOutcome::Error(HttpError::closing(
+                    400,
+                    "truncated_request",
+                    "connection closed inside the header section",
+                ));
+            }
+            Err(LineError::TooLong) => {
+                return ReadOutcome::Error(HttpError::closing(
+                    431,
+                    "headers_too_large",
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                ));
+            }
+            Err(LineError::Io(_)) => {
+                return ReadOutcome::Error(HttpError::closing(
+                    400,
+                    "truncated_request",
+                    "stream error inside the header section",
+                ));
+            }
+        };
+        if line.is_empty() {
+            break;
+        }
+        head_budget = head_budget.saturating_sub(line.len());
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+            None => {
+                return ReadOutcome::Error(HttpError::closing(
+                    400,
+                    "bad_header",
+                    format!("malformed header line `{line}`"),
+                ));
+            }
+        }
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    // --- keep-alive negotiation ---
+    let connection = find("connection").map(str::to_ascii_lowercase);
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11, // HTTP/1.1 defaults to persistent, 1.0 to close
+    };
+
+    // --- body framing ---
+    if find("transfer-encoding").is_some() {
+        return ReadOutcome::Error(HttpError::closing(
+            501,
+            "transfer_encoding_unsupported",
+            "use Content-Length framing",
+        ));
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ReadOutcome::Error(HttpError::closing(
+                    400,
+                    "bad_content_length",
+                    format!("unparseable Content-Length `{raw}`"),
+                ));
+            }
+        },
+    };
+    if content_length == 0 && (method == "POST" || method == "PUT") {
+        // 411 Length Required; there is no unread body, so the connection
+        // stays usable.
+        return ReadOutcome::Error(HttpError {
+            status: 411,
+            code: "length_required",
+            message: format!("{method} requests need a Content-Length body"),
+            keep_alive: true,
+        });
+    }
+    if content_length > max_body {
+        // Refuse *before* reading: the unread body poisons stream framing,
+        // so the connection must close afterwards.
+        return ReadOutcome::Error(HttpError::closing(
+            413,
+            "payload_too_large",
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    if stream.read_exact(&mut body).is_err() {
+        return ReadOutcome::Error(HttpError::closing(
+            400,
+            "truncated_body",
+            format!("connection closed before {content_length} body bytes arrived"),
+        ));
+    }
+
+    let path = target
+        .split_once('?')
+        .map(|(p, _)| p.to_string())
+        .unwrap_or(target);
+    ReadOutcome::Request(Box::new(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+enum LineError {
+    TooLong,
+    Io(#[allow(dead_code)] io::Error),
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line as UTF-8-lossy text,
+/// bounded by `limit` bytes. `Ok(None)` = clean EOF before any byte.
+fn read_line_limited(stream: &mut impl BufRead, limit: usize) -> Result<Option<String>, LineError> {
+    let mut buf = Vec::new();
+    loop {
+        if buf.len() > limit {
+            return Err(LineError::TooLong);
+        }
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(LineError::Io(io::Error::from(io::ErrorKind::UnexpectedEof)));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(LineError::Io(e)),
+        }
+    }
+}
+
+/// A response ready to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether to keep the connection open (ANDed with the request's wish).
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            keep_alive: true,
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition format).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            keep_alive: true,
+        }
+    }
+
+    /// Serialize head + body onto the stream.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrases for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(raw: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    fn request(raw: &[u8]) -> Request {
+        match read(raw) {
+            ReadOutcome::Request(r) => *r,
+            ReadOutcome::Closed => panic!("closed"),
+            ReadOutcome::Error(e) => panic!("error: {e:?}"),
+        }
+    }
+
+    fn error(raw: &[u8]) -> HttpError {
+        match read(raw) {
+            ReadOutcome::Error(e) => e,
+            _ => panic!("expected an error for {:?}", String::from_utf8_lossy(raw)),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_headers_and_query() {
+        let r = request(b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: abc\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("x-trace"), Some("abc"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = request(b"POST /v1/score HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let r = request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive);
+        let r = request(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        assert!(matches!(read(b""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn protocol_violations_are_structured_errors() {
+        assert_eq!(error(b"GARBAGE\r\n\r\n").status, 400);
+        assert_eq!(error(b"GET / HTTP/2.0\r\n\r\n").status, 505);
+        assert_eq!(error(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").status, 400);
+        assert_eq!(
+            error(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").status,
+            400
+        );
+        assert_eq!(
+            error(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").status,
+            501
+        );
+        let e = error(b"POST /x HTTP/1.1\r\n\r\n");
+        assert_eq!((e.status, e.code), (411, "length_required"));
+        assert!(e.keep_alive, "no unread body, connection stays usable");
+    }
+
+    #[test]
+    fn oversized_body_is_413_and_closes() {
+        let e = error(b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n");
+        assert_eq!(e.status, 413);
+        assert_eq!(e.code, "payload_too_large");
+        assert!(!e.keep_alive, "unread body must close the connection");
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let e = error(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert_eq!((e.status, e.code), (400, "truncated_body"));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(format!("x-pad: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).into_bytes());
+        assert_eq!(error(&raw).status, 431);
+    }
+
+    #[test]
+    fn error_response_is_structured_json() {
+        let e = HttpError::bad_request("bad_json", "oops: \"quoted\"");
+        let resp = e.to_response();
+        assert_eq!(resp.status, 400);
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = parsed.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("bad_json"));
+        assert_eq!(
+            err.get("message").unwrap().as_str(),
+            Some("oops: \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn response_head_wire_shape() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        Response::text(503, "overload")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+}

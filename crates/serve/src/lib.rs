@@ -1,0 +1,79 @@
+//! # certa-serve
+//!
+//! A multi-threaded HTTP explanation service over the CERTA reproduction —
+//! the serving layer that turns the paper's Algorithm 1 (and the PR-2
+//! parallel batch engine behind it) into endpoints with measurable
+//! throughput and tail latency. Built entirely on `std::net` plus the
+//! workspace's vendored crates: no tokio, no hyper, no serde_json — the
+//! build environment has no registry access, and nothing here needs more
+//! than an accept loop, a bounded queue, and a worker pool.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ┌──────────────┐   bounded    ┌───────────────────┐
+//!  clients ──▶│ accept loop  │──▶ queue ───▶│ worker pool       │
+//!             │ (503 when    │              │ keep-alive loop:  │
+//!             │  queue full) │              │ read→route→respond│
+//!             └──────────────┘              └─────────┬─────────┘
+//!                                                     │
+//!            ┌────────────────────────────────────────┼───────────┐
+//!            │ [`wire`]  JSON value model + DTOs      │           │
+//!            │ [`state`] "<dataset>/<model>" registry ├─ explain ─┤
+//!            │           (datagen + models + sharded  │   batch   │
+//!            │            `CachingMatcher` + `Certa`) │  engine   │
+//!            │ [`ops`]   atomic counters + log2       │           │
+//!            │           latency histogram            │           │
+//!            └────────────────────────────────────────┴───────────┘
+//! ```
+//!
+//! * [`wire`] — a zero-dependency JSON wire format: a value model with a
+//!   deterministic serializer (insertion-ordered objects, shortest-round-trip
+//!   floats, `NaN`/`inf` rejected) and a hardened parser (depth-capped,
+//!   never panics), plus DTOs for records, predictions, and both
+//!   explanation kinds.
+//! * [`state`] — the model registry. `"FZ/DeepMatcher"` lazily generates
+//!   the synthetic dataset, trains the matcher family, wraps it in the
+//!   sharded [`CachingMatcher`](certa_models::CachingMatcher), and pairs it
+//!   with a [`Certa`](certa_explain::Certa) explainer configured from the
+//!   server's `(seed, τ)`.
+//! * [`ops`] — lock-free request/latency accounting behind `GET /healthz`
+//!   and `GET /metrics` (Prometheus text exposition, including per-model
+//!   cache hit/miss counters).
+//! * [`http`] / [`router`] / [`server`] — HTTP/1.1 with keep-alive and
+//!   Content-Length framing; structured JSON errors for every failure
+//!   (400 malformed, 413 oversized, 503 overloaded, …); graceful shutdown
+//!   over a loopback wake pipe.
+//!
+//! ## Determinism guarantee
+//!
+//! A served explanation is **byte-identical** to serializing the in-process
+//! [`Certa::explain_batch`](certa_explain::Certa::explain_batch) result for
+//! the same `(dataset, model, scale, seed, τ)` through this crate's wire
+//! format. The server adds no nondeterminism: the registry builds the same
+//! world the experiment grid builds, the batch engine guarantees
+//! schedule-independent output, and the wire format guarantees one byte
+//! string per value. `certa-bench`'s `bench_serve_load` hammers a live
+//! server from many client threads and fails on the first divergent byte.
+//!
+//! ## Quick start
+//!
+//! ```bash
+//! cargo run --release -p certa-serve -- --port 8642 --preload FZ/DeepMatcher
+//! curl -s localhost:8642/healthz
+//! curl -s localhost:8642/v1/explain -d \
+//!   '{"model":"FZ/DeepMatcher","pair":{"left_id":0,"right_id":0}}'
+//! ```
+
+pub mod http;
+pub mod ops;
+pub mod router;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use http::{HttpError, Request, Response};
+pub use ops::{LatencyHistogram, Route, ServerMetrics};
+pub use server::{AppState, Server, ServerHandle};
+pub use state::{ModelEntry, Registry, ServeConfig};
+pub use wire::{Json, WireError};

@@ -1,0 +1,459 @@
+//! Request routing: `(method, path)` → handler → [`Response`].
+//!
+//! | Method | Path                | Handler                                   |
+//! |--------|---------------------|-------------------------------------------|
+//! | POST   | `/v1/score`         | score one pair                            |
+//! | POST   | `/v1/score_batch`   | score many pairs (vectorized + cached)    |
+//! | POST   | `/v1/explain`       | CERTA explanation for one pair            |
+//! | POST   | `/v1/explain_batch` | [`Certa::explain_batch`] over many pairs  |
+//! | GET    | `/v1/models`        | resolved registry entries                 |
+//! | GET    | `/healthz`          | liveness + uptime                         |
+//! | GET    | `/metrics`          | Prometheus-style counters                 |
+//!
+//! Every failure path returns a structured JSON error document
+//! (`{"error":{"code":…,"message":…}}`) with the appropriate status —
+//! handlers return `Result<Response, HttpError>` and the single
+//! [`handle`] entry point renders either side.
+
+use crate::http::{HttpError, Request, Response};
+use crate::ops::{Route, ServerMetrics};
+use crate::state::{ModelEntry, Registry};
+use crate::wire::{dto, Json, PairDto};
+use certa_core::{Matcher, Prediction, Record, Side};
+use std::sync::Arc;
+
+/// Route a parsed request. Never panics; never returns a non-JSON error
+/// (except `/metrics`, whose body is the plain-text exposition format).
+pub fn handle(registry: &Registry, metrics: &ServerMetrics, req: &Request) -> (Route, Response) {
+    let (route, result) = dispatch(registry, metrics, req);
+    let response = match result {
+        Ok(resp) => resp,
+        Err(err) => err.to_response(),
+    };
+    (route, response)
+}
+
+fn dispatch(
+    registry: &Registry,
+    metrics: &ServerMetrics,
+    req: &Request,
+) -> (Route, Result<Response, HttpError>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/score") => (Route::Score, score(registry, req, false)),
+        ("POST", "/v1/score_batch") => (Route::ScoreBatch, score(registry, req, true)),
+        ("POST", "/v1/explain") => (Route::Explain, explain(registry, req, false)),
+        ("POST", "/v1/explain_batch") => (Route::ExplainBatch, explain(registry, req, true)),
+        ("GET", "/v1/models") => (Route::Models, Ok(models(registry))),
+        ("GET", "/healthz") => (Route::Healthz, Ok(healthz(registry))),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            Ok(Response::text(
+                200,
+                metrics.render_prometheus(&registry.cache_metric_lines()),
+            )),
+        ),
+        (_, "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch") => (
+            Route::Other,
+            Err(HttpError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} {} (use POST)", req.method, req.path),
+                keep_alive: true,
+            }),
+        ),
+        (_, "/v1/models" | "/healthz" | "/metrics") => (
+            Route::Other,
+            Err(HttpError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} {} (use GET)", req.method, req.path),
+                keep_alive: true,
+            }),
+        ),
+        _ => (
+            Route::Other,
+            Err(HttpError {
+                status: 404,
+                code: "unknown_route",
+                message: format!("no route for {} {}", req.method, req.path),
+                keep_alive: true,
+            }),
+        ),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, HttpError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| HttpError::bad_request("bad_utf8", "request body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| HttpError::bad_request("bad_json", e.to_string()))
+}
+
+/// Resolve every pair DTO against the entry's tables, preserving order.
+fn resolve_pairs<'a>(
+    entry: &'a ModelEntry,
+    pairs: &'a [PairDto],
+) -> Result<Vec<(&'a Record, &'a Record)>, HttpError> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let u = entry.resolve_record(&p.left, Side::Left, &format!("pairs[{i}].left"))?;
+            let v = entry.resolve_record(&p.right, Side::Right, &format!("pairs[{i}].right"))?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+fn score(registry: &Registry, req: &Request, batch: bool) -> Result<Response, HttpError> {
+    let body = parse_body(req)?;
+    let parsed = decode(&body, batch)?;
+    let entry = registry.resolve(&parsed.model)?;
+    let pairs = resolve_pairs(&entry, &parsed.pairs)?;
+    let scores = entry.matcher().score_batch(&pairs);
+    let results: Vec<Json> = scores
+        .iter()
+        .map(|&s| dto::prediction_to_json(&Prediction::from_score(s)))
+        .collect();
+    let payload = if batch {
+        Json::obj([
+            ("model", Json::str(&entry.name)),
+            ("count", Json::num(results.len() as f64)),
+            ("results", Json::Arr(results)),
+        ])
+    } else {
+        let mut fields = vec![("model".to_string(), Json::str(&entry.name))];
+        if let Json::Obj(inner) = results.into_iter().next().expect("one pair decoded") {
+            fields.extend(inner);
+        }
+        Json::Obj(fields)
+    };
+    ok_json(&payload)
+}
+
+fn explain(registry: &Registry, req: &Request, batch: bool) -> Result<Response, HttpError> {
+    let body = parse_body(req)?;
+    let parsed = decode(&body, batch)?;
+    let entry = registry.resolve(&parsed.model)?;
+    let pairs = resolve_pairs(&entry, &parsed.pairs)?;
+    let matcher = entry.matcher();
+    let explanations = entry.certa.explain_batch(&matcher, &entry.dataset, &pairs);
+    let encoded: Vec<Json> = explanations.iter().map(dto::explanation_to_json).collect();
+    let payload = if batch {
+        Json::obj([
+            ("model", Json::str(&entry.name)),
+            ("count", Json::num(encoded.len() as f64)),
+            ("explanations", Json::Arr(encoded)),
+        ])
+    } else {
+        Json::obj([
+            ("model", Json::str(&entry.name)),
+            (
+                "explanation",
+                encoded.into_iter().next().expect("one pair decoded"),
+            ),
+        ])
+    };
+    ok_json(&payload)
+}
+
+fn decode(body: &Json, batch: bool) -> Result<crate::wire::PairsRequest, HttpError> {
+    let parsed = if batch {
+        dto::batch_request_from_json(body)
+    } else {
+        dto::single_request_from_json(body)
+    };
+    parsed.map_err(|e| HttpError::bad_request("bad_request_body", e.to_string()))
+}
+
+fn models(registry: &Registry) -> Response {
+    let entries: Vec<Json> = registry
+        .loaded()
+        .iter()
+        .map(|e| {
+            let stats = e.cache.stats();
+            Json::obj([
+                ("name", Json::str(&e.name)),
+                ("dataset", Json::str(e.dataset_id.code())),
+                ("model", Json::str(e.kind.paper_name())),
+                ("left_records", Json::num(e.dataset.left().len() as f64)),
+                ("right_records", Json::num(e.dataset.right().len() as f64)),
+                ("cache_entries", Json::num(e.cache.len() as f64)),
+                ("cache_hits", Json::num(stats.hits as f64)),
+                ("cache_misses", Json::num(stats.misses as f64)),
+            ])
+        })
+        .collect();
+    let payload = Json::obj([
+        ("count", Json::num(entries.len() as f64)),
+        ("models", Json::Arr(entries)),
+    ]);
+    Response::json(200, payload.serialize().expect("finite fields"))
+}
+
+fn healthz(registry: &Registry) -> Response {
+    let cfg = registry.config();
+    let payload = Json::obj([
+        ("status", Json::str("ok")),
+        ("scale", Json::str(cfg.scale.to_string())),
+        ("seed", Json::num(cfg.seed as f64)),
+        ("tau", Json::num(cfg.tau as f64)),
+        ("models_loaded", Json::num(registry.loaded().len() as f64)),
+    ]);
+    Response::json(200, payload.serialize().expect("finite fields"))
+}
+
+fn ok_json(payload: &Json) -> Result<Response, HttpError> {
+    let body = payload.serialize().map_err(|e| HttpError {
+        status: 500,
+        code: "serialization_failed",
+        message: e.to_string(),
+        keep_alive: true,
+    })?;
+    Ok(Response::json(200, body))
+}
+
+/// Convenience used by tests and the load generator: the exact bytes the
+/// server returns for `POST /v1/explain` of one resolved pair.
+pub fn explain_response_bytes(entry: &Arc<ModelEntry>, u: &Record, v: &Record) -> Vec<u8> {
+    let matcher = entry.matcher();
+    let explanations = entry
+        .certa
+        .explain_batch(&matcher, &entry.dataset, &[(u, v)]);
+    Json::obj([
+        ("model", Json::str(&entry.name)),
+        ("explanation", dto::explanation_to_json(&explanations[0])),
+    ])
+    .serialize()
+    .expect("explanations contain only finite numbers")
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn parse_response(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    fn registry() -> Registry {
+        Registry::new(ServeConfig {
+            tau: 12,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn go(registry: &Registry, r: &Request) -> (Route, Response) {
+        handle(registry, &ServerMetrics::default(), r)
+    }
+
+    #[test]
+    fn score_single_and_batch_agree() {
+        let registry = registry();
+        let (route, resp) = go(
+            &registry,
+            &req(
+                "POST",
+                "/v1/score",
+                r#"{"model":"FZ/DeepMatcher","pair":{"left_id":0,"right_id":0}}"#,
+            ),
+        );
+        assert_eq!(route, Route::Score);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let single = parse_response(&resp);
+        assert_eq!(
+            single.get("model").unwrap().as_str(),
+            Some("FZ/DeepMatcher")
+        );
+        let score = single.get("score").unwrap().as_num().unwrap();
+        assert!((0.0..=1.0).contains(&score));
+
+        let (_, resp) = go(
+            &registry,
+            &req(
+                "POST",
+                "/v1/score_batch",
+                r#"{"model":"FZ/DeepMatcher","pairs":[{"left_id":0,"right_id":0},{"left_id":0,"right_id":1}]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let batch = parse_response(&resp);
+        assert_eq!(batch.get("count"), Some(&Json::Num(2.0)));
+        let results = batch.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("score").unwrap().as_num(), Some(score));
+    }
+
+    #[test]
+    fn explain_matches_in_process_bytes() {
+        let registry = registry();
+        let (route, resp) = go(
+            &registry,
+            &req(
+                "POST",
+                "/v1/explain",
+                r#"{"model":"FZ/Ditto","pair":{"left_id":0,"right_id":0}}"#,
+            ),
+        );
+        assert_eq!(route, Route::Explain);
+        assert_eq!(resp.status, 200);
+        let entry = registry.resolve("FZ/Ditto").unwrap();
+        let u = entry.dataset.left().expect(certa_core::RecordId(0)).clone();
+        let v = entry
+            .dataset
+            .right()
+            .expect(certa_core::RecordId(0))
+            .clone();
+        let expected = explain_response_bytes(&entry, &u, &v);
+        assert_eq!(
+            resp.body, expected,
+            "served explanation must be byte-identical to the in-process computation"
+        );
+        // Determinism: a second identical request returns identical bytes.
+        let (_, again) = go(
+            &registry,
+            &req(
+                "POST",
+                "/v1/explain",
+                r#"{"model":"FZ/Ditto","pair":{"left_id":0,"right_id":0}}"#,
+            ),
+        );
+        assert_eq!(again.body, resp.body);
+    }
+
+    #[test]
+    fn explain_batch_equals_sequence_of_singles() {
+        let registry = registry();
+        let (_, batch) = go(
+            &registry,
+            &req(
+                "POST",
+                "/v1/explain_batch",
+                r#"{"model":"FZ/DeepMatcher","pairs":[{"left_id":0,"right_id":0},{"left_id":1,"right_id":2}]}"#,
+            ),
+        );
+        assert_eq!(batch.status, 200);
+        let parsed = parse_response(&batch);
+        let explanations = parsed.get("explanations").unwrap().as_arr().unwrap();
+        assert_eq!(explanations.len(), 2);
+        for (i, (l, r)) in [(0u32, 0u32), (1, 2)].iter().enumerate() {
+            let (_, single) = go(
+                &registry,
+                &req(
+                    "POST",
+                    "/v1/explain",
+                    &format!(
+                        r#"{{"model":"FZ/DeepMatcher","pair":{{"left_id":{l},"right_id":{r}}}}}"#
+                    ),
+                ),
+            );
+            let single = parse_response(&single);
+            assert_eq!(
+                single.get("explanation").unwrap(),
+                &explanations[i],
+                "batch element {i} diverges from the single-pair endpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_records_are_scored() {
+        let registry = registry();
+        let entry = registry.resolve("FZ/DeepMatcher").unwrap();
+        let arity = entry.dataset.left().schema().arity();
+        let values: Vec<String> = (0..arity).map(|i| format!("\"v{i}\"")).collect();
+        let body = format!(
+            r#"{{"model":"FZ/DeepMatcher","pair":{{"left":{{"id":0,"values":[{}]}},"right_id":0}}}}"#,
+            values.join(",")
+        );
+        let (_, resp) = go(&registry, &req("POST", "/v1/score", &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn error_paths_are_structured() {
+        let registry = registry();
+        let cases: &[(&str, &str, &str, u16, &str)] = &[
+            ("POST", "/v1/score", "not json", 400, "bad_json"),
+            (
+                "POST",
+                "/v1/score",
+                "{\"model\":7,\"pair\":{}}",
+                400,
+                "bad_request_body",
+            ),
+            (
+                "POST",
+                "/v1/score",
+                "{\"model\":\"nope\",\"pair\":{\"left_id\":0,\"right_id\":0}}",
+                400,
+                "bad_model_name",
+            ),
+            (
+                "POST",
+                "/v1/score",
+                "{\"model\":\"XX/Ditto\",\"pair\":{\"left_id\":0,\"right_id\":0}}",
+                404,
+                "unknown_dataset",
+            ),
+            (
+                "POST",
+                "/v1/score",
+                "{\"model\":\"FZ/Ditto\",\"pair\":{\"left_id\":88888,\"right_id\":0}}",
+                404,
+                "unknown_record",
+            ),
+            ("GET", "/v1/score", "", 405, "method_not_allowed"),
+            ("POST", "/healthz", "", 405, "method_not_allowed"),
+            ("GET", "/nope", "", 404, "unknown_route"),
+        ];
+        for (method, path, body, status, code) in cases {
+            let (_, resp) = go(&registry, &req(method, path, body));
+            assert_eq!(resp.status, *status, "{method} {path} {body}");
+            let parsed = parse_response(&resp);
+            assert_eq!(
+                parsed.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(*code),
+                "{method} {path} {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn healthz_and_models_report_state() {
+        let registry = registry();
+        let (_, resp) = go(&registry, &req("GET", "/healthz", ""));
+        let health = parse_response(&resp);
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("models_loaded"), Some(&Json::Num(0.0)));
+        registry.resolve("FZ/Ditto").unwrap();
+        let (_, resp) = go(&registry, &req("GET", "/v1/models", ""));
+        let models = parse_response(&resp);
+        assert_eq!(models.get("count"), Some(&Json::Num(1.0)));
+        let first = &models.get("models").unwrap().as_arr().unwrap()[0];
+        assert_eq!(first.get("name").unwrap().as_str(), Some("FZ/Ditto"));
+        // /metrics renders the text exposition including the cache lines.
+        let (route, resp) = go(&registry, &req("GET", "/metrics", ""));
+        assert_eq!(route, Route::Metrics);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("certa_serve_uptime_seconds"));
+        assert!(text.contains("certa_serve_cache_entries{model=\"FZ/Ditto\"}"));
+    }
+}

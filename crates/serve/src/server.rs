@@ -1,0 +1,405 @@
+//! The server: accept loop → bounded connection queue → worker-thread pool.
+//!
+//! ## Threading model
+//!
+//! One **accept thread** owns the `TcpListener`. Accepted connections are
+//! pushed onto a bounded queue; when the queue is full the accept thread
+//! answers `503 Service Unavailable` inline (a structured JSON body, like
+//! every other error) and closes — load is shed at the door instead of
+//! building an unbounded backlog. **Worker threads** pop connections and
+//! serve them to completion: a keep-alive loop of parse → route → respond,
+//! bounded by the per-read socket timeout so an idle client cannot pin a
+//! worker. Each connection is additionally wrapped in `catch_unwind`; a
+//! panic in a handler kills that connection only (counted in
+//! `worker_panics_total`), never the worker.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] flips the shutdown flag and **wakes the
+//! accept thread over a loopback "wake pipe"** — a throwaway TCP connect to
+//! the listener, the `std`-only analogue of the classic self-pipe trick
+//! (no `libc`, so no real signalfd). The accept thread stops accepting,
+//! closes the queue, and the workers drain in-flight connections before
+//! exiting; `shutdown` joins them all, so when it returns no request is
+//! half-served.
+
+use crate::http::{read_request, HttpError, ReadOutcome};
+use crate::ops::{Route, ServerMetrics};
+use crate::router;
+use crate::state::{Registry, ServeConfig};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+// The queue needs a Condvar; the parking_lot shim only provides locks, so
+// the queue uses std's pair (std Condvar only works with std Mutex).
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything the workers share.
+pub struct AppState {
+    /// The model registry.
+    pub registry: Registry,
+    /// Ops counters.
+    pub metrics: ServerMetrics,
+}
+
+impl AppState {
+    /// Fresh state for a configuration.
+    pub fn new(config: ServeConfig) -> Arc<AppState> {
+        Arc::new(AppState {
+            registry: Registry::new(config),
+            metrics: ServerMetrics::default(),
+        })
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        self.registry.config()
+    }
+}
+
+/// Bounded MPMC queue of accepted connections.
+///
+/// `push` fails fast when full (the 503 path); `pop` blocks until a
+/// connection arrives or the queue is closed *and* drained — workers
+/// finish the backlog before exiting, which is what makes shutdown
+/// graceful rather than abortive.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, or hand the stream back if the queue is full/closed.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.items.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue; `None` means closed and fully drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = inner.items.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (the process exit
+/// reaps them); tests and the load harness always shut down explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Owning handle to a running [`Server`].
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind and start serving. `addr` is a `host:port` string; port `0`
+    /// picks a free port (the actual address is [`Server::addr`]).
+    pub fn bind(config: ServeConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = AppState::new(config);
+        Server::start(listener, local, state)
+    }
+
+    /// Start on an already-bound listener with pre-built state (lets the
+    /// load harness pre-resolve registry entries before opening the door).
+    pub fn start(
+        listener: TcpListener,
+        addr: SocketAddr,
+        state: Arc<AppState>,
+    ) -> io::Result<Server> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(state.config().queue_depth));
+        let workers: Vec<JoinHandle<()>> = (0..state.config().effective_http_workers())
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("certa-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &state))
+            })
+            .collect::<io::Result<_>>()?;
+
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("certa-serve-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &queue, &accept_state, &accept_stop);
+                queue.close();
+                for w in workers {
+                    let _ = w.join();
+                }
+            })?;
+
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (registry + metrics) — the load harness reads counters
+    /// through this.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake pipe: unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, queue: &ConnQueue, state: &AppState, stop: &AtomicBool) {
+    loop {
+        let accepted = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            // The wake-pipe connection (or anything racing it) is dropped
+            // unanswered — shutdown wins.
+            return;
+        }
+        let stream = match accepted {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        state.metrics.connection_accepted();
+        if let Err(stream) = queue.push(stream) {
+            // Queue full: shed load at the door with a structured 503.
+            state.metrics.overload_rejected();
+            let err = HttpError::closing(
+                503,
+                "overloaded",
+                format!(
+                    "connection queue full ({} waiting); retry with backoff",
+                    state.config().queue_depth
+                ),
+            );
+            let mut stream = stream;
+            let _ = err.to_response().write_to(&mut stream, false);
+        }
+    }
+}
+
+fn worker_loop(queue: &ConnQueue, state: &AppState) {
+    while let Some(stream) = queue.pop() {
+        // A panic while serving kills this connection, not the worker —
+        // and is visible in `/metrics` rather than silent.
+        let result = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, state)));
+        if result.is_err() {
+            state.metrics.worker_panicked();
+        }
+    }
+}
+
+/// Serve one connection: keep-alive loop of read → route → respond.
+fn serve_connection(stream: TcpStream, state: &AppState) {
+    let _ = stream.set_read_timeout(Some(state.config().read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config().read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, state.config().max_body_bytes) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Error(err) => {
+                let keep = err.keep_alive;
+                let resp = err.to_response();
+                state
+                    .metrics
+                    .observe(Route::Other, resp.status, std::time::Duration::ZERO);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            ReadOutcome::Request(req) => {
+                let t0 = Instant::now();
+                let (route, resp) = router::handle(&state.registry, &state.metrics, &req);
+                state.metrics.observe(route, resp.status, t0.elapsed());
+                let keep = req.keep_alive && resp.keep_alive;
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            tau: 8,
+            http_workers: 2,
+            queue_depth: 8,
+            read_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down_gracefully() {
+        let server = Server::bind(small_config(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        server.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_per_connection() {
+        let server = Server::bind(small_config(), "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for _ in 0..3 {
+            write!(s, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut head = [0u8; 17];
+            s.read_exact(&mut head).unwrap();
+            assert_eq!(&head, b"HTTP/1.1 200 OK\r\n");
+            // Drain the rest of this response (headers + body) by length.
+            let mut rest = Vec::new();
+            let mut byte = [0u8; 1];
+            let body_len: usize = loop {
+                s.read_exact(&mut byte).unwrap();
+                rest.push(byte[0]);
+                if rest.ends_with(b"\r\n\r\n") {
+                    let headers = String::from_utf8_lossy(&rest);
+                    let len_line = headers
+                        .lines()
+                        .find(|l| l.starts_with("content-length:"))
+                        .unwrap()
+                        .to_string();
+                    break len_line["content-length:".len()..].trim().parse().unwrap();
+                }
+            };
+            let mut body = vec![0u8; body_len];
+            s.read_exact(&mut body).unwrap();
+        }
+        drop(s);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_gets_structured_503() {
+        // One worker, zero... capacity floors at 1, so: 1 worker pinned by a
+        // half-open connection, 1 queue slot filled, next connection → 503.
+        let server = Server::bind(
+            ServeConfig {
+                http_workers: 1,
+                queue_depth: 1,
+                read_timeout: Duration::from_secs(2),
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Pin the single worker: connect and send nothing (it blocks in read
+        // until the timeout).
+        let pin = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Fill the queue slot the same way.
+        let fill = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // This one must be turned away at the door.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503 "), "{buf}");
+        assert!(buf.contains("\"code\":\"overloaded\""), "{buf}");
+        assert!(server.state().metrics.overload_rejections() >= 1);
+        drop(pin);
+        drop(fill);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400_not_a_dropped_connection() {
+        let server = Server::bind(small_config(), "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "THIS IS NOT HTTP\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400 "), "{buf}");
+        assert!(buf.contains("\"error\""), "{buf}");
+        server.shutdown();
+    }
+}

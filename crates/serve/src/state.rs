@@ -1,0 +1,347 @@
+//! Server state: configuration and the model registry.
+//!
+//! The registry resolves `"<dataset>/<model>"` names (e.g.
+//! `"FZ/DeepMatcher"`) by generating the named synthetic dataset through
+//! `certa-datagen` and training the named matcher family through
+//! `certa-models`, exactly as the in-process experiment grid does. Each
+//! resolved entry wraps its matcher in the sharded [`CachingMatcher`] and
+//! owns a [`Certa`] explainer configured from the server's `(seed, τ)` — so
+//! a served explanation is *the same computation* as an in-process
+//! [`Certa::explain_batch`] call with the same configuration, which is what
+//! makes the byte-equality guarantee (and `bench_serve_load`'s check of it)
+//! possible.
+//!
+//! Resolution is lazy and memoized: the first request for a name pays the
+//! generate+train cost once (concurrent requests for the same name block on
+//! one `OnceLock` initializer; different names never block each other), and
+//! every later request reuses the entry and its warm score cache.
+
+use crate::http::HttpError;
+use certa_core::{BoxedMatcher, Dataset, Record, Side};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_explain::{Certa, CertaConfig};
+use certa_models::{train_model, CacheStats, CachingMatcher, ModelKind, TrainConfig};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Serving configuration (model world + HTTP tunables).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dataset scale every registry entry is generated at.
+    pub scale: Scale,
+    /// Master seed: dataset generation, training, and CERTA's candidate
+    /// scans all derive from it, so `(scale, seed, tau)` pins every byte of
+    /// every response.
+    pub seed: u64,
+    /// CERTA triangle budget τ.
+    pub tau: usize,
+    /// Worker threads inside one explanation (1 = sequential per request;
+    /// request-level parallelism comes from the HTTP worker pool).
+    pub explain_workers: usize,
+    /// HTTP worker threads (0 = one per available core).
+    pub http_workers: usize,
+    /// Bound on queued connections before the accept loop answers `503`.
+    pub queue_depth: usize,
+    /// Bound on request bodies (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; idle keep-alive connections are dropped
+    /// after it so they cannot pin workers forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            scale: Scale::Smoke,
+            seed: 7,
+            tau: 100,
+            explain_workers: 1,
+            http_workers: 0,
+            queue_depth: 128,
+            max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The CERTA configuration served entries use — the same formula the
+    /// evaluation grid's `GridConfig::certa_config()` applies, so server
+    /// responses are byte-comparable against in-process runs with the same
+    /// `(seed, tau)`.
+    pub fn certa_config(&self) -> CertaConfig {
+        CertaConfig::default()
+            .with_triangles(self.tau)
+            .with_seed(self.seed)
+            .with_workers(self.explain_workers.max(1))
+    }
+
+    /// Effective HTTP worker-pool size.
+    pub fn effective_http_workers(&self) -> usize {
+        if self.http_workers > 0 {
+            self.http_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One resolved `"<dataset>/<model>"`: the generated dataset, the trained
+/// matcher behind its score cache, and the configured explainer.
+pub struct ModelEntry {
+    /// Canonical name (`"FZ/DeepMatcher"`).
+    pub name: String,
+    /// Which benchmark dataset.
+    pub dataset_id: DatasetId,
+    /// Which model family.
+    pub kind: ModelKind,
+    /// The generated dataset (perturbation donors, id lookups).
+    pub dataset: Dataset,
+    /// The sharded score cache wrapping the trained matcher.
+    pub cache: Arc<CachingMatcher>,
+    /// The CERTA explainer for this entry.
+    pub certa: Certa,
+}
+
+impl ModelEntry {
+    /// The cached matcher as a [`BoxedMatcher`].
+    pub fn matcher(&self) -> BoxedMatcher {
+        Arc::clone(&self.cache) as BoxedMatcher
+    }
+
+    /// Resolve one request-side record: inline records pass through,
+    /// id references look up the named table.
+    pub fn resolve_record<'a>(
+        &'a self,
+        dto: &'a crate::wire::RecordDto,
+        side: Side,
+        field: &str,
+    ) -> Result<&'a Record, HttpError> {
+        match dto {
+            crate::wire::RecordDto::Inline(r) => {
+                let arity = self.dataset.table(side).schema().arity();
+                if r.arity() != arity {
+                    return Err(HttpError::bad_request(
+                        "arity_mismatch",
+                        format!(
+                            "field `{field}`: record has {} values but the {} table of {} has {arity} attributes",
+                            r.arity(),
+                            match side {
+                                Side::Left => "left",
+                                Side::Right => "right",
+                            },
+                            self.dataset_id,
+                        ),
+                    ));
+                }
+                Ok(r)
+            }
+            crate::wire::RecordDto::ById(id) => {
+                self.dataset.table(side).get(*id).map_err(|_| HttpError {
+                    status: 404,
+                    code: "unknown_record",
+                    message: format!(
+                        "field `{field}`: no record {id} in the {} table of {}",
+                        match side {
+                            Side::Left => "left",
+                            Side::Right => "right",
+                        },
+                        self.dataset_id,
+                    ),
+                    keep_alive: true,
+                })
+            }
+        }
+    }
+}
+
+type EntrySlot = Arc<OnceLock<Arc<ModelEntry>>>;
+
+/// Lazy, memoized name → [`ModelEntry`] resolution.
+pub struct Registry {
+    config: ServeConfig,
+    // BTreeMap so `/v1/models` and `/metrics` list entries in stable order.
+    entries: Mutex<BTreeMap<String, EntrySlot>>,
+}
+
+impl Registry {
+    /// An empty registry serving the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        Registry {
+            config,
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Parse and canonicalize a `"<dataset>/<model>"` name.
+    pub fn canonical_name(name: &str) -> Result<(DatasetId, ModelKind), HttpError> {
+        let (ds, model) = name.split_once('/').ok_or_else(|| {
+            HttpError::bad_request(
+                "bad_model_name",
+                format!("`{name}` is not of the form `<dataset>/<model>` (e.g. `FZ/DeepMatcher`)"),
+            )
+        })?;
+        let dataset_id = DatasetId::from_code(ds).map_err(|e| HttpError {
+            status: 404,
+            code: "unknown_dataset",
+            message: e,
+            keep_alive: true,
+        })?;
+        let kind = ModelKind::from_name(model).map_err(|e| HttpError {
+            status: 404,
+            code: "unknown_model",
+            message: e,
+            keep_alive: true,
+        })?;
+        Ok((dataset_id, kind))
+    }
+
+    /// Resolve a name, generating + training on first use.
+    pub fn resolve(&self, name: &str) -> Result<Arc<ModelEntry>, HttpError> {
+        let (dataset_id, kind) = Self::canonical_name(name)?;
+        let canonical = format!("{}/{}", dataset_id.code(), kind.paper_name());
+        let slot: EntrySlot = {
+            let mut map = self.entries.lock();
+            Arc::clone(map.entry(canonical.clone()).or_default())
+        };
+        // Build outside the map lock: a slow first-time train of one name
+        // never blocks requests for other (or already-resolved) names.
+        let entry = slot.get_or_init(|| {
+            let dataset = generate(dataset_id, self.config.scale, self.config.seed);
+            let (model, _report) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
+            let cache = CachingMatcher::new(Arc::new(model) as BoxedMatcher);
+            Arc::new(ModelEntry {
+                name: canonical.clone(),
+                dataset_id,
+                kind,
+                dataset,
+                cache,
+                certa: Certa::new(self.config.certa_config()),
+            })
+        });
+        Ok(Arc::clone(entry))
+    }
+
+    /// Snapshot of the resolved entries, in name order.
+    pub fn loaded(&self) -> Vec<Arc<ModelEntry>> {
+        self.entries
+            .lock()
+            .values()
+            .filter_map(|slot| slot.get().cloned())
+            .collect()
+    }
+
+    /// Per-model cache-effectiveness lines for the `/metrics` exposition.
+    pub fn cache_metric_lines(&self) -> String {
+        let mut out = String::new();
+        let loaded = self.loaded();
+        if loaded.is_empty() {
+            return out;
+        }
+        out.push_str("# TYPE certa_serve_cache_hits_total counter\n");
+        let stats: Vec<(String, CacheStats, usize)> = loaded
+            .iter()
+            .map(|e| (e.name.clone(), e.cache.stats(), e.cache.len()))
+            .collect();
+        for (name, s, _) in &stats {
+            out.push_str(&format!(
+                "certa_serve_cache_hits_total{{model=\"{name}\"}} {}\n",
+                s.hits
+            ));
+        }
+        out.push_str("# TYPE certa_serve_cache_misses_total counter\n");
+        for (name, s, _) in &stats {
+            out.push_str(&format!(
+                "certa_serve_cache_misses_total{{model=\"{name}\"}} {}\n",
+                s.misses
+            ));
+        }
+        out.push_str("# TYPE certa_serve_cache_entries gauge\n");
+        for (name, _, len) in &stats {
+            out.push_str(&format!(
+                "certa_serve_cache_entries{{model=\"{name}\"}} {len}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RecordDto;
+    use certa_core::{Matcher, RecordId};
+
+    #[test]
+    fn canonical_names_parse_and_reject() {
+        let (ds, kind) = Registry::canonical_name("fz/deepmatcher").unwrap();
+        assert_eq!((ds, kind), (DatasetId::FZ, ModelKind::DeepMatcher));
+        let (ds, kind) = Registry::canonical_name("DDA/ditto-sim").unwrap();
+        assert_eq!((ds, kind), (DatasetId::DDA, ModelKind::Ditto));
+        assert_eq!(
+            Registry::canonical_name("no-slash").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            Registry::canonical_name("XX/Ditto").unwrap_err().status,
+            404
+        );
+        assert_eq!(Registry::canonical_name("FZ/gpt").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn resolve_trains_once_and_canonicalizes_aliases() {
+        let registry = Registry::new(ServeConfig::default());
+        assert!(registry.loaded().is_empty());
+        let a = registry.resolve("FZ/DeepMatcher").unwrap();
+        // Case/alias variants land on the same memoized entry.
+        let b = registry.resolve("fz/deepmatcher-sim").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "aliases must share one entry");
+        assert_eq!(a.name, "FZ/DeepMatcher");
+        assert_eq!(registry.loaded().len(), 1);
+
+        // The entry scores and its cache counts traffic.
+        let u = a.dataset.left().records()[0].clone();
+        let v = a.dataset.right().records()[0].clone();
+        let s1 = a.matcher().score(&u, &v);
+        let s2 = a.matcher().score(&u, &v);
+        assert_eq!(s1, s2);
+        let stats = a.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let lines = registry.cache_metric_lines();
+        assert!(lines.contains("cache_hits_total{model=\"FZ/DeepMatcher\"} 1"));
+    }
+
+    #[test]
+    fn record_resolution_checks_ids_and_arity() {
+        let registry = Registry::new(ServeConfig::default());
+        let entry = registry.resolve("FZ/Ditto").unwrap();
+        let by_id = RecordDto::ById(RecordId(0));
+        let r = entry
+            .resolve_record(&by_id, Side::Left, "pair.left_id")
+            .unwrap();
+        assert_eq!(r.id(), RecordId(0));
+        let missing = RecordDto::ById(RecordId(9_999_999));
+        let err = entry
+            .resolve_record(&missing, Side::Right, "pair.right_id")
+            .unwrap_err();
+        assert_eq!((err.status, err.code), (404, "unknown_record"));
+        let bad_arity = RecordDto::Inline(Record::new(RecordId(0), vec!["only-one".into()]));
+        let err = entry
+            .resolve_record(&bad_arity, Side::Left, "pair.left")
+            .unwrap_err();
+        assert_eq!((err.status, err.code), (400, "arity_mismatch"));
+        let arity = entry.dataset.left().schema().arity();
+        let ok = RecordDto::Inline(Record::new(RecordId(5), vec![String::new(); arity]));
+        assert!(entry.resolve_record(&ok, Side::Left, "pair.left").is_ok());
+    }
+}

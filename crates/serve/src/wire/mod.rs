@@ -1,0 +1,9 @@
+//! The wire format: a hand-rolled JSON model ([`json`]) and the DTO
+//! encode/decode layer ([`dto`]) that maps the workspace's domain types
+//! onto it.
+
+pub mod dto;
+pub mod json;
+
+pub use dto::{DtoError, PairDto, PairsRequest, RecordDto};
+pub use json::{Json, WireError, MAX_DEPTH};

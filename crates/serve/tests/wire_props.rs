@@ -1,0 +1,169 @@
+//! Property tests for the wire format: `value → serialize → parse → value`
+//! round-trips across escape sequences, unicode, nesting, and float edge
+//! cases; non-finite numbers are rejected, never silently emitted.
+
+use certa_serve::wire::Json;
+use proptest::prelude::*;
+
+/// A tiny splitmix64 so arbitrary *recursive* values can be grown from one
+/// `u64` seed (the proptest shim's strategies are flat: ranges, strings,
+/// vecs — tree-shaped values need a hand-rolled sampler).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn string(&mut self) -> String {
+        // Bias toward characters that exercise the escape paths: quotes,
+        // backslashes, control characters, multi-byte unicode.
+        const ALPHABET: &[char] = &[
+            'a',
+            'Z',
+            '0',
+            ' ',
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0}',
+            '\u{7}',
+            '\u{1b}',
+            'é',
+            'λ',
+            '中',
+            '🦀',
+            '\u{10FFFF}',
+            '\u{FFFD}',
+        ];
+        let len = self.below(8) as usize;
+        (0..len)
+            .map(|_| ALPHABET[self.below(ALPHABET.len() as u64) as usize])
+            .collect()
+    }
+
+    fn number(&mut self) -> f64 {
+        // Mix plain magnitudes with edge-case exacts: zeros, denormal-ish,
+        // integer-valued, high-precision fractions.
+        match self.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => self.below(1_000_000) as f64,
+            3 => -(self.below(1_000_000) as f64),
+            4 => self.below(1 << 53) as f64 / (1u64 << 20) as f64,
+            5 => f64::MIN_POSITIVE,
+            6 => f64::MAX,
+            _ => (self.next() as f64 / u64::MAX as f64) * 2e9 - 1e9,
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Json {
+        let choices = if depth == 0 { 4 } else { 6 };
+        match self.below(choices) {
+            0 => Json::Null,
+            1 => Json::Bool(self.next() & 1 == 1),
+            2 => Json::Num(self.number()),
+            3 => Json::Str(self.string()),
+            4 => {
+                let n = self.below(4) as usize;
+                Json::Arr((0..n).map(|_| self.value(depth - 1)).collect())
+            }
+            _ => {
+                let n = self.below(4) as usize;
+                Json::Obj(
+                    (0..n)
+                        .map(|i| (format!("{}{i}", self.string()), self.value(depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_values_roundtrip(seed in 0u64..1_000_000_000) {
+        let value = Mix(seed).value(4);
+        let wire = value.serialize().expect("finite values always serialize");
+        let back = Json::parse(&wire).expect("serializer output always parses");
+        prop_assert_eq!(&back, &value);
+        // And the byte form is a fixed point: serialize ∘ parse = id.
+        prop_assert_eq!(back.serialize().unwrap(), wire);
+    }
+
+    #[test]
+    fn arbitrary_strings_roundtrip(s in "[ -~]{0,40}", seed in 0u64..1_000_000) {
+        // Printable-ASCII strategy string plus adversarial sampler string.
+        for s in [s, Mix(seed).string()] {
+            let value = Json::Str(s);
+            let back = Json::parse(&value.serialize().unwrap()).unwrap();
+            prop_assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn arbitrary_floats_roundtrip_exactly(bits in proptest::arbitrary::any::<u64>()) {
+        let x = f64::from_bits(bits);
+        let value = Json::Num(x);
+        if x.is_finite() {
+            let wire = value.serialize().unwrap();
+            let back = Json::parse(&wire).unwrap();
+            // Bit-exact round-trip (−0.0 keeps its sign through `Display`).
+            match back {
+                Json::Num(y) => prop_assert_eq!(
+                    y.to_bits(), x.to_bits(),
+                    "{} reparsed as {}", x, y
+                ),
+                other => prop_assert!(false, "number reparsed as {:?}", other),
+            }
+        } else {
+            // NaN / ±inf must be rejected, not silently emitted.
+            prop_assert!(value.serialize().is_err());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(s in "[ -~]{0,60}", seed in 0u64..1_000_000) {
+        // Whatever the input, parse returns Ok or Err — it must not panic.
+        let _ = Json::parse(&s);
+        // Mutated valid documents stress the error paths harder.
+        let mut mix = Mix(seed);
+        let valid = mix.value(3).serialize().unwrap();
+        let mut bytes = valid.into_bytes();
+        if !bytes.is_empty() {
+            let i = mix.below(bytes.len() as u64) as usize;
+            bytes[i] = (mix.next() & 0x7F) as u8;
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = Json::parse(&text);
+        }
+    }
+}
+
+#[test]
+fn nested_structures_with_unicode_keys_roundtrip() {
+    let value = Json::Obj(vec![
+        (
+            "κλειδί \"quoted\"\n".to_string(),
+            Json::Arr(vec![
+                Json::Num(-0.0),
+                Json::Num(1.0 / 3.0),
+                Json::Arr(vec![Json::Obj(vec![("🦀".to_string(), Json::Null)])]),
+            ]),
+        ),
+        ("plain".to_string(), Json::Bool(false)),
+    ]);
+    let wire = value.serialize().unwrap();
+    assert_eq!(Json::parse(&wire).unwrap(), value);
+}

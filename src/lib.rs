@@ -35,6 +35,8 @@ pub use certa_explain as explain;
 pub use certa_ml as ml;
 /// The ER matcher zoo (DeepER-sim, DeepMatcher-sim, Ditto-sim, rule-based).
 pub use certa_models as models;
+/// The HTTP explanation service (JSON wire format, worker pool, registry).
+pub use certa_serve as serve;
 /// String similarity measures.
 pub use certa_text as text;
 
