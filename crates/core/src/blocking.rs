@@ -10,7 +10,6 @@
 use crate::hash::FxHashMap;
 use crate::record::{Record, RecordId};
 use crate::table::Table;
-use crate::tokens::{clean, tokenize};
 
 /// Inverted index from token → record ids containing it, over one table.
 #[derive(Debug, Clone)]
@@ -30,8 +29,9 @@ impl TokenIndex {
         let mut postings: FxHashMap<String, Vec<RecordId>> = FxHashMap::default();
         for r in table.records() {
             for value in r.values() {
-                let cleaned = clean(value);
-                for tok in tokenize(&cleaned) {
+                // Cleaned tokens are cached on the interned value — indexing
+                // re-reads them instead of re-cleaning every string.
+                for tok in value.clean_tokens() {
                     let ids = postings.entry(tok.to_string()).or_default();
                     if ids.last() != Some(&r.id()) {
                         ids.push(r.id());
@@ -58,8 +58,7 @@ impl TokenIndex {
         let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
         let mut seen: crate::hash::FxHashSet<String> = crate::hash::FxHashSet::default();
         for value in probe.values() {
-            let cleaned = clean(value);
-            for tok in tokenize(&cleaned) {
+            for tok in value.clean_tokens() {
                 if !seen.insert(tok.to_string()) {
                     continue; // count each distinct probe token once
                 }

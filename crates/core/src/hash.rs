@@ -84,7 +84,7 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
 ///
 /// Used for content-addressing perturbed records in prediction caches.
 #[inline]
-pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+pub fn fx_hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut h = FxHasher::default();
     value.hash(&mut h);
     h.finish()

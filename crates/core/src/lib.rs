@@ -8,7 +8,9 @@
 //! schemas) that refer to the same real-world entity. This crate provides:
 //!
 //! * [`Schema`] / [`AttrId`] — named attribute lists for one side;
-//! * [`Record`] / [`RecordId`] — a tuple of string attribute values;
+//! * [`AttrValue`] / [`ValueId`] — interned, copy-on-write attribute values
+//!   with cached normalized forms, token spans and content hashes;
+//! * [`Record`] / [`RecordId`] — a tuple of interned attribute values;
 //! * [`Table`] — a set of records sharing one schema, with id lookup;
 //! * [`RecordPair`] and [`LabeledPair`] — candidate pairs, optionally labeled;
 //! * [`Matcher`] — the *black-box* classifier interface every explainer in the
@@ -32,6 +34,7 @@ pub mod record;
 pub mod schema;
 pub mod table;
 pub mod tokens;
+pub mod value;
 
 pub use dataset::{Dataset, SideStats, Split};
 pub use error::{CoreError, Result};
@@ -41,3 +44,4 @@ pub use pair::{LabeledPair, MatchLabel, RecordPair, Side};
 pub use record::{Record, RecordId};
 pub use schema::{AttrId, Schema};
 pub use table::Table;
+pub use value::{AttrValue, ValueId};

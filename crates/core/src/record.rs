@@ -1,9 +1,18 @@
-//! Records: tuples of string attribute values.
+//! Records: tuples of interned attribute values.
+//!
+//! Since the copy-on-write refactor a record is a vector of [`AttrValue`]
+//! handles rather than owned `String`s: cloning a record, replacing an
+//! attribute, and building a perturbed copy ([`Record::with_values_from`],
+//! [`Record::with_values_merged`]) are all O(arity) reference-count bumps
+//! with **zero string allocation**, and [`Record::content_hash`] folds the
+//! per-value hashes cached at intern time instead of re-hashing every byte.
 
-use crate::hash::fx_hash_one;
+use crate::hash::FxHasher;
 use crate::schema::{AttrId, Schema};
+use crate::value::AttrValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::Hasher;
 
 /// Identifier of a record within its table.
 ///
@@ -19,20 +28,30 @@ impl fmt::Display for RecordId {
     }
 }
 
-/// A structured entity description: one string value per schema attribute.
+/// A structured entity description: one interned value per schema attribute.
 ///
 /// Missing values (the `NaN` cells of Figure 1) are represented by empty
 /// strings; [`Record::is_missing`] reports them.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Record {
     id: RecordId,
-    values: Vec<String>,
+    values: Vec<AttrValue>,
 }
 
 impl Record {
-    /// Build a record. The caller is responsible for matching the intended
-    /// schema's arity; [`crate::Table::insert`] enforces it.
+    /// Build a record from raw strings, interning each value. The caller is
+    /// responsible for matching the intended schema's arity;
+    /// [`crate::Table::insert`] enforces it.
     pub fn new(id: RecordId, values: Vec<String>) -> Self {
+        Record {
+            id,
+            values: values.into_iter().map(AttrValue::from).collect(),
+        }
+    }
+
+    /// Build a record directly from interned handles (the zero-allocation
+    /// construction path used by the perturbers).
+    pub fn from_attr_values(id: RecordId, values: Vec<AttrValue>) -> Self {
         Record { id, values }
     }
 
@@ -54,23 +73,29 @@ impl Record {
         &self.values[a.index()]
     }
 
+    /// The interned handle of attribute `a` (id, cached clean form, tokens).
+    #[inline]
+    pub fn attr_value(&self, a: AttrId) -> &AttrValue {
+        &self.values[a.index()]
+    }
+
     /// All values in schema order.
-    pub fn values(&self) -> &[String] {
+    pub fn values(&self) -> &[AttrValue] {
         &self.values
     }
 
     /// True when attribute `a` holds no value (empty after trimming).
     pub fn is_missing(&self, a: AttrId) -> bool {
-        self.value(a).trim().is_empty()
+        self.values[a.index()].is_missing()
     }
 
     /// Replace the value of attribute `a`, returning the old value.
-    pub fn set_value(&mut self, a: AttrId, value: impl Into<String>) -> String {
+    pub fn set_value(&mut self, a: AttrId, value: impl Into<AttrValue>) -> AttrValue {
         std::mem::replace(&mut self.values[a.index()], value.into())
     }
 
     /// A copy of this record with attribute `a` replaced.
-    pub fn with_value(&self, a: AttrId, value: impl Into<String>) -> Record {
+    pub fn with_value(&self, a: AttrId, value: impl Into<AttrValue>) -> Record {
         let mut copy = self.clone();
         copy.set_value(a, value);
         copy
@@ -78,18 +103,60 @@ impl Record {
 
     /// A copy with every attribute in `attrs` replaced by the corresponding
     /// value from `donor` — the heart of the perturbing function ψ (§3).
+    /// Pure handle copies: no string is cloned or re-interned.
     pub fn with_values_from(&self, donor: &Record, attrs: &[AttrId]) -> Record {
         let mut copy = self.clone();
         for &a in attrs {
-            copy.set_value(a, donor.value(a).to_string());
+            copy.values[a.index()] = donor.values[a.index()].clone();
         }
         copy
     }
 
+    /// A copy taking attribute `i`'s value from `donor` wherever
+    /// `take_donor(i)` holds, and from `self` otherwise — ψ driven directly
+    /// by a mask predicate, in one O(arity) pass of handle clones.
+    pub fn with_values_merged(&self, donor: &Record, take_donor: impl Fn(usize) -> bool) -> Record {
+        // Hard assert: a silent zip-truncation on mismatched schemas would
+        // poison content hashes downstream (the old path panicked too, via
+        // out-of-range indexing).
+        assert_eq!(
+            self.arity(),
+            donor.arity(),
+            "merged records must share a schema"
+        );
+        Record {
+            id: self.id,
+            values: self
+                .values
+                .iter()
+                .zip(donor.values.iter())
+                .enumerate()
+                .map(|(i, (own, theirs))| {
+                    if take_donor(i) {
+                        theirs.clone()
+                    } else {
+                        own.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Content-addressed hash over the values only (ids excluded), used as a
     /// prediction-cache key for perturbed copies.
+    ///
+    /// Folds the per-value content hashes cached at intern time (plus the
+    /// arity), so hashing a record is O(arity) `u64` mixes instead of
+    /// re-hashing every byte. The result is a pure function of the value
+    /// strings: records built from raw strings and records assembled from
+    /// interned handles hash identically (pinned by `tests/value_props.rs`).
     pub fn content_hash(&self) -> u64 {
-        fx_hash_one(&self.values)
+        let mut h = FxHasher::default();
+        h.write_usize(self.values.len());
+        for v in &self.values {
+            h.write_u64(v.content_hash());
+        }
+        h.finish()
     }
 
     /// Render the record as `attr=value; ...` using `schema` names.
@@ -107,12 +174,9 @@ impl Record {
         out
     }
 
-    /// Total whitespace token count across all attributes.
+    /// Total whitespace token count across all attributes (cached per value).
     pub fn total_tokens(&self) -> usize {
-        self.values
-            .iter()
-            .map(|v| crate::tokens::token_count(v))
-            .sum()
+        self.values.iter().map(|v| v.token_count()).sum()
     }
 }
 
@@ -161,6 +225,26 @@ mod tests {
         assert_eq!(out.id(), r.id(), "perturbed copy keeps free-record id");
         // Original unchanged.
         assert_eq!(r.value(AttrId(0)), "sony bravia theater");
+        // COW: copied attrs share the donor's interned allocation.
+        assert!(AttrValue::ptr_eq(
+            out.attr_value(AttrId(0)),
+            donor.attr_value(AttrId(0))
+        ));
+        assert!(AttrValue::ptr_eq(
+            out.attr_value(AttrId(1)),
+            r.attr_value(AttrId(1))
+        ));
+    }
+
+    #[test]
+    fn with_values_merged_matches_with_values_from() {
+        let r = rec();
+        let donor = Record::new(RecordId(9), vec!["d0".into(), "d1".into(), "d2".into()]);
+        let mask = 0b101usize;
+        let merged = r.with_values_merged(&donor, |i| mask & (1 << i) != 0);
+        let listed = r.with_values_from(&donor, &[AttrId(0), AttrId(2)]);
+        assert_eq!(merged, listed);
+        assert_eq!(merged.id(), r.id());
     }
 
     #[test]
@@ -170,6 +254,18 @@ mod tests {
         let c = Record::new(RecordId(1), vec!["y".into()]);
         assert_eq!(a.content_hash(), b.content_hash());
         assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn content_hash_same_for_both_construction_paths() {
+        let strings = vec!["sony bravia".to_string(), String::new(), "99".to_string()];
+        let from_strings = Record::new(RecordId(0), strings.clone());
+        let from_handles = Record::from_attr_values(
+            RecordId(7),
+            strings.iter().map(|s| AttrValue::intern(s)).collect(),
+        );
+        assert_eq!(from_strings.content_hash(), from_handles.content_hash());
+        assert_eq!(from_strings.values(), from_handles.values());
     }
 
     #[test]

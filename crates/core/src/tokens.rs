@@ -5,16 +5,29 @@
 //! matchers and explainers in the workspace share this single tokenizer so a
 //! perturbed record round-trips exactly.
 
+/// Iterate an attribute value's whitespace-separated tokens without
+/// allocating.
+///
+/// This is the allocation-free primitive behind [`tokenize`],
+/// [`token_count`], [`normalize_ws`] and the `drop_*_k` helpers; hot callers
+/// (blocking, similarity measures, augmentation) route through it so the
+/// per-call `Vec<&str>` the old API forced never materializes.
+#[inline]
+pub fn tokens(value: &str) -> std::str::SplitWhitespace<'_> {
+    value.split_whitespace()
+}
+
 /// Split an attribute value into whitespace-separated tokens.
 ///
-/// Empty values (the `NaN` cells of Figure 1) yield an empty vector.
+/// Empty values (the `NaN` cells of Figure 1) yield an empty vector. Prefer
+/// [`tokens`] when the collection is consumed once — it avoids the `Vec`.
 pub fn tokenize(value: &str) -> Vec<&str> {
-    value.split_whitespace().collect()
+    tokens(value).collect()
 }
 
 /// Number of whitespace-separated tokens in `value`.
 pub fn token_count(value: &str) -> usize {
-    value.split_whitespace().count()
+    tokens(value).count()
 }
 
 /// Re-join tokens with single spaces (the inverse of [`tokenize`] up to
@@ -23,9 +36,22 @@ pub fn join(tokens: &[&str]) -> String {
     tokens.join(" ")
 }
 
+/// Join any token iterator with single spaces, without an intermediate
+/// `Vec<&str>`.
+pub fn join_iter<'a>(tokens: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(t);
+    }
+    out
+}
+
 /// Normalize a value to its canonical single-spaced form.
 pub fn normalize_ws(value: &str) -> String {
-    join(&tokenize(value))
+    join_iter(tokens(value))
 }
 
 /// Drop the first `k` tokens of `value` (used by the paper's data
@@ -34,20 +60,20 @@ pub fn normalize_ws(value: &str) -> String {
 /// Returns `None` when `k` is zero or would leave no tokens, since the
 /// augmentation scheme requires `1 <= k <= n - 1`.
 pub fn drop_first_k(value: &str, k: usize) -> Option<String> {
-    let toks = tokenize(value);
-    if k == 0 || k >= toks.len() {
+    let n = token_count(value);
+    if k == 0 || k >= n {
         return None;
     }
-    Some(join(&toks[k..]))
+    Some(join_iter(tokens(value).skip(k)))
 }
 
 /// Drop the last `k` tokens of `value`; same bounds as [`drop_first_k`].
 pub fn drop_last_k(value: &str, k: usize) -> Option<String> {
-    let toks = tokenize(value);
-    if k == 0 || k >= toks.len() {
+    let n = token_count(value);
+    if k == 0 || k >= n {
         return None;
     }
-    Some(join(&toks[..toks.len() - k]))
+    Some(join_iter(tokens(value).take(n - k)))
 }
 
 /// Lowercase and strip non-alphanumeric characters (keeping digits, letters
@@ -99,6 +125,14 @@ mod tests {
         assert_eq!(drop_last_k("a b c", 2).as_deref(), Some("a"));
         assert_eq!(drop_last_k("a", 1), None);
         assert_eq!(drop_last_k("", 1), None);
+    }
+
+    #[test]
+    fn iterator_tokenizer_matches_vec_tokenizer() {
+        for s in ["", "   ", "a", " a  b   c ", "sony bravia theater"] {
+            assert_eq!(tokens(s).collect::<Vec<_>>(), tokenize(s));
+            assert_eq!(join_iter(tokens(s)), join(&tokenize(s)));
+        }
     }
 
     #[test]

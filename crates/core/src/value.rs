@@ -1,0 +1,507 @@
+//! Interned, copy-on-write attribute values.
+//!
+//! CERTA's cost is dominated by scoring perturbed copies `ψ(u, w, A)` (§3),
+//! and every perturbed copy used to materialize fresh `String`s that each
+//! matcher then re-cleaned and re-tokenized from scratch. [`AttrValue`] is the
+//! fix: a **hash-consed handle** to an immutable value. Interning guarantees
+//! that two equal strings share one allocation, so:
+//!
+//! * cloning a value (and therefore perturbing a record) is a reference-count
+//!   bump — zero string allocation;
+//! * the normalized ([`crate::tokens::clean`]) form, whitespace token spans,
+//!   and FxHash content hash are computed **once per distinct string** and
+//!   cached on the shared allocation;
+//! * every distinct value carries a stable [`ValueId`], which downstream
+//!   layers (the `certa-models` featurizer memo) use as a compact memoization
+//!   key for per-value and per-value-pair feature artifacts.
+//!
+//! # `ValueId` stability rules
+//!
+//! * Ids are **process-local**: they are dense `u32`s handed out in
+//!   first-intern order by a global interner. Never persist them, never
+//!   compare them across processes — use [`AttrValue::content_hash`] (a pure
+//!   function of the string content) for anything that outlives the process.
+//! * Within one process, `a.id() == b.id()` **iff** `a.as_str() == b.as_str()`.
+//!   Ids are never reused and interned values are never freed, so a memo
+//!   entry keyed by `ValueId` stays valid for the process lifetime.
+//! * The interner grows monotonically. Its population is bounded by the
+//!   distinct attribute strings ever constructed (dataset values plus
+//!   augmentation variants); perturbation itself creates **no** new values —
+//!   ψ only re-combines existing handles. Services that intern **untrusted**
+//!   strings (e.g. `certa-serve` accepting inline records) should treat the
+//!   interner as append-only state: per-request growth is bounded by the
+//!   request-size limit, but adversarial traffic with ever-novel values
+//!   accumulates — front such deployments with quotas, exactly as for the
+//!   equally append-only score cache.
+//!
+//! # Determinism contract
+//!
+//! Everything cached here ([`AttrValue::cleaned`], token spans,
+//! [`AttrValue::content_hash`]) is a pure function of the string content, so
+//! records built from raw strings and records assembled from interned handles
+//! are indistinguishable: equal `Display`/`Debug` output, equal `Hash`, equal
+//! serde encoding, and equal [`crate::Record::content_hash`]. Property tests
+//! in `tests/value_props.rs` pin this.
+
+use crate::hash::{fx_hash_one, FxHashSet};
+use crate::tokens;
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Stable identifier of one distinct interned string within this process.
+///
+/// See the module docs for the stability rules (process-local, dense,
+/// first-intern order, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Byte span `[start, end)` of one token inside its owning string.
+type Span = (u32, u32);
+
+/// The shared, immutable payload behind one interned value.
+struct ValueData {
+    id: ValueId,
+    raw: Box<str>,
+    /// FxHash of the raw string content (id-independent, process-portable).
+    content_hash: u64,
+    /// True when the value is blank after trimming (the `NaN` cells).
+    missing: bool,
+    /// Whitespace token spans into `raw`.
+    raw_tokens: Box<[Span]>,
+    /// [`tokens::clean`]-normalized form (lowercased, punctuation folded).
+    cleaned: Box<str>,
+    /// Whitespace token spans into `cleaned`.
+    clean_tokens: Box<[Span]>,
+}
+
+fn token_spans(s: &str) -> Box<[Span]> {
+    let base = s.as_ptr() as usize;
+    s.split_whitespace()
+        .map(|tok| {
+            let start = tok.as_ptr() as usize - base;
+            (start as u32, (start + tok.len()) as u32)
+        })
+        .collect()
+}
+
+impl ValueData {
+    fn build(id: ValueId, raw: Box<str>) -> ValueData {
+        assert!(
+            raw.len() <= u32::MAX as usize,
+            "attribute value too large to intern"
+        );
+        let content_hash = fx_hash_one(&*raw);
+        let missing = raw.trim().is_empty();
+        let raw_tokens = token_spans(&raw);
+        let cleaned: Box<str> = tokens::clean(&raw).into_boxed_str();
+        let clean_tokens = token_spans(&cleaned);
+        ValueData {
+            id,
+            raw,
+            content_hash,
+            missing,
+            raw_tokens,
+            clean_tokens,
+            cleaned,
+        }
+    }
+}
+
+/// A cheap-to-clone, hash-consed attribute value.
+///
+/// `AttrValue` dereferences to `&str`, compares/hashes like its string
+/// content, and serializes as a plain string — it is a drop-in replacement
+/// for `String` in the [`crate::Record`] data model, with O(1) clone and
+/// cached derived forms. See the module docs for the interning contract.
+#[derive(Clone)]
+pub struct AttrValue(Arc<ValueData>);
+
+/// Number of independent interner shards (power of two; shard selection is a
+/// mask over the content hash, mirroring the score-cache sharding).
+const INTERN_SHARDS: usize = 16;
+
+/// Interner entry: hashes and compares as its string content so the shard
+/// sets support allocation-free `&str` lookups via `Borrow<str>`.
+struct Entry(AttrValue);
+
+impl Borrow<str> for Entry {
+    fn borrow(&self) -> &str {
+        self.0.as_str()
+    }
+}
+
+impl Hash for Entry {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.as_str().hash(state);
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.0.as_str() == other.0.as_str()
+    }
+}
+
+impl Eq for Entry {}
+
+struct Interner {
+    shards: Vec<Mutex<FxHashSet<Entry>>>,
+    next_id: AtomicU32,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: (0..INTERN_SHARDS).map(|_| Mutex::default()).collect(),
+        next_id: AtomicU32::new(0),
+    })
+}
+
+impl Interner {
+    fn shard(&self, content_hash: u64) -> &Mutex<FxHashSet<Entry>> {
+        &self.shards[(content_hash as usize) & (INTERN_SHARDS - 1)]
+    }
+
+    /// Number of distinct values interned so far (diagnostic).
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+}
+
+/// Allocate the next id and publish a freshly built value into `set` (the
+/// caller holds the shard lock and has already established the miss).
+fn publish(set: &mut FxHashSet<Entry>, raw: Box<str>) -> AttrValue {
+    let id = interner().next_id.fetch_add(1, Ordering::Relaxed);
+    assert!(id < u32::MAX, "interner exhausted the ValueId space");
+    let value = AttrValue(Arc::new(ValueData::build(ValueId(id), raw)));
+    set.insert(Entry(value.clone()));
+    value
+}
+
+fn intern_owned(s: String) -> AttrValue {
+    let interner = interner();
+    let mut set = interner
+        .shard(fx_hash_one(s.as_str()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = set.get(s.as_str()) {
+        return entry.0.clone();
+    }
+    // Miss: move the caller's allocation straight into the interner.
+    publish(&mut set, s.into_boxed_str())
+}
+
+impl AttrValue {
+    /// Intern a string, returning the canonical shared handle for its
+    /// content. Two calls with equal content return clones of one `Arc`.
+    pub fn intern(s: &str) -> AttrValue {
+        let interner = interner();
+        let mut set = interner
+            .shard(fx_hash_one(s))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = set.get(s) {
+            return entry.0.clone();
+        }
+        publish(&mut set, s.into())
+    }
+
+    /// Number of distinct values interned in this process (diagnostic; the
+    /// interner never shrinks).
+    pub fn interned_count() -> usize {
+        interner().len()
+    }
+
+    /// The stable per-process id of this distinct string (see module docs).
+    #[inline]
+    pub fn id(&self) -> ValueId {
+        self.0.id
+    }
+
+    /// The raw string content.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0.raw
+    }
+
+    /// FxHash of the raw content — a pure content function (no id mixed in),
+    /// cached at intern time. [`crate::Record::content_hash`] folds these.
+    #[inline]
+    pub fn content_hash(&self) -> u64 {
+        self.0.content_hash
+    }
+
+    /// True when the value is blank after trimming (a `NaN` cell).
+    #[inline]
+    pub fn is_missing(&self) -> bool {
+        self.0.missing
+    }
+
+    /// Whitespace tokens of the raw value, from cached spans (no allocation).
+    pub fn tokens(&self) -> impl ExactSizeIterator<Item = &str> + Clone + '_ {
+        let raw: &str = &self.0.raw;
+        self.0
+            .raw_tokens
+            .iter()
+            .map(move |&(a, b)| &raw[a as usize..b as usize])
+    }
+
+    /// Number of whitespace tokens in the raw value.
+    #[inline]
+    pub fn token_count(&self) -> usize {
+        self.0.raw_tokens.len()
+    }
+
+    /// The [`tokens::clean`]-normalized form, computed once at intern time.
+    #[inline]
+    pub fn cleaned(&self) -> &str {
+        &self.0.cleaned
+    }
+
+    /// Whitespace tokens of the cleaned form, from cached spans.
+    pub fn clean_tokens(&self) -> impl ExactSizeIterator<Item = &str> + Clone + '_ {
+        let cleaned: &str = &self.0.cleaned;
+        self.0
+            .clean_tokens
+            .iter()
+            .map(move |&(a, b)| &cleaned[a as usize..b as usize])
+    }
+
+    /// Number of whitespace tokens in the cleaned form.
+    #[inline]
+    pub fn clean_token_count(&self) -> usize {
+        self.0.clean_tokens.len()
+    }
+
+    /// True when two handles point at the same interned allocation (always
+    /// the case for equal content produced through [`AttrValue::intern`]).
+    pub fn ptr_eq(a: &AttrValue, b: &AttrValue) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for AttrValue {
+    type Target = str;
+
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for AttrValue {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for AttrValue {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for AttrValue {
+    /// Debug-transparent: prints like the `String` it replaces, so record
+    /// debug output is unchanged by the interning refactor.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl Hash for AttrValue {
+    /// Hashes exactly like `str`/`String`, upholding the `Borrow<str>`
+    /// contract (an `AttrValue` key is interchangeable with a `&str` lookup).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &AttrValue) -> bool {
+        // Hash-consing makes pointer identity the common fast path.
+        Arc::ptr_eq(&self.0, &other.0) || self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for AttrValue {}
+
+impl PartialOrd for AttrValue {
+    fn partial_cmp(&self, other: &AttrValue) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrValue {
+    fn cmp(&self, other: &AttrValue) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialEq<str> for AttrValue {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for AttrValue {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for AttrValue {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<AttrValue> for str {
+    fn eq(&self, other: &AttrValue) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<AttrValue> for &str {
+    fn eq(&self, other: &AttrValue) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<AttrValue> for String {
+    fn eq(&self, other: &AttrValue) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> AttrValue {
+        AttrValue::intern(s)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> AttrValue {
+        intern_owned(s)
+    }
+}
+
+impl From<&String> for AttrValue {
+    fn from(s: &String) -> AttrValue {
+        AttrValue::intern(s)
+    }
+}
+
+impl From<&AttrValue> for AttrValue {
+    fn from(v: &AttrValue) -> AttrValue {
+        v.clone()
+    }
+}
+
+impl From<&AttrValue> for String {
+    fn from(v: &AttrValue) -> String {
+        v.as_str().to_string()
+    }
+}
+
+impl From<AttrValue> for String {
+    fn from(v: AttrValue) -> String {
+        v.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_one_allocation() {
+        let a = AttrValue::intern("sony bravia theater");
+        let b = AttrValue::intern("sony bravia theater");
+        assert!(AttrValue::ptr_eq(&a, &b));
+        assert_eq!(a.id(), b.id());
+        let c = AttrValue::intern("sony bravia cinema");
+        assert!(!AttrValue::ptr_eq(&a, &c));
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn from_string_and_str_agree() {
+        let a = AttrValue::from("black micro system".to_string());
+        let b = AttrValue::intern("black micro system");
+        assert!(AttrValue::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cached_forms_match_the_free_functions() {
+        let v = AttrValue::intern("  Sony BRAVIA, DAV-IS50/B!  ");
+        assert_eq!(v.cleaned(), tokens::clean(v.as_str()));
+        assert_eq!(
+            v.tokens().collect::<Vec<_>>(),
+            v.as_str().split_whitespace().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            v.clean_tokens().collect::<Vec<_>>(),
+            v.cleaned().split_whitespace().collect::<Vec<_>>()
+        );
+        assert_eq!(v.token_count(), 3);
+        assert_eq!(v.clean_token_count(), 5);
+        assert_eq!(v.content_hash(), fx_hash_one(v.as_str()));
+    }
+
+    #[test]
+    fn missing_flag_matches_trim() {
+        assert!(AttrValue::intern("").is_missing());
+        assert!(AttrValue::intern("   ").is_missing());
+        assert!(!AttrValue::intern("x").is_missing());
+    }
+
+    #[test]
+    fn compares_and_displays_like_a_string() {
+        let v = AttrValue::intern("sony tv");
+        assert_eq!(v, "sony tv");
+        assert_eq!(v, "sony tv".to_string());
+        assert_eq!("sony tv", v);
+        assert_eq!(v.to_string(), "sony tv");
+        assert_eq!(format!("{v:?}"), "\"sony tv\"");
+        assert!(v.contains("tv"), "str methods available through Deref");
+    }
+
+    #[test]
+    fn hashes_like_str_for_borrow_contract() {
+        let v = AttrValue::intern("davis50b");
+        assert_eq!(fx_hash_one(&v), fx_hash_one(&"davis50b".to_string()));
+        let mut set: FxHashSet<AttrValue> = FxHashSet::default();
+        set.insert(v);
+        assert!(set.contains("davis50b"), "&str lookup through Borrow");
+    }
+
+    #[test]
+    fn interned_count_is_monotone() {
+        let before = AttrValue::interned_count();
+        let _ = AttrValue::intern("a value that only this test interns 0xB0");
+        assert!(AttrValue::interned_count() > before);
+        let again = AttrValue::interned_count();
+        let _ = AttrValue::intern("a value that only this test interns 0xB0");
+        assert_eq!(AttrValue::interned_count(), again, "re-intern adds nothing");
+    }
+}

@@ -245,7 +245,7 @@ pub fn write_deepmatcher_dir(dataset: &Dataset, dir: &Path) -> Result<(), CsvErr
         rows.push(header);
         for r in t.records() {
             let mut row = vec![r.id().0.to_string()];
-            row.extend(r.values().iter().cloned());
+            row.extend(r.values().iter().map(String::from));
             rows.push(row);
         }
         rows

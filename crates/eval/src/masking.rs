@@ -1,23 +1,29 @@
 //! Attribute masking / copying used by the evaluation protocols.
+//!
+//! Both helpers are copy-on-write over interned values: a masked or copied
+//! record is O(arity) handle clones, and the shared blank handle / donor
+//! handle keeps content hashes stable so the score cache and featurizer
+//! memo recognize repeated masked pairs across protocols.
 
-use certa_core::{Record, Side};
+use certa_core::{AttrValue, Record, Side};
 use certa_explain::AttrRef;
 
 /// Blank the listed attributes ("masking is performed by making the system
 /// ignore its contents", §5.8).
 pub fn mask_pair(u: &Record, v: &Record, attrs: &[AttrRef]) -> (Record, Record) {
+    let blank = AttrValue::intern("");
     let mut pu = u.clone();
     let mut pv = v.clone();
     for a in attrs {
         match a.side {
             Side::Left => {
                 if a.attr.index() < pu.arity() {
-                    pu.set_value(a.attr, String::new());
+                    pu.set_value(a.attr, blank.clone());
                 }
             }
             Side::Right => {
                 if a.attr.index() < pv.arity() {
-                    pv.set_value(a.attr, String::new());
+                    pv.set_value(a.attr, blank.clone());
                 }
             }
         }
@@ -34,14 +40,14 @@ pub fn copy_salient(u: &Record, v: &Record, attrs: &[AttrRef]) -> (Record, Recor
     for a in attrs {
         match a.side {
             Side::Left => {
-                // Copy u's value into v.
+                // Copy u's value handle into v — no string allocation.
                 if a.attr.index() < pu.arity() && a.attr.index() < pv.arity() {
-                    pv.set_value(a.attr, u.value(a.attr).to_string());
+                    pv.set_value(a.attr, u.attr_value(a.attr).clone());
                 }
             }
             Side::Right => {
                 if a.attr.index() < pu.arity() && a.attr.index() < pv.arity() {
-                    pu.set_value(a.attr, v.value(a.attr).to_string());
+                    pu.set_value(a.attr, v.attr_value(a.attr).clone());
                 }
             }
         }
@@ -81,6 +87,16 @@ mod tests {
         assert_eq!(cu.values()[0], "ua", "u unchanged");
         let (cu, _cv) = copy_salient(&u, &v, &[AttrRef::new(Side::Right, 1)]);
         assert_eq!(cu.values()[1], "vb", "v's value copied into u");
+    }
+
+    #[test]
+    fn copy_shares_donor_handles() {
+        let (u, v) = pair();
+        let (_, cv) = copy_salient(&u, &v, &[AttrRef::new(Side::Left, 0)]);
+        assert!(AttrValue::ptr_eq(
+            cv.attr_value(certa_core::AttrId(0)),
+            u.attr_value(certa_core::AttrId(0))
+        ));
     }
 
     #[test]

@@ -5,22 +5,27 @@
 //! sequences of tokens of all the attributes in A in the free record with
 //! their corresponding sequences of tokens from the support record".
 
-use crate::lattice::{mask_attrs, AttrMask};
-use certa_core::{AttrId, Record};
+use crate::lattice::AttrMask;
+use certa_core::Record;
 
 /// Apply ψ: copy the attributes selected by `mask` from `support` into a
 /// fresh copy of `free`.
+///
+/// Since the copy-on-write refactor this is a **masked view**: one O(arity)
+/// pass that picks each attribute's interned handle from `free` or `support`
+/// directly off the mask bits — no `Vec<AttrId>` materialization and zero
+/// string allocation (ψ never creates new values, it only re-combines
+/// existing handles, so the score cache and featurizer memo see stable
+/// content hashes / `ValueId`s).
 pub fn perturb(free: &Record, support: &Record, mask: AttrMask) -> Record {
     debug_assert_eq!(
         free.arity(),
         support.arity(),
         "ψ requires same-schema records"
     );
-    let attrs: Vec<AttrId> = mask_attrs(mask)
-        .filter(|&i| i < free.arity())
-        .map(|i| AttrId(i as u16))
-        .collect();
-    free.with_values_from(support, &attrs)
+    free.with_values_merged(support, |i| {
+        i < AttrMask::BITS as usize && mask & (1 << i) != 0
+    })
 }
 
 /// All perturbed copies `U_{w,a}` of Example 1: every subset containing

@@ -10,9 +10,10 @@
 //! neighbourhood between *different* tokens ("tv" vs "television") — is
 //! documented in DESIGN.md §1.1.
 
+use crate::memo::EmbedArtifact;
 use certa_core::hash::fx_hash_one;
-use certa_core::tokens::{clean, tokenize};
-use certa_core::Record;
+use certa_core::tokens::{clean, tokens};
+use certa_core::{AttrValue, Record};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,27 +49,60 @@ impl HashedEmbedder {
     /// Mean-pooled embedding of a token sequence (zero vector when empty).
     pub fn embed_text(&self, text: &str) -> Vec<f64> {
         let cleaned = clean(text);
-        let tokens = tokenize(&cleaned);
+        let (acc, count) = self.sum_tokens(tokens(&cleaned));
+        Self::finish_mean(acc, count)
+    }
+
+    /// Sum of a token sequence's vectors plus the token count — the
+    /// compositional building block record embeddings fold over.
+    fn sum_tokens<'a>(&self, toks: impl IntoIterator<Item = &'a str>) -> (Vec<f64>, usize) {
         let mut acc = vec![0.0; self.dim];
-        if tokens.is_empty() {
-            return acc;
-        }
-        for t in &tokens {
+        let mut count = 0usize;
+        for t in toks {
             let tv = self.token_vector(t);
             for (a, x) in acc.iter_mut().zip(tv.iter()) {
                 *a += x;
             }
+            count += 1;
         }
-        let n = tokens.len() as f64;
+        (acc, count)
+    }
+
+    /// Per-value embedding artifact: the un-normalized token-vector sum over
+    /// the value's cached cleaned tokens. Pure in the value content — the
+    /// featurizer memo caches these by [`certa_core::ValueId`].
+    pub fn value_artifact(&self, value: &AttrValue) -> EmbedArtifact {
+        let (sum, count) = self.sum_tokens(value.clean_tokens());
+        EmbedArtifact { sum, count }
+    }
+
+    /// Turn a token-vector sum into the final mean-pooled unit embedding
+    /// (zero vector when no tokens contributed).
+    pub fn finish_mean(mut acc: Vec<f64>, count: usize) -> Vec<f64> {
+        if count == 0 {
+            return acc;
+        }
+        let n = count as f64;
         acc.iter_mut().for_each(|a| *a /= n);
         normalize(&mut acc);
         acc
     }
 
-    /// Record embedding: mean-pooled embedding of all attribute values
-    /// concatenated (DeepER's record-level composition).
+    /// Record embedding: mean-pooled embedding of all attribute values'
+    /// tokens (DeepER's record-level composition), folded from per-value
+    /// artifacts in schema order — the same fold the memoized path uses, so
+    /// both produce bit-identical embeddings.
     pub fn embed_record(&self, r: &Record) -> Vec<f64> {
-        self.embed_text(&r.values().join(" "))
+        let mut acc = vec![0.0; self.dim];
+        let mut total = 0usize;
+        for value in r.values() {
+            let artifact = self.value_artifact(value);
+            for (a, x) in acc.iter_mut().zip(artifact.sum.iter()) {
+                *a += x;
+            }
+            total += artifact.count;
+        }
+        Self::finish_mean(acc, total)
     }
 }
 

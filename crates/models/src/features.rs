@@ -1,12 +1,24 @@
 //! Pair featurization — one style per model family.
+//!
+//! Every family is decomposed into **pure per-value / per-value-pair
+//! helpers** (cleaned forms and token views come pre-cached on the interned
+//! [`AttrValue`]s) plus a thin assembly layer. [`Featurizer::features_with`]
+//! optionally routes the helpers through a [`FeatureMemo`], which caches
+//! their outputs by stable [`certa_core::ValueId`] — because the helpers are
+//! deterministic, memoized and unmemoized featurization are bit-for-bit
+//! identical (pinned by `tests/memo_props.rs`, gated by `bench_featurize`).
 
 use crate::embedding::{cosine, HashedEmbedder};
-use certa_core::tokens::{clean, tokenize};
-use certa_core::{Dataset, Record, Split};
+use crate::memo::{EmbedArtifact, FeatureMemo};
+use certa_core::hash::FxHashSet;
+use certa_core::tokens::clean;
+use certa_core::{AttrValue, Dataset, Record, Split};
 use certa_ml::FeatureHasher;
 use certa_text::{
-    jaccard, jaro_winkler, levenshtein_sim, numeric_sim, parse_number, trigram_sim, CorpusStats,
+    jaccard_tokens, jaro_winkler, levenshtein_sim, numeric_sim, parse_number, trigram_sim,
+    CorpusStats,
 };
+use std::sync::Arc;
 
 /// Number of per-attribute similarity features produced by
 /// [`Featurizer::DeepMatcher`].
@@ -50,7 +62,8 @@ impl Featurizer {
                 for lp in dataset.split(Split::Train) {
                     let (u, v) = dataset.expect_pair(lp.pair);
                     for val in u.values().iter().chain(v.values()) {
-                        corpus.add_document(&clean(val));
+                        // Cleaned tokens are cached on the interned value.
+                        corpus.add_document_tokens(val.clean_tokens());
                     }
                 }
                 Featurizer::DeepMatcher {
@@ -73,12 +86,20 @@ impl Featurizer {
         }
     }
 
-    /// Featurize one pair.
+    /// Featurize one pair (unmemoized).
     pub fn features(&self, u: &Record, v: &Record) -> Vec<f64> {
+        self.features_with(u, v, None)
+    }
+
+    /// Featurize one pair, optionally reusing cached per-value artifacts
+    /// from `memo`. Bit-identical to [`Featurizer::features`].
+    pub fn features_with(&self, u: &Record, v: &Record, memo: Option<&FeatureMemo>) -> Vec<f64> {
         match self {
-            Featurizer::DeepEr { embedder } => deeper_features(embedder, u, v),
-            Featurizer::DeepMatcher { corpus, arity } => deepmatcher_features(corpus, *arity, u, v),
-            Featurizer::Ditto { hasher } => ditto_features(hasher, u, v),
+            Featurizer::DeepEr { embedder } => deeper_features(embedder, u, v, memo),
+            Featurizer::DeepMatcher { corpus, arity } => {
+                deepmatcher_features(corpus, *arity, u, v, memo)
+            }
+            Featurizer::Ditto { hasher } => ditto_features(hasher, u, v, memo),
         }
     }
 }
@@ -94,9 +115,45 @@ pub enum FeaturizerKind {
     Ditto,
 }
 
-fn deeper_features(embedder: &HashedEmbedder, u: &Record, v: &Record) -> Vec<f64> {
-    let eu = embedder.embed_record(u);
-    let ev = embedder.embed_record(v);
+// ------------------------------------------------------------------ DeepER
+
+/// Record embedding as a fold of per-value artifacts: the partial sums are
+/// combined in schema order, so the result does not depend on whether each
+/// partial came from the memo or was just computed.
+fn embed_record(embedder: &HashedEmbedder, r: &Record, memo: Option<&FeatureMemo>) -> Vec<f64> {
+    let mut acc = vec![0.0; embedder.dim()];
+    let mut total = 0usize;
+    for value in r.values() {
+        let fold = |acc: &mut [f64], artifact: &EmbedArtifact| {
+            for (a, x) in acc.iter_mut().zip(artifact.sum.iter()) {
+                *a += x;
+            }
+        };
+        match memo {
+            Some(m) => {
+                let artifact: Arc<EmbedArtifact> =
+                    m.embed_artifact(value.id(), || embedder.value_artifact(value));
+                fold(&mut acc, &artifact);
+                total += artifact.count;
+            }
+            None => {
+                let artifact = embedder.value_artifact(value);
+                fold(&mut acc, &artifact);
+                total += artifact.count;
+            }
+        }
+    }
+    HashedEmbedder::finish_mean(acc, total)
+}
+
+fn deeper_features(
+    embedder: &HashedEmbedder,
+    u: &Record,
+    v: &Record,
+    memo: Option<&FeatureMemo>,
+) -> Vec<f64> {
+    let eu = embed_record(embedder, u, memo);
+    let ev = embed_record(embedder, v, memo);
     let mut out = Vec::with_capacity(2 * embedder.dim() + 1);
     for (a, b) in eu.iter().zip(ev.iter()) {
         out.push((a - b).abs());
@@ -108,79 +165,129 @@ fn deeper_features(embedder: &HashedEmbedder, u: &Record, v: &Record) -> Vec<f64
     out
 }
 
-fn deepmatcher_features(corpus: &CorpusStats, arity: usize, u: &Record, v: &Record) -> Vec<f64> {
+// -------------------------------------------------------------- DeepMatcher
+
+/// One aligned attribute's similarity column — a pure function of the two
+/// interned values (cleaned forms and token views are cached on them) and
+/// the fitted corpus.
+fn deepmatcher_column(corpus: &CorpusStats, a: &AttrValue, b: &AttrValue) -> Vec<f64> {
+    let ca = a.cleaned();
+    let cb = b.cleaned();
+    let a_missing = ca.is_empty();
+    let b_missing = cb.is_empty();
+    if a_missing && b_missing {
+        return vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+    }
+    if a_missing || b_missing {
+        return vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+    }
+    let fourth = match (parse_number(ca), parse_number(cb)) {
+        (Some(x), Some(y)) => numeric_sim(x, y),
+        _ => corpus.cosine_tfidf_tokens(a.clean_tokens(), b.clean_tokens()),
+    };
+    vec![
+        jaccard_tokens(a.clean_tokens(), b.clean_tokens()),
+        jaro_winkler(ca, cb),
+        trigram_sim(ca, cb),
+        fourth,
+        0.0,
+        0.0,
+    ]
+}
+
+/// All distinct cleaned tokens of a record (the whole-record document the
+/// final aggregate feature compares).
+fn record_clean_token_set(r: &Record) -> FxHashSet<&str> {
+    r.values().iter().flat_map(|v| v.clean_tokens()).collect()
+}
+
+fn deepmatcher_features(
+    corpus: &CorpusStats,
+    arity: usize,
+    u: &Record,
+    v: &Record,
+    memo: Option<&FeatureMemo>,
+) -> Vec<f64> {
     debug_assert_eq!(u.arity(), arity);
     debug_assert_eq!(v.arity(), arity);
     let mut out = Vec::with_capacity(arity * ATTR_FEATURES + 1);
-    let mut whole_u = String::new();
-    let mut whole_v = String::new();
     for i in 0..arity {
-        let a = clean(&u.values()[i]);
-        let b = clean(&v.values()[i]);
-        whole_u.push_str(&a);
-        whole_u.push(' ');
-        whole_v.push_str(&b);
-        whole_v.push(' ');
-        let a_missing = a.trim().is_empty();
-        let b_missing = b.trim().is_empty();
-        if a_missing && b_missing {
-            out.extend_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
-            continue;
+        let (a, b) = (&u.values()[i], &v.values()[i]);
+        match memo {
+            Some(m) => {
+                let col = m.column(i as u16, a.id(), b.id(), || {
+                    deepmatcher_column(corpus, a, b)
+                });
+                out.extend_from_slice(&col);
+            }
+            None => out.extend(deepmatcher_column(corpus, a, b)),
         }
-        if a_missing || b_missing {
-            out.extend_from_slice(&[0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
-            continue;
-        }
-        let fourth = match (parse_number(&a), parse_number(&b)) {
-            (Some(x), Some(y)) => numeric_sim(x, y),
-            _ => corpus.cosine_tfidf(&a, &b),
-        };
-        out.push(jaccard(&a, &b));
-        out.push(jaro_winkler(&a, &b));
-        out.push(trigram_sim(&a, &b));
-        out.push(fourth);
-        out.push(0.0);
-        out.push(0.0);
     }
-    // One record-level aggregate so the model can catch dirty-migrated values.
-    out.push(jaccard(&whole_u, &whole_v));
+    // One record-level aggregate so the model can catch dirty-migrated
+    // values: Jaccard over the union of each record's cleaned token sets.
+    let su = record_clean_token_set(u);
+    let sv = record_clean_token_set(v);
+    out.push(jaccard_tokens(su.iter().copied(), sv.iter().copied()));
     out
 }
 
-/// Serialize a record Ditto-style: `COL <attr-index> VAL <tokens…>`, with
-/// numbers rounded to integers (Ditto's number normalization DK injection).
-pub fn serialize_ditto(r: &Record) -> String {
+// -------------------------------------------------------------------- Ditto
+
+/// Serialize one value's tokens Ditto-style (numbers rounded to integers —
+/// Ditto's number normalization DK injection — other tokens cleaned), each
+/// token followed by one space. Pure per-value function; the `col<i>` prefix
+/// is attribute-positional and added by the record serializer.
+fn ditto_segment(value: &AttrValue) -> String {
+    let mut s = String::new();
+    // Parse numbers on the *raw* tokens (cleaning would split "379.72"),
+    // then clean the surviving text tokens.
+    for tok in value.tokens() {
+        match parse_number(tok) {
+            Some(n) => s.push_str(&format!("{}", n.round() as i64)),
+            None => s.push_str(&clean(tok)),
+        }
+        s.push(' ');
+    }
+    s
+}
+
+fn serialize_ditto_with(r: &Record, memo: Option<&FeatureMemo>) -> String {
     let mut s = String::new();
     for (i, val) in r.values().iter().enumerate() {
         s.push_str("col");
         s.push_str(&i.to_string());
         s.push(' ');
-        // Parse numbers on the *raw* tokens (cleaning would split "379.72"),
-        // then clean the surviving text tokens.
-        for tok in tokenize(val) {
-            match parse_number(tok) {
-                Some(n) => s.push_str(&format!("{}", n.round() as i64)),
-                None => s.push_str(&clean(tok)),
-            }
-            s.push(' ');
+        match memo {
+            Some(m) => s.push_str(&m.segment(val.id(), || ditto_segment(val))),
+            None => s.push_str(&ditto_segment(val)),
         }
     }
     s.trim_end().to_string()
 }
 
-fn ditto_features(hasher: &FeatureHasher, u: &Record, v: &Record) -> Vec<f64> {
-    let su = serialize_ditto(u);
-    let sv = serialize_ditto(v);
-    let tu: Vec<&str> = tokenize(&su)
-        .into_iter()
+/// Serialize a record Ditto-style: `COL <attr-index> VAL <tokens…>`.
+pub fn serialize_ditto(r: &Record) -> String {
+    serialize_ditto_with(r, None)
+}
+
+fn ditto_features(
+    hasher: &FeatureHasher,
+    u: &Record,
+    v: &Record,
+    memo: Option<&FeatureMemo>,
+) -> Vec<f64> {
+    let su = serialize_ditto_with(u, memo);
+    let sv = serialize_ditto_with(v, memo);
+    let tu: Vec<&str> = su
+        .split_whitespace()
         .filter(|t| !t.starts_with("col"))
         .collect();
-    let tv: Vec<&str> = tokenize(&sv)
-        .into_iter()
+    let tv: Vec<&str> = sv
+        .split_whitespace()
         .filter(|t| !t.starts_with("col"))
         .collect();
-    let set_u: certa_core::hash::FxHashSet<&str> = tu.iter().copied().collect();
-    let set_v: certa_core::hash::FxHashSet<&str> = tv.iter().copied().collect();
+    let set_u: FxHashSet<&str> = tu.iter().copied().collect();
+    let set_v: FxHashSet<&str> = tv.iter().copied().collect();
 
     let mut hashed = vec![0.0; hasher.dim()];
     // Cross features: shared tokens (strong match evidence), one-sided
@@ -335,5 +442,32 @@ mod tests {
         for f in fit_all() {
             assert_eq!(f.features(&u, &v), f.features(&u, &v));
         }
+    }
+
+    #[test]
+    fn memoized_features_are_bit_identical() {
+        let u = rec(0, &["sony bravia tv davis50b", "black theater", "379.72"]);
+        let v = rec(1, &["sony bravia", "home theater system", ""]);
+        for f in fit_all() {
+            let memo = FeatureMemo::new();
+            let cold = f.features_with(&u, &v, Some(&memo));
+            let warm = f.features_with(&u, &v, Some(&memo));
+            let plain = f.features(&u, &v);
+            assert_eq!(cold, plain, "{f:?}: cold memo diverged");
+            assert_eq!(warm, plain, "{f:?}: warm memo diverged");
+            assert!(memo.stats().hits > 0, "{f:?}: second pass must hit");
+        }
+    }
+
+    #[test]
+    fn memoized_serialization_matches_unmemoized() {
+        let r = rec(0, &["sony tv", "price 379.72", ""]);
+        let memo = FeatureMemo::new();
+        assert_eq!(serialize_ditto_with(&r, Some(&memo)), serialize_ditto(&r));
+        assert_eq!(
+            serialize_ditto_with(&r, Some(&memo)),
+            serialize_ditto(&r),
+            "warm pass identical too"
+        );
     }
 }

@@ -28,13 +28,15 @@
 pub mod cache;
 pub mod embedding;
 pub mod features;
+pub mod memo;
 pub mod rule;
 pub mod trainer;
 pub mod zoo;
 
 pub use cache::{CacheStats, CachingMatcher, CountingMatcher};
 pub use embedding::HashedEmbedder;
-pub use features::Featurizer;
+pub use features::{Featurizer, FeaturizerKind};
+pub use memo::{EmbedArtifact, FeatureMemo};
 pub use rule::RuleMatcher;
 pub use trainer::{train_model, ErModel, TrainConfig, TrainReport};
 pub use zoo::{train_zoo, ModelKind, TrainedZoo};

@@ -1,0 +1,266 @@
+//! The per-attribute featurization memo.
+//!
+//! Perturbation-based explanation hammers the featurizers with records that
+//! differ in only a few attributes: across one triangle's `2^arity` masks,
+//! each attribute slot only ever holds one of **two** interned values (the
+//! free record's or the support record's). [`FeatureMemo`] exploits this by
+//! caching the expensive per-value and per-value-pair artifacts keyed by the
+//! stable [`ValueId`]s that `certa-core`'s interner assigns:
+//!
+//! * **DeepER** — per-value token-embedding partial sums (and token counts),
+//!   keyed by `ValueId`; a record embedding is then a cheap fold of its
+//!   values' cached partials.
+//! * **DeepMatcher** — the full `ATTR_FEATURES`-wide per-attribute similarity
+//!   column (Jaccard, Jaro-Winkler, trigram, TF-IDF/numeric, missing flags),
+//!   keyed by `(attr, ValueId, ValueId)`.
+//! * **Ditto** — the serialized `VAL` token segment of one value (number
+//!   rounding + cleaning applied), keyed by `ValueId`.
+//!
+//! ## Determinism contract
+//!
+//! The memo **only** caches outputs of pure, deterministic functions; a hit
+//! returns the exact `f64`s / bytes a fresh computation would produce, so
+//! memoized and unmemoized featurization are **bit-for-bit identical**
+//! (pinned by `tests/memo_props.rs` and gated in CI by `bench_featurize`).
+//! `ValueId`s are process-local but stable for the process lifetime (values
+//! are never freed), so entries never go stale.
+//!
+//! ## Concurrency design
+//!
+//! Sharded exactly like [`crate::cache::CachingMatcher`]: keys spread over
+//! [`MEMO_SHARDS`] independent `parking_lot` `RwLock` maps so the batch
+//! engine's workers hit the memo concurrently without serializing on one
+//! lock. Unlike the score cache there is no per-key cell: artifacts are
+//! cheap enough that a cold-key race simply computes twice and both racers
+//! insert the same deterministic value (last write wins, identical bytes).
+
+use crate::cache::CacheStats;
+use certa_core::hash::{fx_hash_one, FxHashMap};
+use certa_core::ValueId;
+use parking_lot::RwLock;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independent memo shards per artifact family (power of two, so
+/// shard selection is a mask) — mirrors the score cache's sharding.
+pub const MEMO_SHARDS: usize = 16;
+
+/// One sharded key → value map with hit/miss accounting hooks.
+struct ShardedMap<K, V> {
+    shards: Vec<RwLock<FxHashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..MEMO_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<FxHashMap<K, V>> {
+        &self.shards[(fx_hash_one(key) as usize) & (MEMO_SHARDS - 1)]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// Cached per-value DeepER artifact: the **un-normalized** sum of the
+/// value's cleaned-token embedding vectors, plus the token count. Folding
+/// these per value reproduces the record embedding exactly (the fold order
+/// is the schema order both the memoized and unmemoized paths use).
+pub struct EmbedArtifact {
+    /// Per-dimension sum of the value's token vectors.
+    pub sum: Vec<f64>,
+    /// Number of cleaned tokens summed.
+    pub count: usize,
+}
+
+/// The sharded per-value / per-value-pair featurization memo (see module
+/// docs). One memo belongs to one trained model — the DeepMatcher columns
+/// depend on that model's fitted IDF corpus, so memos are never shared
+/// across models.
+pub struct FeatureMemo {
+    /// DeepER: `ValueId` → token-embedding partial sum.
+    embed: ShardedMap<u32, Arc<EmbedArtifact>>,
+    /// DeepMatcher: `(attr, ValueId, ValueId)` → similarity column.
+    columns: ShardedMap<(u16, u32, u32), Arc<[f64]>>,
+    /// Ditto: `ValueId` → serialized `VAL` token segment.
+    segments: ShardedMap<u32, Arc<str>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for FeatureMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for FeatureMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FeatureMemo")
+            .field("entries", &self.len())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl FeatureMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        FeatureMemo {
+            embed: ShardedMap::new(),
+            columns: ShardedMap::new(),
+            segments: ShardedMap::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lifetime hit/miss counters across all three artifact families (same
+    /// semantics as the score cache's [`CacheStats`]: a hit is an artifact
+    /// served without recomputation).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total cached artifacts across all families.
+    pub fn len(&self) -> usize {
+        self.embed.len() + self.columns.len() + self.segments.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup<K: Eq + Hash, V: Clone>(
+        &self,
+        map: &ShardedMap<K, V>,
+        key: K,
+        compute: impl FnOnce() -> V,
+    ) -> V {
+        if let Some(v) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Compute outside any lock: a concurrent racer on the same cold key
+        // just computes the same deterministic artifact and overwrites with
+        // identical bytes.
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, v.clone());
+        v
+    }
+
+    /// DeepER per-value embedding partial, computed at most once per
+    /// distinct value (per memo).
+    pub fn embed_artifact(
+        &self,
+        value: ValueId,
+        compute: impl FnOnce() -> EmbedArtifact,
+    ) -> Arc<EmbedArtifact> {
+        self.lookup(&self.embed, value.0, || Arc::new(compute()))
+    }
+
+    /// DeepMatcher per-attribute similarity column for one `(attr, u-value,
+    /// v-value)` triple.
+    pub fn column(
+        &self,
+        attr: u16,
+        a: ValueId,
+        b: ValueId,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Arc<[f64]> {
+        self.lookup(&self.columns, (attr, a.0, b.0), || {
+            Arc::from(compute().into_boxed_slice())
+        })
+    }
+
+    /// Ditto serialized token segment of one value.
+    pub fn segment(&self, value: ValueId, compute: impl FnOnce() -> String) -> Arc<str> {
+        self.lookup(&self.segments, value.0, || Arc::from(compute().as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_hits_after_first_computation() {
+        let memo = FeatureMemo::new();
+        assert!(memo.is_empty());
+        let mut computed = 0;
+        for _ in 0..3 {
+            let a = memo.embed_artifact(ValueId(1), || {
+                computed += 1;
+                EmbedArtifact {
+                    sum: vec![1.0, 2.0],
+                    count: 2,
+                }
+            });
+            assert_eq!(a.sum, vec![1.0, 2.0]);
+            assert_eq!(a.count, 2);
+        }
+        assert_eq!(computed, 1, "artifact computed exactly once");
+        assert_eq!(memo.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn families_and_keys_are_independent() {
+        let memo = FeatureMemo::new();
+        let c1 = memo.column(0, ValueId(1), ValueId(2), || vec![0.5]);
+        let c2 = memo.column(1, ValueId(1), ValueId(2), || vec![0.7]);
+        assert_ne!(&c1[..], &c2[..], "attr index participates in the key");
+        let c3 = memo.column(0, ValueId(2), ValueId(1), || vec![0.9]);
+        assert_eq!(&c3[..], &[0.9], "pair order participates in the key");
+        let s = memo.segment(ValueId(1), || "sony tv".to_string());
+        assert_eq!(&*s, "sony tv");
+        assert_eq!(memo.len(), 4);
+        assert_eq!(memo.stats().misses, 4);
+    }
+
+    #[test]
+    fn concurrent_access_stays_consistent() {
+        let memo = Arc::new(FeatureMemo::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let memo = Arc::clone(&memo);
+                scope.spawn(move || {
+                    for i in 0..64u32 {
+                        let col = memo.column(0, ValueId(i), ValueId(i + 1), || {
+                            vec![f64::from(i), f64::from(t)]
+                        });
+                        // First element is key-determined; the second records
+                        // whichever racer computed first — but every reader
+                        // of a warm entry sees one consistent artifact.
+                        assert_eq!(col[0], f64::from(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+        let s = memo.stats();
+        assert_eq!(s.total(), 8 * 64);
+        assert!(s.misses >= 64, "each key computed at least once");
+    }
+}

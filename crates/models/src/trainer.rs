@@ -1,9 +1,11 @@
 //! Training harness: featurize a dataset's train split, fit the MLP head,
 //! and report train/test quality.
 
+use crate::cache::CacheStats;
 use crate::features::{Featurizer, FeaturizerKind};
+use crate::memo::FeatureMemo;
 use crate::zoo::ModelKind;
-use certa_core::tokens::tokenize;
+use certa_core::tokens::tokens;
 use certa_core::{Dataset, MatchLabel, Matcher, Record, Split};
 use certa_ml::dataset::Standardizer;
 use certa_ml::metrics::confusion;
@@ -11,6 +13,7 @@ use certa_ml::{Mlp, MlpConfig, TrainSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Training configuration for one ER model.
 #[derive(Debug, Clone)]
@@ -47,9 +50,13 @@ impl TrainConfig {
     }
 }
 
-/// A trained ER matcher: featurizer + standardizer + MLP head.
+/// A trained ER matcher: featurizer + standardizer + MLP head, with a
+/// per-model [`FeatureMemo`] caching per-value featurization artifacts.
 ///
 /// Implements [`Matcher`]; everything downstream treats it as a black box.
+/// The memo is enabled by default and shared by clones of the model (it
+/// caches pure functions of interned values, so memoized and unmemoized
+/// scoring are bit-identical — see [`Featurizer::features_with`]).
 #[derive(Debug, Clone)]
 pub struct ErModel {
     kind: ModelKind,
@@ -57,12 +64,38 @@ pub struct ErModel {
     featurizer: Featurizer,
     standardizer: Standardizer,
     net: Mlp,
+    memo: Option<Arc<FeatureMemo>>,
 }
 
 impl ErModel {
     /// Which family this model belongs to.
     pub fn kind(&self) -> ModelKind {
         self.kind
+    }
+
+    /// The fitted featurizer (for direct featurization benchmarks).
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// Enable (fresh memo) or disable the featurizer memo. Scores are
+    /// bit-identical either way; only throughput changes.
+    pub fn with_feature_memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled.then(|| Arc::new(FeatureMemo::new()));
+        self
+    }
+
+    /// Hit/miss counters of the featurizer memo (zeros when disabled).
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo
+            .as_deref()
+            .map(FeatureMemo::stats)
+            .unwrap_or_default()
+    }
+
+    /// Number of cached featurization artifacts (0 when disabled).
+    pub fn memo_len(&self) -> usize {
+        self.memo.as_deref().map_or(0, FeatureMemo::len)
     }
 }
 
@@ -72,7 +105,7 @@ impl Matcher for ErModel {
     }
 
     fn score(&self, u: &Record, v: &Record) -> f64 {
-        let mut feats = self.featurizer.features(u, v);
+        let mut feats = self.featurizer.features_with(u, v, self.memo.as_deref());
         self.standardizer.apply(&mut feats);
         self.net.predict_proba(&feats)
     }
@@ -80,10 +113,11 @@ impl Matcher for ErModel {
     fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
         // Vectorized path: featurize + standardize the whole batch, then one
         // layer-swept forward pass. Value-identical to per-pair `score`.
+        let memo = self.memo.as_deref();
         let feats: Vec<Vec<f64>> = pairs
             .iter()
             .map(|(u, v)| {
-                let mut f = self.featurizer.features(u, v);
+                let mut f = self.featurizer.features_with(u, v, memo);
                 self.standardizer.apply(&mut f);
                 f
             })
@@ -146,6 +180,7 @@ pub fn train_model(
         featurizer,
         standardizer,
         net,
+        memo: Some(Arc::new(FeatureMemo::new())),
     };
     let report = TrainReport {
         train_f1: evaluate_f1(&model, dataset, Split::Train),
@@ -174,7 +209,7 @@ fn augment_record(r: &Record, rng: &mut StdRng) -> Record {
         .values()
         .iter()
         .map(|v| {
-            let mut toks: Vec<&str> = tokenize(v);
+            let mut toks: Vec<&str> = tokens(v).collect();
             if toks.len() >= 2 && rng.gen_bool(0.5) {
                 let i = rng.gen_range(0..toks.len());
                 toks.remove(i);

@@ -1,0 +1,101 @@
+//! Property tests pinning the featurizer-memo determinism contract:
+//! memoized featurization is **bit-for-bit identical** to unmemoized
+//! featurization across all three model families (satellite (c) of the
+//! interning refactor), including across perturbation-style value reuse.
+
+use certa_core::{Record, RecordId};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_models::{FeatureMemo, Featurizer, FeaturizerKind};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Fit the three featurizer families once (fitting trains IDF stats on a
+/// generated dataset — far too slow to repeat per proptest case).
+fn featurizers() -> &'static [Featurizer] {
+    static FEATURIZERS: OnceLock<Vec<Featurizer>> = OnceLock::new();
+    FEATURIZERS.get_or_init(|| {
+        let d = generate(DatasetId::AB, Scale::Smoke, 17);
+        vec![
+            Featurizer::fit(FeaturizerKind::DeepEr, &d),
+            Featurizer::fit(FeaturizerKind::DeepMatcher, &d),
+            Featurizer::fit(FeaturizerKind::Ditto, &d),
+        ]
+    })
+}
+
+/// Attribute-value alphabet: tokens, numbers with decimal points (the Ditto
+/// number-normalization path), punctuation, and blanks.
+const VALUE: &str = "[a-zA-Z0-9 ,.!]{0,20}";
+
+const ARITY: usize = 3;
+
+fn record(id: u32, values: Vec<String>) -> Record {
+    Record::new(RecordId(id), values)
+}
+
+/// Bitwise equality — `==` on f64 would also pass for `-0.0 == 0.0`; the
+/// contract is byte-identity of the vectors.
+fn assert_bits_eq(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "feature {} diverged: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// (c) memoized ≡ unmemoized feature vectors, bit for bit, across all
+    /// three featurizer families, on both cold and warm memo passes.
+    #[test]
+    fn memoized_features_bit_identical(
+        u_values in proptest::collection::vec(VALUE, ARITY),
+        v_values in proptest::collection::vec(VALUE, ARITY),
+    ) {
+        let u = record(0, u_values);
+        let v = record(1, v_values);
+        for f in featurizers() {
+            let plain = f.features(&u, &v);
+            let memo = FeatureMemo::new();
+            let cold = f.features_with(&u, &v, Some(&memo));
+            let warm = f.features_with(&u, &v, Some(&memo));
+            assert_bits_eq(&plain, &cold)?;
+            assert_bits_eq(&plain, &warm)?;
+        }
+    }
+
+    /// The same contract under perturbation-style reuse: records sharing
+    /// value handles (one memo serving many masked views) still featurize
+    /// identically to fresh unmemoized calls.
+    #[test]
+    fn memo_shared_across_perturbed_views(
+        u_values in proptest::collection::vec(VALUE, ARITY),
+        w_values in proptest::collection::vec(VALUE, ARITY),
+        v_values in proptest::collection::vec(VALUE, ARITY),
+    ) {
+        let u = record(0, u_values);
+        let w = record(1, w_values);
+        let v = record(2, v_values);
+        for f in featurizers() {
+            let memo = FeatureMemo::new();
+            for mask in 0u32..(1 << ARITY) {
+                let perturbed = u.with_values_merged(&w, |i| mask & (1 << i) != 0);
+                let memoized = f.features_with(&perturbed, &v, Some(&memo));
+                let plain = f.features(&perturbed, &v);
+                assert_bits_eq(&plain, &memoized)?;
+            }
+            prop_assert!(
+                memo.stats().hits > 0,
+                "masked views must reuse cached artifacts"
+            );
+        }
+    }
+}

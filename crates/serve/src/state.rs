@@ -20,7 +20,7 @@ use crate::http::HttpError;
 use certa_core::{BoxedMatcher, Dataset, Record, Side};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::{Certa, CertaConfig};
-use certa_models::{train_model, CacheStats, CachingMatcher, ModelKind, TrainConfig};
+use certa_models::{train_model, CacheStats, CachingMatcher, ErModel, ModelKind, TrainConfig};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -101,6 +101,8 @@ pub struct ModelEntry {
     pub kind: ModelKind,
     /// The generated dataset (perturbation donors, id lookups).
     pub dataset: Dataset,
+    /// The trained model itself (featurizer-memo statistics live here).
+    pub model: Arc<ErModel>,
     /// The sharded score cache wrapping the trained matcher.
     pub cache: Arc<CachingMatcher>,
     /// The CERTA explainer for this entry.
@@ -218,12 +220,14 @@ impl Registry {
         let entry = slot.get_or_init(|| {
             let dataset = generate(dataset_id, self.config.scale, self.config.seed);
             let (model, _report) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
-            let cache = CachingMatcher::new(Arc::new(model) as BoxedMatcher);
+            let model = Arc::new(model);
+            let cache = CachingMatcher::new(Arc::clone(&model) as BoxedMatcher);
             Arc::new(ModelEntry {
                 name: canonical.clone(),
                 dataset_id,
                 kind,
                 dataset,
+                model,
                 cache,
                 certa: Certa::new(self.config.certa_config()),
             })
@@ -269,6 +273,32 @@ impl Registry {
         for (name, _, len) in &stats {
             out.push_str(&format!(
                 "certa_serve_cache_entries{{model=\"{name}\"}} {len}\n"
+            ));
+        }
+        // Featurizer-memo effectiveness (per-value featurization artifacts),
+        // next to the score-cache counters it composes with.
+        let memo: Vec<(String, CacheStats, usize)> = loaded
+            .iter()
+            .map(|e| (e.name.clone(), e.model.memo_stats(), e.model.memo_len()))
+            .collect();
+        out.push_str("# TYPE certa_serve_featurizer_memo_hits_total counter\n");
+        for (name, s, _) in &memo {
+            out.push_str(&format!(
+                "certa_serve_featurizer_memo_hits_total{{model=\"{name}\"}} {}\n",
+                s.hits
+            ));
+        }
+        out.push_str("# TYPE certa_serve_featurizer_memo_misses_total counter\n");
+        for (name, s, _) in &memo {
+            out.push_str(&format!(
+                "certa_serve_featurizer_memo_misses_total{{model=\"{name}\"}} {}\n",
+                s.misses
+            ));
+        }
+        out.push_str("# TYPE certa_serve_featurizer_memo_entries gauge\n");
+        for (name, _, len) in &memo {
+            out.push_str(&format!(
+                "certa_serve_featurizer_memo_entries{{model=\"{name}\"}} {len}\n"
             ));
         }
         out
@@ -319,6 +349,12 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 1));
         let lines = registry.cache_metric_lines();
         assert!(lines.contains("cache_hits_total{model=\"FZ/DeepMatcher\"} 1"));
+        // The featurizer memo saw exactly one uncached scoring pass.
+        let memo = a.model.memo_stats();
+        assert!(memo.misses > 0, "memo populated by the cold score");
+        assert!(lines.contains("featurizer_memo_misses_total{model=\"FZ/DeepMatcher\"}"));
+        assert!(lines.contains("featurizer_memo_hits_total{model=\"FZ/DeepMatcher\"}"));
+        assert!(lines.contains("featurizer_memo_entries{model=\"FZ/DeepMatcher\"}"));
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Cosine similarity over term-frequency vectors, with optional IDF weights.
 
 use certa_core::hash::FxHashMap;
-use certa_core::tokens::tokenize;
+use certa_core::tokens::tokens;
 
-fn tf(s: &str) -> FxHashMap<&str, f64> {
+fn tf<'a>(toks: impl IntoIterator<Item = &'a str>) -> FxHashMap<&'a str, f64> {
     let mut m: FxHashMap<&str, f64> = FxHashMap::default();
-    for t in tokenize(s) {
+    for t in toks {
         *m.entry(t).or_insert(0.0) += 1.0;
     }
     m
@@ -13,8 +13,8 @@ fn tf(s: &str) -> FxHashMap<&str, f64> {
 
 /// Plain TF cosine similarity between two strings' token-count vectors.
 pub fn cosine_tf(a: &str, b: &str) -> f64 {
-    let ta = tf(a);
-    let tb = tf(b);
+    let ta = tf(tokens(a));
+    let tb = tf(tokens(b));
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }
@@ -70,9 +70,14 @@ impl CorpusStats {
 
     /// Add one document's distinct tokens.
     pub fn add_document(&mut self, text: &str) {
+        self.add_document_tokens(tokens(text));
+    }
+
+    /// [`CorpusStats::add_document`] over a pre-tokenized view.
+    pub fn add_document_tokens<'a>(&mut self, toks: impl IntoIterator<Item = &'a str>) {
         self.doc_count += 1;
         let mut seen: certa_core::hash::FxHashSet<&str> = certa_core::hash::FxHashSet::default();
-        for t in tokenize(text) {
+        for t in toks {
             if seen.insert(t) {
                 *self.df.entry(t.to_string()).or_insert(0) += 1;
             }
@@ -92,6 +97,16 @@ impl CorpusStats {
 
     /// TF-IDF cosine similarity under this corpus' weights.
     pub fn cosine_tfidf(&self, a: &str, b: &str) -> f64 {
+        self.cosine_tfidf_tokens(tokens(a), tokens(b))
+    }
+
+    /// [`CorpusStats::cosine_tfidf`] over pre-tokenized views (identical
+    /// term-frequency maps, hence bit-identical results).
+    pub fn cosine_tfidf_tokens<'a>(
+        &self,
+        a: impl IntoIterator<Item = &'a str>,
+        b: impl IntoIterator<Item = &'a str>,
+    ) -> f64 {
         let ta = tf(a);
         let tb = tf(b);
         if ta.is_empty() && tb.is_empty() {

@@ -23,7 +23,9 @@ pub use jaro::{jaro, jaro_winkler};
 pub use monge_elkan::{monge_elkan, monge_elkan_symmetric};
 pub use ngram::{char_ngrams, trigram_sim};
 pub use numeric::{numeric_sim, parse_number};
-pub use token_sets::{dice, jaccard, overlap_coefficient};
+pub use token_sets::{
+    dice, dice_tokens, jaccard, jaccard_tokens, overlap_coefficient, overlap_coefficient_tokens,
+};
 
 /// A robust hybrid attribute-value similarity used by the evaluation metrics.
 ///

@@ -1,16 +1,30 @@
 //! Token-set similarities (Jaccard, Dice, overlap coefficient).
+//!
+//! Every measure has two entry points: the classic `&str` form (tokenizes
+//! internally) and a `*_tokens` form over **pre-tokenized views** — callers
+//! holding cached token lists (e.g. [`certa_core::AttrValue::clean_tokens`])
+//! skip the re-tokenization entirely. Both forms build identical sets, so
+//! they return bit-identical results.
 
 use certa_core::hash::FxHashSet;
-use certa_core::tokens::tokenize;
+use certa_core::tokens::tokens;
 
-fn token_set(s: &str) -> FxHashSet<&str> {
-    tokenize(s).into_iter().collect()
+fn token_set<'a>(toks: impl IntoIterator<Item = &'a str>) -> FxHashSet<&'a str> {
+    toks.into_iter().collect()
 }
 
 /// Jaccard similarity over whitespace token sets: `|A∩B| / |A∪B|`.
 ///
 /// Both-empty is 1.0.
 pub fn jaccard(a: &str, b: &str) -> f64 {
+    jaccard_tokens(tokens(a), tokens(b))
+}
+
+/// [`jaccard`] over pre-tokenized views (no re-tokenization).
+pub fn jaccard_tokens<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+) -> f64 {
     let sa = token_set(a);
     let sb = token_set(b);
     if sa.is_empty() && sb.is_empty() {
@@ -23,6 +37,14 @@ pub fn jaccard(a: &str, b: &str) -> f64 {
 
 /// Dice coefficient over token sets: `2|A∩B| / (|A| + |B|)`.
 pub fn dice(a: &str, b: &str) -> f64 {
+    dice_tokens(tokens(a), tokens(b))
+}
+
+/// [`dice`] over pre-tokenized views.
+pub fn dice_tokens<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+) -> f64 {
     let sa = token_set(a);
     let sb = token_set(b);
     if sa.is_empty() && sb.is_empty() {
@@ -36,6 +58,14 @@ pub fn dice(a: &str, b: &str) -> f64 {
 /// contains the other, which flags the "description embeds the name"
 /// structure common in product datasets like Abt-Buy.
 pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    overlap_coefficient_tokens(tokens(a), tokens(b))
+}
+
+/// [`overlap_coefficient`] over pre-tokenized views.
+pub fn overlap_coefficient_tokens<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+) -> f64 {
     let sa = token_set(a);
     let sb = token_set(b);
     if sa.is_empty() && sb.is_empty() {
@@ -84,6 +114,33 @@ mod tests {
         assert_eq!(overlap_coefficient("a", ""), 0.0);
         assert_eq!(overlap_coefficient("", ""), 1.0);
         assert!((overlap_coefficient("a b", "b c d") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_views_match_string_entry_points() {
+        for (a, b) in [
+            ("a b c", "b c d"),
+            ("", ""),
+            ("a", ""),
+            ("sony bravia theater", "sony cinema"),
+        ] {
+            let (ta, tb): (Vec<&str>, Vec<&str>) = (
+                a.split_whitespace().collect(),
+                b.split_whitespace().collect(),
+            );
+            assert_eq!(
+                jaccard(a, b),
+                jaccard_tokens(ta.iter().copied(), tb.iter().copied())
+            );
+            assert_eq!(
+                dice(a, b),
+                dice_tokens(ta.iter().copied(), tb.iter().copied())
+            );
+            assert_eq!(
+                overlap_coefficient(a, b),
+                overlap_coefficient_tokens(ta.iter().copied(), tb.iter().copied())
+            );
+        }
     }
 
     proptest! {

@@ -1,7 +1,7 @@
 //! Property-based tests spanning crate boundaries: invariants that must
 //! hold for *any* seed, dataset, and matcher configuration.
 
-use certa_repro::core::{MatchLabel, Matcher, Record, RecordId, Split};
+use certa_repro::core::{MatchLabel, Matcher, Split};
 use certa_repro::datagen::{generate, DatasetId, Scale};
 use certa_repro::explain::lattice::{explore, mask_len, ExploreMode};
 use certa_repro::explain::perturb::perturb;
@@ -120,18 +120,8 @@ proptest! {
         let mut prev = m.score(u, v);
         let mut current = u.clone();
         for i in 0..4u16 {
-            current = Record::new(
-                RecordId(0),
-                (0..4)
-                    .map(|j| {
-                        if j <= i as usize {
-                            v.values()[j].clone()
-                        } else {
-                            current.values()[j].clone()
-                        }
-                    })
-                    .collect(),
-            );
+            // COW merge: attribute handles are copied, never re-allocated.
+            current = current.with_values_merged(v, |j| j <= i as usize);
             let s = m.score(&current, v);
             prop_assert!(s >= prev - 1e-12, "copying attr {i} lowered {prev} → {s}");
             prev = s;
