@@ -1,0 +1,233 @@
+//! Persistence contract gate + warm-start benchmark — the acceptance check
+//! for `certa-store`.
+//!
+//! For every model family:
+//!
+//! 1. **cold** — generate the dataset and train the matcher, timed;
+//! 2. **encode → decode** — round-trip both artifacts through the store
+//!    codec, timing the decode (the warm-start path);
+//! 3. **divergence gate** — score the DeepMatcher-style perturbation
+//!    workload (every masked ψ-copy of sampled test pairs against their
+//!    pivots, the exact record population CERTA feeds matchers) with the
+//!    original and the decoded model and compare **bit for bit** — any
+//!    divergence exits non-zero;
+//! 4. **snapshot gate** — snapshot a warm score cache, round-trip it, seed
+//!    a fresh cache around the decoded model, and verify the warm cache
+//!    serves identical scores with **zero** inner-model invocations.
+//!
+//! Writes `BENCH_store.json` and fails (exit 1) unless warm-load is at
+//! least [`REQUIRED_SPEEDUP`]× faster than cold train — the ROADMAP's
+//! cold-start wall, quantified.
+
+use certa_bench::{banner, write_bench_json, CliOptions};
+use certa_core::{BoxedMatcher, Matcher, Record, Split};
+use certa_datagen::{generate, DatasetId};
+use certa_models::{train_model, trainer::sample_pairs, CachingMatcher, ModelKind, TrainConfig};
+use certa_serve::Json;
+use certa_store::{
+    decode_dataset, decode_er_model, decode_score_cache, encode_dataset, encode_er_model,
+    encode_score_cache,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Warm-load must beat cold-train by at least this factor.
+const REQUIRED_SPEEDUP: f64 = 10.0;
+/// Supports drawn per explained pair (two sides of a typical triangle fan).
+const SUPPORTS_PER_PAIR: usize = 2;
+/// Attribute-mask width cap: 2^6 perturbed copies per (pair, support).
+const MAX_MASK_BITS: usize = 6;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    banner("store — versioned binary persistence", &opts);
+    let cfg = opts.grid();
+
+    // Cold phase: generation + training, the price every restart pays
+    // without a store.
+    let t0 = Instant::now();
+    let dataset = generate(DatasetId::FZ, cfg.scale, cfg.seed);
+    let models: Vec<(ModelKind, certa_models::ErModel)> = ModelKind::all()
+        .into_iter()
+        .map(|kind| {
+            let (model, _) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
+            (kind, model)
+        })
+        .collect();
+    let cold_s = t0.elapsed().as_secs_f64();
+
+    // Encode once (what a server persists at first touch).
+    let dataset_bytes = encode_dataset(&dataset);
+    let model_bytes: Vec<(ModelKind, Vec<u8>)> = models
+        .iter()
+        .map(|(kind, model)| (*kind, encode_er_model(model)))
+        .collect();
+    let artifact_bytes =
+        dataset_bytes.len() + model_bytes.iter().map(|(_, b)| b.len()).sum::<usize>();
+
+    // Warm phase: decode everything, the price a restart pays *with* the
+    // store.
+    let t0 = Instant::now();
+    let warm_dataset = decode_dataset(&dataset_bytes).expect("persisted dataset must decode");
+    let warm_models: Vec<(ModelKind, certa_models::ErModel)> = model_bytes
+        .iter()
+        .map(|(kind, bytes)| (*kind, decode_er_model(bytes).expect("model must decode")))
+        .collect();
+    let warm_s = t0.elapsed().as_secs_f64();
+    let speedup = cold_s / warm_s.max(1e-9);
+
+    // The perturbation workload both sides of every gate score.
+    let arity = dataset.left().schema().arity();
+    let mask_bits = arity.min(MAX_MASK_BITS);
+    let pairs = sample_pairs(
+        &dataset,
+        Split::Test,
+        cfg.n_explained.max(4),
+        cfg.seed ^ 0x570,
+    );
+    let left_records = dataset.left().records();
+    let mut workload: Vec<(Record, &Record)> = Vec::new();
+    for (i, lp) in pairs.iter().enumerate() {
+        let (u, v) = dataset.expect_pair(lp.pair);
+        for s in 0..SUPPORTS_PER_PAIR {
+            let w = &left_records[(i * SUPPORTS_PER_PAIR + s + 1) % left_records.len()];
+            for mask in 0u32..(1u32 << mask_bits) {
+                workload.push((u.with_values_merged(w, |a| mask & (1 << a) != 0), v));
+            }
+        }
+    }
+    let refs: Vec<(&Record, &Record)> = workload.iter().map(|(u, v)| (u, *v)).collect();
+    println!(
+        "dataset=FZ pairs={} supports/pair={SUPPORTS_PER_PAIR} masks=2^{mask_bits} → {} scored pairs per gate",
+        pairs.len(),
+        workload.len()
+    );
+    println!(
+        "cold train : {cold_s:8.3}s (dataset + 3 models) | warm load: {warm_s:8.5}s | {speedup:.0}x | {artifact_bytes} artifact bytes"
+    );
+
+    let mut families = Vec::new();
+    let mut divergences = 0usize;
+    for ((kind, original), (_, decoded)) in models.iter().zip(&warm_models) {
+        // Gate 1: decoded model scores byte-identically on the workload.
+        let t0 = Instant::now();
+        let original_scores = original.score_batch(&refs);
+        let ms_per_score = t0.elapsed().as_secs_f64() * 1e3 / refs.len() as f64;
+        let decoded_scores = decoded.score_batch(&refs);
+        let mut family_divergences = 0usize;
+        for (i, (a, b)) in original_scores.iter().zip(&decoded_scores).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                eprintln!(
+                    "FAIL: {} score {i} diverged after decode: {a:?} vs {b:?}",
+                    kind.paper_name()
+                );
+                family_divergences += 1;
+            }
+        }
+        divergences += family_divergences;
+
+        // Gate 2: a persisted score-cache snapshot seeds a fresh cache that
+        // serves the same bytes with zero inner invocations.
+        let warm_cache_ok = {
+            let cache = CachingMatcher::new(Arc::new(original.clone()) as BoxedMatcher);
+            let cached_scores = cache.score_batch(&refs);
+            let snapshot_bytes = encode_score_cache(&cache);
+            let entries = decode_score_cache(&snapshot_bytes).expect("snapshot must decode");
+            let warm_cache = CachingMatcher::new(Arc::new(decoded.clone()) as BoxedMatcher);
+            warm_cache.seed(entries);
+            let warm_scores = warm_cache.score_batch(&refs);
+            let identical = cached_scores
+                .iter()
+                .zip(&warm_scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            let untouched = warm_cache.stats().misses == 0;
+            if !identical || !untouched {
+                eprintln!(
+                    "FAIL: {} warm cache diverged (identical={identical}, zero-miss={untouched})",
+                    kind.paper_name()
+                );
+                divergences += 1;
+            }
+            identical && untouched
+        };
+
+        let bytes = model_bytes
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, b)| b.len())
+            .unwrap_or(0);
+        println!(
+            "{:>11}: {} scores {} | warm cache {} | {bytes} bytes | ~{ms_per_score:.4}ms/score",
+            kind.paper_name(),
+            refs.len(),
+            if family_divergences == 0 {
+                "bit-identical ✔".to_string()
+            } else {
+                format!("{family_divergences} DIVERGED")
+            },
+            if warm_cache_ok {
+                "0 misses ✔"
+            } else {
+                "FAILED"
+            },
+        );
+        families.push((
+            kind.paper_name(),
+            Json::obj([
+                ("model_bytes", Json::num(bytes as f64)),
+                ("workload_scores", Json::num(refs.len() as f64)),
+                ("score_divergences", Json::num(family_divergences as f64)),
+                ("warm_cache_zero_miss", Json::Bool(warm_cache_ok)),
+            ]),
+        ));
+    }
+
+    let speedup_pass = speedup >= REQUIRED_SPEEDUP;
+    println!();
+    println!(
+        "speedup   : warm-load {speedup:.0}x faster than cold-train — {} (≥{REQUIRED_SPEEDUP:.0}x required)",
+        if speedup_pass { "PASS" } else { "FAIL" }
+    );
+
+    // Sanity: the decoded dataset resolves the same test pairs.
+    assert_eq!(
+        warm_dataset.split(Split::Test),
+        dataset.split(Split::Test),
+        "decoded dataset must carry identical splits"
+    );
+
+    let report = Json::obj([
+        ("bench", Json::str("store")),
+        ("dataset", Json::str("FZ")),
+        ("scale", Json::str(cfg.scale.to_string())),
+        ("seed", Json::num(cfg.seed as f64)),
+        ("cold_train_seconds", Json::Num(cold_s)),
+        ("warm_load_seconds", Json::Num(warm_s)),
+        ("speedup", Json::Num(speedup)),
+        ("required_speedup", Json::Num(REQUIRED_SPEEDUP)),
+        ("speedup_pass", Json::Bool(speedup_pass)),
+        ("artifact_bytes_total", Json::num(artifact_bytes as f64)),
+        ("dataset_bytes", Json::num(dataset_bytes.len() as f64)),
+        ("workload_scores", Json::num(refs.len() as f64)),
+        ("score_divergences", Json::num(divergences as f64)),
+        ("families", Json::obj(families)),
+    ]);
+    match write_bench_json("BENCH_store.json", &report) {
+        Ok(()) => println!("wrote BENCH_store.json"),
+        Err(e) => {
+            eprintln!("FAIL: could not write BENCH_store.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} decoded-vs-original divergence(s)");
+        std::process::exit(1);
+    }
+    if !speedup_pass {
+        eprintln!(
+            "FAIL: warm load only {speedup:.1}x faster than cold train (need ≥{REQUIRED_SPEEDUP:.0}x)"
+        );
+        std::process::exit(1);
+    }
+}

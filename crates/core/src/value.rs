@@ -225,6 +225,27 @@ impl AttrValue {
         interner().len()
     }
 
+    /// Snapshot of every value interned so far, in no particular order.
+    ///
+    /// This is the reverse-lookup path for process-local [`ValueId`]s: layers
+    /// that keep `ValueId`-keyed state (the `certa-models` featurization
+    /// memo) use it to translate ids back to portable string content before
+    /// persisting — ids themselves must never leave the process (see the
+    /// module docs). O(distinct values); takes each shard lock briefly.
+    pub fn all_interned() -> Vec<AttrValue> {
+        interner()
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|e| e.0.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// The stable per-process id of this distinct string (see module docs).
     #[inline]
     pub fn id(&self) -> ValueId {
@@ -493,6 +514,21 @@ mod tests {
         let mut set: FxHashSet<AttrValue> = FxHashSet::default();
         set.insert(v);
         assert!(set.contains("davis50b"), "&str lookup through Borrow");
+    }
+
+    #[test]
+    fn all_interned_contains_new_values_with_their_ids() {
+        let v = AttrValue::intern("a value only the all_interned test makes 0xC1");
+        let all = AttrValue::all_interned();
+        let found = all
+            .iter()
+            .find(|x| x.as_str() == v.as_str())
+            .expect("freshly interned value listed");
+        assert_eq!(found.id(), v.id());
+        assert!(AttrValue::ptr_eq(found, &v));
+        // Concurrent tests may intern more values after the snapshot; the
+        // monotone interner guarantees only `≤`.
+        assert!(all.len() <= AttrValue::interned_count());
     }
 
     #[test]

@@ -98,6 +98,30 @@ impl Standardizer {
         }
     }
 
+    /// Rebuild from exported columns (the persistence path).
+    ///
+    /// # Panics
+    /// Panics when the two vectors differ in length.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std width mismatch");
+        Standardizer { mean, std }
+    }
+
+    /// Per-column means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-column standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Feature width this transform expects.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
     /// Transform one row in place.
     pub fn apply(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.mean.len(), "standardizer width mismatch");

@@ -27,6 +27,12 @@ impl FeatureHasher {
         self.dim
     }
 
+    /// The decorrelation salt this hasher was built with (persisted by
+    /// `certa-store` so a reloaded hasher reproduces identical buckets).
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
     /// Bucket and sign for one feature string.
     #[inline]
     pub fn slot(&self, feature: &str) -> (usize, f64) {

@@ -35,6 +35,6 @@ pub use hashing_features::FeatureHasher;
 pub use logistic::LogisticRegression;
 pub use matrix::Matrix;
 pub use metrics::{accuracy, auc_trapezoid, confusion, f1_score, mae, ConfusionCounts};
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{DenseSnapshot, Mlp, MlpConfig, MlpSnapshot};
 pub use optim::{Adam, AdamConfig};
 pub use ridge::{ridge_regression, solve_linear_system, weighted_ridge};

@@ -67,6 +67,35 @@ pub struct Mlp {
     input_dim: usize,
 }
 
+/// The full parameters of one dense layer, as exported by [`Mlp::snapshot`].
+///
+/// Row-major weights (`rows × cols`), one bias per row, plus the layer's
+/// activation. The persistence layer (`certa-store`) round-trips networks
+/// through this representation; [`Mlp::from_snapshot`] validates that the
+/// layer chain is dimensionally consistent before rebuilding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSnapshot {
+    /// Output width of the layer.
+    pub rows: usize,
+    /// Input width of the layer.
+    pub cols: usize,
+    /// Row-major weight buffer (`rows * cols` entries).
+    pub weights: Vec<f64>,
+    /// Bias vector (`rows` entries).
+    pub bias: Vec<f64>,
+    /// The layer's activation.
+    pub activation: Activation,
+}
+
+/// A complete, self-describing export of a trained [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSnapshot {
+    /// Expected feature count of the first layer.
+    pub input_dim: usize,
+    /// All layers, input side first.
+    pub layers: Vec<DenseSnapshot>,
+}
+
 impl Mlp {
     /// Build an untrained network for `input_dim` features according to the
     /// config's layer plan. The output layer is always a single sigmoid unit.
@@ -94,6 +123,84 @@ impl Mlp {
     /// Expected feature count.
     pub fn input_dim(&self) -> usize {
         self.input_dim
+    }
+
+    /// Export every parameter of the network (weights, biases, activations)
+    /// as a [`MlpSnapshot`]. `from_snapshot(snapshot())` rebuilds a network
+    /// whose forward pass is **bit-identical** to this one.
+    pub fn snapshot(&self) -> MlpSnapshot {
+        MlpSnapshot {
+            input_dim: self.input_dim,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| DenseSnapshot {
+                    rows: l.w.rows(),
+                    cols: l.w.cols(),
+                    weights: l.w.as_slice().to_vec(),
+                    bias: l.b.clone(),
+                    activation: l.act,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a network from exported parameters, validating the layer
+    /// chain: the first layer's `cols` must equal `input_dim`, each layer's
+    /// input width must equal the previous layer's output width, the final
+    /// layer must have exactly one output unit, and every buffer must have
+    /// the declared length. Returns a description of the first violation.
+    pub fn from_snapshot(snapshot: MlpSnapshot) -> Result<Mlp, String> {
+        if snapshot.input_dim == 0 {
+            return Err("input dimension must be positive".to_string());
+        }
+        if snapshot.layers.is_empty() {
+            return Err("network must have at least one layer".to_string());
+        }
+        let mut expected_in = snapshot.input_dim;
+        let last = snapshot.layers.len() - 1;
+        let mut layers = Vec::with_capacity(snapshot.layers.len());
+        for (i, l) in snapshot.layers.into_iter().enumerate() {
+            if l.cols != expected_in {
+                return Err(format!(
+                    "layer {i}: input width {} does not chain with previous width {expected_in}",
+                    l.cols
+                ));
+            }
+            if l.rows == 0 {
+                return Err(format!("layer {i}: zero output width"));
+            }
+            if i == last && l.rows != 1 {
+                return Err(format!(
+                    "output layer must have exactly one unit, got {}",
+                    l.rows
+                ));
+            }
+            if l.weights.len() != l.rows * l.cols {
+                return Err(format!(
+                    "layer {i}: weight buffer holds {} values, expected {}",
+                    l.weights.len(),
+                    l.rows * l.cols
+                ));
+            }
+            if l.bias.len() != l.rows {
+                return Err(format!(
+                    "layer {i}: bias holds {} values, expected {}",
+                    l.bias.len(),
+                    l.rows
+                ));
+            }
+            expected_in = l.rows;
+            layers.push(Dense {
+                w: Matrix::from_vec(l.rows, l.cols, l.weights),
+                b: l.bias,
+                act: l.activation,
+            });
+        }
+        Ok(Mlp {
+            layers,
+            input_dim: snapshot.input_dim,
+        })
     }
 
     /// Probability that the input belongs to the positive class.
@@ -389,6 +496,55 @@ mod tests {
     fn wrong_input_dim_panics() {
         let net = Mlp::new(3, &MlpConfig::default());
         let _ = net.predict_proba(&[1.0]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let cfg = MlpConfig {
+            hidden: vec![5, 3],
+            seed: 23,
+            ..Default::default()
+        };
+        let net = Mlp::new(4, &cfg);
+        let rebuilt = Mlp::from_snapshot(net.snapshot()).unwrap();
+        assert_eq!(rebuilt.input_dim(), 4);
+        for i in 0..30 {
+            let x: Vec<f64> = (0..4).map(|j| ((i * 4 + j) as f64).sin() * 2.0).collect();
+            assert_eq!(
+                net.predict_proba(&x).to_bits(),
+                rebuilt.predict_proba(&x).to_bits(),
+                "forward pass diverged on {x:?}"
+            );
+        }
+        assert_eq!(net.snapshot(), rebuilt.snapshot());
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_chains() {
+        let net = Mlp::new(3, &MlpConfig::default());
+        let good = net.snapshot();
+
+        let mut bad = good.clone();
+        bad.input_dim = 5;
+        assert!(Mlp::from_snapshot(bad).unwrap_err().contains("chain"));
+
+        let mut bad = good.clone();
+        bad.layers[0].weights.pop();
+        assert!(Mlp::from_snapshot(bad).unwrap_err().contains("weight"));
+
+        let mut bad = good.clone();
+        bad.layers[1].bias.push(0.0);
+        assert!(Mlp::from_snapshot(bad).unwrap_err().contains("bias"));
+
+        let mut bad = good.clone();
+        bad.layers.pop();
+        assert!(Mlp::from_snapshot(bad)
+            .unwrap_err()
+            .contains("output layer"));
+
+        let mut bad = good;
+        bad.layers.clear();
+        assert!(Mlp::from_snapshot(bad).unwrap_err().contains("layer"));
     }
 
     #[test]

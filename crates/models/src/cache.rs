@@ -136,6 +136,41 @@ impl CachingMatcher {
             shard.write().clear();
         }
     }
+
+    /// Export every resolved entry as `((hash_u, hash_v), score)`, sorted
+    /// by key — the deterministic snapshot `certa-store` persists. Content
+    /// hashes are pure functions of record content, so a snapshot is valid
+    /// in any process.
+    pub fn snapshot(&self) -> Vec<((u64, u64), f64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            for (key, cell) in map.iter() {
+                // Briefly waits on cells another thread is mid-compute on
+                // (the vendored mutex has no try_lock); those resolve to a
+                // score momentarily, so the snapshot includes them.
+                if let Some(score) = *cell.lock() {
+                    out.push((*key, score));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Pre-fill the cache from snapshot entries. Seeded scores are served
+    /// exactly like computed ones; counters are untouched (warm-start
+    /// traffic then shows up as hits). An entry whose key already holds a
+    /// resolved score is left as-is.
+    pub fn seed(&self, entries: impl IntoIterator<Item = ((u64, u64), f64)>) {
+        for (key, score) in entries {
+            let cell = self.cell(key);
+            let mut slot = cell.lock();
+            if slot.is_none() {
+                *slot = Some(score);
+            }
+        }
+    }
 }
 
 impl Matcher for CachingMatcher {
@@ -408,6 +443,40 @@ mod tests {
         assert_eq!(cached.stats().total(), 5);
         cached.score(&u, &v);
         assert_eq!(cached.stats(), CacheStats { hits: 3, misses: 3 });
+    }
+
+    #[test]
+    fn snapshot_and_seed_roundtrip_without_inner_calls() {
+        let (base, calls) = counted_base();
+        let cached = CachingMatcher::new(base);
+        let v = rec(1, "x");
+        let records: Vec<Record> = (0..8).map(|i| rec(i, &format!("match {i}"))).collect();
+        for u in &records {
+            cached.score(u, &v);
+        }
+        let snap = cached.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        assert_eq!(snap, cached.snapshot(), "snapshot is deterministic");
+
+        // Seed a fresh cache: every score must be served without touching
+        // the inner model.
+        let (base2, calls2) = counted_base();
+        let warm = CachingMatcher::new(base2);
+        warm.seed(snap.clone());
+        assert_eq!(warm.len(), 8);
+        for u in &records {
+            assert_eq!(warm.score(u, &v), 0.9);
+        }
+        assert_eq!(calls2.load(Ordering::Relaxed), 0, "all served from seed");
+        assert_eq!(warm.stats().hits, 8);
+        assert_eq!(warm.snapshot(), snap);
+
+        // Seeding never overwrites a resolved score.
+        let resolved_key = snap[0].0;
+        warm.seed([(resolved_key, 0.123)]);
+        assert_eq!(warm.snapshot()[0], snap[0]);
+        let _ = calls;
     }
 
     #[test]

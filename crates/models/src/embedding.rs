@@ -37,6 +37,12 @@ impl HashedEmbedder {
         self.dim
     }
 
+    /// The decorrelation salt this embedder was built with (persisted by
+    /// `certa-store` so a reloaded embedder reproduces identical vectors).
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
     /// The fixed pseudo-random unit vector of one token.
     pub fn token_vector(&self, token: &str) -> Vec<f64> {
         let seed = fx_hash_one(&(self.salt, token));

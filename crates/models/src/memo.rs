@@ -198,6 +198,74 @@ impl FeatureMemo {
     pub fn segment(&self, value: ValueId, compute: impl FnOnce() -> String) -> Arc<str> {
         self.lookup(&self.segments, value.0, || Arc::from(compute().as_str()))
     }
+
+    // --------------------------------------------------- snapshot support
+    //
+    // `certa-store` persists warm memos and re-seeds them in a fresh
+    // process. Exports hand out the raw `ValueId`-keyed entries; the store
+    // translates ids to value *strings* before writing (ids are
+    // process-local — see `certa_core::value`) and re-interns on load.
+    // Seeding touches neither the hit nor the miss counter.
+
+    /// Every cached DeepER embedding partial, keyed by value id.
+    pub fn embed_entries(&self) -> Vec<(ValueId, Arc<EmbedArtifact>)> {
+        let mut out = Vec::new();
+        for shard in &self.embed.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(&id, a)| (ValueId(id), Arc::clone(a))),
+            );
+        }
+        out
+    }
+
+    /// Every cached DeepMatcher similarity column, keyed by
+    /// `(attr, u-value id, v-value id)`.
+    #[allow(clippy::type_complexity)]
+    pub fn column_entries(&self) -> Vec<((u16, ValueId, ValueId), Arc<[f64]>)> {
+        let mut out = Vec::new();
+        for shard in &self.columns.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(&(attr, a, b), col)| ((attr, ValueId(a), ValueId(b)), Arc::clone(col))),
+            );
+        }
+        out
+    }
+
+    /// Every cached Ditto serialized segment, keyed by value id.
+    pub fn segment_entries(&self) -> Vec<(ValueId, Arc<str>)> {
+        let mut out = Vec::new();
+        for shard in &self.segments.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(&id, s)| (ValueId(id), Arc::clone(s))),
+            );
+        }
+        out
+    }
+
+    /// Pre-fill one DeepER embedding partial (no counter movement).
+    pub fn seed_embed(&self, value: ValueId, artifact: EmbedArtifact) {
+        self.embed.insert(value.0, Arc::new(artifact));
+    }
+
+    /// Pre-fill one DeepMatcher similarity column (no counter movement).
+    pub fn seed_column(&self, attr: u16, a: ValueId, b: ValueId, column: Vec<f64>) {
+        self.columns
+            .insert((attr, a.0, b.0), Arc::from(column.into_boxed_slice()));
+    }
+
+    /// Pre-fill one Ditto serialized segment (no counter movement).
+    pub fn seed_segment(&self, value: ValueId, segment: &str) {
+        self.segments.insert(value.0, Arc::from(segment));
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +305,45 @@ mod tests {
         assert_eq!(&*s, "sony tv");
         assert_eq!(memo.len(), 4);
         assert_eq!(memo.stats().misses, 4);
+    }
+
+    #[test]
+    fn export_and_seed_roundtrip_without_recompute() {
+        let memo = FeatureMemo::new();
+        memo.embed_artifact(ValueId(3), || EmbedArtifact {
+            sum: vec![0.25, -1.5],
+            count: 4,
+        });
+        memo.column(2, ValueId(3), ValueId(9), || vec![0.5, 0.0]);
+        memo.segment(ValueId(9), || "sony 380".to_string());
+
+        let fresh = FeatureMemo::new();
+        for (id, a) in memo.embed_entries() {
+            fresh.seed_embed(
+                id,
+                EmbedArtifact {
+                    sum: a.sum.clone(),
+                    count: a.count,
+                },
+            );
+        }
+        for ((attr, a, b), col) in memo.column_entries() {
+            fresh.seed_column(attr, a, b, col.to_vec());
+        }
+        for (id, s) in memo.segment_entries() {
+            fresh.seed_segment(id, &s);
+        }
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(fresh.stats(), CacheStats::default(), "seeding is silent");
+
+        // Every lookup is now a hit; the compute closures must never run.
+        let a = fresh.embed_artifact(ValueId(3), || unreachable!("seeded"));
+        assert_eq!((a.sum.clone(), a.count), (vec![0.25, -1.5], 4));
+        let c = fresh.column(2, ValueId(3), ValueId(9), || unreachable!("seeded"));
+        assert_eq!(&c[..], &[0.5, 0.0]);
+        let s = fresh.segment(ValueId(9), || unreachable!("seeded"));
+        assert_eq!(&*s, "sony 380");
+        assert_eq!(fresh.stats().hits, 3);
     }
 
     #[test]

@@ -52,6 +52,27 @@ impl RuleMatcher {
         self
     }
 
+    /// Adjust the sigmoid steepness around the threshold.
+    pub fn with_sharpness(mut self, sharpness: f64) -> Self {
+        self.sharpness = sharpness;
+        self
+    }
+
+    /// The per-attribute weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The sigmoid steepness.
+    pub fn sharpness(&self) -> f64 {
+        self.sharpness
+    }
+
     /// Weighted mean attribute similarity in `[0, 1]`.
     pub fn similarity(&self, u: &Record, v: &Record) -> f64 {
         let arity = self.weights.len().min(u.arity()).min(v.arity());
@@ -153,6 +174,21 @@ mod tests {
         let v = rec(1, &["sony bravia cinema"]);
         assert_eq!(strict.predict(&u, &v), MatchLabel::NonMatch);
         assert_eq!(lax.predict(&u, &v), MatchLabel::Match);
+    }
+
+    #[test]
+    fn accessors_roundtrip_through_builders() {
+        let m = RuleMatcher::with_weights(vec![2.0, 0.5])
+            .with_threshold(0.7)
+            .with_sharpness(4.0);
+        let rebuilt = RuleMatcher::with_weights(m.weights().to_vec())
+            .with_threshold(m.threshold())
+            .with_sharpness(m.sharpness());
+        let u = rec(0, &["sony bravia", "100"]);
+        let v = rec(1, &["sony cinema", "120"]);
+        assert_eq!(rebuilt.score(&u, &v).to_bits(), m.score(&u, &v).to_bits());
+        assert_eq!(m.weights(), &[2.0, 0.5]);
+        assert_eq!((m.threshold(), m.sharpness()), (0.7, 4.0));
     }
 
     #[test]

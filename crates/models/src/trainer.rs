@@ -78,6 +78,57 @@ impl ErModel {
         &self.featurizer
     }
 
+    /// The fitted feature standardizer (persistence path).
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// The trained MLP head (persistence path).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// The model's featurization memo, when enabled (persistence path:
+    /// `certa-store` snapshots warm artifacts through this handle).
+    pub fn feature_memo(&self) -> Option<&Arc<FeatureMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Reassemble a model from persisted parts — the decode path of
+    /// `certa-store`. The name is derived from `kind` (the same derivation
+    /// [`train_model`] uses) and a fresh, enabled memo is attached.
+    ///
+    /// # Panics
+    /// Panics when the featurizer width, standardizer width, and network
+    /// input dimension disagree — persisted artifacts are validated before
+    /// this is called; disagreement is a caller bug, exactly as for
+    /// [`Mlp::new`].
+    pub fn from_parts(
+        kind: ModelKind,
+        featurizer: Featurizer,
+        standardizer: Standardizer,
+        net: Mlp,
+    ) -> Self {
+        assert_eq!(
+            featurizer.dim(),
+            net.input_dim(),
+            "featurizer width must match the network input"
+        );
+        assert_eq!(
+            standardizer.dim(),
+            net.input_dim(),
+            "standardizer width must match the network input"
+        );
+        ErModel {
+            kind,
+            name: kind.model_name().to_string(),
+            featurizer,
+            standardizer,
+            net,
+            memo: Some(Arc::new(FeatureMemo::new())),
+        }
+    }
+
     /// Enable (fresh memo) or disable the featurizer memo. Scores are
     /// bit-identical either way; only throughput changes.
     pub fn with_feature_memo(mut self, enabled: bool) -> Self {
@@ -314,6 +365,31 @@ mod tests {
             for ((u, v), s) in pairs.iter().zip(&batch) {
                 assert_eq!(*s, model.score(u, v), "{kind:?} batch diverged");
             }
+        }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_a_bit_identical_scorer() {
+        let d = generate(DatasetId::AB, Scale::Smoke, 3);
+        let kind = ModelKind::DeepMatcher;
+        let (model, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+        let rebuilt = ErModel::from_parts(
+            kind,
+            model.featurizer().clone(),
+            model.standardizer().clone(),
+            certa_ml::Mlp::from_snapshot(model.net().snapshot()).unwrap(),
+        );
+        assert_eq!(rebuilt.kind(), kind);
+        assert_eq!(rebuilt.name(), model.name());
+        assert!(rebuilt.feature_memo().is_some(), "fresh memo attached");
+        for lp in d.split(Split::Test) {
+            let (u, v) = d.expect_pair(lp.pair);
+            assert_eq!(
+                rebuilt.score(u, v).to_bits(),
+                model.score(u, v).to_bits(),
+                "rebuilt model diverged on {:?}",
+                lp.pair
+            );
         }
     }
 

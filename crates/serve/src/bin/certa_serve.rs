@@ -5,12 +5,18 @@
 //! certa-serve [--host H] [--port P] [--scale smoke|default|paper]
 //!             [--seed N] [--tau N] [--http-workers N] [--explain-workers N]
 //!             [--queue-depth N] [--max-body-bytes N] [--read-timeout-ms N]
-//!             [--preload <dataset>/<model>]...
+//!             [--store-dir PATH] [--preload <dataset>/<model>]...
 //! ```
 //!
 //! `--preload` resolves (generates + trains) the named entries before the
 //! listener opens, so the first real request doesn't pay the training
 //! latency — CI's smoke job preloads the model the load generator targets.
+//!
+//! `--store-dir` points at a `certa-store` directory: preloads and
+//! first-touch requests load persisted artifacts when present (and persist
+//! freshly trained ones), so a restarted server warm-starts in
+//! milliseconds instead of retraining — see the README's "Persistent model
+//! store" section.
 
 use certa_serve::{AppState, ServeConfig, Server};
 use std::net::TcpListener;
@@ -25,7 +31,8 @@ struct Args {
 
 const USAGE: &str = "usage: certa-serve [--host H] [--port P] [--scale smoke|default|paper] \
 [--seed N] [--tau N] [--http-workers N] [--explain-workers N] [--queue-depth N] \
-[--max-body-bytes N] [--read-timeout-ms N] [--preload <dataset>/<model>]...";
+[--max-body-bytes N] [--read-timeout-ms N] [--store-dir PATH] \
+[--preload <dataset>/<model>]...";
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
@@ -69,6 +76,9 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("{e}"))?,
                 )
+            }
+            "--store-dir" => {
+                args.config.store_dir = Some(std::path::PathBuf::from(value("--store-dir")?))
             }
             "--preload" => args.preload.push(value("--preload")?),
             other if other.ends_with("help") || other == "-h" => return Err(USAGE.to_string()),
@@ -165,6 +175,8 @@ mod tests {
             "1024",
             "--read-timeout-ms",
             "250",
+            "--store-dir",
+            "/tmp/certa-models",
             "--preload",
             "FZ/DeepMatcher",
             "--preload",
@@ -179,7 +191,12 @@ mod tests {
         assert_eq!(a.config.queue_depth, 16);
         assert_eq!(a.config.max_body_bytes, 1024);
         assert_eq!(a.config.read_timeout, Duration::from_millis(250));
+        assert_eq!(
+            a.config.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/certa-models"))
+        );
         assert_eq!(a.preload, vec!["FZ/DeepMatcher", "AB/Ditto"]);
+        assert!(parse(&[]).unwrap().config.store_dir.is_none());
     }
 
     #[test]

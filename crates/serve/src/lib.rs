@@ -75,5 +75,5 @@ pub mod wire;
 pub use http::{HttpError, Request, Response};
 pub use ops::{LatencyHistogram, Route, ServerMetrics};
 pub use server::{AppState, Server, ServerHandle};
-pub use state::{ModelEntry, Registry, ServeConfig};
+pub use state::{ModelEntry, Registry, ServeConfig, StoreStats};
 pub use wire::{Json, WireError};

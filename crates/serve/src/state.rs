@@ -15,16 +15,27 @@
 //! generate+train cost once (concurrent requests for the same name block on
 //! one `OnceLock` initializer; different names never block each other), and
 //! every later request reuses the entry and its warm score cache.
+//!
+//! With a `--store-dir`, first-touch resolution goes through `certa-store`
+//! instead: load-or-train-then-persist. A verified artifact pair for the
+//! `(dataset, model, scale, seed)` world skips training entirely (the
+//! decoded model scores bit-identically to the trained one, so the
+//! byte-equality guarantee is unchanged); a miss trains as before and
+//! persists the artifacts so the *next* process warm-starts. `/metrics`
+//! reports hits, misses, and cumulative load latency.
 
 use crate::http::HttpError;
 use certa_core::{BoxedMatcher, Dataset, Record, Side};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::{Certa, CertaConfig};
 use certa_models::{train_model, CacheStats, CachingMatcher, ErModel, ModelKind, TrainConfig};
+use certa_store::ModelStore;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serving configuration (model world + HTTP tunables).
 #[derive(Debug, Clone)]
@@ -49,6 +60,12 @@ pub struct ServeConfig {
     /// Per-read socket timeout; idle keep-alive connections are dropped
     /// after it so they cannot pin workers forever.
     pub read_timeout: Duration,
+    /// Warm-start directory: when set, first-touch resolution tries
+    /// `certa-store` artifacts for the `(dataset, model, scale, seed)`
+    /// world before generating + training, and persists freshly trained
+    /// entries back (load-or-train-then-persist). `None` keeps the PR-3
+    /// train-on-first-request behaviour.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +79,7 @@ impl Default for ServeConfig {
             queue_depth: 128,
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
+            store_dir: None,
         }
     }
 }
@@ -163,25 +181,64 @@ impl ModelEntry {
 
 type EntrySlot = Arc<OnceLock<Arc<ModelEntry>>>;
 
+/// Store-effectiveness counters for the warm-start path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Entries materialized by loading persisted artifacts.
+    pub hits: u64,
+    /// Entries that had to be trained (then persisted, when a store is
+    /// configured).
+    pub misses: u64,
+    /// Cumulative wall time spent loading from the store, in microseconds.
+    pub load_micros: u64,
+}
+
 /// Lazy, memoized name → [`ModelEntry`] resolution.
 pub struct Registry {
     config: ServeConfig,
+    /// The warm-start store, when `config.store_dir` is set.
+    store: Option<ModelStore>,
     // BTreeMap so `/v1/models` and `/metrics` list entries in stable order.
+    //
+    // Concurrency: this map lock guards only slot lookup/insertion — an
+    // O(log n) map operation. Entry *materialization* (store load or
+    // generate+train, both potentially seconds) happens outside it, inside
+    // the slot's per-entry `OnceLock` initializer, so first-touch requests
+    // for different models build in parallel and only same-name racers
+    // block on one training. Pinned by
+    // `distinct_models_materialize_in_parallel` below.
     entries: Mutex<BTreeMap<String, EntrySlot>>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_load_micros: AtomicU64,
 }
 
 impl Registry {
     /// An empty registry serving the given configuration.
     pub fn new(config: ServeConfig) -> Self {
+        let store = config.store_dir.as_ref().map(ModelStore::new);
         Registry {
             config,
+            store,
             entries: Mutex::new(BTreeMap::new()),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_load_micros: AtomicU64::new(0),
         }
     }
 
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Warm-start counters (all zero when no store is configured).
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.store_hits.load(Ordering::Relaxed),
+            misses: self.store_misses.load(Ordering::Relaxed),
+            load_micros: self.store_load_micros.load(Ordering::Relaxed),
+        }
     }
 
     /// Parse and canonicalize a `"<dataset>/<model>"` name.
@@ -207,23 +264,15 @@ impl Registry {
         Ok((dataset_id, kind))
     }
 
-    /// Resolve a name, generating + training on first use.
+    /// Resolve a name: warm-start from the store when configured, else
+    /// generate + train (persisting the result for the next process).
     pub fn resolve(&self, name: &str) -> Result<Arc<ModelEntry>, HttpError> {
-        let (dataset_id, kind) = Self::canonical_name(name)?;
-        let canonical = format!("{}/{}", dataset_id.code(), kind.paper_name());
-        let slot: EntrySlot = {
-            let mut map = self.entries.lock();
-            Arc::clone(map.entry(canonical.clone()).or_default())
-        };
-        // Build outside the map lock: a slow first-time train of one name
-        // never blocks requests for other (or already-resolved) names.
-        let entry = slot.get_or_init(|| {
-            let dataset = generate(dataset_id, self.config.scale, self.config.seed);
-            let (model, _report) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
+        self.resolve_with(name, |dataset_id, kind, canonical| {
+            let (dataset, model) = self.load_or_train(dataset_id, kind);
             let model = Arc::new(model);
             let cache = CachingMatcher::new(Arc::clone(&model) as BoxedMatcher);
             Arc::new(ModelEntry {
-                name: canonical.clone(),
+                name: canonical.to_string(),
                 dataset_id,
                 kind,
                 dataset,
@@ -231,8 +280,89 @@ impl Registry {
                 cache,
                 certa: Certa::new(self.config.certa_config()),
             })
-        });
+        })
+    }
+
+    /// Memoized resolution with an injected builder. The builder runs
+    /// outside the registry map lock (inside the per-entry `OnceLock`
+    /// initializer), so materializing one name never blocks resolution of
+    /// other names — the concurrency test drives this with barrier
+    /// builders to prove the property without timing assumptions.
+    fn resolve_with(
+        &self,
+        name: &str,
+        build: impl FnOnce(DatasetId, ModelKind, &str) -> Arc<ModelEntry>,
+    ) -> Result<Arc<ModelEntry>, HttpError> {
+        let (dataset_id, kind) = Self::canonical_name(name)?;
+        let canonical = format!("{}/{}", dataset_id.code(), kind.paper_name());
+        let slot: EntrySlot = {
+            let mut map = self.entries.lock();
+            Arc::clone(map.entry(canonical.clone()).or_default())
+        };
+        let entry = slot.get_or_init(|| build(dataset_id, kind, &canonical));
         Ok(Arc::clone(entry))
+    }
+
+    /// The load-or-train-then-persist step behind first-touch resolution.
+    ///
+    /// A verified store pair (dataset + model artifacts for this exact
+    /// `(scale, seed)` world) short-circuits generation and training; any
+    /// failure — absent files, checksum mismatch, stale format version —
+    /// falls back to the train path, which then persists both artifacts
+    /// best-effort (a read-only store directory degrades to PR-3
+    /// behaviour, it never fails the request).
+    fn load_or_train(&self, dataset_id: DatasetId, kind: ModelKind) -> (Dataset, ErModel) {
+        let (scale, seed) = (self.config.scale, self.config.seed);
+        // Fast path: both artifacts load and verify.
+        let stored_dataset = self.store.as_ref().and_then(|store| {
+            let t0 = Instant::now();
+            let dataset = store.load_dataset(dataset_id, scale, seed).ok()?;
+            let model = store.load_model(dataset_id, kind, scale, seed);
+            // Whatever actually loaded counts toward the load-latency
+            // metric — on the dataset-only path the decode work was real
+            // even though the entry still has to train.
+            self.store_load_micros
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if let Ok(model) = model {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Ok((dataset, model)));
+            }
+            // Dataset loaded but no valid model: train on the loaded
+            // dataset (decoded datasets featurize bit-identically to
+            // generated ones, so the trained weights are identical too).
+            Some(Err(dataset))
+        });
+        let (dataset, dataset_was_stored) = match stored_dataset {
+            Some(Ok(pair)) => return pair,
+            Some(Err(dataset)) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                (dataset, true)
+            }
+            None => {
+                if self.store.is_some() {
+                    self.store_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                (generate(dataset_id, scale, seed), false)
+            }
+        };
+        let (model, _report) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
+        if let Some(store) = &self.store {
+            let saved = if dataset_was_stored {
+                store.save_model(dataset_id, kind, scale, seed, &model)
+            } else {
+                store
+                    .save_dataset(dataset_id, scale, seed, &dataset)
+                    .and_then(|_| store.save_model(dataset_id, kind, scale, seed, &model))
+            };
+            if let Err(e) = saved {
+                eprintln!(
+                    "certa-serve: could not persist {dataset_id}/{} to {}: {e}",
+                    kind.paper_name(),
+                    store.dir().display()
+                );
+            }
+        }
+        (dataset, model)
     }
 
     /// Snapshot of the resolved entries, in name order.
@@ -301,6 +431,29 @@ impl Registry {
                 "certa_serve_featurizer_memo_entries{{model=\"{name}\"}} {len}\n"
             ));
         }
+        out.push_str(&self.store_metric_lines());
+        out
+    }
+
+    /// Warm-start effectiveness lines for the `/metrics` exposition:
+    /// store hits/misses and cumulative load latency. Emitted whenever any
+    /// entry has been materialized (zeros without a `--store-dir`, so
+    /// dashboards can tell "no store" from "store never hit").
+    pub fn store_metric_lines(&self) -> String {
+        let stats = self.store_stats();
+        let mut out = String::new();
+        out.push_str("# TYPE certa_serve_store_hits_total counter\n");
+        out.push_str(&format!("certa_serve_store_hits_total {}\n", stats.hits));
+        out.push_str("# TYPE certa_serve_store_misses_total counter\n");
+        out.push_str(&format!(
+            "certa_serve_store_misses_total {}\n",
+            stats.misses
+        ));
+        out.push_str("# TYPE certa_serve_store_load_seconds_total counter\n");
+        out.push_str(&format!(
+            "certa_serve_store_load_seconds_total {}\n",
+            stats.load_micros as f64 / 1e6
+        ));
         out
     }
 }
@@ -355,6 +508,150 @@ mod tests {
         assert!(lines.contains("featurizer_memo_misses_total{model=\"FZ/DeepMatcher\"}"));
         assert!(lines.contains("featurizer_memo_hits_total{model=\"FZ/DeepMatcher\"}"));
         assert!(lines.contains("featurizer_memo_entries{model=\"FZ/DeepMatcher\"}"));
+    }
+
+    /// Unique-per-test temp dir (std-only; no tempfile crate in-tree).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "certa-serve-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_start_loads_instead_of_training() {
+        let dir = temp_dir("warmstart");
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+
+        // Cold process: trains, persists, counts a miss.
+        let cold = Registry::new(config.clone());
+        let entry = cold.resolve("FZ/DeepMatcher").unwrap();
+        let stats = cold.store_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert!(
+            ModelStore::new(&dir).list().unwrap().len() >= 2,
+            "dataset + model artifacts persisted"
+        );
+        let u = entry.dataset.left().records()[0].clone();
+        let v = entry.dataset.right().records()[0].clone();
+        let cold_score = entry.matcher().score(&u, &v);
+
+        // "Restarted" process: same config, fresh registry — must load.
+        let warm = Registry::new(config);
+        let entry2 = warm.resolve("FZ/DeepMatcher").unwrap();
+        let stats = warm.store_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "no retraining");
+        let warm_score = entry2.matcher().score(&u, &v);
+        assert_eq!(warm_score.to_bits(), cold_score.to_bits());
+        let lines = warm.cache_metric_lines();
+        assert!(lines.contains("certa_serve_store_hits_total 1"), "{lines}");
+        assert!(
+            lines.contains("certa_serve_store_load_seconds_total"),
+            "{lines}"
+        );
+
+        // A missing model for a loaded dataset trains without re-saving
+        // the dataset, and subsequent restarts hit both artifacts.
+        let entry3 = warm.resolve("FZ/Ditto").unwrap();
+        assert_eq!(entry3.kind, ModelKind::Ditto);
+        assert_eq!(warm.store_stats().misses, 1);
+        let third = Registry::new(warm.config().clone());
+        third.resolve("FZ/Ditto").unwrap();
+        assert_eq!(third.store_stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_store_degrades_to_training() {
+        // A store path that cannot be created (a *file* occupies it).
+        let dir = temp_dir("unwritable");
+        std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let registry = Registry::new(ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let entry = registry.resolve("FZ/DeepMatcher").unwrap();
+        let u = entry.dataset.left().records()[0].clone();
+        let v = entry.dataset.right().records()[0].clone();
+        assert!((0.0..=1.0).contains(&entry.matcher().score(&u, &v)));
+        assert_eq!(registry.store_stats().misses, 1);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    /// The registry-lock fix, proven without timing assumptions: two
+    /// first-touch resolutions of *different* names run their builders
+    /// concurrently — each builder blocks until it has seen the other
+    /// builder start, which can only converge if neither holds a lock the
+    /// other needs. (Before the fix, training inside the registry map lock
+    /// would deadlock this test instead of merely slowing it down; the
+    /// spin-wait below turns that deadlock into a loud failure.)
+    #[test]
+    fn distinct_models_materialize_in_parallel() {
+        use std::sync::atomic::AtomicUsize;
+        use std::time::Duration;
+
+        let registry = Arc::new(Registry::new(ServeConfig::default()));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let names = ["FZ/DeepMatcher", "AB/Ditto"];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = names
+                .iter()
+                .map(|name| {
+                    let registry = Arc::clone(&registry);
+                    let inside = Arc::clone(&inside);
+                    scope.spawn(move || {
+                        registry
+                            .resolve_with(name, |dataset_id, kind, canonical| {
+                                inside.fetch_add(1, Ordering::SeqCst);
+                                // Rendezvous: wait (bounded) for the other
+                                // builder to be inside its critical section.
+                                let t0 = Instant::now();
+                                while inside.load(Ordering::SeqCst) < 2 {
+                                    assert!(
+                                        t0.elapsed() < Duration::from_secs(10),
+                                        "builders serialized: second first-touch \
+                                         never started while the first was building"
+                                    );
+                                    std::thread::yield_now();
+                                }
+                                // Both builders are concurrently inside —
+                                // the property holds; build a real entry.
+                                let dataset =
+                                    generate(dataset_id, Scale::Smoke, registry.config().seed);
+                                let (model, _) =
+                                    train_model(kind, &dataset, &TrainConfig::for_kind(kind));
+                                let model = Arc::new(model);
+                                let cache = CachingMatcher::new(Arc::clone(&model) as BoxedMatcher);
+                                Arc::new(ModelEntry {
+                                    name: canonical.to_string(),
+                                    dataset_id,
+                                    kind,
+                                    dataset,
+                                    model,
+                                    cache,
+                                    certa: Certa::new(registry.config().certa_config()),
+                                })
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let entry = h.join().expect("resolution thread panicked");
+                assert!(names.contains(&entry.name.as_str()));
+            }
+        });
+        assert_eq!(inside.load(Ordering::SeqCst), 2);
+        assert_eq!(registry.loaded().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The `certa-store` CLI: inspect, verify, and garbage-collect store
+//! artifacts.
+//!
+//! ```text
+//! certa-store inspect <file>...        header + section table + summary
+//! certa-store verify <file|dir>...     full decode; non-zero exit on any failure
+//! certa-store gc <dir> [--dry-run]     remove corrupt/stale artifacts + .tmp files
+//! ```
+
+use certa_store::{describe, verify_file, ModelStore, EXTENSION};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str =
+    "usage: certa-store <inspect <file>... | verify <file|dir>... | gc <dir> [--dry-run]>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "inspect" => inspect(rest),
+            "verify" => verify(rest),
+            "gc" => gc(rest),
+            other if other.ends_with("help") || other == "-h" => {
+                eprintln!("{USAGE}");
+                2
+            }
+            other => {
+                eprintln!("unknown command `{other}`\n{USAGE}");
+                2
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn inspect(files: &[String]) -> i32 {
+    if files.is_empty() {
+        eprintln!("inspect: no files given\n{USAGE}");
+        return 2;
+    }
+    let mut code = 0;
+    for file in files {
+        println!("== {file}");
+        match std::fs::read(file) {
+            Ok(bytes) => match describe(&bytes) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    println!("  INVALID: {e}");
+                    code = 1;
+                }
+            },
+            Err(e) => {
+                println!("  UNREADABLE: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+/// Expand directories into their `.cst` members, pass files through.
+fn expand(paths: &[String]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            match ModelStore::new(path).list() {
+                Ok(files) => out.extend(files),
+                Err(e) => eprintln!("verify: cannot list {p}: {e}"),
+            }
+        } else {
+            out.push(path.to_path_buf());
+        }
+    }
+    out
+}
+
+fn verify(paths: &[String]) -> i32 {
+    if paths.is_empty() {
+        eprintln!("verify: no files given\n{USAGE}");
+        return 2;
+    }
+    let files = expand(paths);
+    if files.is_empty() {
+        eprintln!("verify: nothing to verify (no .{EXTENSION} files found)");
+        return 1;
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match verify_file(file) {
+            Ok(kind) => println!("OK      {} ({})", file.display(), kind.name()),
+            Err(e) => {
+                println!("FAIL    {}: {e}", file.display());
+                failures += 1;
+            }
+        }
+    }
+    println!("{} file(s), {failures} failure(s)", files.len());
+    i32::from(failures > 0)
+}
+
+fn gc(args: &[String]) -> i32 {
+    let (dirs, flags): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| !a.starts_with("--"));
+    let dry_run = flags.iter().any(|f| f.as_str() == "--dry-run");
+    if let Some(bad) = flags.iter().find(|f| f.as_str() != "--dry-run") {
+        eprintln!("gc: unknown flag `{bad}`\n{USAGE}");
+        return 2;
+    }
+    let [dir] = dirs.as_slice() else {
+        eprintln!("gc: exactly one directory expected\n{USAGE}");
+        return 2;
+    };
+    match ModelStore::new(dir.as_str()).gc(dry_run) {
+        Ok(removed) => {
+            for path in &removed {
+                println!(
+                    "{} {}",
+                    if dry_run { "would remove" } else { "removed" },
+                    path.display()
+                );
+            }
+            println!(
+                "{} artifact(s) {}",
+                removed.len(),
+                if dry_run { "to remove" } else { "removed" }
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("gc: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Byte-level encoding primitives.
+//!
+//! Everything is little-endian and length-prefixed. The [`Reader`] is the
+//! hardened half: every read is bounds-checked against the remaining input
+//! **before** any allocation, so a hostile length prefix produces a typed
+//! [`StoreError`] instead of an OOM — decoded collections can never claim
+//! more elements than the remaining bytes could possibly hold.
+
+use crate::error::{Result, StoreError};
+
+/// Append-only byte sink used by all encoders.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, verbatim.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bits of an `f64` (bit-exact round-trip, NaN payloads
+    /// included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics when the string exceeds `u32::MAX` bytes (no in-tree value
+    /// comes near; the interner enforces the same bound).
+    pub fn str_(&mut self, s: &str) {
+        assert!(s.len() <= u32::MAX as usize, "string too large to encode");
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    /// `u32`-count-prefixed `f64` slice.
+    ///
+    /// # Panics
+    /// Panics when the slice exceeds `u32::MAX` entries.
+    pub fn f64_slice(&mut self, xs: &[f64]) {
+        assert!(xs.len() <= u32::MAX as usize, "slice too large to encode");
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+/// Bounds-checked cursor over untrusted bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes, or a typed truncation error.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(StoreError::Truncated {
+                what,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// `f64` from stored bits.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A declared element count, validated so that `count * elem_size`
+    /// cannot exceed the remaining bytes — the allocation bound.
+    pub fn count(&mut self, elem_size: usize, what: &'static str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        let needed = n
+            .checked_mul(elem_size.max(1))
+            .ok_or(StoreError::Truncated {
+                what,
+                needed: usize::MAX,
+                remaining: 0,
+            })?;
+        if needed > self.remaining() {
+            return Err(StoreError::Truncated {
+                what,
+                needed,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// `u32`-length-prefixed UTF-8 string slice (zero-copy).
+    pub fn str_(&mut self, what: &'static str) -> Result<&'a str> {
+        let n = self.count(1, what)?;
+        let bytes = self.take(n, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Malformed(format!("{what}: not valid UTF-8")))
+    }
+
+    /// Owned copy of [`Reader::str_`].
+    pub fn string(&mut self, what: &'static str) -> Result<String> {
+        Ok(self.str_(what)?.to_string())
+    }
+
+    /// `u32`-count-prefixed `f64` vector.
+    pub fn f64_vec(&mut self, what: &'static str) -> Result<Vec<f64>> {
+        let n = self.count(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Error unless every byte has been consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips_are_bit_exact() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(65_535);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str_("söny ブラビア");
+        w.f64_slice(&[1.5, f64::INFINITY, -3.25]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 65_535);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64("f").unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.str_("g").unwrap(), "söny ブラビア");
+        let xs = r.f64_vec("h").unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[1], f64::INFINITY);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let err = r.u64("value").unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::Truncated {
+                what: "value",
+                needed: 8,
+                remaining: 5
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_declared_lengths_do_not_allocate() {
+        // A string claiming u32::MAX bytes with 4 bytes of payload.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.bytes(b"abcd");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.str_("s").unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+
+        // An f64 vector claiming 2^31 entries (16 GiB) with no payload.
+        let mut w = Writer::new();
+        w.u32(1 << 31);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.f64_vec("xs").unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed_not_panic() {
+        let mut w = Writer::new();
+        w.u32(2);
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str_("s").unwrap_err(), StoreError::Malformed(_)));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes);
+        r.u8("x").unwrap();
+        assert_eq!(r.finish(), Err(StoreError::TrailingBytes(2)));
+        r.take(2, "rest").unwrap();
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,366 @@
+//! The versioned, checksummed container every artifact lives in.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ magic "CERTAST\0"  (8 bytes)                                     │
+//! │ format version     (u32, currently 1)                            │
+//! │ artifact kind      (u32: model / dataset / rule / score-cache)   │
+//! │ section count      (u32, ≤ 32)                                   │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ section table: per section                                       │
+//! │   tag (u32) · length (u64) · FxHash64 checksum (u64)             │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ section payloads, concatenated in table order                    │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The reader verifies, in order: magic, version, kind, a sane section
+//! count, that the declared section lengths sum **exactly** to the bytes
+//! that follow the table (so truncations and padding are both typed
+//! errors), that no tag repeats, and finally every section's FxHash64
+//! checksum. Unknown tags are rejected rather than skipped — a forward
+//! format change must bump [`FORMAT_VERSION`] instead of smuggling new
+//! sections past old readers. `tests/store_corrupt.rs` holds the property
+//! that *every* single-byte corruption of a valid artifact fails decoding.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+use certa_core::hash::FxHasher;
+use std::hash::Hasher;
+
+/// First eight bytes of every artifact.
+pub const MAGIC: [u8; 8] = *b"CERTAST\0";
+
+/// The one format version this build reads and writes. Any layout change —
+/// new section, field reordering, width change — must bump this.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on sections per artifact (structural sanity, not a limit any
+/// real artifact approaches).
+pub const MAX_SECTIONS: usize = 32;
+
+/// What a container holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A trained [`certa_models::ErModel`] (plus optional warm snapshots).
+    Model,
+    /// A generated [`certa_core::Dataset`].
+    Dataset,
+    /// A [`certa_models::RuleMatcher`].
+    Rule,
+    /// A standalone score-cache snapshot.
+    ScoreCache,
+}
+
+impl ArtifactKind {
+    /// Wire code.
+    pub fn code(self) -> u32 {
+        match self {
+            ArtifactKind::Model => 1,
+            ArtifactKind::Dataset => 2,
+            ArtifactKind::Rule => 3,
+            ArtifactKind::ScoreCache => 4,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u32) -> Result<ArtifactKind> {
+        match code {
+            1 => Ok(ArtifactKind::Model),
+            2 => Ok(ArtifactKind::Dataset),
+            3 => Ok(ArtifactKind::Rule),
+            4 => Ok(ArtifactKind::ScoreCache),
+            other => Err(StoreError::UnknownKind(other)),
+        }
+    }
+
+    /// Human-readable name (CLI `inspect`, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Model => "model",
+            ArtifactKind::Dataset => "dataset",
+            ArtifactKind::Rule => "rule-matcher",
+            ArtifactKind::ScoreCache => "score-cache",
+        }
+    }
+}
+
+/// Section tags. Stable wire identifiers — never renumber, only append.
+pub mod tag {
+    /// Model/rule/dataset metadata (kind byte, names).
+    pub const META: u32 = 1;
+    /// Fitted featurizer configuration.
+    pub const FEATURIZER: u32 = 2;
+    /// Feature standardizer columns.
+    pub const STANDARDIZER: u32 = 3;
+    /// MLP layer parameters.
+    pub const MLP: u32 = 4;
+    /// Featurization-memo snapshot (optional).
+    pub const MEMO: u32 = 5;
+    /// Score-cache snapshot.
+    pub const SCORE_CACHE: u32 = 6;
+    /// Left-table schema.
+    pub const SCHEMA_LEFT: u32 = 7;
+    /// Left-table records.
+    pub const RECORDS_LEFT: u32 = 8;
+    /// Right-table schema.
+    pub const SCHEMA_RIGHT: u32 = 9;
+    /// Right-table records.
+    pub const RECORDS_RIGHT: u32 = 10;
+    /// Labeled train/test pair splits.
+    pub const PAIRS: u32 = 11;
+    /// Rule-matcher parameters.
+    pub const RULE: u32 = 12;
+
+    /// Display name of a tag (CLI `inspect`).
+    pub fn name(t: u32) -> &'static str {
+        match t {
+            META => "meta",
+            FEATURIZER => "featurizer",
+            STANDARDIZER => "standardizer",
+            MLP => "mlp",
+            MEMO => "memo",
+            SCORE_CACHE => "score-cache",
+            SCHEMA_LEFT => "schema-left",
+            RECORDS_LEFT => "records-left",
+            SCHEMA_RIGHT => "schema-right",
+            RECORDS_RIGHT => "records-right",
+            PAIRS => "pairs",
+            RULE => "rule",
+            _ => "unknown",
+        }
+    }
+}
+
+/// FxHash64 of a byte slice — the per-section checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Assemble a container from `(tag, payload)` sections, in the given order.
+pub fn write_container(kind: ArtifactKind, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    assert!(sections.len() <= MAX_SECTIONS, "too many sections");
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u32(kind.code());
+    w.u32(sections.len() as u32);
+    for (tag, payload) in sections {
+        w.u32(*tag);
+        w.u64(payload.len() as u64);
+        w.u64(checksum(payload));
+    }
+    for (_, payload) in sections {
+        w.bytes(payload);
+    }
+    w.into_bytes()
+}
+
+/// A parsed, checksum-verified container borrowing the input bytes.
+#[derive(Debug)]
+pub struct Container<'a> {
+    /// What the artifact holds.
+    pub kind: ArtifactKind,
+    /// `(tag, payload)` in file order; tags are unique, checksums verified.
+    pub sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> Container<'a> {
+    /// Parse + verify a container. See the module docs for the check order.
+    pub fn parse(bytes: &'a [u8]) -> Result<Container<'a>> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = r.u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = ArtifactKind::from_code(r.u32("artifact kind")?)?;
+        let count = r.u32("section count")? as usize;
+        if count > MAX_SECTIONS {
+            return Err(StoreError::Malformed(format!(
+                "section count {count} exceeds the limit of {MAX_SECTIONS}"
+            )));
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = r.u32("section tag")?;
+            let len = r.u64("section length")?;
+            let sum = r.u64("section checksum")?;
+            table.push((tag, len, sum));
+        }
+        // The declared lengths must sum exactly to the remaining payload:
+        // checked incrementally so a hostile u64 length errors before any
+        // slicing arithmetic can overflow.
+        let mut sections = Vec::with_capacity(count);
+        for &(tag, len, sum) in &table {
+            if len > r.remaining() as u64 {
+                return Err(StoreError::Truncated {
+                    what: "section payload",
+                    needed: usize::try_from(len).unwrap_or(usize::MAX),
+                    remaining: r.remaining(),
+                });
+            }
+            let payload = r.take(len as usize, "section payload")?;
+            if checksum(payload) != sum {
+                return Err(StoreError::ChecksumMismatch { section: tag });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(StoreError::UnknownSection(tag));
+            }
+            sections.push((tag, payload));
+        }
+        r.finish()?;
+        Ok(Container { kind, sections })
+    }
+
+    /// Parse, additionally requiring a specific artifact kind.
+    pub fn parse_kind(bytes: &'a [u8], expected: ArtifactKind) -> Result<Container<'a>> {
+        let c = Container::parse(bytes)?;
+        if c.kind != expected {
+            return Err(StoreError::WrongKind {
+                expected: expected.name(),
+                found: c.kind.name(),
+            });
+        }
+        Ok(c)
+    }
+
+    /// Payload of one section, if present.
+    pub fn section(&self, tag: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, p)| p)
+    }
+
+    /// Payload of a section the artifact kind requires.
+    pub fn require(&self, tag: u32, name: &'static str) -> Result<&'a [u8]> {
+        self.section(tag).ok_or(StoreError::MissingSection(name))
+    }
+
+    /// Error when any section's tag is outside `allowed` — a version-1
+    /// decoder refuses artifacts carrying sections it cannot interpret.
+    pub fn restrict(&self, allowed: &[u32]) -> Result<()> {
+        for &(tag, _) in &self.sections {
+            if !allowed.contains(&tag) {
+                return Err(StoreError::UnknownSection(tag));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        write_container(
+            ArtifactKind::Rule,
+            &[(tag::META, vec![1, 2, 3]), (tag::RULE, vec![9; 40])],
+        )
+    }
+
+    #[test]
+    fn parse_roundtrips_sections_in_order() {
+        let bytes = sample();
+        let c = Container::parse(&bytes).unwrap();
+        assert_eq!(c.kind, ArtifactKind::Rule);
+        assert_eq!(c.sections.len(), 2);
+        assert_eq!(c.section(tag::META), Some(&[1u8, 2, 3][..]));
+        assert_eq!(c.section(tag::RULE).unwrap().len(), 40);
+        assert_eq!(c.section(tag::MLP), None);
+        assert!(c.require(tag::MLP, "mlp").is_err());
+        c.restrict(&[tag::META, tag::RULE]).unwrap();
+        assert!(matches!(
+            c.restrict(&[tag::META]),
+            Err(StoreError::UnknownSection(tag::RULE))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = sample();
+        bytes[0] ^= 0x20;
+        assert_eq!(Container::parse(&bytes).unwrap_err(), StoreError::BadMagic);
+
+        let mut bytes = sample();
+        bytes[8] = 99; // version LSB
+        assert!(matches!(
+            Container::parse(&bytes).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 99, .. }
+        ));
+
+        let mut bytes = sample();
+        bytes[12] = 77; // kind LSB
+        assert!(matches!(
+            Container::parse(&bytes).unwrap_err(),
+            StoreError::UnknownKind(77)
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let bytes = sample();
+        let c = Container::parse(&bytes).unwrap();
+        let meta = c.section(tag::META).unwrap();
+        // Locate the META payload in the raw bytes and flip one bit.
+        let offset = bytes.len() - meta.len() - 40;
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 1;
+        assert_eq!(
+            Container::parse(&corrupt).unwrap_err(),
+            StoreError::ChecksumMismatch { section: tag::META }
+        );
+    }
+
+    #[test]
+    fn truncation_and_padding_are_rejected() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            assert!(
+                Container::parse(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            Container::parse(&padded).unwrap_err(),
+            StoreError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_tags_are_rejected() {
+        let bytes = write_container(
+            ArtifactKind::Rule,
+            &[(tag::META, vec![1]), (tag::META, vec![2])],
+        );
+        assert_eq!(
+            Container::parse(&bytes).unwrap_err(),
+            StoreError::UnknownSection(tag::META)
+        );
+    }
+
+    #[test]
+    fn wrong_kind_is_reported_by_name() {
+        let bytes = sample();
+        let err = Container::parse_kind(&bytes, ArtifactKind::Dataset).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::WrongKind {
+                expected: "dataset",
+                found: "rule-matcher"
+            }
+        );
+    }
+}

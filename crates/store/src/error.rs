@@ -1,0 +1,98 @@
+//! Typed decode/IO failures.
+//!
+//! The decoder's contract is **panic-free and allocation-bounded on
+//! arbitrary bytes**: every malformed input maps to one of these variants,
+//! never to a crash or an unbounded allocation. `tests/store_corrupt.rs`
+//! pins that contract with systematic truncation, byte-flips, and oversized
+//! declared lengths.
+
+use std::fmt;
+
+/// Everything that can go wrong reading (or writing) a store artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not start with the store magic.
+    BadMagic,
+    /// The container declares a format version this decoder cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The container declares an artifact kind this decoder does not know.
+    UnknownKind(u32),
+    /// The artifact is not of the kind the caller asked to decode.
+    WrongKind {
+        /// Kind the caller expected.
+        expected: &'static str,
+        /// Kind the container holds.
+        found: &'static str,
+    },
+    /// The input ended before a declared structure was complete.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes needed to finish it.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A section's stored FxHash64 does not match its bytes.
+    ChecksumMismatch {
+        /// Tag of the failing section.
+        section: u32,
+    },
+    /// A section tag the decoder does not recognize (or a duplicate).
+    UnknownSection(u32),
+    /// A section required by the artifact kind is absent.
+    MissingSection(&'static str),
+    /// Bytes remain after the last declared structure.
+    TrailingBytes(usize),
+    /// Structurally valid bytes describing an invalid artifact
+    /// (inconsistent dimensions, duplicate ids, non-UTF-8 strings, …).
+    Malformed(String),
+    /// Filesystem failure while loading or saving (path + OS error).
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a certa-store artifact (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "format version {found} is not supported (this build reads version {supported})"
+            ),
+            StoreError::UnknownKind(k) => write!(f, "unknown artifact kind {k}"),
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected} artifact, found {found}")
+            }
+            StoreError::Truncated {
+                what,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated while reading {what}: needed {needed} bytes, {remaining} remaining"
+            ),
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "section {section} failed its checksum")
+            }
+            StoreError::UnknownSection(tag) => {
+                write!(f, "unknown or duplicate section tag {tag}")
+            }
+            StoreError::MissingSection(name) => write!(f, "required section {name} is missing"),
+            StoreError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last declared structure")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            StoreError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Shorthand result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,97 @@
+//! Human-readable artifact summaries (the CLI `inspect` command).
+
+use crate::container::{tag, ArtifactKind, Container};
+use crate::dataset::decode_dataset;
+use crate::error::Result;
+use crate::model::decode_er_model;
+use crate::snapshot::decode_score_cache;
+use certa_core::{Matcher, Split};
+
+/// Render a multi-line summary of one artifact: header fields, the section
+/// table (tag, size, checksum), and kind-specific detail lines. Fails with
+/// the same typed errors as decoding — `inspect` on a corrupt file reports
+/// *why* it is corrupt.
+pub fn describe(bytes: &[u8]) -> Result<String> {
+    let c = Container::parse(bytes)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "kind: {} · format v{} · {} section(s) · {} bytes\n",
+        c.kind.name(),
+        crate::container::FORMAT_VERSION,
+        c.sections.len(),
+        bytes.len()
+    ));
+    for (t, payload) in &c.sections {
+        out.push_str(&format!(
+            "  section {:<13} {:>8} bytes  fxhash64 {:016x}\n",
+            tag::name(*t),
+            payload.len(),
+            crate::container::checksum(payload)
+        ));
+    }
+    match c.kind {
+        ArtifactKind::Model => {
+            let model = decode_er_model(bytes)?;
+            out.push_str(&format!(
+                "model: {} ({:?}) · {} features · memo {} artifact(s)\n",
+                model.name(),
+                model.kind(),
+                model.featurizer().dim(),
+                model.memo_len()
+            ));
+        }
+        ArtifactKind::Dataset => {
+            let d = decode_dataset(bytes)?;
+            out.push_str(&format!(
+                "dataset: {} · {}+{} records · {} train / {} test pairs · {} matches\n",
+                d.name(),
+                d.left().len(),
+                d.right().len(),
+                d.split(Split::Train).len(),
+                d.split(Split::Test).len(),
+                d.match_count()
+            ));
+        }
+        ArtifactKind::Rule => {
+            let m = crate::model::decode_rule_matcher(bytes)?;
+            out.push_str(&format!(
+                "rule matcher: {} weight(s) · threshold {} · sharpness {}\n",
+                m.weights().len(),
+                m.threshold(),
+                m.sharpness()
+            ));
+        }
+        ArtifactKind::ScoreCache => {
+            let entries = decode_score_cache(bytes)?;
+            out.push_str(&format!("score cache: {} entries\n", entries.len()));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::encode_dataset;
+    use crate::model::encode_rule_matcher;
+    use certa_datagen::{generate, DatasetId, Scale};
+    use certa_models::RuleMatcher;
+
+    #[test]
+    fn describes_datasets_and_rules() {
+        let d = generate(DatasetId::BA, Scale::Smoke, 4);
+        let text = describe(&encode_dataset(&d)).unwrap();
+        assert!(text.contains("kind: dataset"), "{text}");
+        assert!(text.contains("section schema-left"), "{text}");
+        assert!(text.contains(&format!("dataset: {}", d.name())), "{text}");
+
+        let text = describe(&encode_rule_matcher(&RuleMatcher::uniform(3))).unwrap();
+        assert!(text.contains("kind: rule-matcher"), "{text}");
+        assert!(text.contains("3 weight(s)"), "{text}");
+    }
+
+    #[test]
+    fn describe_propagates_decode_errors() {
+        assert!(describe(b"not an artifact").is_err());
+    }
+}

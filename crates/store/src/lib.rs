@@ -1,0 +1,69 @@
+//! # certa-store
+//!
+//! Zero-dependency, versioned, checksummed binary persistence for the CERTA
+//! reproduction: trained matchers, generated datasets, and warm cache
+//! snapshots. This is the layer that turns the workspace's
+//! train-everything-on-first-request world into Christen-style *model
+//! repository* serving — the served artifact is loaded, not retrained, and
+//! is **bit-identical** to the artifact that was evaluated.
+//!
+//! ## Container format (version 1)
+//!
+//! Every artifact is one [`container`]: an 8-byte magic, a format version,
+//! an artifact kind, and a table of tagged sections each protected by an
+//! FxHash64 checksum. Four artifact kinds exist:
+//!
+//! | kind | sections | codec |
+//! |------|----------|-------|
+//! | model | meta, featurizer, standardizer, mlp, \[memo\] | [`model`] |
+//! | dataset | meta, 2 × (schema, records), pairs | [`dataset`] |
+//! | rule-matcher | rule | [`model`] |
+//! | score-cache | score-cache | [`snapshot`] |
+//!
+//! ## Contracts
+//!
+//! * **Bit-exact round-trips** — `decode(encode(x))` scores, featurizes,
+//!   and hashes identically to `x`; weights travel as raw IEEE-754 bits,
+//!   fitted IDF tables are sorted before writing so encoding is
+//!   deterministic, and dataset records are rebuilt through the
+//!   [`certa_core::AttrValue`] interner so `ValueId`-keyed layers work
+//!   unchanged in a fresh process. Pinned by
+//!   `crates/models/tests/store_props.rs` and gated in CI by `bench_store`.
+//! * **Panic-free, allocation-bounded decoding** — arbitrary bytes produce
+//!   a typed [`StoreError`], never a crash; declared lengths are validated
+//!   against the remaining input before any allocation. Pinned by
+//!   `tests/store_corrupt.rs`.
+//! * **Versioned evolution** — readers reject any format version other
+//!   than [`container::FORMAT_VERSION`] and any unknown section tag;
+//!   golden fixtures under the workspace's `tests/fixtures/` pin today's
+//!   bytes so a layout change must bump the version rather than silently
+//!   break old stores.
+//!
+//! ## Entry points
+//!
+//! [`ModelStore`] is the directory-level API (`save_*`/`load_*`/`gc`) that
+//! `certa-serve --store-dir` warm-starts from; the `certa-store` binary
+//! wraps it as an `inspect`/`verify`/`gc` CLI; the `encode_*`/`decode_*`
+//! functions are the byte-level codecs underneath.
+
+pub mod codec;
+pub mod container;
+pub mod dataset;
+pub mod error;
+pub mod inspect;
+pub mod model;
+pub mod snapshot;
+pub mod store;
+
+pub use container::{ArtifactKind, Container, FORMAT_VERSION, MAGIC};
+pub use dataset::{decode_dataset, encode_dataset};
+pub use error::{Result, StoreError};
+pub use inspect::describe;
+pub use model::{
+    decode_er_model, decode_rule_matcher, encode_er_model, encode_er_model_with_memo,
+    encode_rule_matcher,
+};
+pub use snapshot::{
+    decode_memo_into, decode_score_cache, encode_memo, encode_score_cache, encode_score_entries,
+};
+pub use store::{verify_bytes, verify_file, ModelStore, EXTENSION};

@@ -1,0 +1,309 @@
+//! The on-disk store: a flat directory of `.cst` artifacts addressed by
+//! `(dataset, model, scale, seed)`.
+//!
+//! ```text
+//! <store-dir>/
+//!   AB-smoke-7.dataset.cst                 one per generated dataset
+//!   AB-deepmatcher-sim-smoke-7.model.cst   one per trained matcher
+//! ```
+//!
+//! Writes go through a temp file + rename, so a crash mid-save leaves no
+//! half-written artifact behind (a stale `.tmp` at worst, which [`gc`]
+//! sweeps). Loads fully verify the container (magic, version, checksums)
+//! *and* the artifact semantics before anything reaches the caller.
+//!
+//! [`gc`]: ModelStore::gc
+
+use crate::container::{ArtifactKind, Container};
+use crate::dataset::{decode_dataset, encode_dataset};
+use crate::error::{Result, StoreError};
+use crate::model::{decode_er_model, decode_rule_matcher, encode_er_model_with_memo};
+use crate::snapshot::decode_score_cache;
+use certa_core::Dataset;
+use certa_datagen::{DatasetId, Scale};
+use certa_models::{ErModel, ModelKind};
+use std::path::{Path, PathBuf};
+
+/// File extension of every store artifact.
+pub const EXTENSION: &str = "cst";
+
+/// A directory of persisted artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{}: {e}", path.display()))
+}
+
+impl ModelStore {
+    /// A store rooted at `dir`. The directory is created on first save, not
+    /// here — constructing a store is free and never touches the disk.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ModelStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a dataset artifact.
+    pub fn dataset_path(&self, id: DatasetId, scale: Scale, seed: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}-{scale}-{seed}.dataset.{EXTENSION}", id.code()))
+    }
+
+    /// Path of a model artifact.
+    pub fn model_path(&self, id: DatasetId, kind: ModelKind, scale: Scale, seed: u64) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{scale}-{seed}.model.{EXTENSION}",
+            id.code(),
+            kind.model_name()
+        ))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        // Unique temp name per call (pid + process-wide counter): concurrent
+        // saves of the same artifact — two first-touch requests, or two
+        // server processes sharing one store — each write their own temp
+        // file, and the final rename stays last-writer-wins over *complete*
+        // bytes instead of interleaving into one shared temp file.
+        static NEXT_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            NEXT_TMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Persist a generated dataset. Returns the written path.
+    pub fn save_dataset(
+        &self,
+        id: DatasetId,
+        scale: Scale,
+        seed: u64,
+        dataset: &Dataset,
+    ) -> Result<PathBuf> {
+        let path = self.dataset_path(id, scale, seed);
+        self.write_atomic(&path, &encode_dataset(dataset))?;
+        Ok(path)
+    }
+
+    /// Load + fully verify a dataset artifact.
+    pub fn load_dataset(&self, id: DatasetId, scale: Scale, seed: u64) -> Result<Dataset> {
+        let path = self.dataset_path(id, scale, seed);
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        decode_dataset(&bytes)
+    }
+
+    /// Persist a trained model (including its warm featurization memo, when
+    /// populated). Returns the written path.
+    pub fn save_model(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+        model: &ErModel,
+    ) -> Result<PathBuf> {
+        let path = self.model_path(id, kind, scale, seed);
+        self.write_atomic(&path, &encode_er_model_with_memo(model))?;
+        Ok(path)
+    }
+
+    /// Load + fully verify a model artifact, additionally checking that the
+    /// stored family matches the requested one (a renamed file cannot serve
+    /// the wrong matcher).
+    pub fn load_model(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+    ) -> Result<ErModel> {
+        let path = self.model_path(id, kind, scale, seed);
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let model = decode_er_model(&bytes)?;
+        if model.kind() != kind {
+            return Err(StoreError::Malformed(format!(
+                "{} holds a {:?} model, expected {:?}",
+                path.display(),
+                model.kind(),
+                kind
+            )));
+        }
+        Ok(model)
+    }
+
+    /// All `.cst` artifacts under the store root, sorted by name. An absent
+    /// directory lists as empty.
+    pub fn list(&self) -> Result<Vec<PathBuf>> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&self.dir, e)),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let path = entry.map_err(|e| io_err(&self.dir, e))?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(EXTENSION) {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Remove every artifact that fails verification (corrupt bytes, stale
+    /// format versions) plus orphaned `.tmp` files from interrupted saves.
+    /// Returns the removed paths; with `dry_run` nothing is deleted.
+    pub fn gc(&self, dry_run: bool) -> Result<Vec<PathBuf>> {
+        let mut doomed = Vec::new();
+        for path in self.list()? {
+            if verify_file(&path).is_err() {
+                doomed.push(path);
+            }
+        }
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                // Both temp shapes: bare `.tmp` and the per-call unique
+                // `.tmp.<pid>.<n>` that `write_atomic` creates.
+                if name.ends_with(".tmp") || name.contains(".tmp.") {
+                    doomed.push(path);
+                }
+            }
+        }
+        doomed.sort();
+        if !dry_run {
+            for path in &doomed {
+                std::fs::remove_file(path).map_err(|e| io_err(path, e))?;
+            }
+        }
+        Ok(doomed)
+    }
+}
+
+/// Fully verify one artifact file: container structure, checksums, and the
+/// kind-specific semantic decode. Returns the artifact kind on success.
+pub fn verify_file(path: &Path) -> Result<ArtifactKind> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    verify_bytes(&bytes)
+}
+
+/// [`verify_file`] over in-memory bytes.
+pub fn verify_bytes(bytes: &[u8]) -> Result<ArtifactKind> {
+    let kind = Container::parse(bytes)?.kind;
+    match kind {
+        ArtifactKind::Model => {
+            decode_er_model(bytes)?;
+        }
+        ArtifactKind::Dataset => {
+            decode_dataset(bytes)?;
+        }
+        ArtifactKind::Rule => {
+            decode_rule_matcher(bytes)?;
+        }
+        ArtifactKind::ScoreCache => {
+            decode_score_cache(bytes)?;
+        }
+    }
+    Ok(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{Matcher, Split};
+    use certa_datagen::generate;
+    use certa_models::{train_model, TrainConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Unique-per-test temp dir (std-only; no tempfile crate in-tree).
+    fn temp_store(tag: &str) -> ModelStore {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "certa-store-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelStore::new(dir)
+    }
+
+    #[test]
+    fn save_load_roundtrip_through_the_filesystem() {
+        let store = temp_store("roundtrip");
+        let d = generate(DatasetId::FZ, Scale::Smoke, 11);
+        let kind = ModelKind::DeepMatcher;
+        let (model, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+
+        assert!(store.list().unwrap().is_empty(), "absent dir lists empty");
+        store
+            .save_dataset(DatasetId::FZ, Scale::Smoke, 11, &d)
+            .unwrap();
+        store
+            .save_model(DatasetId::FZ, kind, Scale::Smoke, 11, &model)
+            .unwrap();
+        assert_eq!(store.list().unwrap().len(), 2);
+
+        let d2 = store.load_dataset(DatasetId::FZ, Scale::Smoke, 11).unwrap();
+        let m2 = store
+            .load_model(DatasetId::FZ, kind, Scale::Smoke, 11)
+            .unwrap();
+        for lp in d.split(Split::Test) {
+            let (u, v) = d.expect_pair(lp.pair);
+            let (u2, v2) = d2.expect_pair(lp.pair);
+            assert_eq!(m2.score(u2, v2).to_bits(), model.score(u, v).to_bits());
+        }
+
+        // Wrong-kind load is refused even though the file verifies.
+        let err = store
+            .load_model(DatasetId::FZ, ModelKind::Ditto, Scale::Smoke, 11)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "distinct path: {err}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_corrupt_files_and_stale_tmp() {
+        let store = temp_store("gc");
+        let d = generate(DatasetId::AB, Scale::Smoke, 2);
+        let good = store
+            .save_dataset(DatasetId::AB, Scale::Smoke, 2, &d)
+            .unwrap();
+
+        // A corrupt artifact: valid prefix, flipped payload byte.
+        let mut bytes = std::fs::read(&good).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let bad = store.dir().join(format!("broken.dataset.{EXTENSION}"));
+        std::fs::write(&bad, &bytes).unwrap();
+        // Stale temp files from interrupted saves, both name shapes.
+        let tmp = store.dir().join("half-written.tmp");
+        std::fs::write(&tmp, b"partial").unwrap();
+        let tmp2 = store.dir().join("x.dataset.tmp.1234.0");
+        std::fs::write(&tmp2, b"partial").unwrap();
+
+        let doomed = store.gc(true).unwrap();
+        assert_eq!(doomed, vec![bad.clone(), tmp.clone(), tmp2.clone()]);
+        assert!(
+            bad.exists() && tmp.exists() && tmp2.exists(),
+            "dry run removes nothing"
+        );
+
+        let doomed = store.gc(false).unwrap();
+        assert_eq!(doomed.len(), 3);
+        assert!(!bad.exists() && !tmp.exists() && !tmp2.exists());
+        assert!(good.exists(), "valid artifacts survive gc");
+        assert_eq!(verify_file(&good).unwrap(), ArtifactKind::Dataset);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,184 @@
+//! The corrupt-input suite: the decoder must return a typed `Err` — never
+//! panic, never over-allocate — on *any* malformed input.
+//!
+//! Coverage:
+//! * truncation at **every** byte offset (which includes every section
+//!   boundary) of real model, dataset, rule, and score-cache artifacts;
+//! * every single-byte flip of those artifacts (magic, version, kind,
+//!   section table, checksums, payload — all of it must fail closed);
+//! * wrong magic / bumped format version / unknown artifact kind;
+//! * oversized declared lengths (section lengths and in-section counts)
+//!   that would OOM a naive length-trusting decoder;
+//! * proptest-generated arbitrary byte soup and random multi-byte
+//!   mutations of valid artifacts.
+
+use certa_core::{BoxedMatcher, Matcher, Split};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_models::{train_model, CachingMatcher, ModelKind, RuleMatcher, TrainConfig};
+use certa_store::{
+    encode_dataset, encode_er_model_with_memo, encode_rule_matcher, encode_score_entries,
+    verify_bytes, StoreError, FORMAT_VERSION, MAGIC,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One valid artifact of every kind (the model artifact includes a warm
+/// memo section so the memo decode path is covered too). Built once —
+/// proptest cases below clone from this cache instead of retraining.
+fn valid_artifacts() -> Vec<(&'static str, Vec<u8>)> {
+    static ARTIFACTS: std::sync::OnceLock<Vec<(&'static str, Vec<u8>)>> =
+        std::sync::OnceLock::new();
+    ARTIFACTS
+        .get_or_init(|| {
+            let d = generate(DatasetId::AB, Scale::Smoke, 13);
+            let kind = ModelKind::DeepMatcher;
+            let (model, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+            let cache = CachingMatcher::new(Arc::new(model.clone()) as BoxedMatcher);
+            for lp in d.split(Split::Test).iter().take(6) {
+                let (u, v) = d.expect_pair(lp.pair);
+                cache.score(u, v);
+            }
+            vec![
+                ("model", encode_er_model_with_memo(&model)),
+                ("dataset", encode_dataset(&d)),
+                (
+                    "rule",
+                    encode_rule_matcher(&RuleMatcher::uniform(3).with_threshold(0.6)),
+                ),
+                ("score-cache", encode_score_entries(&cache.snapshot())),
+            ]
+        })
+        .clone()
+}
+
+#[test]
+fn every_truncation_fails_closed() {
+    for (name, bytes) in valid_artifacts() {
+        assert!(verify_bytes(&bytes).is_ok(), "{name}: baseline must decode");
+        for cut in 0..bytes.len() {
+            let err = verify_bytes(&bytes[..cut]);
+            assert!(
+                err.is_err(),
+                "{name}: prefix of {cut}/{} bytes decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_fails_closed() {
+    for (name, bytes) in valid_artifacts() {
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xA5;
+            assert!(
+                verify_bytes(&corrupt).is_err(),
+                "{name}: flipping byte {i}/{} still decoded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_version_and_kind_are_typed() {
+    let (_, bytes) = valid_artifacts().remove(2); // rule artifact, smallest
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..8].copy_from_slice(b"NOTSTORE");
+    assert_eq!(
+        verify_bytes(&wrong_magic).unwrap_err(),
+        StoreError::BadMagic
+    );
+
+    let mut future_version = bytes.clone();
+    future_version[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        verify_bytes(&future_version).unwrap_err(),
+        StoreError::UnsupportedVersion {
+            found: FORMAT_VERSION + 1,
+            supported: FORMAT_VERSION,
+        }
+    );
+
+    let mut alien_kind = bytes;
+    alien_kind[12..16].copy_from_slice(&999u32.to_le_bytes());
+    assert_eq!(
+        verify_bytes(&alien_kind).unwrap_err(),
+        StoreError::UnknownKind(999)
+    );
+}
+
+#[test]
+fn oversized_section_length_is_rejected_without_allocation() {
+    for (name, bytes) in valid_artifacts() {
+        // First section's length field sits at offset 8+4+4+4+4 = 24.
+        let mut huge = bytes.clone();
+        huge[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = verify_bytes(&huge).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "{name}: oversized section length gave {err}"
+        );
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_typed_errors() {
+    assert!(verify_bytes(&[]).is_err());
+    assert!(verify_bytes(&MAGIC).is_err());
+    let mut header_only = Vec::new();
+    header_only.extend_from_slice(&MAGIC);
+    header_only.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    assert!(verify_bytes(&header_only).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Returning Ok would require forging the magic + checksums from
+        // random bytes; any result is fine as long as it *returns*.
+        let _ = verify_bytes(&bytes);
+    }
+
+    /// Byte soup pasted after a valid magic+version prefix never panics.
+    #[test]
+    fn valid_prefix_plus_soup_never_panics(
+        kind in 0u32..6,
+        soup in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&kind.to_le_bytes());
+        bytes.extend_from_slice(&soup);
+        let _ = verify_bytes(&bytes);
+    }
+
+    /// Random multi-byte mutations of a real artifact fail closed.
+    #[test]
+    fn random_mutations_of_real_artifacts_fail_closed(
+        artifact in 0usize..4,
+        positions in proptest::collection::vec(any::<u16>(), 1..8),
+        xors in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let (name, bytes) = valid_artifacts().remove(artifact);
+        let mut corrupt = bytes.clone();
+        for (&pos, &xor) in positions.iter().zip(&xors) {
+            let i = pos as usize % corrupt.len();
+            corrupt[i] ^= xor;
+        }
+        // Mutations can cancel each other out; only a *changed* byte string
+        // must fail.
+        if corrupt != bytes {
+            prop_assert!(
+                verify_bytes(&corrupt).is_err(),
+                "{} survived mutation", name
+            );
+        }
+    }
+}

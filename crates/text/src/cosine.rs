@@ -89,6 +89,24 @@ impl CorpusStats {
         self.doc_count
     }
 
+    /// Every `(token, document frequency)` entry, in map order (callers that
+    /// need determinism — e.g. the `certa-store` codec — sort the result).
+    pub fn df_entries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.df.iter().map(|(t, &c)| (t.as_str(), c))
+    }
+
+    /// Rebuild fitted statistics from exported entries (the persistence
+    /// path). Duplicate tokens keep the last count.
+    pub fn from_parts(
+        doc_count: usize,
+        entries: impl IntoIterator<Item = (String, usize)>,
+    ) -> Self {
+        CorpusStats {
+            doc_count,
+            df: entries.into_iter().collect(),
+        }
+    }
+
     /// Smoothed inverse document frequency of a token.
     pub fn idf(&self, token: &str) -> f64 {
         let df = self.df.get(token).copied().unwrap_or(0);
@@ -148,6 +166,24 @@ mod tests {
         assert!(c.idf("davis50b") > c.idf("sony"));
         assert!(c.idf("unseen-token") > c.idf("davis50b"));
         assert_eq!(c.doc_count(), 51);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_weights() {
+        let mut c = CorpusStats::new();
+        c.add_document("sony tv common");
+        c.add_document("sony rare davis50b");
+        let entries: Vec<(String, usize)> =
+            c.df_entries().map(|(t, n)| (t.to_string(), n)).collect();
+        let rebuilt = CorpusStats::from_parts(c.doc_count(), entries);
+        assert_eq!(rebuilt.doc_count(), 2);
+        for tok in ["sony", "tv", "davis50b", "unseen"] {
+            assert_eq!(rebuilt.idf(tok).to_bits(), c.idf(tok).to_bits());
+        }
+        assert_eq!(
+            rebuilt.cosine_tfidf("sony tv", "sony davis50b").to_bits(),
+            c.cosine_tfidf("sony tv", "sony davis50b").to_bits()
+        );
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub use certa_ml as ml;
 pub use certa_models as models;
 /// The HTTP explanation service (JSON wire format, worker pool, registry).
 pub use certa_serve as serve;
+/// Versioned binary persistence (models, datasets, cache snapshots).
+pub use certa_store as store;
 /// String similarity measures.
 pub use certa_text as text;
 

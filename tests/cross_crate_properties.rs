@@ -7,6 +7,9 @@ use certa_repro::explain::lattice::{explore, mask_len, ExploreMode};
 use certa_repro::explain::perturb::perturb;
 use certa_repro::explain::{Certa, CertaConfig};
 use certa_repro::models::RuleMatcher;
+use certa_repro::store::{
+    decode_dataset, decode_rule_matcher, encode_dataset, encode_rule_matcher,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -107,6 +110,42 @@ proptest! {
             }
         }
         prop_assert!(d.match_count() >= 8);
+    }
+
+    /// Persistence is transparent end to end: a CERTA explanation computed
+    /// from store-round-tripped artifacts (dataset *and* matcher decoded
+    /// from their encoded forms) equals the explanation computed from the
+    /// in-memory originals, for any seed and dataset.
+    #[test]
+    fn explanations_survive_the_store_roundtrip(
+        seed in 0u64..200,
+        id_idx in 0usize..12,
+        tau in 4usize..12,
+    ) {
+        let id = DatasetId::all()[id_idx];
+        let d = generate(id, Scale::Smoke, seed);
+        let arity = d.left().schema().arity();
+        let m = RuleMatcher::uniform(arity).with_threshold(0.6);
+
+        let d2 = decode_dataset(&encode_dataset(&d)).unwrap();
+        let m2 = decode_rule_matcher(&encode_rule_matcher(&m)).unwrap();
+
+        let lp = d.split(Split::Test)[0];
+        let (u, v) = d.expect_pair(lp.pair);
+        let (u2, v2) = d2.expect_pair(lp.pair);
+        prop_assert_eq!(m2.score(u2, v2).to_bits(), m.score(u, v).to_bits());
+
+        let certa = Certa::new(CertaConfig {
+            num_triangles: tau,
+            ..Default::default()
+        });
+        let original = certa.explain(&m, &d, u, v);
+        let decoded = certa.explain(&m2, &d2, u2, v2);
+        prop_assert_eq!(
+            format!("{original:?}"),
+            format!("{decoded:?}"),
+            "explanation diverged after the store round-trip"
+        );
     }
 
     /// The rule matcher is score-monotone under attribute copying: making

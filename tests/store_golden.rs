@@ -1,0 +1,188 @@
+//! Golden fixture tests: two small encoded artifacts are committed under
+//! `tests/fixtures/`, and this suite pins that (a) today's decoder reads
+//! them and (b) today's encoder reproduces them **byte for byte**.
+//!
+//! If either assertion fails after an intentional format change, the
+//! change must bump `certa_store::FORMAT_VERSION` (old stores then fail
+//! with a typed `UnsupportedVersion` instead of silently misreading) and
+//! the fixtures must be regenerated:
+//!
+//! ```bash
+//! CERTA_STORE_BLESS=1 cargo test --test store_golden
+//! ```
+//!
+//! The fixture objects are built from constants only — no training, no
+//! RNG — so the expected bytes are identical on every platform.
+
+use certa_repro::core::{Dataset, LabeledPair, Matcher, Record, RecordId, Schema, Table};
+use certa_repro::ml::{Activation, DenseSnapshot, Mlp, MlpSnapshot};
+use certa_repro::models::{ErModel, Featurizer, ModelKind};
+use certa_repro::store::{
+    decode_dataset, decode_er_model, encode_dataset, encode_er_model, verify_bytes, ArtifactKind,
+};
+use certa_repro::text::CorpusStats;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare (or, under `CERTA_STORE_BLESS=1`, rewrite) one fixture.
+fn check_fixture(name: &str, encoded: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var_os("CERTA_STORE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encoded).unwrap();
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}) — run with CERTA_STORE_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, encoded,
+        "{name}: today's encoder no longer reproduces the committed bytes — \
+         a format change must bump FORMAT_VERSION and re-bless the fixtures"
+    );
+    golden
+}
+
+/// The committed dataset fixture: two tiny product tables with one train
+/// and one test pair. Constants only.
+fn fixture_dataset() -> Dataset {
+    let left = Table::from_records(
+        Schema::shared("Abt", ["Name", "Price"]),
+        vec![
+            Record::new(
+                RecordId(0),
+                vec!["sony bravia theater".into(), "100".into()],
+            ),
+            Record::new(RecordId(1), vec!["canon pixma mx700".into(), String::new()]),
+        ],
+    )
+    .unwrap();
+    let right = Table::from_records(
+        Schema::shared("Buy", ["Name", "Price"]),
+        vec![
+            Record::new(
+                RecordId(0),
+                vec!["sony bravia home theater".into(), "104".into()],
+            ),
+            Record::new(RecordId(1), vec!["hp deskjet d4260".into(), "49".into()]),
+        ],
+    )
+    .unwrap();
+    Dataset::new(
+        "golden-tiny",
+        left,
+        right,
+        vec![LabeledPair::new(RecordId(0), RecordId(0), true)],
+        vec![LabeledPair::new(RecordId(1), RecordId(1), false)],
+    )
+    .unwrap()
+}
+
+/// The committed model fixture: a DeepMatcher-family model whose corpus,
+/// standardizer, and MLP weights are explicit constants (13 features =
+/// 2 attributes × 6 + 1 aggregate).
+fn fixture_model() -> ErModel {
+    let dim = 13usize;
+    let corpus = CorpusStats::from_parts(
+        3,
+        vec![
+            ("bravia".to_string(), 1),
+            ("sony".to_string(), 2),
+            ("theater".to_string(), 1),
+        ],
+    );
+    let featurizer = Featurizer::DeepMatcher { corpus, arity: 2 };
+    let standardizer = certa_repro::ml::dataset::Standardizer::from_parts(
+        (0..dim).map(|i| i as f64 * 0.125).collect(),
+        (0..dim).map(|i| 1.0 + i as f64 * 0.0625).collect(),
+    );
+    let weight = |i: usize| (i as f64 * 0.05) - 0.25;
+    let net = Mlp::from_snapshot(MlpSnapshot {
+        input_dim: dim,
+        layers: vec![
+            DenseSnapshot {
+                rows: 2,
+                cols: dim,
+                weights: (0..2 * dim).map(weight).collect(),
+                bias: vec![0.0625, -0.125],
+                activation: Activation::Tanh,
+            },
+            DenseSnapshot {
+                rows: 1,
+                cols: 2,
+                weights: vec![0.75, -0.5],
+                bias: vec![0.25],
+                activation: Activation::Sigmoid,
+            },
+        ],
+    })
+    .unwrap();
+    ErModel::from_parts(ModelKind::DeepMatcher, featurizer, standardizer, net)
+}
+
+#[test]
+fn golden_dataset_fixture_is_stable() {
+    let dataset = fixture_dataset();
+    let encoded = encode_dataset(&dataset);
+    let golden = check_fixture("tiny_dataset.cst", &encoded);
+
+    // Today's decoder reads the committed bytes into an equal dataset.
+    assert_eq!(verify_bytes(&golden).unwrap(), ArtifactKind::Dataset);
+    let decoded = decode_dataset(&golden).unwrap();
+    assert_eq!(decoded.name(), dataset.name());
+    assert_eq!(decoded.left().records(), dataset.left().records());
+    assert_eq!(decoded.right().records(), dataset.right().records());
+    assert_eq!(
+        decoded.split(certa_repro::core::Split::Train),
+        dataset.split(certa_repro::core::Split::Train)
+    );
+    // And re-encoding the decoded dataset reproduces the bytes again.
+    assert_eq!(encode_dataset(&decoded), golden);
+}
+
+#[test]
+fn golden_model_fixture_is_stable() {
+    let model = fixture_model();
+    let encoded = encode_er_model(&model);
+    let golden = check_fixture("handcrafted_model.cst", &encoded);
+
+    assert_eq!(verify_bytes(&golden).unwrap(), ArtifactKind::Model);
+    let decoded = decode_er_model(&golden).unwrap();
+    assert_eq!(decoded.kind(), ModelKind::DeepMatcher);
+    // The decoded model scores bit-identically to the constant-built one
+    // on the fixture dataset's pairs.
+    let d = fixture_dataset();
+    for (u, v) in [
+        d.expect_pair(d.split(certa_repro::core::Split::Train)[0].pair),
+        d.expect_pair(d.split(certa_repro::core::Split::Test)[0].pair),
+    ] {
+        assert_eq!(decoded.score(u, v).to_bits(), model.score(u, v).to_bits());
+    }
+    assert_eq!(encode_er_model(&decoded), golden);
+}
+
+#[test]
+fn golden_fixtures_reject_a_version_bump() {
+    // Pin the compatibility rule itself: the committed bytes carry
+    // version 1 at offset 8, and a reader seeing any other version fails
+    // with `UnsupportedVersion` rather than misreading.
+    for name in ["tiny_dataset.cst", "handcrafted_model.cst"] {
+        let mut bytes = std::fs::read(fixture_path(name)).expect("fixture committed");
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            certa_repro::store::FORMAT_VERSION
+        );
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            verify_bytes(&bytes).unwrap_err(),
+            certa_repro::store::StoreError::UnsupportedVersion { found: 2, .. }
+        ));
+    }
+}
