@@ -28,6 +28,7 @@ pub mod blocking;
 pub mod dataset;
 pub mod error;
 pub mod hash;
+pub mod lockcheck;
 pub mod matcher;
 pub mod pair;
 pub mod record;

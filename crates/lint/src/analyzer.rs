@@ -1,0 +1,397 @@
+//! Token-stream analysis shared by every rule: significant-token
+//! extraction, `#[cfg(test)]`/`#[test]` region masking, enclosing-function
+//! tracking, and the inline suppression syntax.
+//!
+//! The analyzer deliberately stops short of parsing Rust — rules work on a
+//! flat significant-token stream with just enough structure (brace depth,
+//! function body ranges, test-region masks) to scope their heuristics.
+//! That keeps the pass total: any input that lexes (which is all input)
+//! can be analyzed.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One significant token (whitespace and comments removed).
+#[derive(Debug, Clone, Copy)]
+pub struct Sig<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+    /// 1-based byte column of the token start on its line.
+    pub col: u32,
+    /// False inside items behind `#[test]` / `#[cfg(test)]` attributes —
+    /// rules never fire there (tests are allowed to `unwrap()`).
+    pub active: bool,
+    /// Brace depth: `{` carries the pre-increment depth, `}` the
+    /// post-decrement depth, so a token is inside a block iff its depth is
+    /// greater than the block's braces'.
+    pub depth: u32,
+}
+
+/// An inline `// certa-lint: allow(rule, ...) — justification` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Rule ids listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Justification text after the rule list (may be empty — which is
+    /// itself a deny-level finding).
+    pub justification: String,
+    /// Lines this suppression covers: its own line, plus — when the
+    /// comment stands alone — the next line holding significant code.
+    pub covers: (u32, u32),
+}
+
+/// Fully analyzed source file, ready for rules.
+pub struct FileCtx<'a> {
+    pub path: &'a str,
+    pub src: &'a str,
+    pub sig: Vec<Sig<'a>>,
+    pub suppressions: Vec<Suppression>,
+    /// `(open, close)` significant-token index ranges of `fn` bodies,
+    /// innermost-last in source order of the closing brace.
+    fn_bodies: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> FileCtx<'a> {
+        let toks = lex(src);
+        let line_starts = line_starts(src);
+        let mut sig = significant(src, &toks, &line_starts);
+        mark_test_regions(&mut sig);
+        let fn_bodies = fn_bodies(&sig);
+        let suppressions = suppressions(src, &toks, &sig);
+        FileCtx {
+            path,
+            src,
+            sig,
+            suppressions,
+            fn_bodies,
+        }
+    }
+
+    /// Text of significant token `i`, or `""` out of range.
+    pub fn text(&self, i: usize) -> &str {
+        self.sig.get(i).map_or("", |s| s.text)
+    }
+
+    pub fn kind(&self, i: usize) -> Option<TokKind> {
+        self.sig.get(i).map(|s| s.kind)
+    }
+
+    pub fn is(&self, i: usize, t: &str) -> bool {
+        self.sig.get(i).is_some_and(|s| s.text == t)
+    }
+
+    /// End (exclusive sig index) of the innermost `fn` body containing
+    /// `i`, or the end of the file when `i` is not inside any function.
+    pub fn enclosing_fn_end(&self, i: usize) -> usize {
+        self.fn_bodies
+            .iter()
+            .filter(|(open, close)| *open <= i && i <= *close)
+            .map(|(open, close)| (close - open, *close))
+            .min()
+            .map_or(self.sig.len(), |(_, close)| close)
+    }
+}
+
+/// Byte offsets at which each line starts (line 1 at offset 0).
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn significant<'a>(src: &'a str, toks: &[Token], line_starts: &[usize]) -> Vec<Sig<'a>> {
+    let mut out = Vec::new();
+    let mut depth = 0u32;
+    for t in toks {
+        if matches!(
+            t.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        ) {
+            continue;
+        }
+        let text = t.text(src);
+        let depth_here = match text {
+            "{" => {
+                depth += 1;
+                depth - 1
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                depth
+            }
+            _ => depth,
+        };
+        let line_start = line_starts
+            .get(t.line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(0);
+        out.push(Sig {
+            kind: t.kind,
+            text,
+            line: t.line,
+            col: (t.start.saturating_sub(line_start) + 1) as u32,
+            active: true,
+            depth: depth_here,
+        });
+    }
+    out
+}
+
+/// Deactivate tokens inside `#[test]`-family attributes and the items they
+/// annotate (through any stacked attributes), so rules skip test code.
+fn mark_test_regions(sig: &mut [Sig<'_>]) {
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !(sig[i].text == "#" && sig.get(i + 1).is_some_and(|s| s.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let attr_end = match bracket_end(sig, i + 1) {
+            Some(e) => e,
+            None => break,
+        };
+        let is_test = sig[i + 2..attr_end].iter().any(|s| s.text == "test");
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Deactivate this attribute, any further stacked attributes, and
+        // the annotated item (to its `;` or the close of its first brace).
+        let mut j = attr_end + 1;
+        while sig.get(j).is_some_and(|s| s.text == "#")
+            && sig.get(j + 1).is_some_and(|s| s.text == "[")
+        {
+            match bracket_end(sig, j + 1) {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        let item_end = item_end(sig, j).min(sig.len() - 1);
+        for s in sig[i..=item_end].iter_mut() {
+            s.active = false;
+        }
+        i = item_end + 1;
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn bracket_end(sig: &[Sig<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, s) in sig[open..].iter().enumerate() {
+        match s.text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start`: its top-level
+/// `;`, or the `}` closing its first top-level brace.
+fn item_end(sig: &[Sig<'_>], start: usize) -> usize {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut opened_brace = false;
+    for (off, s) in sig[start..].iter().enumerate() {
+        match s.text {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => {
+                brace += 1;
+                opened_brace = true;
+            }
+            "}" => {
+                brace -= 1;
+                if opened_brace && brace == 0 {
+                    return start + off;
+                }
+            }
+            ";" if paren <= 0 && bracket <= 0 && brace <= 0 => return start + off,
+            _ => {}
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// `fn` body ranges as `(open_brace_idx, close_brace_idx)` sig indices.
+fn fn_bodies(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    let mut pending_fn = false;
+    for (i, s) in sig.iter().enumerate() {
+        match s.text {
+            "fn" if s.kind == TokKind::Ident => pending_fn = true,
+            // A `;` before the body means a bodiless declaration.
+            ";" => pending_fn = false,
+            "{" => {
+                stack.push((i, pending_fn));
+                pending_fn = false;
+            }
+            "}" => {
+                if let Some((open, was_fn)) = stack.pop() {
+                    if was_fn {
+                        out.push((open, i));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unclosed bodies (truncated input) extend to the end of the file.
+    while let Some((open, was_fn)) = stack.pop() {
+        if was_fn {
+            out.push((open, sig.len().saturating_sub(1)));
+        }
+    }
+    out
+}
+
+/// Parse every `// certa-lint: allow(...)` comment in the raw stream.
+fn suppressions(src: &str, toks: &[Token], sig: &[Sig<'_>]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("certa-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules, justification) = match rest.strip_prefix("allow(") {
+            Some(r) => match r.split_once(')') {
+                Some((list, after)) => {
+                    let rules: Vec<String> = list
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    // Justification follows an optional `—` / `-` separator.
+                    let just = after
+                        .trim()
+                        .trim_start_matches(['—', '–', '-'])
+                        .trim()
+                        .to_string();
+                    (rules, just)
+                }
+                None => (Vec::new(), String::new()),
+            },
+            None => (Vec::new(), String::new()),
+        };
+        // Coverage: the comment's own line; when no code shares that line,
+        // also the next line that holds significant code.
+        let own = t.line;
+        let code_on_own_line = sig.iter().any(|s| s.line == own);
+        let next = if code_on_own_line {
+            own
+        } else {
+            sig.iter().map(|s| s.line).find(|l| *l > own).unwrap_or(own)
+        };
+        out.push(Suppression {
+            line: own,
+            rules,
+            justification,
+            covers: (own, next),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let ctx = FileCtx::new("f.rs", src);
+        let unwraps: Vec<bool> = ctx
+            .sig
+            .iter()
+            .filter(|s| s.text == "unwrap")
+            .map(|s| s.active)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_mask_the_item() {
+        let src =
+            "#[test]\n#[allow(dead_code)]\nfn t() { a.unwrap(); }\nfn live() { b.unwrap(); }\n";
+        let ctx = FileCtx::new("f.rs", src);
+        let unwraps: Vec<bool> = ctx
+            .sig
+            .iter()
+            .filter(|s| s.text == "unwrap")
+            .map(|s| s.active)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { b.unwrap(); }\n";
+        let ctx = FileCtx::new("f.rs", src);
+        assert!(ctx
+            .sig
+            .iter()
+            .filter(|s| s.text == "unwrap")
+            .all(|s| s.active));
+        assert!(ctx
+            .sig
+            .iter()
+            .filter(|s| s.text == "bar")
+            .all(|s| !s.active));
+    }
+
+    #[test]
+    fn suppression_parses_rules_and_justification() {
+        let src = "// certa-lint: allow(no-panic-path, lock-order) — bounded by construction\nx.unwrap();\n";
+        let ctx = FileCtx::new("f.rs", src);
+        assert_eq!(ctx.suppressions.len(), 1);
+        let s = &ctx.suppressions[0];
+        assert_eq!(s.rules, vec!["no-panic-path", "lock-order"]);
+        assert_eq!(s.justification, "bounded by construction");
+        assert_eq!(s.covers, (1, 2));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_only_its_line() {
+        let src = "x.unwrap(); // certa-lint: allow(no-panic-path) - fine\ny.unwrap();\n";
+        let ctx = FileCtx::new("f.rs", src);
+        assert_eq!(ctx.suppressions[0].covers, (1, 1));
+    }
+
+    #[test]
+    fn empty_justification_detected() {
+        let src = "// certa-lint: allow(no-panic-path)\nx.unwrap();\n";
+        let ctx = FileCtx::new("f.rs", src);
+        assert!(ctx.suppressions[0].justification.is_empty());
+    }
+
+    #[test]
+    fn fn_end_spans_the_body() {
+        let src = "fn a() { x; }\nfn b() { y; }\n";
+        let ctx = FileCtx::new("f.rs", src);
+        let x = ctx.sig.iter().position(|s| s.text == "x").unwrap();
+        let end = ctx.enclosing_fn_end(x);
+        assert!(ctx.sig[end].text == "}");
+        assert!(ctx.sig[..end].iter().any(|s| s.text == "x"));
+        assert!(!ctx.sig[..end].iter().any(|s| s.text == "y"));
+    }
+}

@@ -1,0 +1,523 @@
+//! A hand-rolled Rust lexer, just deep enough for token-stream lints.
+//!
+//! The rules in this crate only need to tell code from non-code: a
+//! `unwrap` inside a string literal or a comment is not a finding, and a
+//! suppression comment must be recognized wherever it appears. That means
+//! the lexer has to get the genuinely tricky parts of Rust's lexical
+//! grammar right — nested block comments, raw strings with `#` fences,
+//! byte/char literals, and the `'a` lifetime vs `'a'` char ambiguity —
+//! while staying robust on arbitrary (even invalid) input:
+//!
+//! - lexing never panics, for any input byte sequence;
+//! - token spans exactly tile the input: `tokens[0].start == 0`, each
+//!   token starts where the previous one ended, and the last token ends at
+//!   `src.len()`. Unterminated literals/comments swallow the rest of the
+//!   input as a single token rather than erroring.
+//!
+//! Both properties are pinned by proptests in `tests/lexer_props.rs`.
+
+/// Lexical class of a token. Punctuation is one token per character — the
+/// analyzer joins multi-character operators itself where it cares (`::`,
+/// `..`), which keeps the lexer trivially total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// A run of whitespace characters.
+    Whitespace,
+    /// `// ...` up to (not including) the newline.
+    LineComment,
+    /// `/* ... */`, nesting tracked; unterminated runs to end of input.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// `'a` — a quote followed by an identifier with no closing quote.
+    Lifetime,
+    /// `'x'`, with escapes (`'\n'`, `'\u{1F600}'`, `'\''`).
+    CharLit,
+    /// `"..."` with escapes; unterminated runs to end of input.
+    StrLit,
+    /// `r"..."` / `r#"..."#` with any number of `#` fences.
+    RawStrLit,
+    /// `b"..."` byte string.
+    ByteStrLit,
+    /// `br"..."` / `br#"..."#` raw byte string.
+    ByteRawStrLit,
+    /// `b'x'` byte literal.
+    ByteLit,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1e-6`).
+    Num,
+    /// A single ASCII punctuation character.
+    Punct,
+    /// Anything else (stray control or non-ASCII characters).
+    Unknown,
+}
+
+/// One lexed token: kind plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte (always a char boundary).
+    pub start: usize,
+    /// Byte offset one past the last byte (always a char boundary).
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Cursor over the source with char-boundary-safe peeking.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos..).and_then(|r| r.chars().next())
+    }
+
+    fn peek_at(&self, n_chars: usize) -> Option<char> {
+        self.src
+            .get(self.pos..)
+            .and_then(|r| r.chars().nth(n_chars))
+    }
+
+    /// Advance past one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into a complete token stream. Never panics; the returned
+/// tokens exactly tile the input (see module docs).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while cur.pos < src.len() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        if cur.pos == start {
+            // Unreachable by construction, but never loop forever on a bug.
+            cur.bump();
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+/// Consume one token starting at the cursor and return its kind.
+fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
+    let Some(c) = cur.peek() else {
+        return TokKind::Unknown;
+    };
+    if c.is_whitespace() {
+        cur.eat_while(|c| c.is_whitespace());
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                cur.bump();
+                cur.bump();
+                block_comment_body(cur);
+                return TokKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokKind::Punct;
+            }
+        }
+    }
+    // Raw strings / raw identifiers: r"..."  r#"..."#  r#ident
+    if c == 'r' {
+        if let Some(kind) = raw_string(cur, TokKind::RawStrLit) {
+            return kind;
+        }
+    }
+    // Byte literals: b'x'  b"..."  br#"..."#
+    if c == 'b' {
+        match cur.peek_at(1) {
+            Some('\'') => {
+                cur.bump();
+                quoted(cur, '\'');
+                return TokKind::ByteLit;
+            }
+            Some('"') => {
+                cur.bump();
+                quoted(cur, '"');
+                return TokKind::ByteStrLit;
+            }
+            Some('r') => {
+                // `br` raw byte string, or an identifier like `broker`.
+                let saved = (cur.pos, cur.line);
+                cur.bump();
+                if let Some(kind) = raw_string(cur, TokKind::ByteRawStrLit) {
+                    if kind == TokKind::ByteRawStrLit {
+                        return kind;
+                    }
+                }
+                (cur.pos, cur.line) = saved;
+            }
+            _ => {}
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c == '\'' {
+        return quote_token(cur);
+    }
+    if c == '"' {
+        quoted(cur, '"');
+        return TokKind::StrLit;
+    }
+    if c.is_ascii_digit() {
+        number(cur);
+        return TokKind::Num;
+    }
+    if c.is_ascii() {
+        cur.bump();
+        return TokKind::Punct;
+    }
+    cur.bump();
+    TokKind::Unknown
+}
+
+/// Body of a block comment after the opening `/*`, tracking nesting.
+/// Unterminated comments run to end of input.
+fn block_comment_body(cur: &mut Cursor<'_>) {
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Try to lex a raw string at `r` (or the string part of `br`). Returns
+/// `Some(kind)` for a raw string, `Some(Ident)` after consuming a raw
+/// identifier (`r#fn`), or `None` (cursor untouched) when `r` starts a
+/// plain identifier.
+fn raw_string(cur: &mut Cursor<'_>, kind: TokKind) -> Option<TokKind> {
+    // Count `#` fence characters after the `r`.
+    let mut hashes = 0usize;
+    while cur.peek_at(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(1 + hashes) {
+        Some('"') => {
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            raw_body(cur, hashes);
+            Some(kind)
+        }
+        // `r#ident` is a raw identifier (exactly one `#`); only meaningful
+        // for bare `r`, not `br`.
+        Some(c) if hashes == 1 && kind == TokKind::RawStrLit && is_ident_start(c) => {
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            Some(TokKind::Ident)
+        }
+        _ => None,
+    }
+}
+
+/// Raw string body: scan for `"` followed by `hashes` `#` characters.
+/// No escapes exist in raw strings. Unterminated runs to end of input.
+fn raw_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Body of a `'`-or-`"`-delimited literal with backslash escapes, starting
+/// at the opening delimiter. Unterminated runs to end of input.
+fn quoted(cur: &mut Cursor<'_>, delim: char) {
+    cur.bump(); // opening delimiter
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump(); // the escaped character, whatever it is
+        } else if c == delim {
+            return;
+        }
+    }
+}
+
+/// Disambiguate `'` between a lifetime, a char literal, and a stray quote.
+fn quote_token(cur: &mut Cursor<'_>) -> TokKind {
+    match cur.peek_at(1) {
+        // `'\...'` is always a char literal.
+        Some('\\') => {
+            quoted(cur, '\'');
+            TokKind::CharLit
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` char literal vs `'a` lifetime: scan the identifier run
+            // and check for a closing quote right after it.
+            let mut n = 2usize;
+            while cur.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if cur.peek_at(n) == Some('\'') {
+                for _ in 0..=n {
+                    cur.bump();
+                }
+                TokKind::CharLit
+            } else {
+                cur.bump(); // '
+                cur.eat_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+        }
+        // `'+'` etc: a single non-identifier char then a closing quote.
+        Some(c) if c != '\'' && cur.peek_at(2) == Some('\'') => {
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            TokKind::CharLit
+        }
+        _ => {
+            cur.bump();
+            TokKind::Unknown
+        }
+    }
+}
+
+/// Numeric literal: digits, `_`, suffixes, hex/octal/binary, a decimal
+/// point when followed by a digit, and exponent signs (`1e-6`).
+fn number(cur: &mut Cursor<'_>) {
+    let mut prev = '0';
+    cur.eat_while(|c| c.is_ascii_digit());
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                prev = c;
+                cur.bump();
+            }
+            // `1.5` continues the number; `0..len` and `x.0` do not reach
+            // here (the `.` after a digit only joins when a digit follows).
+            Some('.') if cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) => {
+                prev = '.';
+                cur.bump();
+            }
+            // Exponent sign: `1e-6` / `1E+9`.
+            Some('+' | '-')
+                if matches!(prev, 'e' | 'E')
+                    && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                prev = '-';
+                cur.bump();
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src)
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokKind::Whitespace)
+            .collect()
+    }
+
+    fn assert_tiles(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before token {t:?} in {src:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tokens must cover all of {src:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(
+            kinds(src),
+            vec![TokKind::Ident, TokKind::BlockComment, TokKind::Ident]
+        );
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let src = "x /* never closed /* deeper */";
+        assert_eq!(kinds(src), vec![TokKind::Ident, TokKind::BlockComment]);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src =
+            r####"let s = r#"quote " inside"#; let t = r##"# one fence "# still going"##;"####;
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|k| **k == TokKind::RawStrLit).count(), 2);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn raw_ident_is_ident_not_string() {
+        let src = "r#fn r#match";
+        assert_eq!(kinds(src), vec![TokKind::Ident, TokKind::Ident]);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = r##"b'x' b"bytes" br#"raw bytes"# broker"##;
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokKind::ByteLit,
+                TokKind::ByteStrLit,
+                TokKind::ByteRawStrLit,
+                TokKind::Ident
+            ]
+        );
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; let q = '\\''; }";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+        assert_eq!(k.iter().filter(|k| **k == TokKind::CharLit).count(), 3);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn static_lifetime_and_label() {
+        let src = "&'static str; 'outer: loop { break 'outer; }";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|k| **k == TokKind::Lifetime).count(), 3);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn strings_with_escapes_hide_code() {
+        let src = r#"let s = "no .unwrap() in \" here"; s.len()"#;
+        let toks = lex(src);
+        let unwraps = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text(src) == "unwrap")
+            .count();
+        assert_eq!(unwraps, 0);
+        assert_tiles(src);
+    }
+
+    #[test]
+    fn numbers() {
+        for src in ["1_000u64", "0xFF_u8", "1e-6", "3.125f32", "0..10", "x.0"] {
+            assert_tiles(src);
+        }
+        // `0..10` must lex the range dots as punctuation, not a float.
+        let k = kinds("0..10");
+        assert_eq!(
+            k,
+            vec![TokKind::Num, TokKind::Punct, TokKind::Punct, TokKind::Num]
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let idents: Vec<(u32, TokKind)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.line, t.kind))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                (1, TokKind::Ident),
+                (2, TokKind::Ident),
+                (3, TokKind::Ident)
+            ]
+        );
+    }
+
+    #[test]
+    fn adversarial_unterminated_literals() {
+        for src in ["\"never closed", "'a", "'", "r#\"open", "b\"open", "b'"] {
+            assert_tiles(src);
+        }
+    }
+}

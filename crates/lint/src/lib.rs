@@ -1,0 +1,85 @@
+//! certa-lint: zero-dependency static analysis for the workspace's three
+//! load-bearing contracts — determinism of served bytes, panic-freedom of
+//! the serve/store paths, and ordered lock acquisition in the sharded
+//! caches.
+//!
+//! The five bench gates verify those contracts *dynamically* by
+//! byte-comparing outputs; this crate checks them *statically* on every
+//! commit, so a stray `HashMap` iteration feeding the wire serializer or
+//! an `unwrap()` on the request path is caught before a workload has to
+//! hit it. See `README.md` § "Static analysis" for the rule catalogue and
+//! the suppression syntax.
+
+pub mod analyzer;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+
+use analyzer::FileCtx;
+use policy::Policy;
+use report::Finding;
+use rules::Level;
+
+/// Lint one file's source under a policy. `path` must be
+/// workspace-relative with forward slashes (it drives rule scoping).
+pub fn lint_file(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let ctx = FileCtx::new(path, src);
+    let mut out = Vec::new();
+    for (rule, level) in policy.rules_for(path) {
+        for raw in rules::run_rule(rule, &ctx) {
+            let allowed = ctx
+                .suppressions
+                .iter()
+                .find(|s| {
+                    (s.covers.0 == raw.line || s.covers.1 == raw.line)
+                        && s.rules.iter().any(|r| r == raw.rule)
+                        && !s.justification.is_empty()
+                })
+                .map(|s| s.justification.clone());
+            out.push(Finding {
+                rule: raw.rule,
+                file: path.to_string(),
+                line: raw.line,
+                col: raw.col,
+                level,
+                message: raw.message,
+                allowed,
+            });
+        }
+    }
+    // Suppression hygiene is checked everywhere, independent of scoping:
+    // an allow with no justification (or naming no known rule) is itself
+    // a deny-level finding — the justification requirement is the point.
+    for s in &ctx.suppressions {
+        if s.justification.is_empty() {
+            out.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: s.line,
+                col: 1,
+                level: Level::Deny,
+                message: "suppression without a justification: write `// certa-lint: allow(rule) — <why this is safe>`".into(),
+                allowed: None,
+            });
+        } else if let Some(unknown) = s.rules.iter().find(|r| !rules::RULES.contains(&r.as_str())) {
+            out.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: s.line,
+                col: 1,
+                level: Level::Deny,
+                message: format!("suppression names unknown rule `{unknown}`"),
+                allowed: None,
+            });
+        }
+    }
+    report::sort(&mut out);
+    out
+}
+
+/// [`lint_file`] under the default policy — the entry point the fixture
+/// tests drive.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    lint_file(path, src, &Policy::default())
+}

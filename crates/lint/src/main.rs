@@ -1,0 +1,149 @@
+//! The `certa-lint` binary: walk the workspace sources, run the policy,
+//! report, and gate.
+//!
+//! Exit codes: `0` clean, `1` denied findings, `2` usage or I/O error.
+
+use certa_lint::policy::Policy;
+use certa_lint::{lint_file, report};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: certa-lint [--root DIR] [--format human|json] [--deny-all] [--output FILE]
+
+  --root DIR      workspace root to scan (default: .; must contain crates/)
+  --format F      report format on stdout: human (default) or json
+  --deny-all      treat warn-level findings as deny (CI mode)
+  --output FILE   additionally write the JSON report to FILE
+";
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    output: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        output: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format must be human or json, got {other:?}")),
+            },
+            "--deny-all" => args.deny_all = true,
+            "--output" => {
+                args.output = Some(PathBuf::from(it.next().ok_or("--output needs a value")?))
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Collect `.rs` files under `dir`, recursively, in sorted order.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The lintable source set: `src/` of every workspace crate plus the
+/// facade's root `src/`. Vendored shims, integration `tests/`, benches,
+/// and build artifacts are out of scope — the contracts only bind the
+/// first-party library code.
+fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            let src = c.join("src");
+            if src.is_dir() {
+                collect(&src, &mut files)?;
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect(&facade, &mut files)?;
+    }
+    Ok(files)
+}
+
+fn run() -> Result<u8, String> {
+    let args = parse_args()?;
+    if !args.root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/ directory)",
+            args.root.display()
+        ));
+    }
+    let files = source_files(&args.root).map_err(|e| format!("walking sources: {e}"))?;
+    let policy = Policy::default();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&args.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        findings.extend(lint_file(&rel, &src, &policy));
+    }
+    report::sort(&mut findings);
+    if let Some(out_path) = &args.output {
+        fs::write(
+            out_path,
+            report::json(&findings, files.len(), args.deny_all),
+        )
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    }
+    if args.json {
+        println!("{}", report::json(&findings, files.len(), args.deny_all));
+    } else {
+        print!("{}", report::human(&findings, files.len(), args.deny_all));
+    }
+    let denied = report::denied(&findings, args.deny_all).count();
+    Ok(if denied > 0 { 1 } else { 0 })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::from(0)
+        }
+        Err(msg) => {
+            eprintln!("certa-lint: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

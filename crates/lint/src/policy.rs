@@ -1,0 +1,169 @@
+//! Per-module rule scoping: which contract applies where.
+//!
+//! Paths are workspace-relative with forward slashes. An entry ending in
+//! `/` is a prefix (whole directory); otherwise it must match the file
+//! exactly. A rule runs on a file when some include entry matches and no
+//! exclude entry does.
+//!
+//! The default policy encodes the repo's documented contracts:
+//!
+//! - the serve request path and the store decoder are panic-free
+//!   (`no-panic-path`);
+//! - everything that feeds serialized/wire output iterates in pinned
+//!   order (`no-unordered-iteration`);
+//! - scoring, featurization, and serialization are pure functions of
+//!   their inputs (`no-nondeterminism`);
+//! - float→text conversion is centralized in `wire::json`
+//!   (`no-float-format`);
+//! - the sharded caches and the serve registry never acquire a second
+//!   lock while one is held (`lock-order`), cross-checked dynamically by
+//!   `certa_core::lockcheck` in debug builds.
+
+use crate::rules::Level;
+
+pub struct RuleScope {
+    pub rule: &'static str,
+    pub level: Level,
+    pub include: &'static [&'static str],
+    pub exclude: &'static [&'static str],
+}
+
+pub struct Policy {
+    pub scopes: Vec<RuleScope>,
+}
+
+/// CLI binaries and the offline inspector print diagnostics for humans —
+/// they are exempt from the wire-output contracts.
+const BIN_EXCLUDES: &[&str] = &[
+    "crates/serve/src/bin/",
+    "crates/store/src/bin/",
+    "crates/store/src/inspect.rs",
+];
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            scopes: vec![
+                RuleScope {
+                    rule: "no-panic-path",
+                    level: Level::Deny,
+                    include: &["crates/serve/src/", "crates/store/src/"],
+                    exclude: BIN_EXCLUDES,
+                },
+                RuleScope {
+                    rule: "no-unordered-iteration",
+                    level: Level::Warn,
+                    include: &[
+                        "crates/serve/src/",
+                        "crates/store/src/",
+                        "crates/text/src/",
+                        "crates/models/src/cache.rs",
+                        "crates/models/src/memo.rs",
+                        "crates/core/src/value.rs",
+                    ],
+                    exclude: BIN_EXCLUDES,
+                },
+                RuleScope {
+                    rule: "no-nondeterminism",
+                    level: Level::Deny,
+                    include: &[
+                        "crates/core/src/",
+                        "crates/text/src/",
+                        "crates/ml/src/",
+                        "crates/models/src/",
+                        "crates/explain/src/",
+                        "crates/serve/src/wire/",
+                        "crates/store/src/",
+                    ],
+                    exclude: BIN_EXCLUDES,
+                },
+                RuleScope {
+                    rule: "no-float-format",
+                    level: Level::Warn,
+                    include: &["crates/serve/src/", "crates/store/src/"],
+                    exclude: &[
+                        "crates/serve/src/wire/json.rs",
+                        "crates/serve/src/bin/",
+                        "crates/store/src/bin/",
+                        "crates/store/src/inspect.rs",
+                    ],
+                },
+                RuleScope {
+                    rule: "lock-order",
+                    level: Level::Deny,
+                    include: &[
+                        "crates/models/src/cache.rs",
+                        "crates/models/src/memo.rs",
+                        "crates/serve/src/state.rs",
+                        "crates/core/src/value.rs",
+                    ],
+                    exclude: &[],
+                },
+            ],
+        }
+    }
+}
+
+fn matches(path: &str, entry: &str) -> bool {
+    if let Some(prefix) = entry.strip_suffix('/') {
+        path.starts_with(prefix) && path[prefix.len()..].starts_with('/')
+    } else {
+        path == entry
+    }
+}
+
+impl Policy {
+    /// Rules (with levels) that apply to `path`.
+    pub fn rules_for(&self, path: &str) -> Vec<(&'static str, Level)> {
+        self.scopes
+            .iter()
+            .filter(|s| {
+                s.include.iter().any(|e| matches(path, e))
+                    && !s.exclude.iter().any(|e| matches(path, e))
+            })
+            .map(|s| (s.rule, s.level))
+            .collect()
+    }
+
+    pub fn level_of(&self, rule: &str) -> Level {
+        self.scopes
+            .iter()
+            .find(|s| s.rule == rule)
+            .map_or(Level::Deny, |s| s.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_includes_and_excludes() {
+        let p = Policy::default();
+        let rules: Vec<&str> = p
+            .rules_for("crates/serve/src/router.rs")
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert!(rules.contains(&"no-panic-path"));
+        assert!(!rules.contains(&"lock-order"));
+        assert!(p
+            .rules_for("crates/serve/src/bin/certa_serve.rs")
+            .is_empty());
+        assert!(p
+            .rules_for("crates/serve/src/wire/json.rs")
+            .iter()
+            .all(|(r, _)| *r != "no-float-format"));
+        assert!(p.rules_for("crates/eval/src/report.rs").is_empty());
+    }
+
+    #[test]
+    fn prefix_needs_component_boundary() {
+        assert!(matches("crates/serve/src/ops.rs", "crates/serve/src/"));
+        assert!(!matches("crates/serve/srcfoo/ops.rs", "crates/serve/src/"));
+        assert!(matches(
+            "crates/models/src/cache.rs",
+            "crates/models/src/cache.rs"
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! Finding model and the human/JSON reporters.
+//!
+//! Both reporters are deterministic: findings are sorted by
+//! `(file, line, col, rule, message)` and the JSON summary uses ordered
+//! maps, so the CI artifact diffs cleanly between runs.
+
+use crate::rules::Level;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A finding after suppression processing.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub level: Level,
+    pub message: String,
+    /// `Some(justification)` when an inline allow covers this finding;
+    /// allowed findings are reported but never fail the build.
+    pub allowed: Option<String>,
+}
+
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Findings that fail the build: not allowed, and deny-level (or any
+/// level under `--deny-all`).
+pub fn denied(findings: &[Finding], deny_all: bool) -> impl Iterator<Item = &Finding> {
+    findings
+        .iter()
+        .filter(move |f| f.allowed.is_none() && (deny_all || f.level == Level::Deny))
+}
+
+pub fn human(findings: &[Finding], files_scanned: usize, deny_all: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let tag = match (&f.allowed, f.level) {
+            (Some(_), _) => "allow",
+            (None, Level::Deny) => "deny",
+            (None, Level::Warn) => {
+                if deny_all {
+                    "deny"
+                } else {
+                    "warn"
+                }
+            }
+        };
+        let _ = write!(
+            out,
+            "{}:{}:{}: {tag}[{}] {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+        if let Some(just) = &f.allowed {
+            let _ = write!(out, " — {just}");
+        }
+        out.push('\n');
+    }
+    let denied_n = denied(findings, deny_all).count();
+    let allowed_n = findings.iter().filter(|f| f.allowed.is_some()).count();
+    let _ = writeln!(
+        out,
+        "certa-lint: {files_scanned} files, {} findings ({denied_n} denied, {allowed_n} allowed)",
+        findings.len()
+    );
+    out
+}
+
+/// Hand-rolled JSON (the lint depends on nothing, including the
+/// workspace's own serializer).
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub fn json(findings: &[Finding], files_scanned: usize, deny_all: bool) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        esc(f.rule, &mut out);
+        out.push_str(",\"file\":");
+        esc(&f.file, &mut out);
+        let _ = write!(out, ",\"line\":{},\"col\":{}", f.line, f.col);
+        out.push_str(",\"level\":");
+        esc(
+            match f.level {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+            },
+            &mut out,
+        );
+        out.push_str(",\"message\":");
+        esc(&f.message, &mut out);
+        match &f.allowed {
+            Some(j) => {
+                out.push_str(",\"allowed\":true,\"justification\":");
+                esc(j, &mut out);
+            }
+            None => out.push_str(",\"allowed\":false"),
+        }
+        out.push('}');
+    }
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule).or_insert(0) += 1;
+    }
+    let denied_n = denied(findings, deny_all).count();
+    let allowed_n = findings.iter().filter(|f| f.allowed.is_some()).count();
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"files\":{files_scanned},\"findings\":{},\"denied\":{denied_n},\"allowed\":{allowed_n},\"deny_all\":{deny_all},\"by_rule\":{{",
+        findings.len()
+    );
+    for (i, (rule, n)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(rule, &mut out);
+        let _ = write!(out, ":{n}");
+    }
+    out.push_str("}}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let f = vec![Finding {
+            rule: "no-panic-path",
+            file: "crates/serve/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            level: Level::Deny,
+            message: "a \"quoted\" thing\n".into(),
+            allowed: None,
+        }];
+        let j = json(&f, 1, false);
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"by_rule\":{\"no-panic-path\":1}"));
+        assert_eq!(json(&f, 1, false), j);
+    }
+}

@@ -1,0 +1,519 @@
+//! The five contract rules.
+//!
+//! Each rule is a pure function over a [`FileCtx`] producing raw findings;
+//! the driver applies policy scoping and suppressions afterwards. Rules
+//! are heuristic by design — they work on the significant-token stream,
+//! not an AST — and are tuned to have near-zero false positives on the
+//! patterns this workspace actually uses. Known blind spots are documented
+//! inline; the runtime `certa_core::lockcheck` pass covers the dynamic
+//! side of `lock-order` that token scanning cannot see (e.g. guards held
+//! by `if let` temporaries).
+
+use crate::analyzer::FileCtx;
+use crate::lexer::TokKind;
+
+/// Severity of a rule. `Warn` findings are reported but only fail the
+/// build under `--deny-all`; `Deny` findings always fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Warn,
+    Deny,
+}
+
+/// A single rule violation (pre-suppression).
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// All rule ids, in report order.
+pub const RULES: &[&str] = &[
+    "no-panic-path",
+    "no-unordered-iteration",
+    "no-nondeterminism",
+    "no-float-format",
+    "lock-order",
+];
+
+pub fn run_rule(rule: &str, ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    match rule {
+        "no-panic-path" => no_panic_path(ctx),
+        "no-unordered-iteration" => no_unordered_iteration(ctx),
+        "no-nondeterminism" => no_nondeterminism(ctx),
+        "no-float-format" => no_float_format(ctx),
+        "lock-order" => lock_order(ctx),
+        _ => Vec::new(),
+    }
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: &'static str, i: usize, message: String) -> RawFinding {
+    let s = &ctx.sig[i];
+    RawFinding {
+        rule,
+        line: s.line,
+        col: s.col,
+        message,
+    }
+}
+
+/// Keywords that make a following `[` an array/slice expression or type
+/// rather than an index into the preceding value.
+const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
+    "in", "return", "break", "if", "else", "match", "let", "mut", "ref", "move", "as", "dyn",
+    "impl", "where", "unsafe", "async", "await", "loop", "while", "for", "const", "static",
+];
+
+/// `no-panic-path`: `unwrap`/`expect`, panicking macros, and slice/array
+/// indexing in modules documented as panic-free (the serve request path
+/// and the store decoder).
+fn no_panic_path(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    let mut out = Vec::new();
+    for (i, s) in ctx.sig.iter().enumerate() {
+        if !s.active {
+            continue;
+        }
+        match s.text {
+            "unwrap" | "expect"
+                if s.kind == TokKind::Ident
+                    && i > 0
+                    && ctx.is(i - 1, ".")
+                    && ctx.is(i + 1, "(") =>
+            {
+                out.push(finding(
+                    ctx,
+                    "no-panic-path",
+                    i,
+                    format!("`.{}()` on a documented panic-free path; return a typed error or add a justified allow", s.text),
+                ));
+            }
+            t if s.kind == TokKind::Ident && PANIC_MACROS.contains(&t) && ctx.is(i + 1, "!") => {
+                out.push(finding(
+                    ctx,
+                    "no-panic-path",
+                    i,
+                    format!("`{t}!` on a documented panic-free path"),
+                ));
+            }
+            "[" if i > 0 => {
+                let prev = &ctx.sig[i - 1];
+                let indexes_value = match prev.kind {
+                    TokKind::Ident => !KEYWORDS_BEFORE_BRACKET.contains(&prev.text),
+                    _ => prev.text == ")" || prev.text == "]",
+                };
+                if indexes_value {
+                    out.push(finding(
+                        ctx,
+                        "no-panic-path",
+                        i,
+                        format!(
+                            "indexing `{}[..]` may panic out of bounds; use `.get()` or add a justified allow",
+                            prev.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Hash-ordered collection type names (std and the workspace FxHash
+/// aliases). `BTreeMap`/`BTreeSet` are ordered and never flagged.
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Methods that surface a map's arbitrary iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Sort-family identifiers whose presence later in the same function pins
+/// the order before it can escape.
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// `no-unordered-iteration`: iterating a hash-ordered map/set in a module
+/// that feeds serialized or wire output, without a downstream sort in the
+/// same function.
+///
+/// Taint tracking is name-based and deliberately conservative: a binding
+/// is tainted when its declared type's *outermost* path segment is a hash
+/// collection (`df: FxHashMap<...>`, fields and params alike), or when a
+/// `let` right-hand side mentions a tainted name or a hash-map
+/// constructor. Collections merely *containing* a map (`Vec<RwLock<FxHashMap>>`)
+/// are not tainted — iterating the vector is deterministic.
+fn no_unordered_iteration(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut tainted: Vec<&str> = Vec::new();
+    // Pass A: `name: [&|mut|dyn]* Path<...>` declarations (fields, params,
+    // annotated lets) whose outermost type is a hash collection.
+    for i in 0..ctx.sig.len() {
+        if ctx.sig[i].kind != TokKind::Ident || !ctx.is(i + 1, ":") {
+            continue;
+        }
+        let mut j = i + 2;
+        while ctx.is(j, "&")
+            || ctx.is(j, "mut")
+            || ctx.is(j, "dyn")
+            || ctx.kind(j) == Some(TokKind::Lifetime)
+        {
+            j += 1;
+        }
+        // First path segment chain: ident (:: ident)*, stop at `<`.
+        let mut last_seg = "";
+        while ctx.kind(j) == Some(TokKind::Ident) {
+            last_seg = ctx.text(j);
+            if ctx.is(j + 1, ":") && ctx.is(j + 2, ":") {
+                j += 3;
+            } else {
+                break;
+            }
+        }
+        if MAP_TYPES.contains(&last_seg) && !tainted.contains(&ctx.sig[i].text) {
+            tainted.push(ctx.sig[i].text);
+        }
+    }
+    // Pass B (twice, for forward references): propagate through
+    // `let [mut] name = <rhs>;` and drop taint at `name.sort*()`.
+    for _ in 0..2 {
+        for i in 0..ctx.sig.len() {
+            if ctx.is(i, "let") {
+                let name_idx = if ctx.is(i + 1, "mut") { i + 2 } else { i + 1 };
+                if ctx.kind(name_idx) != Some(TokKind::Ident) || !ctx.is(name_idx + 1, "=") {
+                    continue;
+                }
+                let name = ctx.text(name_idx);
+                let mut j = name_idx + 2;
+                let mut rhs_tainted = false;
+                let mut rhs_sorted = false;
+                while j < ctx.sig.len() && !ctx.is(j, ";") {
+                    let t = ctx.text(j);
+                    if tainted.contains(&t) || MAP_TYPES.contains(&t) {
+                        rhs_tainted = true;
+                    }
+                    if SORTERS.contains(&t) {
+                        rhs_sorted = true;
+                    }
+                    j += 1;
+                }
+                if rhs_tainted && !rhs_sorted && !tainted.contains(&name) {
+                    tainted.push(name);
+                }
+            } else if ctx.sig[i].kind == TokKind::Ident
+                && SORTERS.contains(&ctx.sig[i].text)
+                && i >= 2
+                && ctx.is(i - 1, ".")
+            {
+                tainted.retain(|n| *n != ctx.text(i - 2));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut push_unless_sorted = |ctx: &FileCtx<'_>, i: usize, what: String| {
+        let end = ctx.enclosing_fn_end(i);
+        let sorted_later = ctx.sig[i..end.min(ctx.sig.len())]
+            .iter()
+            .any(|s| s.kind == TokKind::Ident && SORTERS.contains(&s.text));
+        if !sorted_later {
+            out.push(finding(ctx, "no-unordered-iteration", i, what));
+        }
+    };
+    for i in 0..ctx.sig.len() {
+        if !ctx.sig[i].active {
+            continue;
+        }
+        // `tainted.iter()` / `self.field.keys()` where field is tainted.
+        if ctx.sig[i].kind == TokKind::Ident
+            && ITER_METHODS.contains(&ctx.sig[i].text)
+            && i >= 2
+            && ctx.is(i - 1, ".")
+            && ctx.is(i + 1, "(")
+            && ctx.sig[i - 2].kind == TokKind::Ident
+            && tainted.contains(&ctx.sig[i - 2].text)
+        {
+            push_unless_sorted(
+                ctx,
+                i,
+                format!(
+                    "iterating hash-ordered `{}` via `.{}()` with no downstream sort in this function",
+                    ctx.text(i - 2),
+                    ctx.text(i)
+                ),
+            );
+        }
+        // `for pat in <expr mentioning a tainted name> {`
+        if ctx.is(i, "for") {
+            let mut j = i + 1;
+            while j < ctx.sig.len() && !ctx.is(j, "in") && !ctx.is(j, "{") {
+                j += 1;
+            }
+            if !ctx.is(j, "in") {
+                continue;
+            }
+            let mut k = j + 1;
+            let mut hit: Option<&str> = None;
+            let mut sorted_expr = false;
+            let mut depth = 0i32;
+            while k < ctx.sig.len() {
+                let t = ctx.text(k);
+                match t {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth <= 0 => break,
+                    _ => {
+                        if ctx.sig[k].kind == TokKind::Ident {
+                            if tainted.contains(&t) {
+                                hit = Some(ctx.sig[k].text);
+                            }
+                            if SORTERS.contains(&t) {
+                                sorted_expr = true;
+                            }
+                        }
+                    }
+                }
+                k += 1;
+            }
+            if let Some(name) = hit {
+                if !sorted_expr {
+                    push_unless_sorted(
+                        ctx,
+                        i,
+                        format!("`for` over hash-ordered `{name}` with no downstream sort in this function"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `no-nondeterminism`: wall-clock and entropy sources in scoring,
+/// featurization, and serialization modules, where output bytes must be a
+/// pure function of input.
+fn no_nondeterminism(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    const BANNED: &[&str] = &[
+        "SystemTime",
+        "thread_rng",
+        "from_entropy",
+        "RandomState",
+        "DefaultHasher",
+    ];
+    let mut out = Vec::new();
+    for (i, s) in ctx.sig.iter().enumerate() {
+        if !s.active || s.kind != TokKind::Ident {
+            continue;
+        }
+        if BANNED.contains(&s.text) || s.text == "Instant" {
+            out.push(finding(
+                ctx,
+                "no-nondeterminism",
+                i,
+                format!(
+                    "`{}` in a determinism-scoped module; outputs must be pure functions of inputs",
+                    s.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Macros whose arguments get `Display`/`Debug`-formatted into text.
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+];
+
+/// `no-float-format`: `{}`/`{:?}` float formatting outside the wire
+/// serializer. Float→text conversion is centralized in
+/// `certa_serve::wire::json` (shortest-round-trip `Display`); ad-hoc
+/// formatting elsewhere risks drift between surfaces. Detection is
+/// signal-based: a format-macro argument list containing a float literal,
+/// an `f32`/`f64` token (e.g. `as f64`), or an `*_f32`/`*_f64` method.
+fn no_float_format(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        let s = &ctx.sig[i];
+        let is_fmt = s.active
+            && s.kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&s.text)
+            && ctx.is(i + 1, "!")
+            && ctx.is(i + 2, "(");
+        if !is_fmt {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut float_signal: Option<String> = None;
+        while j < ctx.sig.len() {
+            let t = &ctx.sig[j];
+            match t.text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    let is_float_lit = t.kind == TokKind::Num
+                        && !t.text.starts_with("0x")
+                        && (t.text.contains('.')
+                            || t.text.contains('e')
+                            || t.text.contains('E')
+                            || t.text.ends_with("f32")
+                            || t.text.ends_with("f64"));
+                    let is_float_ident = t.kind == TokKind::Ident
+                        && (t.text == "f32"
+                            || t.text == "f64"
+                            || t.text.ends_with("_f32")
+                            || t.text.ends_with("_f64"));
+                    if is_float_lit || is_float_ident {
+                        float_signal = Some(t.text.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some(sig_text) = float_signal {
+            out.push(finding(
+                ctx,
+                "no-float-format",
+                i,
+                format!(
+                    "`{}!` formats a float (`{}`) outside the wire serializer; floats must go through `wire::json`",
+                    s.text, sig_text
+                ),
+            ));
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Lock-acquiring method names (parking_lot and std styles).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// `lock-order`: acquiring any lock while a `let`-bound guard from the
+/// same function is still live. Guards die at the end of their block, at
+/// an explicit `drop(name)`, or at function end.
+///
+/// Blind spot (by design): guards held by temporaries (`if let Some(x) =
+/// m.read().get(..)`) are invisible to token scanning — the runtime
+/// `certa_core::lockcheck` tracker covers those in debug builds.
+fn lock_order(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    struct Guard<'a> {
+        name: &'a str,
+        depth: u32,
+    }
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard<'_>> = Vec::new();
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        let s = &ctx.sig[i];
+        // Expire guards whose block has closed.
+        guards.retain(|g| s.depth >= g.depth);
+        // `drop(name)` releases explicitly.
+        if s.text == "drop" && ctx.is(i + 1, "(") && ctx.is(i + 3, ")") {
+            let dropped = ctx.text(i + 2);
+            guards.retain(|g| g.name != dropped);
+        }
+        // A lock call: `.lock()` / `.read()` / `.write()`.
+        let is_lock_call = s.kind == TokKind::Ident
+            && LOCK_METHODS.contains(&s.text)
+            && i > 0
+            && ctx.is(i - 1, ".")
+            && ctx.is(i + 1, "(");
+        if is_lock_call && s.active {
+            if let Some(held) = guards.first() {
+                out.push(finding(
+                    ctx,
+                    "lock-order",
+                    i,
+                    format!(
+                        "`.{}()` acquired while guard `{}` is still held; release it first or add a justified allow",
+                        s.text, held.name
+                    ),
+                ));
+            }
+        }
+        // Register `let [mut] name = <rhs with a lock call>;` guards after
+        // scanning the rhs (so the rhs' own acquisition doesn't self-flag).
+        if s.text == "let" {
+            let name_idx = if ctx.is(i + 1, "mut") { i + 2 } else { i + 1 };
+            if ctx.kind(name_idx) == Some(TokKind::Ident) && ctx.is(name_idx + 1, "=") {
+                let mut j = name_idx + 2;
+                let mut acquires = false;
+                while j < ctx.sig.len() && !ctx.is(j, ";") {
+                    if ctx.sig[j].kind == TokKind::Ident
+                        && LOCK_METHODS.contains(&ctx.sig[j].text)
+                        && ctx.is(j - 1, ".")
+                        && ctx.is(j + 1, "(")
+                    {
+                        acquires = true;
+                    }
+                    j += 1;
+                }
+                if acquires {
+                    // Walk the rhs for nested lock calls (they fire the
+                    // check above via the main loop as we pass them).
+                    guards.push(Guard {
+                        name: ctx.text(name_idx),
+                        depth: s.depth,
+                    });
+                    // Note: the guard becomes "live" now, but the main
+                    // loop has not yet visited the rhs tokens; the rhs'
+                    // own lock call will be skipped below.
+                    i += 1;
+                    // Skip ahead over the rhs so its acquiring call does
+                    // not count against the just-registered guard...
+                    // except it must count against *previously* held
+                    // guards, so we only skip when this guard is the sole
+                    // holder.
+                    if guards.len() == 1 {
+                        i = j;
+                    }
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,215 @@
+//! Seeded-violation fixtures: one deliberately broken source per rule,
+//! proving each of the five rules actually fires and that the JSON report
+//! carries the rule id, file, and line a CI consumer would key on.
+//!
+//! These are the lint's own canaries — if a rule regresses into silence,
+//! the corresponding fixture here goes green-on-violation and fails.
+
+use certa_lint::lint_source;
+use certa_lint::report::{json, Finding};
+
+/// Lint a fixture and assert the JSON report names `rule` at
+/// `(file, line)` as a non-allowed finding. Returns the findings for
+/// further assertions.
+fn assert_fires(rule: &str, file: &str, src: &str, line: u32) -> Vec<Finding> {
+    let findings = lint_source(file, src);
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == rule && f.line == line && f.allowed.is_none());
+    assert!(
+        hit.is_some(),
+        "expected {rule} at {file}:{line}, got: {:#?}",
+        findings
+    );
+    let report = json(&findings, 1, true);
+    for needle in [
+        &format!("\"rule\":\"{rule}\""),
+        &format!("\"file\":\"{file}\""),
+        &format!("\"line\":{line}"),
+    ] {
+        assert!(
+            report.contains(needle.as_str()),
+            "JSON report missing {needle}: {report}"
+        );
+    }
+    findings
+}
+
+#[test]
+fn no_panic_path_fires_on_unwrap() {
+    let src = "\
+pub fn handler(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+";
+    assert_fires("no-panic-path", "crates/serve/src/fixture.rs", src, 2);
+}
+
+#[test]
+fn no_panic_path_fires_on_slice_index() {
+    let src = "\
+pub fn first(xs: &[u8]) -> u8 {
+    xs[0]
+}
+";
+    assert_fires("no-panic-path", "crates/store/src/fixture.rs", src, 2);
+}
+
+#[test]
+fn no_unordered_iteration_fires_on_hashmap_for_loop() {
+    let src = "\
+use std::collections::HashMap;
+pub fn render(counts: HashMap<String, u64>, out: &mut String) {
+    for (k, v) in counts.iter() {
+        out.push_str(k);
+        let _ = v;
+    }
+}
+";
+    assert_fires(
+        "no-unordered-iteration",
+        "crates/serve/src/fixture.rs",
+        src,
+        3,
+    );
+}
+
+#[test]
+fn no_unordered_iteration_stays_quiet_after_sort() {
+    let src = "\
+use std::collections::HashMap;
+pub fn render(counts: HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = counts.into_iter().collect();
+    rows.sort();
+    rows
+}
+";
+    let findings = lint_source("crates/serve/src/fixture.rs", src);
+    assert!(
+        findings.iter().all(|f| f.rule != "no-unordered-iteration"),
+        "sorted collection still flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn no_nondeterminism_fires_on_wall_clock() {
+    let src = "\
+use std::time::Instant;
+pub fn score_with_timing(x: f64) -> f64 {
+    let t0 = Instant::now();
+    let y = x * 2.0;
+    let _elapsed = t0.elapsed();
+    y
+}
+";
+    assert_fires("no-nondeterminism", "crates/text/src/fixture.rs", src, 3);
+}
+
+#[test]
+fn no_float_format_fires_on_float_in_format_macro() {
+    let src = "\
+pub fn render(score: f64) -> String {
+    format!(\"score={}\", score * 1.5f64)
+}
+";
+    assert_fires("no-float-format", "crates/serve/src/fixture.rs", src, 2);
+}
+
+#[test]
+fn lock_order_fires_on_nested_acquisition() {
+    let src = "\
+pub fn transfer(&self, a: usize, b: usize) {
+    let from = self.shards[a].lock();
+    let to = self.shards[b].lock();
+    let _ = (from, to);
+}
+";
+    assert_fires("lock-order", "crates/models/src/cache.rs", src, 3);
+}
+
+#[test]
+fn suppression_with_justification_downgrades_to_allowed() {
+    let src = "\
+pub fn handler(input: Option<u32>) -> u32 {
+    // certa-lint: allow(no-panic-path) — fixture exercising the allow path
+    input.unwrap()
+}
+";
+    let findings = lint_source("crates/serve/src/fixture.rs", src);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "no-panic-path")
+        .expect("finding should still be reported");
+    assert!(f.allowed.is_some(), "allow comment did not attach: {f:#?}");
+    let report = json(&findings, 1, true);
+    assert!(report.contains("\"allowed\":true"));
+    assert!(
+        report.contains("\"denied\":0"),
+        "allowed finding counted as denied: {report}"
+    );
+}
+
+#[test]
+fn suppression_without_justification_is_a_deny() {
+    let src = "\
+pub fn handler(input: Option<u32>) -> u32 {
+    // certa-lint: allow(no-panic-path)
+    input.unwrap()
+}
+";
+    let findings = lint_source("crates/serve/src/fixture.rs", src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "bad-suppression" && f.line == 2),
+        "empty justification not flagged: {findings:#?}"
+    );
+    // The unwrap itself stays un-allowed: a bad suppression covers nothing.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "no-panic-path" && f.allowed.is_none()));
+}
+
+#[test]
+fn suppression_naming_unknown_rule_is_a_deny() {
+    let src = "\
+// certa-lint: allow(no-such-rule) — typo'd rule names must not pass silently
+pub fn f() {}
+";
+    let findings = lint_source("crates/serve/src/fixture.rs", src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "bad-suppression" && f.line == 1),
+        "unknown rule name not flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = "\
+pub fn prod(x: Option<u32>) -> Option<u32> {
+    x
+}
+
+#[test]
+fn check() {
+    assert_eq!(prod(Some(1)).unwrap(), 1);
+}
+";
+    let findings = lint_source("crates/serve/src/fixture.rs", src);
+    assert!(
+        findings.iter().all(|f| f.rule != "no-panic-path"),
+        "test-only unwrap/assert flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn out_of_scope_files_produce_no_findings() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = lint_source("crates/eval/src/fixture.rs", src);
+    assert!(
+        findings.is_empty(),
+        "rule fired outside its scope: {findings:#?}"
+    );
+}

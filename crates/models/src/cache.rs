@@ -26,7 +26,7 @@
 //! [`Certa::explain_batch`]: https://docs.rs/certa-explain
 
 use certa_core::hash::FxHashMap;
-use certa_core::{BoxedMatcher, Matcher, Record};
+use certa_core::{lockcheck, BoxedMatcher, Matcher, Record};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,13 +108,30 @@ impl CachingMatcher {
         ((key.0 ^ key.1.rotate_left(17)) as usize) & (SHARD_COUNT - 1)
     }
 
+    /// Identity for [`lockcheck`] tracking (debug builds only): distinct
+    /// cache instances never constrain each other.
+    fn owner(&self) -> usize {
+        self as *const CachingMatcher as usize
+    }
+
+    /// Total order on cells for [`lockcheck`]: tuple order of the key,
+    /// exactly the order `score_batch` locks its miss cells in.
+    fn cell_order(key: Key) -> u128 {
+        ((key.0 as u128) << 64) | key.1 as u128
+    }
+
     /// Fetch (or create) the cell for one key. Shard locks are held only for
     /// the lookup/insert, never while a score is being computed.
     fn cell(&self, key: Key) -> Cell {
-        let shard = &self.shards[Self::shard_of(key)];
-        if let Some(cell) = shard.read().get(&key) {
-            return Arc::clone(cell);
+        let idx = Self::shard_of(key);
+        let shard = &self.shards[idx];
+        {
+            let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, idx as u128);
+            if let Some(cell) = shard.read().get(&key) {
+                return Arc::clone(cell);
+            }
         }
+        let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, idx as u128);
         let mut map = shard.write();
         Arc::clone(map.entry(key).or_default())
     }
@@ -122,17 +139,28 @@ impl CachingMatcher {
     /// Number of cached entries (cells created; a cell being computed right
     /// now by another thread is counted — it will hold a score momentarily).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, i as u128);
+                s.read().len()
+            })
+            .sum()
     }
 
     /// True when nothing has been scored yet.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.shards.iter().enumerate().all(|(i, s)| {
+            let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, i as u128);
+            s.read().is_empty()
+        })
     }
 
     /// Drop all cached scores.
     pub fn clear(&self) {
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, i as u128);
             shard.write().clear();
         }
     }
@@ -143,12 +171,16 @@ impl CachingMatcher {
     /// in any process.
     pub fn snapshot(&self) -> Vec<((u64, u64), f64)> {
         let mut out = Vec::new();
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let _shard_held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, i as u128);
             let map = shard.read();
             for (key, cell) in map.iter() {
+                let _cell_held =
+                    lockcheck::acquire(self.owner(), lockcheck::rank::CELL, Self::cell_order(*key));
                 // Briefly waits on cells another thread is mid-compute on
                 // (the vendored mutex has no try_lock); those resolve to a
                 // score momentarily, so the snapshot includes them.
+                // certa-lint: allow(lock-order) — shard→cell is the documented acquisition order (cells are leaves); lockcheck asserts it at runtime in debug builds
                 if let Some(score) = *cell.lock() {
                     out.push((*key, score));
                 }
@@ -165,6 +197,8 @@ impl CachingMatcher {
     pub fn seed(&self, entries: impl IntoIterator<Item = ((u64, u64), f64)>) {
         for (key, score) in entries {
             let cell = self.cell(key);
+            let _held =
+                lockcheck::acquire(self.owner(), lockcheck::rank::CELL, Self::cell_order(key));
             let mut slot = cell.lock();
             if slot.is_none() {
                 *slot = Some(score);
@@ -181,6 +215,7 @@ impl Matcher for CachingMatcher {
     fn score(&self, u: &Record, v: &Record) -> f64 {
         let key = (u.content_hash(), v.content_hash());
         let cell = self.cell(key);
+        let _held = lockcheck::acquire(self.owner(), lockcheck::rank::CELL, Self::cell_order(key));
         let mut slot = cell.lock();
         if let Some(s) = *slot {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -221,6 +256,8 @@ impl Matcher for CachingMatcher {
         let mut miss_guards = Vec::new();
         let mut miss_pairs = Vec::new();
         for (key, first_idx, cell) in &cells {
+            let held =
+                lockcheck::acquire(self.owner(), lockcheck::rank::CELL, Self::cell_order(*key));
             let guard = cell.lock();
             match *guard {
                 Some(s) => {
@@ -228,7 +265,7 @@ impl Matcher for CachingMatcher {
                 }
                 None => {
                     miss_pairs.push(pairs[*first_idx]);
-                    miss_guards.push((*key, guard));
+                    miss_guards.push((*key, guard, held));
                 }
             }
         }
@@ -243,7 +280,7 @@ impl Matcher for CachingMatcher {
             // One vectorized inner call for every cold pair of this batch.
             let scores = self.inner.score_batch(&miss_pairs);
             debug_assert_eq!(scores.len(), miss_pairs.len());
-            for ((key, mut guard), s) in miss_guards.into_iter().zip(scores) {
+            for ((key, mut guard, _held), s) in miss_guards.into_iter().zip(scores) {
                 *guard = Some(s);
                 resolved.insert(key, s);
             }

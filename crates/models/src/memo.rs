@@ -36,6 +36,7 @@
 
 use crate::cache::CacheStats;
 use certa_core::hash::{fx_hash_one, FxHashMap};
+use certa_core::lockcheck;
 use certa_core::ValueId;
 use parking_lot::RwLock;
 use std::fmt;
@@ -59,20 +60,40 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<FxHashMap<K, V>> {
-        &self.shards[(fx_hash_one(key) as usize) & (MEMO_SHARDS - 1)]
+    fn shard_index(&self, key: &K) -> usize {
+        (fx_hash_one(key) as usize) & (MEMO_SHARDS - 1)
+    }
+
+    /// Identity for [`lockcheck`] tracking (debug builds only). The memo
+    /// has a single lock tier, so the tracker's job here is catching a
+    /// shard lock taken while the *same map* already holds one — which is
+    /// exactly the re-entrancy `lookup`'s compute-outside-the-lock design
+    /// rules out.
+    fn owner(&self) -> usize {
+        self as *const ShardedMap<K, V> as usize
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).read().get(key).cloned()
+        let idx = self.shard_index(key);
+        let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, idx as u128);
+        self.shards[idx].read().get(key).cloned()
     }
 
     fn insert(&self, key: K, value: V) {
-        self.shard(&key).write().insert(key, value);
+        let idx = self.shard_index(&key);
+        let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, idx as u128);
+        self.shards[idx].write().insert(key, value);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let _held = lockcheck::acquire(self.owner(), lockcheck::rank::SHARD, i as u128);
+                s.read().len()
+            })
+            .sum()
     }
 }
 

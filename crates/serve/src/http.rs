@@ -89,7 +89,13 @@ impl HttpError {
             ]),
         )])
         .serialize()
-        .expect("error bodies contain no numbers");
+        // Error bodies contain no numbers, so serialization cannot hit the
+        // non-finite rejection; if that invariant ever breaks, degrade to a
+        // fixed body rather than panicking on the error path itself.
+        .unwrap_or_else(|_| {
+            r#"{"error":{"code":"internal_error","message":"error body serialization failed"}}"#
+                .to_string()
+        });
         let mut resp = Response::json(self.status, body);
         resp.keep_alive = self.keep_alive;
         resp
@@ -295,13 +301,14 @@ fn read_line_limited(stream: &mut impl BufRead, limit: usize) -> Result<Option<S
                 return Err(LineError::Io(io::Error::from(io::ErrorKind::UnexpectedEof)));
             }
             Ok(_) => {
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     if buf.last() == Some(&b'\r') {
                         buf.pop();
                     }
                     return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
                 }
-                buf.push(byte[0]);
+                buf.push(b);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(LineError::Io(e)),

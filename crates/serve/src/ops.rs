@@ -53,6 +53,7 @@ impl LatencyHistogram {
     /// Record one observation.
     pub fn record(&self, d: Duration) {
         let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        // certa-lint: allow(no-panic-path) — bucket_of clamps to BUCKETS - 1, so the index is in range by construction
         self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
@@ -158,8 +159,19 @@ impl Route {
         Route::Other,
     ];
 
+    /// Position in [`Route::ALL`]; the `route_index_matches_all` test pins
+    /// the correspondence.
     fn index(self) -> usize {
-        Route::ALL.iter().position(|r| *r == self).expect("listed")
+        match self {
+            Route::Score => 0,
+            Route::ScoreBatch => 1,
+            Route::Explain => 2,
+            Route::ExplainBatch => 3,
+            Route::Models => 4,
+            Route::Healthz => 5,
+            Route::Metrics => 6,
+            Route::Other => 7,
+        }
     }
 
     /// Metric label for this route.
@@ -245,7 +257,9 @@ impl ServerMetrics {
     /// ever emit one) counts as success rather than inflating the 5xx
     /// error-rate counter.
     pub fn observe(&self, route: Route, status: u16, latency: Duration) {
-        self.requests_by_route[route.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.requests_by_route.get(route.index()) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         match status / 100 {
             4 => {
                 self.responses_4xx.fetch_add(1, Ordering::Relaxed);
@@ -284,6 +298,7 @@ impl ServerMetrics {
     pub fn render_prometheus(&self, extra_lines: &str) -> String {
         let mut out = String::with_capacity(2048);
         let p = "certa_serve";
+        // certa-lint: allow(no-float-format) — monitoring gauge, not byte-compared wire output; f64 Display is shortest-round-trip
         out.push_str(&format!(
             "# TYPE {p}_uptime_seconds gauge\n{p}_uptime_seconds {}\n",
             self.uptime().as_secs_f64()
@@ -302,10 +317,14 @@ impl ServerMetrics {
         ));
         out.push_str(&format!("# TYPE {p}_requests_total counter\n"));
         for route in Route::ALL {
+            let n = self
+                .requests_by_route
+                .get(route.index())
+                .map_or(0, |c| c.load(Ordering::Relaxed));
             out.push_str(&format!(
                 "{p}_requests_total{{route=\"{}\"}} {}\n",
                 route.label(),
-                self.requests_by_route[route.index()].load(Ordering::Relaxed)
+                n
             ));
         }
         out.push_str(&format!("# TYPE {p}_responses_total counter\n"));
@@ -351,6 +370,13 @@ impl ServerMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn route_index_matches_all() {
+        for (i, route) in Route::ALL.into_iter().enumerate() {
+            assert_eq!(route.index(), i, "{:?} out of place in Route::ALL", route);
+        }
+    }
 
     #[test]
     fn histogram_buckets_by_log2_micros() {

@@ -25,7 +25,7 @@
 //! reports hits, misses, and cumulative load latency.
 
 use crate::http::HttpError;
-use certa_core::{BoxedMatcher, Dataset, Record, Side};
+use certa_core::{lockcheck, BoxedMatcher, Dataset, Record, Side};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::{Certa, CertaConfig};
 use certa_models::{train_model, CacheStats, CachingMatcher, ErModel, ModelKind, TrainConfig};
@@ -295,10 +295,16 @@ impl Registry {
     ) -> Result<Arc<ModelEntry>, HttpError> {
         let (dataset_id, kind) = Self::canonical_name(name)?;
         let canonical = format!("{}/{}", dataset_id.code(), kind.paper_name());
+        let owner = self as *const Registry as usize;
         let slot: EntrySlot = {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 0);
             let mut map = self.entries.lock();
             Arc::clone(map.entry(canonical.clone()).or_default())
         };
+        // Materialization (store load or generate+train, potentially
+        // seconds) must never run under the map lock — that would
+        // serialize first-touch requests for *different* names.
+        lockcheck::assert_none_held(owner, "entry materialization");
         let entry = slot.get_or_init(|| build(dataset_id, kind, &canonical));
         Ok(Arc::clone(entry))
     }
@@ -450,6 +456,7 @@ impl Registry {
             stats.misses
         ));
         out.push_str("# TYPE certa_serve_store_load_seconds_total counter\n");
+        // certa-lint: allow(no-float-format) — monitoring counter, not byte-compared wire output; f64 Display is shortest-round-trip
         out.push_str(&format!(
             "certa_serve_store_load_seconds_total {}\n",
             stats.load_micros as f64 / 1e6

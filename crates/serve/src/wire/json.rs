@@ -250,7 +250,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), WireError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -260,7 +260,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, WireError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -286,7 +287,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, WireError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -309,7 +310,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, WireError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -320,7 +321,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -337,7 +338,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, WireError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -373,11 +374,15 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 code point (input is a &str, so the
                     // byte sequence is guaranteed valid).
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.err("unexpected end of input")),
+                    }
                 }
             }
         }
@@ -449,8 +454,8 @@ impl<'a> Parser<'a> {
             }
             self.digits();
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        let digits = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        let text = std::str::from_utf8(digits).map_err(|_| self.err("invalid UTF-8 in number"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.err(format!("unparseable number `{text}`")))?;

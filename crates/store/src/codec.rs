@@ -72,6 +72,7 @@ impl Writer {
     /// Panics when the string exceeds `u32::MAX` bytes (no in-tree value
     /// comes near; the interner enforces the same bound).
     pub fn str_(&mut self, s: &str) {
+        // certa-lint: allow(no-panic-path) — encoder-side bound, documented under `# Panics`; the panic-free contract binds the decoder
         assert!(s.len() <= u32::MAX as usize, "string too large to encode");
         self.u32(s.len() as u32);
         self.bytes(s.as_bytes());
@@ -82,12 +83,19 @@ impl Writer {
     /// # Panics
     /// Panics when the slice exceeds `u32::MAX` entries.
     pub fn f64_slice(&mut self, xs: &[f64]) {
+        // certa-lint: allow(no-panic-path) — encoder-side bound, documented under `# Panics`; the panic-free contract binds the decoder
         assert!(xs.len() <= u32::MAX as usize, "slice too large to encode");
         self.u32(xs.len() as u32);
         for &x in xs {
             self.f64(x);
         }
     }
+}
+
+/// `take(N)` returned a slice of the wrong width — impossible by
+/// construction, but the decoder degrades to a typed error, never a panic.
+fn width_mismatch(what: &'static str) -> StoreError {
+    StoreError::Malformed(format!("internal width mismatch reading {what}"))
 }
 
 /// Bounds-checked cursor over untrusted bytes.
@@ -110,16 +118,17 @@ impl<'a> Reader<'a> {
 
     /// Take `n` raw bytes, or a typed truncation error.
     pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
-        if n > self.remaining() {
-            return Err(StoreError::Truncated {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(out) => {
+                self.pos += n;
+                Ok(out)
+            }
+            None => Err(StoreError::Truncated {
                 what,
                 needed: n,
                 remaining: self.remaining(),
-            });
+            }),
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
     }
 
     /// One byte.
@@ -130,19 +139,22 @@ impl<'a> Reader<'a> {
     /// Little-endian `u16`.
     pub fn u16(&mut self, what: &'static str) -> Result<u16> {
         let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
+        let b = b.try_into().map_err(|_| width_mismatch(what))?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Little-endian `u32`.
     pub fn u32(&mut self, what: &'static str) -> Result<u32> {
         let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let b = b.try_into().map_err(|_| width_mismatch(what))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Little-endian `u64`.
     pub fn u64(&mut self, what: &'static str) -> Result<u64> {
         let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b = b.try_into().map_err(|_| width_mismatch(what))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// `f64` from stored bits.

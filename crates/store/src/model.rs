@@ -105,7 +105,11 @@ pub fn decode_er_model(bytes: &[u8]) -> Result<ErModel> {
 
     let model = ErModel::from_parts(kind, featurizer, standardizer, net);
     if let Some(memo_bytes) = c.section(tag::MEMO) {
-        let memo = model.feature_memo().expect("from_parts enables the memo");
+        let Some(memo) = model.feature_memo() else {
+            return Err(StoreError::Malformed(
+                "decoded model has no feature memo to restore into".into(),
+            ));
+        };
         decode_memo_into(memo_bytes, memo, model.featurizer())?;
     }
     Ok(model)

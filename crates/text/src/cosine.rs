@@ -28,6 +28,13 @@ fn cosine_of(
 ) -> f64 {
     let weight = |tok: &str| idf.map_or(1.0, |c| c.idf(tok));
     let mut dot = 0.0;
+    // Iteration order here chooses the float-summation order, which picks
+    // the rounding of `dot` and the norms. FxHashMap iteration is a pure
+    // function of the insertion sequence (FxHash has no per-process
+    // RandomState), and tokenization builds these maps in text order, so
+    // the sums are bit-stable across runs and platforms. Sorting instead
+    // would *change* the pinned bits and invalidate every golden fixture.
+    // certa-lint: allow(no-unordered-iteration) — FxHashMap order is a pure function of the insertion sequence; sorting would change summed-float rounding pinned by golden fixtures
     for (tok, &fa) in ta {
         if let Some(&fb) = tb.get(tok) {
             let w = weight(tok);
@@ -35,11 +42,13 @@ fn cosine_of(
         }
     }
     let na: f64 = ta
+        // certa-lint: allow(no-unordered-iteration) — same insertion-ordered float sum as `dot` above
         .iter()
         .map(|(t, f)| (f * weight(t)).powi(2))
         .sum::<f64>()
         .sqrt();
     let nb: f64 = tb
+        // certa-lint: allow(no-unordered-iteration) — same insertion-ordered float sum as `dot` above
         .iter()
         .map(|(t, f)| (f * weight(t)).powi(2))
         .sum::<f64>()
@@ -92,6 +101,7 @@ impl CorpusStats {
     /// Every `(token, document frequency)` entry, in map order (callers that
     /// need determinism — e.g. the `certa-store` codec — sort the result).
     pub fn df_entries(&self) -> impl Iterator<Item = (&str, usize)> {
+        // certa-lint: allow(no-unordered-iteration) — raw export; the certa-store codec sorts before encoding (pinned by its snapshot tests)
         self.df.iter().map(|(t, &c)| (t.as_str(), c))
     }
 
