@@ -1,0 +1,193 @@
+//! Property tests for the blocking layer's three contracts:
+//!
+//! 1. **Determinism** — every blocker's candidate list is byte-identical
+//!    across runs and signature-worker counts.
+//! 2. **Monotonicity** — LSH candidate sets grow with `num_bands`
+//!    (sequential band partitions nest: every `b`-band bucket collision is
+//!    also a `2b`-band bucket collision).
+//! 3. **Recall** — the standard production blocker recalls *every*
+//!    seeded-duplicate pair of the generator's ground truth at the default
+//!    `target_threshold` (smoke and default scales).
+
+use certa_block::{
+    Blocker, LshBlocker, LshConfig, MultiPass, SortedNeighborhood, TokenOverlap, TokenPrefix,
+};
+use certa_core::{Record, RecordId, RecordPair, Schema, Split, Table};
+use certa_datagen::{generate, DatasetId, Scale};
+use proptest::prelude::*;
+
+/// Build one table from generated rows (one text attribute per record).
+fn table(rows: &[String]) -> Table {
+    let schema = Schema::shared("P", ["text"]);
+    let mut t = Table::new(schema);
+    for (i, row) in rows.iter().enumerate() {
+        t.insert(Record::new(RecordId(i as u32), vec![row.clone()]))
+            .expect("arity matches schema");
+    }
+    t
+}
+
+/// A random "product description": a few lowercase words.
+const ROW: &str = "[a-z]{1,8}( [a-z]{1,8}){0,4}";
+
+fn rows_strategy() -> proptest::collection::VecStrategy<&'static str> {
+    proptest::collection::vec(ROW, 1..20)
+}
+
+/// Assert the canonical output contract: sorted by `(left, right)`, deduped.
+fn assert_contract(pairs: &[RecordPair]) {
+    for w in pairs.windows(2) {
+        assert!(
+            (w[0].left.0, w[0].right.0) < (w[1].left.0, w[1].right.0),
+            "candidates must be strictly sorted and deduplicated"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The LSH candidate list is identical across runs and worker counts.
+    #[test]
+    fn lsh_deterministic_across_runs_and_workers(
+        lrows in rows_strategy(),
+        rrows in rows_strategy(),
+        seed in any::<u64>(),
+        bands_log2 in 3usize..6,
+    ) {
+        let bands = 1usize << bands_log2; // 8, 16, or 32
+        let left = table(&lrows);
+        let right = table(&rrows);
+        let build = |workers: usize| {
+            LshBlocker::new(LshConfig {
+                num_bands: bands,
+                seed,
+                workers,
+                ..LshConfig::default()
+            })
+            .expect("valid config")
+            .candidates(&left, &right)
+        };
+        let reference = build(1);
+        assert_contract(&reference);
+        prop_assert_eq!(&build(1), &reference, "second run differs");
+        prop_assert_eq!(&build(2), &reference, "2 workers differ");
+        prop_assert_eq!(&build(8), &reference, "8 workers differ");
+    }
+
+    /// More bands never lose a candidate: `candidates(b) ⊆ candidates(2b)`.
+    #[test]
+    fn lsh_candidates_monotone_in_num_bands(
+        lrows in rows_strategy(),
+        rrows in rows_strategy(),
+        seed in any::<u64>(),
+        bands_log2 in 3usize..7,
+    ) {
+        let bands = 1usize << bands_log2; // 8, 16, 32, or 64
+        let left = table(&lrows);
+        let right = table(&rrows);
+        let run = |b: usize| {
+            LshBlocker::new(LshConfig {
+                num_bands: b,
+                seed,
+                ..LshConfig::default()
+            })
+            .expect("valid config")
+            .candidates(&left, &right)
+        };
+        let narrow = run(bands);
+        let wide = run(bands * 2);
+        for pair in &narrow {
+            prop_assert!(
+                wide.binary_search_by_key(
+                    &(pair.left.0, pair.right.0),
+                    |p| (p.left.0, p.right.0)
+                ).is_ok(),
+                "pair {pair} found at {bands} bands but lost at {} bands",
+                bands * 2
+            );
+        }
+    }
+
+    /// Every blocker honors the sorted/deduplicated output contract and is
+    /// run-to-run deterministic on arbitrary tables.
+    #[test]
+    fn all_blockers_honor_output_contract(lrows in rows_strategy(), rrows in rows_strategy()) {
+        let left = table(&lrows);
+        let right = table(&rrows);
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(LshBlocker::new(LshConfig::default()).expect("valid")),
+            Box::new(TokenOverlap::default()),
+            Box::new(SortedNeighborhood::default()),
+            Box::new(TokenPrefix::default()),
+            Box::new(MultiPass::standard()),
+        ];
+        for blocker in &blockers {
+            let first = blocker.candidates(&left, &right);
+            assert_contract(&first);
+            prop_assert_eq!(
+                &blocker.candidates(&left, &right),
+                &first,
+                "{} is not deterministic",
+                blocker.name()
+            );
+        }
+    }
+}
+
+/// Ground-truth matched pairs of both splits.
+fn truth(dataset: &certa_core::Dataset) -> Vec<RecordPair> {
+    let mut pairs = Vec::new();
+    for split in [Split::Train, Split::Test] {
+        for lp in dataset.split(split) {
+            if lp.label.is_match() {
+                pairs.push(lp.pair);
+            }
+        }
+    }
+    pairs
+}
+
+/// The standard blocker (LSH at the default `target_threshold` ∪ token
+/// containment) recalls every seeded-duplicate pair the generator planted.
+fn assert_full_recall(scale: Scale, seed: u64) {
+    let dataset = generate(DatasetId::DS, scale, seed);
+    let candidates = MultiPass::standard().candidates(dataset.left(), dataset.right());
+    let mut missed = Vec::new();
+    for pair in truth(&dataset) {
+        if candidates
+            .binary_search_by_key(&(pair.left.0, pair.right.0), |p| (p.left.0, p.right.0))
+            .is_err()
+        {
+            missed.push(pair);
+        }
+    }
+    assert!(
+        missed.is_empty(),
+        "standard blocker missed {} seeded duplicates at {scale} seed {seed}: {missed:?}",
+        missed.len()
+    );
+}
+
+#[test]
+fn standard_blocker_recalls_every_seeded_duplicate_smoke() {
+    for seed in [7, 13, 99] {
+        assert_full_recall(Scale::Smoke, seed);
+    }
+}
+
+#[test]
+fn standard_blocker_recalls_every_seeded_duplicate_default() {
+    assert_full_recall(Scale::Default, 7);
+}
+
+/// The full standard pipeline blocker is deterministic on a real generated
+/// dataset, not just on synthetic tables.
+#[test]
+fn standard_blocker_deterministic_on_generated_data() {
+    let dataset = generate(DatasetId::DS, Scale::Smoke, 7);
+    let first = MultiPass::standard().candidates(dataset.left(), dataset.right());
+    let second = MultiPass::standard().candidates(dataset.left(), dataset.right());
+    assert_eq!(first, second);
+    assert_contract(&first);
+}

@@ -5,7 +5,21 @@
 //! generator uses this index to build realistic *hard negatives* (similar but
 //! non-matching pairs) for the train/test splits, and CERTA's triangle search
 //! can use it to rank likely support records instead of scanning a whole
-//! table.
+//! table. Dataset-scale candidate generation (MinHash/LSH banding and the
+//! sorted-neighborhood / token-prefix baselines) lives in `certa-block`,
+//! which composes with this index.
+//!
+//! # Scale contract
+//!
+//! Both the build and the query path are bounded at million-record scale:
+//!
+//! * `build` stops growing a token's posting list once it passes
+//!   `max_posting` (hyper-common tokens can never drive candidates, so
+//!   their lists are capped at `max_posting + 1` entries during the scan
+//!   and dropped entirely before `build` returns);
+//! * `candidates` dedupes probe tokens through the cached clean-token
+//!   spans of the interned values — the hot path allocates no `String`s
+//!   per probe token.
 
 use crate::hash::FxHashMap;
 use crate::record::{Record, RecordId};
@@ -15,9 +29,11 @@ use crate::table::Table;
 #[derive(Debug, Clone)]
 pub struct TokenIndex {
     postings: FxHashMap<String, Vec<RecordId>>,
-    /// Tokens appearing in more than this many records are skipped at query
-    /// time (stop-word behaviour).
+    /// Tokens appearing in more than this many records are dropped at build
+    /// time (stop-word behaviour); queries therefore never see them.
     max_posting: usize,
+    /// Hyper-common tokens dropped at the end of `build`.
+    stop_tokens: usize,
 }
 
 impl TokenIndex {
@@ -25,6 +41,13 @@ impl TokenIndex {
     ///
     /// `max_posting` bounds how common a token may be and still drive
     /// candidate generation; pass `usize::MAX` to disable the cutoff.
+    ///
+    /// Memory is bounded even on stop-word-heavy tables: a posting list
+    /// stops growing at `max_posting + 1` entries (just enough to prove the
+    /// token is over the cutoff) instead of accumulating one entry per
+    /// containing record, and every over-cutoff list is dropped before the
+    /// index is returned — so the finished index holds at most
+    /// `max_posting` entries per surviving token and zero for stop words.
     pub fn build(table: &Table, max_posting: usize) -> Self {
         let mut postings: FxHashMap<String, Vec<RecordId>> = FxHashMap::default();
         for r in table.records() {
@@ -32,16 +55,44 @@ impl TokenIndex {
                 // Cleaned tokens are cached on the interned value — indexing
                 // re-reads them instead of re-cleaning every string.
                 for tok in value.clean_tokens() {
-                    let ids = postings.entry(tok.to_string()).or_default();
-                    if ids.last() != Some(&r.id()) {
-                        ids.push(r.id());
+                    match postings.get_mut(tok) {
+                        Some(ids) => {
+                            // Past the cutoff this token can never drive a
+                            // candidate; stop paying memory for it. (The +1
+                            // overshoot is what marks the list as oversized
+                            // for the retain pass below.)
+                            if ids.len() > max_posting {
+                                continue;
+                            }
+                            if ids.last() != Some(&r.id()) {
+                                ids.push(r.id());
+                            }
+                        }
+                        None => {
+                            // First sighting: the only point the token is
+                            // materialized as an owned String.
+                            postings.insert(tok.to_string(), vec![r.id()]);
+                        }
                     }
                 }
             }
         }
+        let mut stop_tokens = 0usize;
+        if max_posting != usize::MAX {
+            postings.retain(|_, ids| {
+                if ids.len() > max_posting {
+                    stop_tokens += 1;
+                    false
+                } else {
+                    ids.shrink_to_fit();
+                    true
+                }
+            });
+        }
         TokenIndex {
             postings,
             max_posting,
+            stop_tokens,
         }
     }
 
@@ -49,6 +100,10 @@ impl TokenIndex {
     /// `probe`, ranked by descending overlap count. `exclude` (if given) is
     /// removed from the results — used when searching support records
     /// `w ∈ U \ {u}`.
+    ///
+    /// Allocation discipline: probe tokens are deduped through the cached
+    /// `&str` clean-token spans of the probe's interned values — no `String`
+    /// is built per probe token (pinned by `candidates_match_owned_dedupe`).
     pub fn candidates(
         &self,
         probe: &Record,
@@ -56,10 +111,10 @@ impl TokenIndex {
         exclude: Option<RecordId>,
     ) -> Vec<(RecordId, usize)> {
         let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
-        let mut seen: crate::hash::FxHashSet<String> = crate::hash::FxHashSet::default();
+        let mut seen: crate::hash::FxHashSet<&str> = crate::hash::FxHashSet::default();
         for value in probe.values() {
             for tok in value.clean_tokens() {
-                if !seen.insert(tok.to_string()) {
+                if !seen.insert(tok) {
                     continue; // count each distinct probe token once
                 }
                 if let Some(ids) = self.postings.get(tok) {
@@ -83,9 +138,22 @@ impl TokenIndex {
         out
     }
 
-    /// Number of distinct indexed tokens.
+    /// Number of distinct indexed tokens (stop words are not counted: they
+    /// are dropped at build time).
     pub fn vocabulary_size(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Total posting-list entries held by the index — the memory the index
+    /// actually retains, which the build-time cutoff bounds.
+    pub fn posting_entries(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+
+    /// Hyper-common tokens that crossed `max_posting` and were dropped at
+    /// the end of [`TokenIndex::build`].
+    pub fn stop_token_count(&self) -> usize {
+        self.stop_tokens
     }
 }
 
@@ -149,6 +217,7 @@ mod tests {
         let idx = TokenIndex::build(&t, 1);
         let probe = Record::new(RecordId(99), vec!["sony tv".into()]);
         assert!(idx.candidates(&probe, 1, None).is_empty());
+        assert_eq!(idx.stop_token_count(), 2);
     }
 
     #[test]
@@ -167,5 +236,107 @@ mod tests {
         let idx = TokenIndex::build(&t, usize::MAX);
         // sony bravia tv walkman player lg oled bose speaker = 9
         assert_eq!(idx.vocabulary_size(), 9);
+        assert_eq!(idx.stop_token_count(), 0);
+    }
+
+    /// The build-time cutoff regression: a stop-word-heavy table must not
+    /// accumulate O(records) posting entries for its hyper-common tokens.
+    /// Before the fix, `build` grew every list unboundedly and only *skipped*
+    /// oversized lists at query time — 1000 records sharing "the premium
+    /// item" cost 3000 retained entries; now those lists are capped during
+    /// the scan and dropped before `build` returns.
+    #[test]
+    fn build_bounds_memory_on_stop_word_heavy_tables() {
+        let n = 1000u32;
+        let schema = Schema::shared("U", ["name"]);
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                // Three stop words in every record plus one rare token.
+                Record::new(RecordId(i), vec![format!("the premium item sku{i}")])
+            })
+            .collect();
+        let table = Table::from_records(schema, records).unwrap();
+
+        let max_posting = 10;
+        let idx = TokenIndex::build(&table, max_posting);
+        // The three stop words are gone entirely …
+        assert_eq!(idx.stop_token_count(), 3);
+        assert_eq!(idx.vocabulary_size(), n as usize, "only sku tokens remain");
+        // … and retained memory is exactly one entry per rare token, far
+        // below the 4 × n entries the unbounded build held.
+        assert_eq!(idx.posting_entries(), n as usize);
+        // Queries behave like the old skip-at-query-time semantics.
+        let probe = Record::new(RecordId(n + 1), vec!["the premium item sku7".into()]);
+        let cands = idx.candidates(&probe, 1, None);
+        assert_eq!(cands, vec![(RecordId(7), 1)]);
+    }
+
+    #[test]
+    fn unbounded_build_retains_everything() {
+        let t = table();
+        let idx = TokenIndex::build(&t, usize::MAX);
+        // 4 records × 3,3,3,2 tokens = 11 posting entries, none dropped.
+        assert_eq!(idx.posting_entries(), 11);
+        assert_eq!(idx.stop_token_count(), 0);
+    }
+
+    /// Before/after equivalence for the allocation-free probe dedupe: the
+    /// borrowed `&str` seen-set must produce exactly the results of the old
+    /// owned-`String` implementation on probes with repeated tokens across
+    /// and within attributes.
+    #[test]
+    fn candidates_match_owned_dedupe() {
+        let schema = Schema::shared("U", ["name", "desc"]);
+        let records: Vec<Record> = (0..40u32)
+            .map(|i| {
+                Record::new(
+                    RecordId(i),
+                    vec![
+                        format!("brand{} tv model{}", i % 7, i),
+                        format!("brand{} premium tv", i % 7),
+                    ],
+                )
+            })
+            .collect();
+        let t = Table::from_records(schema, records).unwrap();
+        for max_posting in [usize::MAX, 8, 3, 1] {
+            let idx = TokenIndex::build(&t, max_posting);
+            for probe_id in [0u32, 3, 13, 39] {
+                let probe = t.expect(RecordId(probe_id)).clone();
+                for min_overlap in [1usize, 2, 3] {
+                    let fast = idx.candidates(&probe, min_overlap, Some(probe.id()));
+                    // Reference: the pre-fix owned-String dedupe semantics.
+                    let mut counts: FxHashMap<RecordId, usize> = FxHashMap::default();
+                    let mut seen: crate::hash::FxHashSet<String> =
+                        crate::hash::FxHashSet::default();
+                    for value in probe.values() {
+                        for tok in value.clean_tokens() {
+                            if !seen.insert(tok.to_string()) {
+                                continue;
+                            }
+                            if let Some(ids) = idx.postings.get(tok) {
+                                if ids.len() > max_posting {
+                                    continue;
+                                }
+                                for &id in ids {
+                                    if id != probe.id() {
+                                        *counts.entry(id).or_insert(0) += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mut expected: Vec<(RecordId, usize)> = counts
+                        .into_iter()
+                        .filter(|&(_, c)| c >= min_overlap)
+                        .collect();
+                    expected.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    assert_eq!(
+                        fast, expected,
+                        "probe {probe_id} min_overlap {min_overlap} max_posting {max_posting}"
+                    );
+                }
+            }
+        }
     }
 }

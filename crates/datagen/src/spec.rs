@@ -114,6 +114,11 @@ pub enum Domain {
 ///
 /// The experiment shapes (which method wins, where crossovers fall) are
 /// stable from `Default` upward; `Smoke` exists for CI-speed sanity runs.
+/// `Xl` grows *past* Table 1 toward the dataset-scale regime blocking
+/// targets: tens of thousands of records per side, cross products in the
+/// hundreds of millions of pairs — the workload `certa-block` and
+/// `bench_block` exist for (explanation-grid experiments are not meant to
+/// run here).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Tiny: tens of records per side; seconds-per-table experiments.
@@ -123,6 +128,9 @@ pub enum Scale {
     /// Approaches Table 1 sizes (large sources capped — see
     /// [`DatasetSpec::records_at`]).
     Paper,
+    /// Past Table 1: the blocking/candidate-generation scale (3× the paper
+    /// sizes, capped at 25 000 records per side).
+    Xl,
 }
 
 impl Scale {
@@ -131,6 +139,7 @@ impl Scale {
             Scale::Smoke => 0.02,
             Scale::Default => 0.12,
             Scale::Paper => 1.0,
+            Scale::Xl => 3.0,
         }
     }
 
@@ -139,6 +148,7 @@ impl Scale {
             Scale::Smoke => 60,
             Scale::Default => 450,
             Scale::Paper => 6000,
+            Scale::Xl => 25_000,
         }
     }
 }
@@ -149,6 +159,7 @@ impl fmt::Display for Scale {
             Scale::Smoke => write!(f, "smoke"),
             Scale::Default => write!(f, "default"),
             Scale::Paper => write!(f, "paper"),
+            Scale::Xl => write!(f, "xl"),
         }
     }
 }
@@ -161,8 +172,9 @@ impl std::str::FromStr for Scale {
             "smoke" => Ok(Scale::Smoke),
             "default" => Ok(Scale::Default),
             "paper" => Ok(Scale::Paper),
+            "xl" => Ok(Scale::Xl),
             other => Err(format!(
-                "unknown scale `{other}` (expected smoke|default|paper)"
+                "unknown scale `{other}` (expected smoke|default|paper|xl)"
             )),
         }
     }
@@ -440,12 +452,26 @@ mod tests {
             let (ls, rs, ms) = spec.records_at(Scale::Smoke);
             let (ld, rd, md) = spec.records_at(Scale::Default);
             let (lp, rp, mp) = spec.records_at(Scale::Paper);
-            assert!(ls <= ld && ld <= lp, "{id} left counts");
-            assert!(rs <= rd && rd <= rp, "{id} right counts");
-            assert!(ms <= md && md <= mp, "{id} match counts");
+            let (lx, rx, mx) = spec.records_at(Scale::Xl);
+            assert!(ls <= ld && ld <= lp && lp <= lx, "{id} left counts");
+            assert!(rs <= rd && rd <= rp && rp <= rx, "{id} right counts");
+            assert!(ms <= md && md <= mp && mp <= mx, "{id} match counts");
             assert!(ms >= 8);
             assert!(ms <= 2 * ls.min(rs), "{id} matches generatable");
         }
+    }
+
+    #[test]
+    fn xl_scale_reaches_the_blocking_regime() {
+        // The blocking bench needs a cross product ≥ 10^8 candidate pairs
+        // somewhere in the suite; DBLP-Scholar at Xl provides it.
+        let (l, r, m) = DatasetId::DS.spec().records_at(Scale::Xl);
+        assert_eq!(l, 7842);
+        assert_eq!(r, 25_000, "Scholar side capped at the Xl ceiling");
+        assert!(l * r >= 100_000_000, "cross product {}", l * r);
+        assert!(m >= 8 && m <= 2 * l.min(r));
+        assert_eq!("xl".parse::<Scale>().unwrap(), Scale::Xl);
+        assert_eq!(Scale::Xl.to_string(), "xl");
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl GridConfig {
         let n_explained = match scale {
             Scale::Smoke => 4,
             Scale::Default => 12,
-            Scale::Paper => 30,
+            // Xl is the blocking/candidate-generation scale; the
+            // explanation grid itself is not meant to grow past Paper.
+            Scale::Paper | Scale::Xl => 30,
         };
         GridConfig {
             scale,

@@ -38,6 +38,7 @@ const BIN_EXCLUDES: &[&str] = &[
     "crates/serve/src/bin/",
     "crates/store/src/bin/",
     "crates/store/src/inspect.rs",
+    "crates/block/src/bin/",
 ];
 
 impl Default for Policy {
@@ -60,6 +61,7 @@ impl Default for Policy {
                         "crates/models/src/cache.rs",
                         "crates/models/src/memo.rs",
                         "crates/core/src/value.rs",
+                        "crates/block/src/",
                     ],
                     exclude: BIN_EXCLUDES,
                 },
@@ -74,6 +76,7 @@ impl Default for Policy {
                         "crates/explain/src/",
                         "crates/serve/src/wire/",
                         "crates/store/src/",
+                        "crates/block/src/",
                     ],
                     exclude: BIN_EXCLUDES,
                 },

@@ -137,6 +137,8 @@ pub enum Route {
     Explain,
     /// `POST /v1/explain_batch`
     ExplainBatch,
+    /// `POST /v1/block`
+    Block,
     /// `GET /v1/models`
     Models,
     /// `GET /healthz`
@@ -148,11 +150,12 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 8] = [
+    const ALL: [Route; 9] = [
         Route::Score,
         Route::ScoreBatch,
         Route::Explain,
         Route::ExplainBatch,
+        Route::Block,
         Route::Models,
         Route::Healthz,
         Route::Metrics,
@@ -167,10 +170,11 @@ impl Route {
             Route::ScoreBatch => 1,
             Route::Explain => 2,
             Route::ExplainBatch => 3,
-            Route::Models => 4,
-            Route::Healthz => 5,
-            Route::Metrics => 6,
-            Route::Other => 7,
+            Route::Block => 4,
+            Route::Models => 5,
+            Route::Healthz => 6,
+            Route::Metrics => 7,
+            Route::Other => 8,
         }
     }
 
@@ -181,6 +185,7 @@ impl Route {
             Route::ScoreBatch => "score_batch",
             Route::Explain => "explain",
             Route::ExplainBatch => "explain_batch",
+            Route::Block => "block",
             Route::Models => "models",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
@@ -196,7 +201,7 @@ pub struct ServerMetrics {
     connections_accepted: AtomicU64,
     overload_rejections: AtomicU64,
     worker_panics: AtomicU64,
-    requests_by_route: [AtomicU64; 8],
+    requests_by_route: [AtomicU64; 9],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

@@ -6,6 +6,7 @@
 //! | POST   | `/v1/score_batch`   | score many pairs (vectorized + cached)    |
 //! | POST   | `/v1/explain`       | CERTA explanation for one pair            |
 //! | POST   | `/v1/explain_batch` | [`Certa::explain_batch`] over many pairs  |
+//! | POST   | `/v1/block`         | block → score → explain over the tables   |
 //! | GET    | `/v1/models`        | resolved registry entries                 |
 //! | GET    | `/healthz`          | liveness + uptime                         |
 //! | GET    | `/metrics`          | Prometheus-style counters                 |
@@ -43,6 +44,7 @@ fn dispatch(
         ("POST", "/v1/score_batch") => (Route::ScoreBatch, score(registry, req, true)),
         ("POST", "/v1/explain") => (Route::Explain, explain(registry, req, false)),
         ("POST", "/v1/explain_batch") => (Route::ExplainBatch, explain(registry, req, true)),
+        ("POST", "/v1/block") => (Route::Block, block(registry, req)),
         ("GET", "/v1/models") => (Route::Models, models(registry)),
         ("GET", "/healthz") => (Route::Healthz, healthz(registry)),
         ("GET", "/metrics") => (
@@ -52,7 +54,10 @@ fn dispatch(
                 metrics.render_prometheus(&registry.cache_metric_lines()),
             )),
         ),
-        (_, "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch") => (
+        (
+            _,
+            "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch" | "/v1/block",
+        ) => (
             Route::Other,
             Err(HttpError {
                 status: 405,
@@ -163,6 +168,207 @@ fn explain(registry: &Registry, req: &Request, batch: bool) -> Result<Response, 
             ),
         ])
     };
+    ok_json(&payload)
+}
+
+/// Parsed `/v1/block` request parameters (everything but `model` optional).
+struct BlockParams {
+    blocker: String,
+    num_hashes: usize,
+    num_bands: usize,
+    target_threshold: f64,
+    min_overlap: usize,
+    min_containment: f64,
+    window: usize,
+    prefix_len: usize,
+    max_df: usize,
+    top: usize,
+    explain_top: usize,
+}
+
+/// `/v1/block` result-size ceilings: blocking runs over the whole table
+/// pair, so the response (not the computation) is what needs bounding.
+const BLOCK_MAX_TOP: usize = 1000;
+const BLOCK_MAX_EXPLAIN: usize = 16;
+
+impl BlockParams {
+    fn from_json(body: &Json) -> Result<BlockParams, HttpError> {
+        let usize_field = |name: &'static str, default: usize| -> Result<usize, HttpError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n < 1e9 => Ok(*n as usize),
+                Some(other) => Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`{name}` must be a non-negative integer, got {other:?}"),
+                )),
+            }
+        };
+        let f64_field = |name: &'static str, default: f64| -> Result<f64, HttpError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(Json::Num(n)) => Ok(*n),
+                Some(other) => Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`{name}` must be a number, got {other:?}"),
+                )),
+            }
+        };
+        let blocker = match body.get("blocker") {
+            None => "multi".to_string(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(other) => {
+                return Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`blocker` must be a string, got {other:?}"),
+                ))
+            }
+        };
+        let lsh_defaults = certa_block::LshConfig::default();
+        let overlap_defaults = certa_block::TokenOverlap::default();
+        let params = BlockParams {
+            blocker,
+            num_hashes: usize_field("num_hashes", lsh_defaults.num_hashes)?,
+            num_bands: usize_field("num_bands", lsh_defaults.num_bands)?,
+            target_threshold: f64_field("target_threshold", lsh_defaults.target_threshold)?,
+            min_overlap: usize_field("min_overlap", overlap_defaults.min_overlap)?,
+            min_containment: f64_field("min_containment", overlap_defaults.min_containment)?,
+            window: usize_field("window", certa_block::SortedNeighborhood::default().window)?,
+            prefix_len: usize_field("prefix_len", certa_block::TokenPrefix::default().prefix_len)?,
+            max_df: usize_field("max_df", certa_block::TokenPrefix::default().max_df)?,
+            top: usize_field("top", 10)?,
+            explain_top: usize_field("explain_top", 0)?,
+        };
+        if params.top > BLOCK_MAX_TOP {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                format!("`top` must be ≤ {BLOCK_MAX_TOP}, got {}", params.top),
+            ));
+        }
+        if params.explain_top > BLOCK_MAX_EXPLAIN {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                format!(
+                    "`explain_top` must be ≤ {BLOCK_MAX_EXPLAIN}, got {}",
+                    params.explain_top
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&params.min_containment) {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                format!(
+                    "`min_containment` must be in [0, 1], got {}",
+                    params.min_containment
+                ),
+            ));
+        }
+        Ok(params)
+    }
+
+    fn build(&self) -> Result<Box<dyn certa_block::Blocker>, HttpError> {
+        let bad_config = |e: String| HttpError::bad_request("bad_blocker_config", e);
+        match self.blocker.as_str() {
+            "multi" => Ok(Box::new(certa_block::MultiPass::standard())),
+            "lsh" => Ok(Box::new(
+                certa_block::LshBlocker::new(certa_block::LshConfig {
+                    num_hashes: self.num_hashes,
+                    num_bands: self.num_bands,
+                    target_threshold: self.target_threshold,
+                    ..certa_block::LshConfig::default()
+                })
+                .map_err(bad_config)?,
+            )),
+            "token-overlap" => Ok(Box::new(certa_block::TokenOverlap {
+                min_overlap: self.min_overlap,
+                min_containment: self.min_containment,
+                max_posting: 0,
+            })),
+            "sorted-neighborhood" => Ok(Box::new(certa_block::SortedNeighborhood {
+                window: self.window,
+            })),
+            "token-prefix" => Ok(Box::new(certa_block::TokenPrefix {
+                prefix_len: self.prefix_len,
+                max_df: self.max_df,
+            })),
+            other => Err(HttpError::bad_request(
+                "bad_blocker",
+                format!(
+                    "unknown blocker `{other}` (expected multi, lsh, token-overlap, \
+                     sorted-neighborhood, or token-prefix)"
+                ),
+            )),
+        }
+    }
+}
+
+/// `POST /v1/block`: run candidate generation over the entry's two tables,
+/// stream the survivors through the cached matcher, and explain the best
+/// few — the full million-record pipeline behind one endpoint.
+fn block(registry: &Registry, req: &Request) -> Result<Response, HttpError> {
+    let body = parse_body(req)?;
+    let model = match body.get("model") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                "`model` (string, \"<dataset>/<model>\") is required",
+            ))
+        }
+    };
+    let params = BlockParams::from_json(&body)?;
+    let blocker = params.build()?;
+    let entry = registry.resolve(&model)?;
+    let candidates = blocker.candidates(entry.dataset.left(), entry.dataset.right());
+    registry.record_block(candidates.len());
+    let matcher = entry.matcher();
+    let certa = (params.explain_top > 0).then_some(&entry.certa);
+    let report = certa_block::run_pipeline_on(
+        candidates,
+        blocker.name(),
+        &entry.dataset,
+        &matcher,
+        certa,
+        &certa_block::PipelineConfig {
+            top_k: params.top,
+            explain_top: params.explain_top,
+            ..certa_block::PipelineConfig::default()
+        },
+    );
+    let top: Vec<Json> = report
+        .top
+        .iter()
+        .map(|sp| {
+            Json::obj([
+                ("left_id", Json::num(sp.pair.left.0 as f64)),
+                ("right_id", Json::num(sp.pair.right.0 as f64)),
+                ("score", Json::Num(sp.score)),
+            ])
+        })
+        .collect();
+    let explanations: Vec<Json> = report
+        .explanations
+        .iter()
+        .map(|(pair, expl)| {
+            Json::obj([
+                ("left_id", Json::num(pair.left.0 as f64)),
+                ("right_id", Json::num(pair.right.0 as f64)),
+                ("explanation", dto::explanation_to_json(expl)),
+            ])
+        })
+        .collect();
+    let payload = Json::obj([
+        ("model", Json::str(&entry.name)),
+        ("blocker", Json::str(report.blocker)),
+        ("cross_product", Json::num(report.cross_product as f64)),
+        ("candidates", Json::num(report.candidates as f64)),
+        ("reduction", Json::Num(report.reduction)),
+        (
+            "predicted_matches",
+            Json::num(report.predicted_matches as f64),
+        ),
+        ("top", Json::Arr(top)),
+        ("explanations", Json::Arr(explanations)),
+    ]);
     ok_json(&payload)
 }
 
@@ -455,6 +661,114 @@ mod tests {
                 "{method} {path} {body}"
             );
         }
+    }
+
+    #[test]
+    fn block_endpoint_runs_the_full_pipeline() {
+        let registry = registry();
+        let body = r#"{"model":"FZ/DeepMatcher","top":5,"explain_top":1}"#;
+        let (route, resp) = go(&registry, &req("POST", "/v1/block", body));
+        assert_eq!(route, Route::Block);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let parsed = parse_response(&resp);
+        assert_eq!(
+            parsed.get("model").unwrap().as_str(),
+            Some("FZ/DeepMatcher")
+        );
+        let candidates = parsed.get("candidates").unwrap().as_num().unwrap();
+        assert!(candidates > 0.0, "smoke tables contain seeded duplicates");
+        assert!(parsed.get("reduction").unwrap().as_num().unwrap() > 1.0);
+        let top = parsed.get("top").unwrap().as_arr().unwrap();
+        assert!(!top.is_empty() && top.len() <= 5);
+        for entry in top {
+            let score = entry.get("score").unwrap().as_num().unwrap();
+            assert!((0.0..=1.0).contains(&score));
+        }
+        let explanations = parsed.get("explanations").unwrap().as_arr().unwrap();
+        assert_eq!(explanations.len(), 1);
+        assert!(explanations[0].get("explanation").is_some());
+
+        // Determinism: the same request returns byte-identical output.
+        let (_, again) = go(&registry, &req("POST", "/v1/block", body));
+        assert_eq!(again.body, resp.body);
+
+        // The registry accounted both runs in the /metrics exposition.
+        let (_, metrics) = go(&registry, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("certa_serve_block_runs_total 2"));
+        assert!(text.contains(&format!(
+            "certa_serve_block_candidates_total {}",
+            2 * candidates as u64
+        )));
+    }
+
+    #[test]
+    fn block_endpoint_accepts_every_blocker_kind() {
+        let registry = registry();
+        for blocker in [
+            "multi",
+            "lsh",
+            "token-overlap",
+            "sorted-neighborhood",
+            "token-prefix",
+        ] {
+            let body = format!(r#"{{"model":"FZ/DeepMatcher","blocker":"{blocker}","top":3}}"#);
+            let (_, resp) = go(&registry, &req("POST", "/v1/block", &body));
+            assert_eq!(
+                resp.status,
+                200,
+                "blocker {blocker}: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+    }
+
+    #[test]
+    fn block_endpoint_validates_parameters() {
+        let registry = registry();
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"model":"FZ/DeepMatcher","blocker":"nope"}"#,
+                "bad_blocker",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","blocker":"lsh","num_bands":7}"#,
+                "bad_blocker_config",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","blocker":"lsh","target_threshold":0}"#,
+                "bad_blocker_config",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","min_containment":2.5}"#,
+                "bad_request_body",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","top":5000}"#,
+                "bad_request_body",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","explain_top":99}"#,
+                "bad_request_body",
+            ),
+            (
+                r#"{"model":"FZ/DeepMatcher","num_hashes":2.5}"#,
+                "bad_request_body",
+            ),
+            (r#"{"top":3}"#, "bad_request_body"),
+        ];
+        for (body, code) in cases {
+            let (_, resp) = go(&registry, &req("POST", "/v1/block", body));
+            assert_eq!(resp.status, 400, "{body}");
+            let parsed = parse_response(&resp);
+            assert_eq!(
+                parsed.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(*code),
+                "{body}"
+            );
+        }
+        let (_, resp) = go(&registry, &req("GET", "/v1/block", ""));
+        assert_eq!(resp.status, 405);
     }
 
     #[test]

@@ -211,6 +211,8 @@ pub struct Registry {
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_load_micros: AtomicU64,
+    block_requests: AtomicU64,
+    block_candidates: AtomicU64,
 }
 
 impl Registry {
@@ -224,7 +226,24 @@ impl Registry {
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
             store_load_micros: AtomicU64::new(0),
+            block_requests: AtomicU64::new(0),
+            block_candidates: AtomicU64::new(0),
         }
+    }
+
+    /// Account one `/v1/block` run and the candidates it generated.
+    pub fn record_block(&self, candidates: usize) {
+        self.block_requests.fetch_add(1, Ordering::Relaxed);
+        self.block_candidates
+            .fetch_add(candidates as u64, Ordering::Relaxed);
+    }
+
+    /// `(runs, total candidates)` accounted by [`Registry::record_block`].
+    pub fn block_stats(&self) -> (u64, u64) {
+        (
+            self.block_requests.load(Ordering::Relaxed),
+            self.block_candidates.load(Ordering::Relaxed),
+        )
     }
 
     /// The serving configuration.
@@ -438,6 +457,22 @@ impl Registry {
             ));
         }
         out.push_str(&self.store_metric_lines());
+        out.push_str(&self.block_metric_lines());
+        out
+    }
+
+    /// Blocking-layer lines for the `/metrics` exposition: how many
+    /// candidate-generation runs the server has performed and how many
+    /// candidate pairs they produced in total.
+    pub fn block_metric_lines(&self) -> String {
+        let (runs, candidates) = self.block_stats();
+        let mut out = String::new();
+        out.push_str("# TYPE certa_serve_block_runs_total counter\n");
+        out.push_str(&format!("certa_serve_block_runs_total {runs}\n"));
+        out.push_str("# TYPE certa_serve_block_candidates_total counter\n");
+        out.push_str(&format!(
+            "certa_serve_block_candidates_total {candidates}\n"
+        ));
         out
     }
 

@@ -23,6 +23,8 @@
 
 /// Baseline explainers (Mojito, LandMark, SHAP, DiCE, LIME-C, SHAP-C).
 pub use certa_baselines as baselines;
+/// Dataset-scale candidate generation (MinHash/LSH + blocking baselines).
+pub use certa_block as block;
 /// ER data model (records, tables, pairs, the black-box [`core::Matcher`] trait).
 pub use certa_core as core;
 /// Synthetic versions of the 12 DeepMatcher benchmark datasets.
