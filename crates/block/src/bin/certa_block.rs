@@ -12,7 +12,7 @@
 //! and (optionally) CERTA explanations for the top pairs.
 
 use certa_block::{
-    run_pipeline_on, Blocker, LshBlocker, LshConfig, MultiPass, PipelineConfig, Shingle,
+    run_pipeline_cached, Blocker, LshBlocker, LshConfig, MultiPass, PipelineConfig, Shingle,
     SortedNeighborhood, TokenOverlap, TokenPrefix,
 };
 use certa_core::hash::FxHashSet;
@@ -264,7 +264,7 @@ fn main() {
     let caching = CachingMatcher::new(matcher);
     let certa = (opts.explain > 0).then(|| Certa::new(CertaConfig::default()));
     let t2 = Instant::now();
-    let report = run_pipeline_on(
+    let report = run_pipeline_cached(
         candidates,
         blocker.name(),
         &dataset,
@@ -291,7 +291,7 @@ fn main() {
     println!(
         "score time    {score_secs:.2}s ({:.0} pairs/s, cache hit rate {:.2})",
         report.scored as f64 / score_secs.max(1e-9),
-        caching.stats().hit_rate()
+        report.cache.map_or(0.0, |s| s.hit_rate())
     );
     println!("predicted     {} matches", report.predicted_matches);
     println!();

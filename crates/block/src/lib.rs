@@ -43,7 +43,9 @@ pub mod pipeline;
 pub use baselines::{SortedNeighborhood, TokenOverlap, TokenPrefix};
 pub use lsh::{LshBlocker, LshConfig};
 pub use minhash::{jaccard_sorted, MinHasher, Shingle};
-pub use pipeline::{run_pipeline, run_pipeline_on, PipelineConfig, PipelineReport, ScoredPair};
+pub use pipeline::{
+    run_pipeline, run_pipeline_cached, run_pipeline_on, PipelineConfig, PipelineReport, ScoredPair,
+};
 
 use certa_core::{RecordId, RecordPair, Table};
 

@@ -15,6 +15,7 @@
 use crate::{cross_product, reduction_ratio, Blocker};
 use certa_core::{Dataset, MatchLabel, Matcher, Record, RecordPair};
 use certa_explain::{Certa, CertaExplanation};
+use certa_models::{CacheStats, CachingMatcher};
 
 /// Tuning knobs for [`run_pipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,10 @@ pub struct PipelineReport {
     /// CERTA explanations for the first `explain_top` entries of `top`,
     /// in the same order.
     pub explanations: Vec<(RecordPair, CertaExplanation)>,
+    /// Score-cache traffic attributable to this run (present on the
+    /// [`run_pipeline_cached`] path; `None` when scoring went straight to
+    /// the model).
+    pub cache: Option<CacheStats>,
 }
 
 /// Deterministic top-`k` order: score descending, then pair ids ascending.
@@ -166,7 +171,31 @@ pub fn run_pipeline_on(
         predicted_matches,
         top,
         explanations,
+        cache: None,
     }
+}
+
+/// [`run_pipeline_on`] through a [`CachingMatcher`], with the cache
+/// hit/miss delta of exactly this run surfaced in the report — repeated
+/// runs over the same candidates (a re-block at new settings, a second
+/// serve request) show their score-cache reuse instead of silently
+/// rescoring already-cached pairs.
+pub fn run_pipeline_cached(
+    candidates: Vec<RecordPair>,
+    blocker_name: String,
+    dataset: &Dataset,
+    cache: &CachingMatcher,
+    certa: Option<&Certa>,
+    cfg: &PipelineConfig,
+) -> PipelineReport {
+    let before = cache.stats();
+    let mut report = run_pipeline_on(candidates, blocker_name, dataset, &cache, certa, cfg);
+    let after = cache.stats();
+    report.cache = Some(CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+    });
+    report
 }
 
 #[cfg(test)]
@@ -268,6 +297,31 @@ mod tests {
         );
         assert_eq!(big.top, small.top, "batch size never changes the output");
         assert_eq!(big.predicted_matches, small.predicted_matches);
+    }
+
+    #[test]
+    fn cached_pipeline_reports_reuse() {
+        let ds = dataset();
+        let blocker = crate::MultiPass::standard();
+        let candidates = blocker.candidates(ds.left(), ds.right());
+        let cache = CachingMatcher::new(std::sync::Arc::new(matcher()));
+        let cfg = PipelineConfig::default();
+        let first =
+            run_pipeline_cached(candidates.clone(), blocker.name(), &ds, &cache, None, &cfg);
+        let stats = first.cache.expect("cached path reports stats");
+        assert_eq!(
+            stats.misses, first.scored as u64,
+            "cold cache scores every pair"
+        );
+        assert_eq!(stats.hits, 0);
+        let second = run_pipeline_cached(candidates, blocker.name(), &ds, &cache, None, &cfg);
+        let stats = second.cache.expect("cached path reports stats");
+        assert_eq!(stats.misses, 0);
+        assert_eq!(
+            stats.hits, second.scored as u64,
+            "warm cache serves the re-run"
+        );
+        assert_eq!(first.top, second.top);
     }
 
     #[test]

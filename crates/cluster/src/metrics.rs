@@ -1,0 +1,246 @@
+//! Partition quality metrics against seeded ground truth.
+//!
+//! Two standard views of clustering quality:
+//!
+//! * **Pairwise** precision/recall/F1 — compare the cross-side record pairs
+//!   the partitions imply. Forgiving of near-misses (one wrong member costs
+//!   a few pairs, not the whole cluster).
+//! * **Cluster F1** — exact-match: a predicted cluster counts only when it
+//!   equals a truth cluster *exactly* (same members, singletons included).
+//!   The strict gate `bench_cluster` enforces.
+
+use crate::partition::{ClusterNode, Partition};
+use crate::unionfind::UnionFind;
+use certa_core::{Dataset, Split};
+
+/// Pairwise precision/recall/F1 over implied cross-side pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    /// Fraction of predicted pairs that are true.
+    pub precision: f64,
+    /// Fraction of true pairs that are predicted.
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+}
+
+fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// The ground-truth partition of a generated dataset: connected components
+/// of the positive-labeled pairs across **both** splits (the generator
+/// preserves every seeded duplicate pair as a labeled positive), with every
+/// unmatched record a singleton.
+pub fn truth_partition(dataset: &Dataset) -> Partition {
+    let nodes = Partition::all_nodes(dataset);
+    let mut uf = UnionFind::new(nodes.len());
+    for split in [Split::Train, Split::Test] {
+        for lp in dataset.split(split) {
+            if !lp.label.is_match() {
+                continue;
+            }
+            let l = nodes
+                .binary_search(&ClusterNode {
+                    side: certa_core::Side::Left,
+                    id: lp.pair.left,
+                })
+                .expect("labeled pair resolves in the dataset");
+            let r = nodes
+                .binary_search(&ClusterNode {
+                    side: certa_core::Side::Right,
+                    id: lp.pair.right,
+                })
+                .expect("labeled pair resolves in the dataset");
+            uf.union(l, r);
+        }
+    }
+    Partition::new(
+        uf.groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| nodes[i]).collect())
+            .collect(),
+    )
+}
+
+/// Pairwise precision/recall/F1 of `predicted` against `truth`.
+///
+/// Both pair lists are sorted (canonical form), so the intersection is one
+/// merge walk. An empty truth pair set scores perfect recall; an empty
+/// predicted set scores perfect precision.
+pub fn pairwise_prf(predicted: &Partition, truth: &Partition) -> PairwiseScores {
+    let pred = predicted.matched_pairs();
+    let gold = truth.matched_pairs();
+    let mut hits = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < pred.len() && j < gold.len() {
+        let a = (pred[i].left.0, pred[i].right.0);
+        let b = (gold[j].left.0, gold[j].right.0);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                hits += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let precision = if pred.is_empty() {
+        1.0
+    } else {
+        hits as f64 / pred.len() as f64
+    };
+    let recall = if gold.is_empty() {
+        1.0
+    } else {
+        hits as f64 / gold.len() as f64
+    };
+    PairwiseScores {
+        precision,
+        recall,
+        f1: f1(precision, recall),
+    }
+}
+
+/// Exact-match cluster F1: precision = exactly-reproduced predicted
+/// clusters / predicted clusters, recall = exactly-reproduced truth
+/// clusters / truth clusters. Canonical form lets the exact matches be
+/// counted with one merge walk over the two sorted cluster lists.
+pub fn cluster_f1(predicted: &Partition, truth: &Partition) -> f64 {
+    if predicted.is_empty() && truth.is_empty() {
+        return 1.0;
+    }
+    if predicted.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut exact) = (0usize, 0usize, 0usize);
+    let (pc, tc) = (predicted.clusters(), truth.clusters());
+    while i < pc.len() && j < tc.len() {
+        match pc[i].cmp(&tc[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                exact += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let precision = exact as f64 / pc.len() as f64;
+    let recall = exact as f64 / tc.len() as f64;
+    f1(precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{LabeledPair, Record, RecordId, Schema, Table};
+
+    fn part(clusters: Vec<Vec<ClusterNode>>) -> Partition {
+        Partition::new(clusters)
+    }
+
+    #[test]
+    fn identical_partitions_score_perfectly() {
+        let p = part(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+        ]);
+        let s = pairwise_prf(&p, &p);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+        assert_eq!(cluster_f1(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn pairwise_counts_partial_overlap() {
+        // Truth: {L0, R0, R1}; predicted splits off R1.
+        let truth = part(vec![vec![
+            ClusterNode::left(0),
+            ClusterNode::right(0),
+            ClusterNode::right(1),
+        ]]);
+        let pred = part(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::right(1)],
+        ]);
+        let s = pairwise_prf(&pred, &truth);
+        assert_eq!(s.precision, 1.0, "the one predicted pair is true");
+        assert_eq!(s.recall, 0.5, "one of two true pairs found");
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+        // Exact-cluster view: 1 of 2 predicted, 0... the singleton {R1} is
+        // not a truth cluster and {L0,R0} is not either → 0 exact matches.
+        assert_eq!(cluster_f1(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn cluster_f1_counts_singletons() {
+        let truth = part(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+            vec![ClusterNode::right(1)],
+        ]);
+        let pred = part(vec![
+            vec![ClusterNode::left(0)],
+            vec![ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+            vec![ClusterNode::right(1)],
+        ]);
+        // Exact matches: the two singletons present in both.
+        let f = cluster_f1(&pred, &truth);
+        let p = 2.0 / 4.0;
+        let r = 2.0 / 3.0;
+        assert!((f - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty = part(vec![]);
+        let one = part(vec![vec![ClusterNode::left(0)]]);
+        assert_eq!(cluster_f1(&empty, &empty), 1.0);
+        assert_eq!(cluster_f1(&one, &empty), 0.0);
+        let s = pairwise_prf(&one, &one);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn truth_partition_closes_positive_pairs() {
+        let schema = Schema::shared("T", ["a"]);
+        let mk = |i: u32| Record::new(RecordId(i), vec![format!("v{i}")]);
+        let left = Table::from_records(schema.clone(), (0..3).map(mk).collect()).unwrap();
+        let right = Table::from_records(schema, (0..3).map(mk).collect()).unwrap();
+        let d = Dataset::new(
+            "toy",
+            left,
+            right,
+            vec![
+                LabeledPair::new(RecordId(0), RecordId(0), true),
+                LabeledPair::new(RecordId(1), RecordId(2), false),
+            ],
+            vec![
+                // Multiplicity duplicate: the same left entity matches a
+                // second right view → a 3-member truth cluster.
+                LabeledPair::new(RecordId(0), RecordId(1), true),
+                LabeledPair::new(RecordId(2), RecordId(2), true),
+            ],
+        )
+        .unwrap();
+        let t = truth_partition(&d);
+        assert_eq!(t.node_count(), 6);
+        let c = t.cluster_of(ClusterNode::left(0)).unwrap();
+        assert_eq!(
+            t.members(c),
+            &[
+                ClusterNode::left(0),
+                ClusterNode::right(0),
+                ClusterNode::right(1),
+            ]
+        );
+        assert_eq!(t.non_singleton_count(), 2);
+        assert_eq!(t.len(), 3, "the L1 singleton + two matched clusters");
+    }
+}

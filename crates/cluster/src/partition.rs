@@ -1,0 +1,340 @@
+//! The canonical clustering result: [`ClusterNode`] and [`Partition`].
+
+use certa_core::{Dataset, RecordId, RecordPair, Side};
+use std::fmt;
+
+/// A record reference that is unambiguous across the two tables.
+///
+/// Left and right record ids live in overlapping `u32` spaces (`RecordId(3)`
+/// exists on both sides of every generated dataset), so cluster members are
+/// side-qualified. The derived order (`Left` before `Right`, then id) is the
+/// canonical member order inside a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterNode {
+    /// Which table the record lives in.
+    pub side: Side,
+    /// The record's id within that table.
+    pub id: RecordId,
+}
+
+impl ClusterNode {
+    /// A left-table node.
+    pub fn left(id: u32) -> ClusterNode {
+        ClusterNode {
+            side: Side::Left,
+            id: RecordId(id),
+        }
+    }
+
+    /// A right-table node.
+    pub fn right(id: u32) -> ClusterNode {
+        ClusterNode {
+            side: Side::Right,
+            id: RecordId(id),
+        }
+    }
+
+    /// Pack into one `u64`: side in bit 32, id in the low 32 bits. The
+    /// packed form preserves the derived order and is what `certa-store`
+    /// persists.
+    pub fn pack(self) -> u64 {
+        let side_bit = match self.side {
+            Side::Left => 0u64,
+            Side::Right => 1u64,
+        };
+        (side_bit << 32) | self.id.0 as u64
+    }
+
+    /// Inverse of [`ClusterNode::pack`]; `None` when the high bits encode
+    /// neither side (corrupt persisted bytes).
+    pub fn unpack(packed: u64) -> Option<ClusterNode> {
+        let id = RecordId(packed as u32);
+        match packed >> 32 {
+            0 => Some(ClusterNode {
+                side: Side::Left,
+                id,
+            }),
+            1 => Some(ClusterNode {
+                side: Side::Right,
+                id,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClusterNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.side, self.id.0)
+    }
+}
+
+/// A partition of both tables' records into entities, in **canonical form**:
+/// every cluster's members are sorted ascending, clusters are sorted by
+/// their first (smallest) member, and every record appears exactly once.
+/// Canonical form makes equality, byte encoding, and cross-run comparison
+/// trivial — two clusterings agree iff their `Partition`s are `==` iff their
+/// [`Partition::to_bytes`] are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    clusters: Vec<Vec<ClusterNode>>,
+    /// `(node, cluster index)` sorted by node — O(log n) membership lookup.
+    index: Vec<(ClusterNode, usize)>,
+}
+
+impl Partition {
+    /// Build a partition from raw clusters, canonicalizing along the way.
+    ///
+    /// # Panics
+    /// When a node appears in more than one cluster or twice in the same
+    /// cluster (a clusterer bug, not an input condition).
+    pub fn new(mut clusters: Vec<Vec<ClusterNode>>) -> Partition {
+        clusters.retain(|c| !c.is_empty());
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_unstable();
+        let mut index: Vec<(ClusterNode, usize)> = clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.iter().map(move |&n| (n, i)))
+            .collect();
+        index.sort_unstable();
+        for w in index.windows(2) {
+            assert!(
+                w[0].0 != w[1].0,
+                "node {} assigned to more than one cluster",
+                w[0].0
+            );
+        }
+        Partition { clusters, index }
+    }
+
+    /// The clusters, canonical order.
+    pub fn clusters(&self) -> &[Vec<ClusterNode>] {
+        &self.clusters
+    }
+
+    /// Number of clusters (singletons included).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when the partition holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total records covered.
+    pub fn node_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Index of the cluster containing `node`, if covered.
+    pub fn cluster_of(&self, node: ClusterNode) -> Option<usize> {
+        self.index
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// Members of cluster `i`, sorted ascending.
+    pub fn members(&self, i: usize) -> &[ClusterNode] {
+        &self.clusters[i]
+    }
+
+    /// Canonical representative of cluster `i`: its smallest member.
+    pub fn representative(&self, i: usize) -> ClusterNode {
+        self.clusters[i][0]
+    }
+
+    /// Number of clusters with more than one member.
+    pub fn non_singleton_count(&self) -> usize {
+        self.clusters.iter().filter(|c| c.len() > 1).count()
+    }
+
+    /// Size of the largest cluster (0 when empty).
+    pub fn largest_cluster(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// All cross-side `(left, right)` pairs implied by the partition, sorted
+    /// ascending — the "predicted matches" of pairwise precision/recall.
+    pub fn matched_pairs(&self) -> Vec<RecordPair> {
+        let mut out = Vec::new();
+        for c in &self.clusters {
+            // Members are sorted, so all Left nodes precede all Right nodes.
+            let split = c.partition_point(|n| n.side == Side::Left);
+            let (lefts, rights) = c.split_at(split);
+            for l in lefts {
+                for r in rights {
+                    out.push(RecordPair::new(l.id, r.id));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|p| (p.left.0, p.right.0));
+        out
+    }
+
+    /// Deterministic flat byte encoding: cluster count, then per cluster its
+    /// length and packed members, all little-endian. Canonical form makes
+    /// this injective over partitions, so byte equality ⇔ partition
+    /// equality — the representation the determinism gates compare and
+    /// `certa-store` checksums.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.index.len() * 8 + self.clusters.len() * 4);
+        out.extend_from_slice(&(self.clusters.len() as u32).to_le_bytes());
+        for c in &self.clusters {
+            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            for n in c {
+                out.extend_from_slice(&n.pack().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Every node of both of `dataset`'s tables, sorted ascending — the
+    /// universe every clusterer partitions.
+    pub fn all_nodes(dataset: &Dataset) -> Vec<ClusterNode> {
+        let mut nodes: Vec<ClusterNode> = dataset
+            .left()
+            .records()
+            .iter()
+            .map(|r| ClusterNode {
+                side: Side::Left,
+                id: r.id(),
+            })
+            .chain(dataset.right().records().iter().map(|r| ClusterNode {
+                side: Side::Right,
+                id: r.id(),
+            }))
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_order_is_side_then_id() {
+        let mut nodes = vec![
+            ClusterNode::right(0),
+            ClusterNode::left(5),
+            ClusterNode::left(1),
+            ClusterNode::right(3),
+        ];
+        nodes.sort_unstable();
+        assert_eq!(
+            nodes,
+            vec![
+                ClusterNode::left(1),
+                ClusterNode::left(5),
+                ClusterNode::right(0),
+                ClusterNode::right(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn pack_roundtrips_and_preserves_order() {
+        let nodes = [
+            ClusterNode::left(0),
+            ClusterNode::left(u32::MAX),
+            ClusterNode::right(0),
+            ClusterNode::right(7),
+        ];
+        for n in nodes {
+            assert_eq!(ClusterNode::unpack(n.pack()), Some(n));
+        }
+        for w in nodes.windows(2) {
+            assert!(w[0].pack() < w[1].pack(), "packed order mirrors node order");
+        }
+        assert_eq!(ClusterNode::unpack(2u64 << 32), None, "bad side bits");
+    }
+
+    #[test]
+    fn display_is_side_qualified() {
+        assert_eq!(ClusterNode::left(3).to_string(), "L3");
+        assert_eq!(ClusterNode::right(9).to_string(), "R9");
+    }
+
+    #[test]
+    fn new_canonicalizes() {
+        let p = Partition::new(vec![
+            vec![ClusterNode::right(2), ClusterNode::left(9)],
+            vec![],
+            vec![ClusterNode::left(1)],
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.members(0), &[ClusterNode::left(1)]);
+        assert_eq!(p.members(1), &[ClusterNode::left(9), ClusterNode::right(2)]);
+        assert_eq!(p.representative(1), ClusterNode::left(9));
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.non_singleton_count(), 1);
+        assert_eq!(p.largest_cluster(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cluster_of_finds_members_only() {
+        let p = Partition::new(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+        ]);
+        assert_eq!(p.cluster_of(ClusterNode::left(0)), Some(0));
+        assert_eq!(p.cluster_of(ClusterNode::right(0)), Some(0));
+        assert_eq!(p.cluster_of(ClusterNode::left(1)), Some(1));
+        assert_eq!(p.cluster_of(ClusterNode::right(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one cluster")]
+    fn duplicate_nodes_panic() {
+        Partition::new(vec![
+            vec![ClusterNode::left(0)],
+            vec![ClusterNode::left(0), ClusterNode::right(1)],
+        ]);
+    }
+
+    #[test]
+    fn matched_pairs_cross_side_only() {
+        let p = Partition::new(vec![
+            vec![
+                ClusterNode::left(1),
+                ClusterNode::left(2),
+                ClusterNode::right(5),
+            ],
+            vec![ClusterNode::right(9)],
+        ]);
+        assert_eq!(
+            p.matched_pairs(),
+            vec![
+                RecordPair::new(RecordId(1), RecordId(5)),
+                RecordPair::new(RecordId(2), RecordId(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn bytes_are_injective_over_canonical_form() {
+        let a = Partition::new(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+        ]);
+        // Same clusters presented in a different raw order → same bytes.
+        let b = Partition::new(vec![
+            vec![ClusterNode::left(1)],
+            vec![ClusterNode::right(0), ClusterNode::left(0)],
+        ]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let c = Partition::new(vec![
+            vec![ClusterNode::left(0)],
+            vec![ClusterNode::left(1), ClusterNode::right(0)],
+        ]);
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+}

@@ -1,0 +1,278 @@
+//! A Swoosh-style match-merge clusterer.
+//!
+//! SERF's R-Swoosh resolves entities by alternating **match** and **merge**:
+//! when two records match, replace them with their merged profile and let
+//! the profile participate in further comparisons. The full algorithm
+//! re-compares everything against everything; [`MatchMerge`] keeps the idea
+//! but restricts comparisons to the blocked match graph, so its cost is
+//! `O(edges)` matcher calls instead of `O(n²)`. Because every input edge
+//! already cleared the raw threshold and a vetoed edge is never revisited,
+//! the result always **refines** plain transitive closure: profile evidence
+//! can split a component that pairwise chaining would have glued together
+//! (the classic transitivity failure), never invent a new link.
+//!
+//! Edges are processed strongest-first (score descending, pair ascending on
+//! ties — a fixed total order, so the run is deterministic). For each edge
+//! whose endpoints are still in different entities, the *current merged
+//! profiles* of the two entities are re-scored; the union is accepted only
+//! when the profile-level score also clears the threshold. Merging uses the
+//! copy-on-write [`Record::with_values_merged`] views from the interning
+//! layer: per attribute, the longer non-empty value wins (ties break
+//! lexicographically), so a profile accumulates the most informative value
+//! seen for each attribute without allocating new strings.
+//!
+//! When the two sides' schemas have different arities, profile merging (and
+//! profile re-scoring, which needs aligned attributes) is impossible; the
+//! clusterer then degrades to plain transitive closure over the thresholded
+//! edges — documented, deterministic, and identical to
+//! [`ConnectedComponents`](crate::ConnectedComponents).
+
+use crate::graph::ScoredEdge;
+use crate::partition::{ClusterNode, Partition};
+use crate::unionfind::{edge_endpoints, UnionFind};
+use crate::Clusterer;
+use certa_core::{Dataset, Matcher, Record, Side};
+
+/// The blocked match-merge clusterer. See the module docs for the exact
+/// procedure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchMerge;
+
+/// Attribute-wise merge of two entity profiles: per attribute, keep the
+/// longer non-empty value; break length ties toward the lexicographically
+/// smaller value so merge order never shows in the result.
+fn merge_profiles(a: &Record, b: &Record) -> Record {
+    a.with_values_merged(b, |i| {
+        let (va, vb) = (&a.values()[i], &b.values()[i]);
+        let (sa, sb) = (va.as_str(), vb.as_str());
+        match sa.len().cmp(&sb.len()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => sb < sa,
+        }
+    })
+}
+
+impl Clusterer for MatchMerge {
+    fn name(&self) -> &str {
+        "matchmerge"
+    }
+
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        matcher: &dyn Matcher,
+        edges: &[ScoredEdge],
+        threshold: f64,
+    ) -> Partition {
+        let nodes = Partition::all_nodes(dataset);
+        let mut uf = UnionFind::new(nodes.len());
+        let mergeable = dataset.left().schema().arity() == dataset.right().schema().arity();
+
+        // Strongest evidence first; ties in pair order. Fixed total order ⇒
+        // deterministic profiles ⇒ deterministic partition.
+        let mut ordered: Vec<&ScoredEdge> = edges.iter().collect();
+        ordered.sort_unstable_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| (a.pair.left, a.pair.right).cmp(&(b.pair.left, b.pair.right)))
+        });
+
+        // Each root's current merged entity profile (lazily initialized from
+        // the root's own record; indices follow the union-find).
+        let mut profiles: Vec<Option<Record>> = vec![None; nodes.len()];
+        let record_of = |n: ClusterNode| -> &Record {
+            match n.side {
+                Side::Left => dataset.left().expect(n.id),
+                Side::Right => dataset.right().expect(n.id),
+            }
+        };
+
+        for edge in ordered {
+            let (a, b) = edge_endpoints(&nodes, edge);
+            let (ra, rb) = (uf.find(a), uf.find(b));
+            if ra == rb {
+                continue;
+            }
+            if !mergeable {
+                // Degraded mode: plain transitive closure on the edge score.
+                uf.union(ra, rb);
+                continue;
+            }
+            let pa = profiles[ra]
+                .take()
+                .unwrap_or_else(|| record_of(nodes[ra]).clone());
+            let pb = profiles[rb]
+                .take()
+                .unwrap_or_else(|| record_of(nodes[rb]).clone());
+            // The match step: the entities' merged evidence must still clear
+            // the threshold. A fresh pair of raw records scores exactly the
+            // original edge (profiles == records), so every edge admitted by
+            // plain transitive closure is at least re-examined, never
+            // silently kept.
+            if matcher.score(&pa, &pb) >= threshold {
+                let merged = merge_profiles(&pa, &pb);
+                uf.union(ra, rb);
+                let root = uf.find(ra);
+                profiles[root] = Some(merged);
+            } else {
+                profiles[ra] = Some(pa);
+                profiles[rb] = Some(pb);
+            }
+        }
+
+        Partition::new(
+            uf.groups()
+                .into_iter()
+                .map(|g| g.into_iter().map(|i| nodes[i]).collect())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, RecordId, RecordPair, Schema, Table};
+
+    fn record(i: u32, vals: &[&str]) -> Record {
+        Record::new(RecordId(i), vals.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn dataset(left: Vec<Record>, right: Vec<Record>) -> Dataset {
+        let schema = Schema::shared("T", ["name", "desc"]);
+        Dataset::new(
+            "toy",
+            Table::from_records(schema.clone(), left).unwrap(),
+            Table::from_records(schema, right).unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn edge(l: u32, r: u32, score: f64) -> ScoredEdge {
+        ScoredEdge {
+            pair: RecordPair::new(RecordId(l), RecordId(r)),
+            score,
+        }
+    }
+
+    #[test]
+    fn merge_prefers_longer_then_lexicographic() {
+        let a = record(0, &["sony tv", ""]);
+        let b = record(1, &["sony television", "black"]);
+        let m = merge_profiles(&a, &b);
+        assert_eq!(m.values()[0], "sony television");
+        assert_eq!(m.values()[1], "black");
+        // Symmetric inputs produce the same values regardless of order.
+        let n = merge_profiles(&b, &a);
+        assert_eq!(m.values()[0], n.values()[0]);
+        assert_eq!(m.values()[1], n.values()[1]);
+        // Equal lengths: lexicographically smaller wins, either direction.
+        let x = record(0, &["abc", "x"]);
+        let y = record(1, &["abd", "x"]);
+        assert_eq!(merge_profiles(&x, &y).values()[0], "abc");
+        assert_eq!(merge_profiles(&y, &x).values()[0], "abc");
+    }
+
+    #[test]
+    fn consistent_profiles_keep_the_full_chain() {
+        // All three records agree on the name the matcher keys on, so every
+        // profile re-score passes and match-merge resolves the same single
+        // entity transitive closure would.
+        let d = dataset(
+            vec![record(0, &["acme anvil deluxe", ""])],
+            vec![
+                record(0, &["acme anvil deluxe", "10kg"]),
+                record(1, &["acme anvil deluxe", "heavy 10kg"]),
+            ],
+        );
+        let m = FnMatcher::new("name-eq", |u: &Record, v: &Record| {
+            if u.values()[0] == v.values()[0] {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        let edges = vec![edge(0, 0, 0.9), edge(0, 1, 0.9)];
+        let p = MatchMerge.cluster(&d, &m, &edges, 0.5);
+        let c = p.cluster_of(ClusterNode::left(0)).unwrap();
+        assert_eq!(p.members(c).len(), 3, "all three resolve to one entity");
+        assert_eq!(p, crate::ConnectedComponents.cluster(&d, &m, &edges, 0.5));
+    }
+
+    #[test]
+    fn profile_rescore_can_reject_an_edge() {
+        // The matcher treats an empty description as compatible with
+        // anything, so L0 (no description) raw-matches both R0 ("iron") and
+        // R1 ("steel") — the classic transitivity failure. Merging L0 with
+        // R0 first gives the profile the "iron" description, and the merged
+        // evidence contradicts R1, so the (L0, R1) edge is rejected at
+        // profile-score time.
+        let d = dataset(
+            vec![record(0, &["anvil", ""])],
+            vec![
+                record(0, &["anvil", "iron"]),
+                record(1, &["anvil", "steel"]),
+            ],
+        );
+        let m = FnMatcher::new("desc-compat", |u: &Record, v: &Record| {
+            let (du, dv) = (&u.values()[1], &v.values()[1]);
+            if du.is_empty() || dv.is_empty() || du == dv {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        let edges = vec![edge(0, 1, 0.9), edge(0, 0, 0.9)];
+        let p = MatchMerge.cluster(&d, &m, &edges, 0.5);
+        // Strongest-first tie-break processes (L0, R0) first (pair order);
+        // merged profile's desc = "iron" contradicts R1's "steel".
+        let c = p.cluster_of(ClusterNode::left(0)).unwrap();
+        assert_eq!(
+            p.members(c),
+            &[ClusterNode::left(0), ClusterNode::right(0)],
+            "R1 rejected by profile evidence"
+        );
+        // Plain transitive closure would have glued all three.
+        let cc = crate::ConnectedComponents.cluster(&d, &m, &edges, 0.5);
+        let ccc = cc.cluster_of(ClusterNode::left(0)).unwrap();
+        assert_eq!(cc.members(ccc).len(), 3);
+    }
+
+    #[test]
+    fn mismatched_arity_degrades_to_components() {
+        let ls = Schema::shared("U", ["a", "b"]);
+        let rs = Schema::shared("V", ["a"]);
+        let d = Dataset::new(
+            "mismatch",
+            Table::from_records(ls, vec![record(0, &["x", "y"])]).unwrap(),
+            Table::from_records(rs, vec![Record::new(RecordId(0), vec!["x".into()])]).unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let m = FnMatcher::new("never-called", |_: &Record, _: &Record| {
+            panic!("profile re-scoring must be skipped on mismatched arity")
+        });
+        let edges = vec![edge(0, 0, 0.9)];
+        let p = MatchMerge.cluster(&d, &m, &edges, 0.5);
+        let cc = crate::ConnectedComponents.cluster(&d, &m, &edges, 0.5);
+        assert_eq!(p, cc);
+        assert_eq!(p.non_singleton_count(), 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let d = dataset(
+            (0..6).map(|i| record(i, &["widget", "red"])).collect(),
+            (0..6).map(|i| record(i, &["widget", "red"])).collect(),
+        );
+        let m = FnMatcher::new("const", |_: &Record, _: &Record| 0.8);
+        let edges: Vec<ScoredEdge> = (0..6).map(|i| edge(i, (i + 1) % 6, 0.8)).collect();
+        let a = MatchMerge.cluster(&d, &m, &edges, 0.5);
+        let b = MatchMerge.cluster(&d, &m, &edges, 0.5);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,215 @@
+//! Union-find and the transitive-closure clusterer.
+
+use crate::graph::ScoredEdge;
+use crate::partition::{ClusterNode, Partition};
+use crate::Clusterer;
+use certa_core::{Dataset, Matcher, Side};
+
+/// Disjoint-set forest with union by rank and path halving. Indices are
+/// positions into whatever node universe the caller holds.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Root of `i`'s set (with path halving — amortized near-constant).
+    pub fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merge the sets holding `a` and `b`; `true` when they were distinct.
+    ///
+    /// Ties between equal-rank roots keep the smaller index as root, so the
+    /// forest shape (not just the partition) is deterministic in the union
+    /// sequence.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (winner, loser) = match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Equal => {
+                let (w, l) = (ra.min(rb), ra.max(rb));
+                self.rank[w] += 1;
+                (w, l)
+            }
+        };
+        self.parent[loser] = winner;
+        true
+    }
+
+    /// True when `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Group the indices `0..n` by root, each group ascending, groups in
+    /// first-member order.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let roots: Vec<usize> = (0..n).map(|i| self.find(i)).collect();
+        // Bucket by root without hashing: index the buckets by root id.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &r) in roots.iter().enumerate() {
+            buckets[r].push(i);
+        }
+        buckets.retain(|b| !b.is_empty());
+        buckets.sort_unstable_by_key(|b| b[0]);
+        buckets
+    }
+}
+
+/// Look up each edge endpoint in the sorted node universe. Shared by both
+/// clusterers; blocked candidates always resolve (they came from the same
+/// tables), so the `expect`s only guard internal wiring.
+pub(crate) fn edge_endpoints(nodes: &[ClusterNode], edge: &ScoredEdge) -> (usize, usize) {
+    let l = ClusterNode {
+        side: Side::Left,
+        id: edge.pair.left,
+    };
+    let r = ClusterNode {
+        side: Side::Right,
+        id: edge.pair.right,
+    };
+    (
+        nodes
+            .binary_search(&l)
+            .expect("edge endpoint must be a dataset record"),
+        nodes
+            .binary_search(&r)
+            .expect("edge endpoint must be a dataset record"),
+    )
+}
+
+/// Transitive closure: union every thresholded edge, report the connected
+/// components. The classic ER resolution rule — "matches are transitive" —
+/// and the baseline the Swoosh variant refines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectedComponents;
+
+impl Clusterer for ConnectedComponents {
+    fn name(&self) -> &str {
+        "components"
+    }
+
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _matcher: &dyn Matcher,
+        edges: &[ScoredEdge],
+        _threshold: f64,
+    ) -> Partition {
+        let nodes = Partition::all_nodes(dataset);
+        let mut uf = UnionFind::new(nodes.len());
+        for edge in edges {
+            let (a, b) = edge_endpoints(&nodes, edge);
+            uf.union(a, b);
+        }
+        Partition::new(
+            uf.groups()
+                .into_iter()
+                .map(|g| g.into_iter().map(|i| nodes[i]).collect())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::{FnMatcher, Record, RecordId, RecordPair, Schema, Table};
+
+    #[test]
+    fn union_find_merges_and_finds() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert!(uf.union(1, 4));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.groups(), vec![vec![0, 1, 3, 4], vec![2]]);
+    }
+
+    #[test]
+    fn groups_of_singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.groups(), vec![vec![0], vec![1], vec![2]]);
+        assert!(UnionFind::new(0).groups().is_empty());
+    }
+
+    fn dataset() -> Dataset {
+        let schema = Schema::shared("T", ["a"]);
+        let mk = |i: u32| Record::new(RecordId(i), vec![format!("v{i}")]);
+        let left = Table::from_records(schema.clone(), (0..3).map(mk).collect()).unwrap();
+        let right = Table::from_records(schema, (0..3).map(mk).collect()).unwrap();
+        Dataset::new("toy", left, right, vec![], vec![]).unwrap()
+    }
+
+    fn edge(l: u32, r: u32, score: f64) -> ScoredEdge {
+        ScoredEdge {
+            pair: RecordPair::new(RecordId(l), RecordId(r)),
+            score,
+        }
+    }
+
+    #[test]
+    fn components_cluster_transitively() {
+        let d = dataset();
+        let m = FnMatcher::new("unused", |_: &Record, _: &Record| 0.0);
+        // L0–R0 and L1–R0 chain L0, L1, R0 together; everything else stays
+        // a singleton.
+        let edges = vec![edge(0, 0, 0.9), edge(1, 0, 0.8)];
+        let p = ConnectedComponents.cluster(&d, &m, &edges, 0.5);
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.len(), 4);
+        let c = p.cluster_of(ClusterNode::left(0)).unwrap();
+        assert_eq!(
+            p.members(c),
+            &[
+                ClusterNode::left(0),
+                ClusterNode::left(1),
+                ClusterNode::right(0),
+            ]
+        );
+        assert_eq!(p.representative(c), ClusterNode::left(0));
+    }
+
+    #[test]
+    fn no_edges_means_all_singletons() {
+        let d = dataset();
+        let m = FnMatcher::new("unused", |_: &Record, _: &Record| 0.0);
+        let p = ConnectedComponents.cluster(&d, &m, &[], 0.5);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.non_singleton_count(), 0);
+    }
+}

@@ -39,6 +39,7 @@ const BIN_EXCLUDES: &[&str] = &[
     "crates/store/src/bin/",
     "crates/store/src/inspect.rs",
     "crates/block/src/bin/",
+    "crates/cluster/src/bin/",
 ];
 
 impl Default for Policy {
@@ -65,6 +66,15 @@ impl Default for Policy {
                     ],
                     exclude: BIN_EXCLUDES,
                 },
+                // The clusterer's partition bytes are compared across runs
+                // and worker counts (bench_cluster gate) — unordered
+                // iteration is promoted to a hard error there.
+                RuleScope {
+                    rule: "no-unordered-iteration",
+                    level: Level::Deny,
+                    include: &["crates/cluster/src/"],
+                    exclude: BIN_EXCLUDES,
+                },
                 RuleScope {
                     rule: "no-nondeterminism",
                     level: Level::Deny,
@@ -77,6 +87,7 @@ impl Default for Policy {
                         "crates/serve/src/wire/",
                         "crates/store/src/",
                         "crates/block/src/",
+                        "crates/cluster/src/",
                     ],
                     exclude: BIN_EXCLUDES,
                 },
@@ -139,6 +150,19 @@ impl Policy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_sources_get_deny_level_determinism_rules() {
+        let p = Policy::default();
+        let rules = p.rules_for("crates/cluster/src/unionfind.rs");
+        assert!(rules.contains(&("no-unordered-iteration", Level::Deny)));
+        assert!(rules.contains(&("no-nondeterminism", Level::Deny)));
+        // Exactly one scope matches per rule — no duplicate findings.
+        assert_eq!(rules.len(), 2, "{rules:?}");
+        assert!(p
+            .rules_for("crates/cluster/src/bin/certa_cluster.rs")
+            .is_empty());
+    }
 
     #[test]
     fn scoping_includes_and_excludes() {

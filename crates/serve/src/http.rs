@@ -24,6 +24,8 @@ pub struct Request {
     pub method: String,
     /// Path with any query string stripped.
     pub path: String,
+    /// Raw query string (without the `?`), empty when the target had none.
+    pub query: String,
     /// Lowercased header names with their raw values.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
@@ -266,13 +268,14 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
         ));
     }
 
-    let path = target
-        .split_once('?')
-        .map(|(p, _)| p.to_string())
-        .unwrap_or(target);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
     ReadOutcome::Request(Box::new(Request {
         method,
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -413,6 +416,7 @@ mod tests {
         let r = request(b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: abc\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
+        assert_eq!(r.query, "verbose=1");
         assert_eq!(r.header("x-trace"), Some("abc"));
         assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
         assert!(r.body.is_empty());

@@ -139,6 +139,10 @@ pub enum Route {
     ExplainBatch,
     /// `POST /v1/block`
     Block,
+    /// `POST /v1/cluster`
+    Cluster,
+    /// `GET /v1/entity`
+    Entity,
     /// `GET /v1/models`
     Models,
     /// `GET /healthz`
@@ -150,12 +154,14 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 9] = [
+    const ALL: [Route; 11] = [
         Route::Score,
         Route::ScoreBatch,
         Route::Explain,
         Route::ExplainBatch,
         Route::Block,
+        Route::Cluster,
+        Route::Entity,
         Route::Models,
         Route::Healthz,
         Route::Metrics,
@@ -171,10 +177,12 @@ impl Route {
             Route::Explain => 2,
             Route::ExplainBatch => 3,
             Route::Block => 4,
-            Route::Models => 5,
-            Route::Healthz => 6,
-            Route::Metrics => 7,
-            Route::Other => 8,
+            Route::Cluster => 5,
+            Route::Entity => 6,
+            Route::Models => 7,
+            Route::Healthz => 8,
+            Route::Metrics => 9,
+            Route::Other => 10,
         }
     }
 
@@ -186,6 +194,8 @@ impl Route {
             Route::Explain => "explain",
             Route::ExplainBatch => "explain_batch",
             Route::Block => "block",
+            Route::Cluster => "cluster",
+            Route::Entity => "entity",
             Route::Models => "models",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
@@ -201,7 +211,7 @@ pub struct ServerMetrics {
     connections_accepted: AtomicU64,
     overload_rejections: AtomicU64,
     worker_panics: AtomicU64,
-    requests_by_route: [AtomicU64; 9],
+    requests_by_route: [AtomicU64; 11],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

@@ -7,6 +7,8 @@
 //! | POST   | `/v1/explain`       | CERTA explanation for one pair            |
 //! | POST   | `/v1/explain_batch` | [`Certa::explain_batch`] over many pairs  |
 //! | POST   | `/v1/block`         | block → score → explain over the tables   |
+//! | POST   | `/v1/cluster`       | block → score → cluster into entities     |
+//! | GET    | `/v1/entity`        | cluster membership of one record          |
 //! | GET    | `/v1/models`        | resolved registry entries                 |
 //! | GET    | `/healthz`          | liveness + uptime                         |
 //! | GET    | `/metrics`          | Prometheus-style counters                 |
@@ -45,6 +47,8 @@ fn dispatch(
         ("POST", "/v1/explain") => (Route::Explain, explain(registry, req, false)),
         ("POST", "/v1/explain_batch") => (Route::ExplainBatch, explain(registry, req, true)),
         ("POST", "/v1/block") => (Route::Block, block(registry, req)),
+        ("POST", "/v1/cluster") => (Route::Cluster, cluster(registry, req)),
+        ("GET", "/v1/entity") => (Route::Entity, entity(registry, req)),
         ("GET", "/v1/models") => (Route::Models, models(registry)),
         ("GET", "/healthz") => (Route::Healthz, healthz(registry)),
         ("GET", "/metrics") => (
@@ -56,7 +60,8 @@ fn dispatch(
         ),
         (
             _,
-            "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch" | "/v1/block",
+            "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch" | "/v1/block"
+            | "/v1/cluster",
         ) => (
             Route::Other,
             Err(HttpError {
@@ -66,7 +71,7 @@ fn dispatch(
                 keep_alive: true,
             }),
         ),
-        (_, "/v1/models" | "/healthz" | "/metrics") => (
+        (_, "/v1/entity" | "/v1/models" | "/healthz" | "/metrics") => (
             Route::Other,
             Err(HttpError {
                 status: 405,
@@ -320,13 +325,12 @@ fn block(registry: &Registry, req: &Request) -> Result<Response, HttpError> {
     let entry = registry.resolve(&model)?;
     let candidates = blocker.candidates(entry.dataset.left(), entry.dataset.right());
     registry.record_block(candidates.len());
-    let matcher = entry.matcher();
     let certa = (params.explain_top > 0).then_some(&entry.certa);
-    let report = certa_block::run_pipeline_on(
+    let report = certa_block::run_pipeline_cached(
         candidates,
         blocker.name(),
         &entry.dataset,
-        &matcher,
+        &entry.cache,
         certa,
         &certa_block::PipelineConfig {
             top_k: params.top,
@@ -368,6 +372,295 @@ fn block(registry: &Registry, req: &Request) -> Result<Response, HttpError> {
         ),
         ("top", Json::Arr(top)),
         ("explanations", Json::Arr(explanations)),
+        (
+            "cache",
+            match report.cache {
+                Some(stats) => Json::obj([
+                    ("hits", Json::num(stats.hits as f64)),
+                    ("misses", Json::num(stats.misses as f64)),
+                    ("hit_rate", Json::Num(stats.hit_rate())),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    ok_json(&payload)
+}
+
+/// Parsed `/v1/cluster` request parameters. Blocker selection and tuning
+/// ride on [`BlockParams`]; the fields here drive the clustering stage.
+struct ClusterParams {
+    block: BlockParams,
+    clusterer: String,
+    threshold: f64,
+    workers: usize,
+    batch: usize,
+    top: usize,
+}
+
+/// `/v1/cluster` ceilings: `top` bounds the per-cluster member lists in the
+/// response; `workers` bounds per-request thread fan-out.
+const CLUSTER_MAX_TOP: usize = 100;
+const CLUSTER_MAX_WORKERS: usize = 64;
+
+impl ClusterParams {
+    fn from_json(body: &Json) -> Result<ClusterParams, HttpError> {
+        let defaults = certa_cluster::ClusterConfig::default();
+        let block = BlockParams::from_json(body)?;
+        let clusterer = match body.get("clusterer") {
+            None => "components".to_string(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(other) => {
+                return Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`clusterer` must be a string, got {other:?}"),
+                ))
+            }
+        };
+        let usize_field = |name: &'static str, default: usize| -> Result<usize, HttpError> {
+            match body.get(name) {
+                None => Ok(default),
+                Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n < 1e9 => Ok(*n as usize),
+                Some(other) => Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`{name}` must be a non-negative integer, got {other:?}"),
+                )),
+            }
+        };
+        let threshold = match body.get("threshold") {
+            None => defaults.threshold,
+            Some(Json::Num(n)) if (0.0..=1.0).contains(n) => *n,
+            Some(other) => {
+                return Err(HttpError::bad_request(
+                    "bad_request_body",
+                    format!("`threshold` must be a number in [0, 1], got {other:?}"),
+                ))
+            }
+        };
+        let params = ClusterParams {
+            block,
+            clusterer,
+            threshold,
+            workers: usize_field("workers", defaults.workers)?,
+            batch: usize_field("batch", defaults.batch_size)?,
+            top: usize_field("top_clusters", 10)?,
+        };
+        if params.workers > CLUSTER_MAX_WORKERS {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                format!(
+                    "`workers` must be ≤ {CLUSTER_MAX_WORKERS}, got {}",
+                    params.workers
+                ),
+            ));
+        }
+        if params.batch == 0 {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                "`batch` must be ≥ 1, got 0",
+            ));
+        }
+        if params.top > CLUSTER_MAX_TOP {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                format!(
+                    "`top_clusters` must be ≤ {CLUSTER_MAX_TOP}, got {}",
+                    params.top
+                ),
+            ));
+        }
+        Ok(params)
+    }
+
+    fn build_clusterer(&self) -> Result<Box<dyn certa_cluster::Clusterer>, HttpError> {
+        match self.clusterer.as_str() {
+            "components" | "connected-components" | "cc" => {
+                Ok(Box::new(certa_cluster::ConnectedComponents))
+            }
+            "matchmerge" | "match-merge" | "swoosh" => Ok(Box::new(certa_cluster::MatchMerge)),
+            other => Err(HttpError::bad_request(
+                "bad_clusterer",
+                format!("unknown clusterer `{other}` (expected components or matchmerge)"),
+            )),
+        }
+    }
+}
+
+/// A side-qualified cluster member as a wire object.
+fn node_to_json(node: certa_cluster::ClusterNode) -> Json {
+    Json::obj([
+        (
+            "side",
+            Json::str(match node.side {
+                Side::Left => "left",
+                Side::Right => "right",
+            }),
+        ),
+        ("id", Json::num(node.id.0 as f64)),
+    ])
+}
+
+/// `POST /v1/cluster`: run candidate generation over the entry's tables,
+/// score the survivors through the cached matcher, threshold them into a
+/// match graph, and resolve entities — the partition is held (and, with a
+/// store, persisted) for `GET /v1/entity` lookups.
+fn cluster(registry: &Registry, req: &Request) -> Result<Response, HttpError> {
+    let body = parse_body(req)?;
+    let model = match body.get("model") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => {
+            return Err(HttpError::bad_request(
+                "bad_request_body",
+                "`model` (string, \"<dataset>/<model>\") is required",
+            ))
+        }
+    };
+    let params = ClusterParams::from_json(&body)?;
+    let blocker = params.block.build()?;
+    let clusterer = params.build_clusterer()?;
+    let entry = registry.resolve(&model)?;
+    let candidates = blocker.candidates(entry.dataset.left(), entry.dataset.right());
+    let report = certa_cluster::run_cluster_pipeline_cached(
+        &entry.dataset,
+        &entry.cache,
+        &candidates,
+        blocker.name().to_string(),
+        clusterer.as_ref(),
+        &certa_cluster::ClusterConfig {
+            threshold: params.threshold,
+            batch_size: params.batch,
+            workers: params.workers,
+        },
+    );
+    let partition = Arc::new(report.partition.clone());
+    registry.record_cluster(
+        &entry,
+        Arc::clone(&partition),
+        &report.clusterer,
+        report.threshold,
+    );
+    // Largest clusters first; representative breaks size ties so the order
+    // is total and byte-stable.
+    let mut order: Vec<usize> = (0..partition.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(partition.members(i).len()),
+            partition.representative(i),
+        )
+    });
+    let top: Vec<Json> = order
+        .iter()
+        .take(params.top)
+        .map(|&i| {
+            let members: Vec<Json> = partition
+                .members(i)
+                .iter()
+                .map(|&n| node_to_json(n))
+                .collect();
+            Json::obj([
+                ("representative", node_to_json(partition.representative(i))),
+                ("size", Json::num(members.len() as f64)),
+                ("members", Json::Arr(members)),
+            ])
+        })
+        .collect();
+    let payload = Json::obj([
+        ("model", Json::str(&entry.name)),
+        ("blocker", Json::str(&report.blocker)),
+        ("clusterer", Json::str(&report.clusterer)),
+        ("threshold", Json::Num(report.threshold)),
+        ("candidates", Json::num(report.candidates as f64)),
+        ("match_edges", Json::num(report.match_edges.len() as f64)),
+        ("entities", Json::num(report.clusters() as f64)),
+        ("non_singletons", Json::num(report.non_singletons() as f64)),
+        ("largest", Json::num(report.largest() as f64)),
+        ("top", Json::Arr(top)),
+        (
+            "cache",
+            match report.cache {
+                Some(stats) => Json::obj([
+                    ("hits", Json::num(stats.hits as f64)),
+                    ("misses", Json::num(stats.misses as f64)),
+                    ("hit_rate", Json::Num(stats.hit_rate())),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    ok_json(&payload)
+}
+
+/// `GET /v1/entity?model=<name>&side=<left|right>&id=<n>`: which entity a
+/// record resolved into, per the latest `/v1/cluster` run (or a persisted
+/// partition on the warm-start path).
+fn entity(registry: &Registry, req: &Request) -> Result<Response, HttpError> {
+    let lookup = |name: &str| -> Option<&str> {
+        req.query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    };
+    let model = lookup("model").ok_or_else(|| {
+        HttpError::bad_request(
+            "bad_query",
+            "`model` query parameter is required (e.g. /v1/entity?model=FZ/DeepMatcher&side=left&id=0)",
+        )
+    })?;
+    let side = match lookup("side") {
+        Some("left" | "l" | "L") => Side::Left,
+        Some("right" | "r" | "R") => Side::Right,
+        other => {
+            return Err(HttpError::bad_request(
+                "bad_query",
+                format!("`side` must be `left` or `right`, got {other:?}"),
+            ))
+        }
+    };
+    let id: u32 = lookup("id").and_then(|v| v.parse().ok()).ok_or_else(|| {
+        HttpError::bad_request("bad_query", "`id` must be a non-negative integer")
+    })?;
+    let entry = registry.resolve(model)?;
+    let held = registry.partition_for(&entry).ok_or_else(|| HttpError {
+        status: 404,
+        code: "no_partition",
+        message: format!(
+            "no partition for {} — run POST /v1/cluster first",
+            entry.name
+        ),
+        keep_alive: true,
+    })?;
+    let node = certa_cluster::ClusterNode {
+        side,
+        id: certa_core::RecordId(id),
+    };
+    let index = held.partition.cluster_of(node).ok_or_else(|| HttpError {
+        status: 404,
+        code: "unknown_record",
+        message: format!(
+            "no record {node} in the partition of {} ({} node(s))",
+            entry.name,
+            held.partition.node_count()
+        ),
+        keep_alive: true,
+    })?;
+    let members: Vec<Json> = held
+        .partition
+        .members(index)
+        .iter()
+        .map(|&n| node_to_json(n))
+        .collect();
+    let payload = Json::obj([
+        ("model", Json::str(&entry.name)),
+        ("clusterer", Json::str(&held.clusterer)),
+        ("threshold", Json::Num(held.threshold)),
+        ("record", node_to_json(node)),
+        (
+            "representative",
+            node_to_json(held.partition.representative(index)),
+        ),
+        ("size", Json::num(members.len() as f64)),
+        ("members", Json::Arr(members)),
     ]);
     ok_json(&payload)
 }
@@ -463,9 +756,16 @@ mod tests {
     use crate::state::ServeConfig;
 
     fn req(method: &str, path: &str, body: &str) -> Request {
+        // Split the target like the HTTP parser does: `Request::path` is
+        // always query-stripped by the time it reaches the router.
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            query: query.to_string(),
             headers: vec![],
             body: body.as_bytes().to_vec(),
             keep_alive: true,
@@ -688,9 +988,21 @@ mod tests {
         assert_eq!(explanations.len(), 1);
         assert!(explanations[0].get("explanation").is_some());
 
-        // Determinism: the same request returns byte-identical output.
+        // Determinism: the same request returns the same document — except
+        // the per-run cache delta, which flips from all-misses to all-hits.
         let (_, again) = go(&registry, &req("POST", "/v1/block", body));
-        assert_eq!(again.body, resp.body);
+        let again = parse_response(&again);
+        for field in ["blocker", "candidates", "reduction", "top", "explanations"] {
+            assert_eq!(again.get(field), parsed.get(field), "{field}");
+        }
+        let cold = parsed.get("cache").unwrap();
+        let warm = again.get("cache").unwrap();
+        assert!(
+            cold.get("misses").unwrap().as_num().unwrap() > 0.0,
+            "cold run scores"
+        );
+        assert_eq!(warm.get("misses"), Some(&Json::Num(0.0)), "{warm:?}");
+        assert_eq!(warm.get("hit_rate"), Some(&Json::Num(1.0)));
 
         // The registry accounted both runs in the /metrics exposition.
         let (_, metrics) = go(&registry, &req("GET", "/metrics", ""));
@@ -769,6 +1081,189 @@ mod tests {
         }
         let (_, resp) = go(&registry, &req("GET", "/v1/block", ""));
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn cluster_endpoint_resolves_entities_and_serves_lookups() {
+        let registry = registry();
+        let body = r#"{"model":"FZ/DeepMatcher","threshold":0.5,"top_clusters":3}"#;
+        let (route, resp) = go(&registry, &req("POST", "/v1/cluster", body));
+        assert_eq!(route, Route::Cluster);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let parsed = parse_response(&resp);
+        assert_eq!(
+            parsed.get("model").unwrap().as_str(),
+            Some("FZ/DeepMatcher")
+        );
+        assert_eq!(
+            parsed.get("clusterer").unwrap().as_str(),
+            Some("components")
+        );
+        let entities = parsed.get("entities").unwrap().as_num().unwrap();
+        assert!(entities > 0.0);
+        let top = parsed.get("top").unwrap().as_arr().unwrap();
+        assert!(!top.is_empty() && top.len() <= 3);
+        let first = &top[0];
+        assert_eq!(
+            first.get("size").unwrap().as_num().unwrap() as usize,
+            first.get("members").unwrap().as_arr().unwrap().len()
+        );
+        assert!(parsed.get("cache").unwrap().get("misses").is_some());
+
+        // Determinism: the same request returns the same partition — and
+        // the warm run's cache delta shows full score reuse.
+        let (_, again) = go(&registry, &req("POST", "/v1/cluster", body));
+        let again = parse_response(&again);
+        for field in ["clusterer", "threshold", "entities", "largest", "top"] {
+            assert_eq!(again.get(field), parsed.get(field), "{field}");
+        }
+        assert_eq!(
+            again.get("cache").unwrap().get("hits"),
+            parsed.get("cache").unwrap().get("misses"),
+            "warm cluster run rescoring nothing"
+        );
+
+        // A member of the largest cluster looks up to that same cluster.
+        let member = &first.get("members").unwrap().as_arr().unwrap()[0];
+        let side = member.get("side").unwrap().as_str().unwrap().to_string();
+        let id = member.get("id").unwrap().as_num().unwrap() as u32;
+        let (route, resp) = go(
+            &registry,
+            &req(
+                "GET",
+                &format!("/v1/entity?model=FZ/DeepMatcher&side={side}&id={id}"),
+                "",
+            ),
+        );
+        assert_eq!(route, Route::Entity);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let looked_up = parse_response(&resp);
+        assert_eq!(
+            looked_up.get("size").unwrap().as_num(),
+            first.get("size").unwrap().as_num()
+        );
+        assert_eq!(
+            looked_up.get("representative").unwrap(),
+            first.get("representative").unwrap()
+        );
+
+        // Both cluster runs and the lookup land in the /metrics exposition.
+        let (_, metrics) = go(&registry, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("certa_serve_cluster_runs_total 2"), "{text}");
+        assert!(
+            text.contains("certa_serve_cluster_entity_lookups_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("certa_serve_cluster_partition_entities{model=\"FZ/DeepMatcher\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn entity_endpoint_validates_and_404s_without_a_partition() {
+        let registry = registry();
+        let cases: &[(&str, u16, &str)] = &[
+            ("/v1/entity", 400, "bad_query"),
+            ("/v1/entity?side=left&id=0", 400, "bad_query"),
+            ("/v1/entity?model=FZ/Ditto&side=up&id=0", 400, "bad_query"),
+            ("/v1/entity?model=FZ/Ditto&side=left&id=x", 400, "bad_query"),
+            (
+                "/v1/entity?model=FZ/Ditto&side=left&id=0",
+                404,
+                "no_partition",
+            ),
+        ];
+        for (path, status, code) in cases {
+            let (_, resp) = go(&registry, &req("GET", path, ""));
+            assert_eq!(resp.status, *status, "{path}");
+            let parsed = parse_response(&resp);
+            assert_eq!(
+                parsed.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(*code),
+                "{path}"
+            );
+        }
+        // After clustering, an out-of-range id is a structured 404 too.
+        let (_, resp) = go(
+            &registry,
+            &req("POST", "/v1/cluster", r#"{"model":"FZ/Ditto"}"#),
+        );
+        assert_eq!(resp.status, 200);
+        let (_, resp) = go(
+            &registry,
+            &req("GET", "/v1/entity?model=FZ/Ditto&side=left&id=9999999", ""),
+        );
+        assert_eq!(resp.status, 404);
+        let parsed = parse_response(&resp);
+        assert_eq!(
+            parsed.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("unknown_record")
+        );
+        // POST on the query route is a 405, like the other GET routes.
+        let (_, resp) = go(&registry, &req("POST", "/v1/entity?model=FZ/Ditto", ""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn cluster_endpoint_validates_parameters() {
+        let registry = registry();
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"model":"FZ/Ditto","clusterer":"nope"}"#,
+                "bad_clusterer",
+            ),
+            (
+                r#"{"model":"FZ/Ditto","threshold":1.5}"#,
+                "bad_request_body",
+            ),
+            (r#"{"model":"FZ/Ditto","workers":1000}"#, "bad_request_body"),
+            (r#"{"model":"FZ/Ditto","batch":0}"#, "bad_request_body"),
+            (
+                r#"{"model":"FZ/Ditto","top_clusters":500}"#,
+                "bad_request_body",
+            ),
+            (r#"{"model":"FZ/Ditto","blocker":"nope"}"#, "bad_blocker"),
+            (r#"{"threshold":0.5}"#, "bad_request_body"),
+        ];
+        for (body, code) in cases {
+            let (_, resp) = go(&registry, &req("POST", "/v1/cluster", body));
+            assert_eq!(resp.status, 400, "{body}");
+            let parsed = parse_response(&resp);
+            assert_eq!(
+                parsed.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(*code),
+                "{body}"
+            );
+        }
+        let (_, resp) = go(&registry, &req("GET", "/v1/cluster", ""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn cluster_workers_do_not_change_the_bytes() {
+        let registry = registry();
+        let one = r#"{"model":"FZ/Ditto","workers":1}"#;
+        let four = r#"{"model":"FZ/Ditto","workers":4,"batch":3}"#;
+        let (_, a) = go(&registry, &req("POST", "/v1/cluster", one));
+        let (_, b) = go(&registry, &req("POST", "/v1/cluster", four));
+        assert_eq!(a.status, 200);
+        // The cache line differs between a cold and a warm run; everything
+        // partition-shaped must not. Compare through the parsed documents.
+        let (a, b) = (parse_response(&a), parse_response(&b));
+        for field in [
+            "clusterer",
+            "threshold",
+            "candidates",
+            "match_edges",
+            "entities",
+            "non_singletons",
+            "largest",
+            "top",
+        ] {
+            assert_eq!(a.get(field), b.get(field), "{field}");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! reports hits, misses, and cumulative load latency.
 
 use crate::http::HttpError;
+use certa_cluster::Partition;
 use certa_core::{lockcheck, BoxedMatcher, Dataset, Record, Side};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::{Certa, CertaConfig};
@@ -181,6 +182,17 @@ impl ModelEntry {
 
 type EntrySlot = Arc<OnceLock<Arc<ModelEntry>>>;
 
+/// One clustered partition held for `/v1/entity` lookups: the result of the
+/// latest `POST /v1/cluster` run for a model (or a warm-started artifact).
+pub struct PartitionEntry {
+    /// The resolved entities.
+    pub partition: Arc<Partition>,
+    /// Which clusterer produced it (`"connected-components"`, …).
+    pub clusterer: String,
+    /// The match threshold it was clustered at.
+    pub threshold: f64,
+}
+
 /// Store-effectiveness counters for the warm-start path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
@@ -208,11 +220,19 @@ pub struct Registry {
     // block on one training. Pinned by
     // `distinct_models_materialize_in_parallel` below.
     entries: Mutex<BTreeMap<String, EntrySlot>>,
+    // Latest partition per canonical model name, for `/v1/entity` lookups.
+    // Same-rank key 1 keeps lockcheck's (rank, key) order distinct from the
+    // entries map (key 0); neither lock is ever held while acquiring the
+    // other.
+    partitions: Mutex<BTreeMap<String, Arc<PartitionEntry>>>,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_load_micros: AtomicU64,
     block_requests: AtomicU64,
     block_candidates: AtomicU64,
+    cluster_requests: AtomicU64,
+    cluster_entities: AtomicU64,
+    entity_lookups: AtomicU64,
 }
 
 impl Registry {
@@ -223,11 +243,15 @@ impl Registry {
             config,
             store,
             entries: Mutex::new(BTreeMap::new()),
+            partitions: Mutex::new(BTreeMap::new()),
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
             store_load_micros: AtomicU64::new(0),
             block_requests: AtomicU64::new(0),
             block_candidates: AtomicU64::new(0),
+            cluster_requests: AtomicU64::new(0),
+            cluster_entities: AtomicU64::new(0),
+            entity_lookups: AtomicU64::new(0),
         }
     }
 
@@ -243,6 +267,97 @@ impl Registry {
         (
             self.block_requests.load(Ordering::Relaxed),
             self.block_candidates.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Account one `/v1/cluster` run, hold its partition for `/v1/entity`
+    /// lookups, and (with a `--store-dir`) persist it so the *next* process
+    /// warm-starts entity lookups without re-clustering. Persistence is
+    /// best-effort, like model persistence: a read-only store directory
+    /// never fails the request.
+    pub fn record_cluster(
+        &self,
+        entry: &ModelEntry,
+        partition: Arc<Partition>,
+        clusterer: &str,
+        threshold: f64,
+    ) {
+        self.cluster_requests.fetch_add(1, Ordering::Relaxed);
+        self.cluster_entities
+            .fetch_add(partition.len() as u64, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            let (scale, seed) = (self.config.scale, self.config.seed);
+            if let Err(e) = store.save_partition(
+                entry.dataset_id,
+                entry.kind,
+                scale,
+                seed,
+                &partition,
+                clusterer,
+                threshold,
+            ) {
+                eprintln!(
+                    "certa-serve: could not persist partition for {} to {}: {e}",
+                    entry.name,
+                    store.dir().display()
+                );
+            }
+        }
+        let stored = Arc::new(PartitionEntry {
+            partition,
+            clusterer: clusterer.to_string(),
+            threshold,
+        });
+        let owner = self as *const Registry as usize;
+        let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 1);
+        self.partitions.lock().insert(entry.name.clone(), stored);
+    }
+
+    /// The partition serving `/v1/entity` for a model: the latest
+    /// `/v1/cluster` result, or — on a fresh process with a `--store-dir` —
+    /// a verified persisted partition for this `(dataset, model, scale,
+    /// seed)` world. `None` until either exists.
+    pub fn partition_for(&self, entry: &ModelEntry) -> Option<Arc<PartitionEntry>> {
+        self.entity_lookups.fetch_add(1, Ordering::Relaxed);
+        let owner = self as *const Registry as usize;
+        {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 1);
+            if let Some(found) = self.partitions.lock().get(&entry.name) {
+                return Some(Arc::clone(found));
+            }
+        }
+        // Warm-start path: decode outside the map lock (it is real work),
+        // then publish. A concurrent `/v1/cluster` run wins any race —
+        // fresher than the persisted artifact by construction.
+        let store = self.store.as_ref()?;
+        let (scale, seed) = (self.config.scale, self.config.seed);
+        let t0 = Instant::now();
+        let loaded = store
+            .load_partition(entry.dataset_id, entry.kind, scale, seed)
+            .ok()?;
+        self.store_load_micros
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let stored = Arc::new(PartitionEntry {
+            partition: Arc::new(loaded.partition),
+            clusterer: loaded.clusterer,
+            threshold: loaded.threshold,
+        });
+        let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 1);
+        Some(Arc::clone(
+            self.partitions
+                .lock()
+                .entry(entry.name.clone())
+                .or_insert(stored),
+        ))
+    }
+
+    /// `(cluster runs, total entities resolved, entity lookups)` accounted
+    /// by [`Registry::record_cluster`] / [`Registry::partition_for`].
+    pub fn cluster_stats(&self) -> (u64, u64, u64) {
+        (
+            self.cluster_requests.load(Ordering::Relaxed),
+            self.cluster_entities.load(Ordering::Relaxed),
+            self.entity_lookups.load(Ordering::Relaxed),
         )
     }
 
@@ -458,6 +573,7 @@ impl Registry {
         }
         out.push_str(&self.store_metric_lines());
         out.push_str(&self.block_metric_lines());
+        out.push_str(&self.cluster_metric_lines());
         out
     }
 
@@ -473,6 +589,40 @@ impl Registry {
         out.push_str(&format!(
             "certa_serve_block_candidates_total {candidates}\n"
         ));
+        out
+    }
+
+    /// Clustering-layer lines for the `/metrics` exposition: `/v1/cluster`
+    /// runs, entities they resolved, `/v1/entity` lookups, and a per-model
+    /// gauge of the partition currently held for lookups.
+    pub fn cluster_metric_lines(&self) -> String {
+        let (runs, entities, lookups) = self.cluster_stats();
+        let mut out = String::new();
+        out.push_str("# TYPE certa_serve_cluster_runs_total counter\n");
+        out.push_str(&format!("certa_serve_cluster_runs_total {runs}\n"));
+        out.push_str("# TYPE certa_serve_cluster_entities_total counter\n");
+        out.push_str(&format!("certa_serve_cluster_entities_total {entities}\n"));
+        out.push_str("# TYPE certa_serve_cluster_entity_lookups_total counter\n");
+        out.push_str(&format!(
+            "certa_serve_cluster_entity_lookups_total {lookups}\n"
+        ));
+        let held: Vec<(String, usize)> = {
+            let owner = self as *const Registry as usize;
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 1);
+            self.partitions
+                .lock()
+                .iter()
+                .map(|(name, p)| (name.clone(), p.partition.len()))
+                .collect()
+        };
+        if !held.is_empty() {
+            out.push_str("# TYPE certa_serve_cluster_partition_entities gauge\n");
+            for (name, len) in &held {
+                out.push_str(&format!(
+                    "certa_serve_cluster_partition_entities{{model=\"{name}\"}} {len}\n"
+                ));
+            }
+        }
         out
     }
 
@@ -608,6 +758,47 @@ mod tests {
         let third = Registry::new(warm.config().clone());
         third.resolve("FZ/Ditto").unwrap();
         assert_eq!(third.store_stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitions_warm_start_from_the_store() {
+        use certa_cluster::ClusterNode;
+        let dir = temp_dir("partition");
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let cold = Registry::new(config.clone());
+        let entry = cold.resolve("FZ/Ditto").unwrap();
+        assert!(
+            cold.partition_for(&entry).is_none(),
+            "nothing clustered yet"
+        );
+        let partition = Arc::new(Partition::new(vec![
+            vec![ClusterNode::left(0), ClusterNode::right(0)],
+            vec![ClusterNode::left(1)],
+        ]));
+        cold.record_cluster(&entry, Arc::clone(&partition), "connected-components", 0.5);
+        assert_eq!(cold.cluster_stats(), (1, 2, 1));
+        assert!(
+            cold.partition_for(&entry).is_some(),
+            "held for this process"
+        );
+
+        // "Restarted" process: the persisted partition serves lookups
+        // without a fresh `/v1/cluster` run.
+        let warm = Registry::new(config);
+        let entry = warm.resolve("FZ/Ditto").unwrap();
+        let held = warm.partition_for(&entry).expect("persisted partition");
+        assert_eq!(*held.partition, *partition);
+        assert_eq!(held.clusterer, "connected-components");
+        assert_eq!(held.threshold, 0.5);
+        let lines = warm.cluster_metric_lines();
+        assert!(
+            lines.contains("certa_serve_cluster_partition_entities{model=\"FZ/Ditto\"} 2"),
+            "{lines}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

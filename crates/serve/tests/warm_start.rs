@@ -17,6 +17,7 @@ fn post(path: &str, body: &str) -> Request {
     Request {
         method: "POST".to_string(),
         path: path.to_string(),
+        query: String::new(),
         headers: vec![],
         body: body.as_bytes().to_vec(),
         keep_alive: true,

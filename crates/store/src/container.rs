@@ -50,6 +50,8 @@ pub enum ArtifactKind {
     Rule,
     /// A standalone score-cache snapshot.
     ScoreCache,
+    /// A resolved entity partition (`certa_cluster::Partition`).
+    Partition,
 }
 
 impl ArtifactKind {
@@ -60,6 +62,7 @@ impl ArtifactKind {
             ArtifactKind::Dataset => 2,
             ArtifactKind::Rule => 3,
             ArtifactKind::ScoreCache => 4,
+            ArtifactKind::Partition => 5,
         }
     }
 
@@ -70,6 +73,7 @@ impl ArtifactKind {
             2 => Ok(ArtifactKind::Dataset),
             3 => Ok(ArtifactKind::Rule),
             4 => Ok(ArtifactKind::ScoreCache),
+            5 => Ok(ArtifactKind::Partition),
             other => Err(StoreError::UnknownKind(other)),
         }
     }
@@ -81,6 +85,7 @@ impl ArtifactKind {
             ArtifactKind::Dataset => "dataset",
             ArtifactKind::Rule => "rule-matcher",
             ArtifactKind::ScoreCache => "score-cache",
+            ArtifactKind::Partition => "partition",
         }
     }
 }
@@ -111,6 +116,8 @@ pub mod tag {
     pub const PAIRS: u32 = 11;
     /// Rule-matcher parameters.
     pub const RULE: u32 = 12;
+    /// Resolved entity partition.
+    pub const PARTITION: u32 = 13;
 
     /// Display name of a tag (CLI `inspect`).
     pub fn name(t: u32) -> &'static str {
@@ -127,6 +134,7 @@ pub mod tag {
             RECORDS_RIGHT => "records-right",
             PAIRS => "pairs",
             RULE => "rule",
+            PARTITION => "partition",
             _ => "unknown",
         }
     }

@@ -65,6 +65,16 @@ pub fn describe(bytes: &[u8]) -> Result<String> {
             let entries = decode_score_cache(bytes)?;
             out.push_str(&format!("score cache: {} entries\n", entries.len()));
         }
+        ArtifactKind::Partition => {
+            let stored = crate::partition::decode_partition(bytes)?;
+            out.push_str(&format!(
+                "partition: {} cluster(s) over {} node(s) · {} @ threshold {}\n",
+                stored.partition.len(),
+                stored.partition.node_count(),
+                stored.clusterer,
+                stored.threshold
+            ));
+        }
     }
     Ok(out)
 }

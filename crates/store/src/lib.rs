@@ -11,7 +11,7 @@
 //!
 //! Every artifact is one [`container`]: an 8-byte magic, a format version,
 //! an artifact kind, and a table of tagged sections each protected by an
-//! FxHash64 checksum. Four artifact kinds exist:
+//! FxHash64 checksum. Five artifact kinds exist:
 //!
 //! | kind | sections | codec |
 //! |------|----------|-------|
@@ -19,6 +19,7 @@
 //! | dataset | meta, 2 × (schema, records), pairs | [`dataset`] |
 //! | rule-matcher | rule | [`model`] |
 //! | score-cache | score-cache | [`snapshot`] |
+//! | partition | partition | [`partition`] |
 //!
 //! ## Contracts
 //!
@@ -52,6 +53,7 @@ pub mod dataset;
 pub mod error;
 pub mod inspect;
 pub mod model;
+pub mod partition;
 pub mod snapshot;
 pub mod store;
 
@@ -63,6 +65,7 @@ pub use model::{
     decode_er_model, decode_rule_matcher, encode_er_model, encode_er_model_with_memo,
     encode_rule_matcher,
 };
+pub use partition::{decode_partition, encode_partition, StoredPartition};
 pub use snapshot::{
     decode_memo_into, decode_score_cache, encode_memo, encode_score_cache, encode_score_entries,
 };

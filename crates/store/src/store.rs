@@ -18,7 +18,9 @@ use crate::container::{ArtifactKind, Container};
 use crate::dataset::{decode_dataset, encode_dataset};
 use crate::error::{Result, StoreError};
 use crate::model::{decode_er_model, decode_rule_matcher, encode_er_model_with_memo};
+use crate::partition::{decode_partition, encode_partition, StoredPartition};
 use crate::snapshot::decode_score_cache;
+use certa_cluster::Partition;
 use certa_core::Dataset;
 use certa_datagen::{DatasetId, Scale};
 use certa_models::{ErModel, ModelKind};
@@ -59,6 +61,21 @@ impl ModelStore {
     pub fn model_path(&self, id: DatasetId, kind: ModelKind, scale: Scale, seed: u64) -> PathBuf {
         self.dir.join(format!(
             "{}-{}-{scale}-{seed}.model.{EXTENSION}",
+            id.code(),
+            kind.model_name()
+        ))
+    }
+
+    /// Path of a partition artifact (keyed like the model that scored it).
+    pub fn partition_path(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{scale}-{seed}.partition.{EXTENSION}",
             id.code(),
             kind.model_name()
         ))
@@ -140,6 +157,37 @@ impl ModelStore {
         Ok(model)
     }
 
+    /// Persist a resolved entity partition next to the model that produced
+    /// it. Returns the written path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn save_partition(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+        partition: &Partition,
+        clusterer: &str,
+        threshold: f64,
+    ) -> Result<PathBuf> {
+        let path = self.partition_path(id, kind, scale, seed);
+        self.write_atomic(&path, &encode_partition(partition, clusterer, threshold))?;
+        Ok(path)
+    }
+
+    /// Load + fully verify a partition artifact.
+    pub fn load_partition(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+    ) -> Result<StoredPartition> {
+        let path = self.partition_path(id, kind, scale, seed);
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        decode_partition(&bytes)
+    }
+
     /// All `.cst` artifacts under the store root, sorted by name. An absent
     /// directory lists as empty.
     pub fn list(&self) -> Result<Vec<PathBuf>> {
@@ -213,6 +261,9 @@ pub fn verify_bytes(bytes: &[u8]) -> Result<ArtifactKind> {
         }
         ArtifactKind::ScoreCache => {
             decode_score_cache(bytes)?;
+        }
+        ArtifactKind::Partition => {
+            decode_partition(bytes)?;
         }
     }
     Ok(kind)

@@ -12,12 +12,13 @@
 //! * proptest-generated arbitrary byte soup and random multi-byte
 //!   mutations of valid artifacts.
 
+use certa_cluster::{ClusterNode, Partition};
 use certa_core::{BoxedMatcher, Matcher, Split};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_models::{train_model, CachingMatcher, ModelKind, RuleMatcher, TrainConfig};
 use certa_store::{
-    encode_dataset, encode_er_model_with_memo, encode_rule_matcher, encode_score_entries,
-    verify_bytes, StoreError, FORMAT_VERSION, MAGIC,
+    encode_dataset, encode_er_model_with_memo, encode_partition, encode_rule_matcher,
+    encode_score_entries, verify_bytes, StoreError, FORMAT_VERSION, MAGIC,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -38,6 +39,15 @@ fn valid_artifacts() -> Vec<(&'static str, Vec<u8>)> {
                 let (u, v) = d.expect_pair(lp.pair);
                 cache.score(u, v);
             }
+            let partition = Partition::new(vec![
+                vec![
+                    ClusterNode::left(0),
+                    ClusterNode::right(0),
+                    ClusterNode::right(2),
+                ],
+                vec![ClusterNode::left(1), ClusterNode::right(1)],
+                vec![ClusterNode::left(4)],
+            ]);
             vec![
                 ("model", encode_er_model_with_memo(&model)),
                 ("dataset", encode_dataset(&d)),
@@ -46,6 +56,7 @@ fn valid_artifacts() -> Vec<(&'static str, Vec<u8>)> {
                     encode_rule_matcher(&RuleMatcher::uniform(3).with_threshold(0.6)),
                 ),
                 ("score-cache", encode_score_entries(&cache.snapshot())),
+                ("partition", encode_partition(&partition, "components", 0.5)),
             ]
         })
         .clone()
@@ -148,7 +159,7 @@ proptest! {
     /// Byte soup pasted after a valid magic+version prefix never panics.
     #[test]
     fn valid_prefix_plus_soup_never_panics(
-        kind in 0u32..6,
+        kind in 0u32..7,
         soup in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let mut bytes = Vec::new();
@@ -162,7 +173,7 @@ proptest! {
     /// Random multi-byte mutations of a real artifact fail closed.
     #[test]
     fn random_mutations_of_real_artifacts_fail_closed(
-        artifact in 0usize..4,
+        artifact in 0usize..5,
         positions in proptest::collection::vec(any::<u16>(), 1..8),
         xors in proptest::collection::vec(any::<u8>(), 1..8),
     ) {
