@@ -1,15 +1,24 @@
 //! Load generator + correctness gate for `certa-serve`.
 //!
-//! Spawns the explanation service on a loopback port (or targets a running
-//! instance via `--addr`), hammers `POST /v1/explain` from N client threads
-//! over keep-alive connections, and verifies **every response byte-for-byte**
+//! Runs a **client-concurrency sweep** against the event-driven server:
+//! at each level (1/8/64/256 keep-alive clients; shrunk under `--smoke`)
+//! every client sends pipelined-keep-alive requests with realistic think
+//! time between them, and every response is verified **byte-for-byte**
 //! against the in-process `Certa::explain_batch` output for the same
-//! `(scale, seed, τ)` — the serving layer's determinism guarantee, enforced
-//! under real concurrency. Any divergence or non-2xx exits non-zero, so a
-//! CI smoke run of this binary gates the serving path.
+//! `(scale, seed, τ)` — the serving layer's determinism guarantee,
+//! enforced under real concurrency. Each level gates:
 //!
-//! Reports client-side throughput and exact p50/p95/p99 latency (raw
-//! samples, not the server's bounded histogram) and writes the
+//! * zero dropped connections (every connect/request must succeed), and
+//! * a p99 latency ceiling.
+//!
+//! The sweep's top level then re-runs against a `ServeMode::Threaded`
+//! server (the worker-per-connection baseline) and gates **≥2× event-mode
+//! throughput**: keep-alive clients with think time pin baseline workers
+//! between requests, while the reactor multiplexes them over one epoll
+//! loop — that gap is exactly what the event core buys.
+//!
+//! Reports per-level client-side throughput and exact p50/p95/p99 latency
+//! (raw samples, not the server's bounded histogram) and writes the
 //! machine-readable `BENCH_serve.json` artifact.
 //!
 //! ```text
@@ -17,17 +26,19 @@
 //!                  [--smoke] [--clients N] [--requests N] [--addr HOST:PORT]
 //! ```
 //!
-//! `--smoke` shrinks the run for CI (few clients, few requests — still
-//! asserting byte equality on every response). `--addr` targets an
-//! already-running server, which must have been started with the same
-//! `--scale/--seed/--tau` (the expected bytes are recomputed locally).
+//! `--smoke` shrinks the sweep for CI (fewer levels, fewer requests —
+//! still asserting byte equality on every response). `--clients N`
+//! replaces the sweep with the single level N. `--addr` targets an
+//! already-running server (sweep only — no baseline comparison), which
+//! must have been started with the same `--scale/--seed/--tau` (the
+//! expected bytes are recomputed locally).
 
 use certa_bench::{banner, percentile, write_bench_json, CliOptions};
 use certa_core::Split;
 use certa_explain::CertaExplanation;
 use certa_models::trainer::sample_pairs;
 use certa_serve::wire::dto;
-use certa_serve::{Json, Registry, ServeConfig, Server};
+use certa_serve::{Json, Registry, ServeConfig, ServeMode, Server};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -35,10 +46,23 @@ use std::time::{Duration, Instant};
 
 const MODEL: &str = "FZ/DeepMatcher";
 
+/// Pause between keep-alive requests from one client. Long enough to
+/// dominate cached service time (~1 ms), so the sweep measures connection
+/// *multiplexing*, not raw CPU (on one core, raw CPU throughput is fixed).
+const THINK_MS: u64 = 25;
+
+/// Per-level p99 ceiling. Generous: it catches pathologies (a stalled
+/// reactor, a convoying lock), not normal queueing jitter.
+const P99_LIMIT_MS: f64 = 2_500.0;
+
+/// Required event-mode speedup over the threaded baseline at the
+/// comparison level.
+const MIN_SPEEDUP: f64 = 2.0;
+
 struct LoadArgs {
     opts: CliOptions,
     smoke: bool,
-    clients: usize,
+    clients: Option<usize>,
     requests_per_client: usize,
     addr: Option<String>,
 }
@@ -67,11 +91,11 @@ fn parse_args() -> LoadArgs {
             std::process::exit(2);
         }
     };
-    let (default_clients, default_requests) = if smoke { (4, 6) } else { (8, 25) };
+    let default_requests = if smoke { 2 } else { 3 };
     LoadArgs {
         opts,
         smoke,
-        clients: clients.unwrap_or(default_clients).max(1),
+        clients,
         requests_per_client: requests.unwrap_or(default_requests).max(1),
         addr,
     }
@@ -116,23 +140,161 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| format!("{path}: bad status line in {head:?}"))?;
-        let len: usize = head
+        let body = if head
             .lines()
-            .find_map(|l| l.strip_prefix("content-length:"))
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| format!("{path}: missing content-length"))?;
-        let mut body = vec![0u8; len];
-        self.stream
-            .read_exact(&mut body)
-            .map_err(|e| format!("read body {path}: {e}"))?;
+            .any(|l| l.trim() == "transfer-encoding: chunked")
+        {
+            // De-chunk streamed responses: the payload bytes must be
+            // identical to the Content-Length framing of the same body.
+            let mut body = Vec::new();
+            loop {
+                let mut line = Vec::new();
+                while !line.ends_with(b"\r\n") {
+                    self.stream
+                        .read_exact(&mut byte)
+                        .map_err(|e| format!("read chunk size {path}: {e}"))?;
+                    line.push(byte[0]);
+                }
+                let size = std::str::from_utf8(&line)
+                    .ok()
+                    .and_then(|s| usize::from_str_radix(s.trim(), 16).ok())
+                    .ok_or_else(|| format!("{path}: bad chunk size line"))?;
+                let mut chunk = vec![0u8; size + 2];
+                self.stream
+                    .read_exact(&mut chunk)
+                    .map_err(|e| format!("read chunk {path}: {e}"))?;
+                if size == 0 {
+                    break;
+                }
+                chunk.truncate(size);
+                body.extend_from_slice(&chunk);
+            }
+            body
+        } else {
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| format!("{path}: missing content-length"))?;
+            let mut body = vec![0u8; len];
+            self.stream
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body {path}: {e}"))?;
+            body
+        };
         Ok((status, body))
+    }
+}
+
+/// One sweep level's client-side measurements.
+struct LevelResult {
+    clients: usize,
+    requests: usize,
+    dropped: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl LevelResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("clients", Json::num(self.clients as f64)),
+            ("requests", Json::num(self.requests as f64)),
+            ("dropped", Json::num(self.dropped as f64)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("throughput_rps", Json::Num(self.throughput_rps)),
+            ("latency_ms_p50", Json::Num(self.p50)),
+            ("latency_ms_p95", Json::Num(self.p95)),
+            ("latency_ms_p99", Json::Num(self.p99)),
+        ])
+    }
+}
+
+/// Hammer `addr` with `clients` keep-alive connections, each sending
+/// `requests_per_client` byte-verified requests with think time between
+/// them. Every connect or request failure counts as a dropped connection.
+fn run_level(
+    addr: &str,
+    workload: &Arc<Vec<(String, Vec<u8>)>>,
+    clients: usize,
+    requests_per_client: usize,
+) -> LevelResult {
+    let t_load = Instant::now();
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_id| {
+                let workload = Arc::clone(workload);
+                let addr = addr.to_string();
+                s.spawn(move || -> Result<Vec<f64>, String> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut latencies_ms = Vec::with_capacity(requests_per_client);
+                    for i in 0..requests_per_client {
+                        if i > 0 {
+                            // Keep-alive think time: the connection stays
+                            // open and idle — the difference between the
+                            // reactor and a pinned worker.
+                            std::thread::sleep(Duration::from_millis(THINK_MS));
+                        }
+                        let (body, expected) = &workload[(client_id + i) % workload.len()];
+                        let t = Instant::now();
+                        let (status, bytes) = client.request("POST", "/v1/explain", body)?;
+                        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                        if status != 200 {
+                            return Err(format!(
+                                "client {client_id} req {i}: status {status}: {}",
+                                String::from_utf8_lossy(&bytes)
+                            ));
+                        }
+                        if &bytes != expected {
+                            return Err(format!(
+                                "client {client_id} req {i}: BYTE DIVERGENCE\n  served:   {}\n  expected: {}",
+                                String::from_utf8_lossy(&bytes),
+                                String::from_utf8_lossy(expected)
+                            ));
+                        }
+                    }
+                    Ok(latencies_ms)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t_load.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut dropped = 0usize;
+    for r in results {
+        match r {
+            Ok(mut l) => latencies_ms.append(&mut l),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                dropped += 1;
+            }
+        }
+    }
+    let requests = latencies_ms.len();
+    LevelResult {
+        clients,
+        requests,
+        dropped,
+        wall_seconds: wall,
+        throughput_rps: requests as f64 / wall.max(1e-9),
+        p50: percentile(&latencies_ms, 0.5),
+        p95: percentile(&latencies_ms, 0.95),
+        p99: percentile(&latencies_ms, 0.99),
     }
 }
 
 fn main() {
     let args = parse_args();
     banner(
-        "serve load — multi-threaded serving gate + latency",
+        "serve load — event-driven serving gate: sweep + baseline + bytes",
         &args.opts,
     );
     let cfg = args.opts.grid();
@@ -201,6 +363,14 @@ fn main() {
         t0.elapsed()
     );
 
+    // ---- Sweep plan.
+    let levels: Vec<usize> = match args.clients {
+        Some(n) => vec![n.max(1)],
+        None if args.smoke => vec![1, 4, 16],
+        None => vec![1, 8, 64, 256],
+    };
+    let baseline_level = *levels.iter().max().unwrap_or(&1).min(&64);
+
     // ---- Target server: external (--addr) or spawned on loopback.
     let (addr, spawned) = match &args.addr {
         Some(addr) => (addr.clone(), None),
@@ -216,65 +386,36 @@ fn main() {
             (server.addr().to_string(), Some(server))
         }
     };
-    eprintln!(
-        "[load] target {addr} | {} clients × {} requests over {} distinct pairs",
-        args.clients,
-        args.requests_per_client,
-        workload.len()
-    );
-
-    // ---- Hammer: N client threads over keep-alive connections.
     let workload = Arc::new(workload);
-    let t_load = Instant::now();
-    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..args.clients)
-            .map(|client_id| {
-                let workload = Arc::clone(&workload);
-                let addr = addr.clone();
-                let requests = args.requests_per_client;
-                s.spawn(move || -> Result<Vec<f64>, String> {
-                    let mut client = Client::connect(&addr)?;
-                    let mut latencies_ms = Vec::with_capacity(requests);
-                    for i in 0..requests {
-                        let (body, expected) = &workload[(client_id + i) % workload.len()];
-                        let t = Instant::now();
-                        let (status, bytes) = client.request("POST", "/v1/explain", body)?;
-                        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
-                        if status != 200 {
-                            return Err(format!(
-                                "client {client_id} req {i}: status {status}: {}",
-                                String::from_utf8_lossy(&bytes)
-                            ));
-                        }
-                        if &bytes != expected {
-                            return Err(format!(
-                                "client {client_id} req {i}: BYTE DIVERGENCE\n  served:   {}\n  expected: {}",
-                                String::from_utf8_lossy(&bytes),
-                                String::from_utf8_lossy(expected)
-                            ));
-                        }
-                    }
-                    Ok(latencies_ms)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    });
-    let wall = t_load.elapsed().as_secs_f64();
-
-    let mut latencies_ms: Vec<f64> = Vec::new();
     let mut failures = 0usize;
-    for r in results {
-        match r {
-            Ok(mut l) => latencies_ms.append(&mut l),
-            Err(e) => {
-                eprintln!("FAIL: {e}");
-                failures += 1;
-            }
+
+    // ---- Event-mode sweep: per-level gates.
+    let mut sweep: Vec<LevelResult> = Vec::new();
+    for &clients in &levels {
+        eprintln!(
+            "[sweep] {clients} keep-alive clients × {} requests (think {THINK_MS}ms)…",
+            args.requests_per_client
+        );
+        let level = run_level(&addr, &workload, clients, args.requests_per_client);
+        println!(
+            "level {:>4} clients: {:>8.2} req/s | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | dropped {}",
+            level.clients, level.throughput_rps, level.p50, level.p95, level.p99, level.dropped
+        );
+        if level.dropped > 0 {
+            eprintln!(
+                "FAIL: level {} dropped {} connection(s)",
+                level.clients, level.dropped
+            );
+            failures += 1;
         }
+        if level.p99 > P99_LIMIT_MS {
+            eprintln!(
+                "FAIL: level {} p99 {:.2}ms exceeds {P99_LIMIT_MS}ms",
+                level.clients, level.p99
+            );
+            failures += 1;
+        }
+        sweep.push(level);
     }
 
     // ---- Batch endpoint + ops endpoints, once, on a fresh connection.
@@ -311,53 +452,113 @@ fn main() {
         failures += 1;
     }
 
-    if let Some(server) = spawned {
-        let overloads = server.state().metrics.overload_rejections();
+    if let Some(server) = &spawned {
         let panics = server.state().metrics.worker_panics();
-        server.shutdown();
         if panics > 0 {
             eprintln!("FAIL: server caught {panics} worker panic(s)");
             failures += 1;
         }
+        let overloads = server.state().metrics.overload_rejections();
         if overloads > 0 {
             eprintln!("[load] note: {overloads} connection(s) shed with 503");
         }
     }
 
+    // ---- Threaded baseline (spawned runs only): same workload at the
+    // comparison level against the worker-per-connection design.
+    let mut baseline: Option<LevelResult> = None;
+    let mut speedup: Option<f64> = None;
+    if spawned.is_some() {
+        eprintln!("[baseline] spawning ServeMode::Threaded server…");
+        let threaded_config = ServeConfig {
+            mode: ServeMode::Threaded,
+            ..serve_config.clone()
+        };
+        let baseline_server = Server::bind(threaded_config, "127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind baseline loopback: {e}"));
+        baseline_server
+            .state()
+            .registry
+            .resolve(MODEL)
+            .expect("preload on baseline server");
+        let baseline_addr = baseline_server.addr().to_string();
+        eprintln!(
+            "[baseline] {baseline_level} keep-alive clients × {} requests (think {THINK_MS}ms)…",
+            args.requests_per_client
+        );
+        let level = run_level(
+            &baseline_addr,
+            &workload,
+            baseline_level,
+            args.requests_per_client,
+        );
+        println!(
+            "baseline {:>4} clients: {:>8.2} req/s | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | dropped {} (threaded)",
+            level.clients,
+            level.throughput_rps,
+            level.p50,
+            level.p95,
+            level.p99,
+            level.dropped
+        );
+        baseline_server.shutdown();
+        let event_at_level = sweep
+            .iter()
+            .find(|l| l.clients == baseline_level)
+            .map(|l| l.throughput_rps)
+            .unwrap_or(0.0);
+        let ratio = event_at_level / level.throughput_rps.max(1e-9);
+        println!(
+            "speedup  : event {:.2} req/s vs threaded {:.2} req/s at {} clients → {:.2}x",
+            event_at_level, level.throughput_rps, baseline_level, ratio
+        );
+        if ratio < MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: event-mode throughput {ratio:.2}x threaded at {baseline_level} clients (need ≥{MIN_SPEEDUP}x)"
+            );
+            failures += 1;
+        }
+        baseline = Some(level);
+        speedup = Some(ratio);
+    }
+
+    if let Some(server) = spawned {
+        server.shutdown();
+    }
+
     // ---- Report.
-    let total_requests = latencies_ms.len();
-    let throughput = total_requests as f64 / wall.max(1e-9);
-    let (p50, p95, p99) = (
-        percentile(&latencies_ms, 0.5),
-        percentile(&latencies_ms, 0.95),
-        percentile(&latencies_ms, 0.99),
-    );
+    let total_requests: usize = sweep.iter().map(|l| l.requests).sum();
     println!(
         "verified  : {total_requests} explain responses byte-identical to in-process explain_batch ✔"
     );
-    println!(
-        "throughput: {throughput:.2} req/s ({} clients, {:.3}s wall)",
-        args.clients, wall
-    );
-    println!("latency   : p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms");
 
-    let report = Json::obj([
+    let mut report_fields = vec![
         ("bench", Json::str("serve_load")),
         ("model", Json::str(MODEL)),
         ("scale", Json::str(cfg.scale.to_string())),
         ("seed", Json::num(cfg.seed as f64)),
         ("tau", Json::num(cfg.tau as f64)),
         ("smoke", Json::Bool(args.smoke)),
-        ("clients", Json::num(args.clients as f64)),
-        ("requests", Json::num(total_requests as f64)),
+        ("think_ms", Json::num(THINK_MS as f64)),
+        (
+            "requests_per_client",
+            Json::num(args.requests_per_client as f64),
+        ),
         ("distinct_pairs", Json::num(workload.len() as f64)),
-        ("wall_seconds", Json::Num(wall)),
-        ("throughput_rps", Json::Num(throughput)),
-        ("latency_ms_p50", Json::Num(p50)),
-        ("latency_ms_p95", Json::Num(p95)),
-        ("latency_ms_p99", Json::Num(p99)),
-        ("failures", Json::num(failures as f64)),
-    ]);
+        ("p99_limit_ms", Json::Num(P99_LIMIT_MS)),
+        (
+            "levels",
+            Json::Arr(sweep.iter().map(LevelResult::to_json).collect()),
+        ),
+    ];
+    if let Some(b) = &baseline {
+        report_fields.push(("baseline_threaded", b.to_json()));
+    }
+    if let Some(s) = speedup {
+        report_fields.push(("speedup_vs_threaded", Json::Num(s)));
+    }
+    report_fields.push(("failures", Json::num(failures as f64)));
+    let report = Json::obj(report_fields);
     match write_bench_json("BENCH_serve.json", &report) {
         Ok(()) => println!("wrote BENCH_serve.json"),
         Err(e) => {

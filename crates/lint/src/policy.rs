@@ -49,7 +49,15 @@ impl Default for Policy {
                 RuleScope {
                     rule: "no-panic-path",
                     level: Level::Deny,
-                    include: &["crates/serve/src/", "crates/store/src/"],
+                    include: &[
+                        "crates/serve/src/",
+                        "crates/store/src/",
+                        // The data-parallel kernels and the SoA batch layout
+                        // sit on the serve hot path too: a panic there kills
+                        // a scoring worker, so they carry the same contract.
+                        "crates/ml/src/kernels.rs",
+                        "crates/ml/src/batch.rs",
+                    ],
                     exclude: BIN_EXCLUDES,
                 },
                 RuleScope {
@@ -85,6 +93,10 @@ impl Default for Policy {
                         "crates/models/src/",
                         "crates/explain/src/",
                         "crates/serve/src/wire/",
+                        // The reactor is clock-free on purpose (callers pass
+                        // millisecond ticks), so the whole epoll/token-bucket
+                        // layer is checkable as a pure function of its input.
+                        "crates/serve/src/reactor.rs",
                         "crates/store/src/",
                         "crates/block/src/",
                         "crates/cluster/src/",
@@ -182,6 +194,26 @@ mod tests {
             .iter()
             .all(|(r, _)| *r != "no-float-format"));
         assert!(p.rules_for("crates/eval/src/report.rs").is_empty());
+    }
+
+    #[test]
+    fn reactor_and_kernels_carry_deny_contracts() {
+        let p = Policy::default();
+        let reactor = p.rules_for("crates/serve/src/reactor.rs");
+        assert!(reactor.contains(&("no-panic-path", Level::Deny)));
+        assert!(reactor.contains(&("no-nondeterminism", Level::Deny)));
+        for file in ["crates/ml/src/kernels.rs", "crates/ml/src/batch.rs"] {
+            let rules = p.rules_for(file);
+            assert!(rules.contains(&("no-panic-path", Level::Deny)), "{file}");
+            assert!(
+                rules.contains(&("no-nondeterminism", Level::Deny)),
+                "{file}"
+            );
+        }
+        // The rest of certa-ml keeps determinism-only coverage.
+        assert!(!p
+            .rules_for("crates/ml/src/mlp.rs")
+            .contains(&("no-panic-path", Level::Deny)));
     }
 
     #[test]

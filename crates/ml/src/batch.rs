@@ -1,0 +1,142 @@
+//! Contiguous structure-of-arrays feature batches.
+//!
+//! `FeatureBatch` stores `len` feature vectors of dimension `dim` in
+//! **feature-major** order: `data[k * len + j]` is feature `k` of item `j`.
+//! That layout puts the same feature of consecutive batch items next to
+//! each other, which is exactly what [`crate::kernels::matmul_soa`] wants:
+//! one broadcast weight against a contiguous run of items.
+//!
+//! Values are stored exactly as produced — transposition moves bytes, it
+//! never rounds — so batch scoring through this type is bit-identical to
+//! scoring items one at a time.
+//!
+//! This module is on the `certa-lint` `no-panic-path` deny list: accessors
+//! are total and return `Option`/defaults instead of indexing.
+
+/// A `dim × len` feature matrix in feature-major (SoA) layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBatch {
+    dim: usize,
+    len: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureBatch {
+    /// An all-zero batch of `len` items with `dim` features each.
+    pub fn zeros(dim: usize, len: usize) -> Self {
+        FeatureBatch {
+            dim,
+            len,
+            data: vec![0.0; dim * len],
+        }
+    }
+
+    /// Wrap an existing feature-major buffer, resizing it to `dim * len`
+    /// (zero-padded or truncated) so the shape invariant always holds.
+    pub fn from_raw(dim: usize, len: usize, mut data: Vec<f64>) -> Self {
+        data.resize(dim * len, 0.0);
+        FeatureBatch { dim, len, data }
+    }
+
+    /// Transpose row-major feature vectors into a batch. Rows shorter than
+    /// `dim` are zero-padded; longer rows are truncated (callers pass
+    /// uniform rows; `debug_assert` guards the contract in test builds).
+    pub fn from_rows(dim: usize, rows: &[Vec<f64>]) -> Self {
+        let mut batch = FeatureBatch::zeros(dim, rows.len());
+        for (j, row) in rows.iter().enumerate() {
+            debug_assert_eq!(row.len(), dim, "ragged feature row");
+            batch.set_item(j, row);
+        }
+        batch
+    }
+
+    /// Number of features per item.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw feature-major buffer (`dim * len` values).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw feature-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The contiguous run of feature `k` across all items.
+    pub fn feature(&self, k: usize) -> Option<&[f64]> {
+        self.data.get(k * self.len..(k + 1) * self.len)
+    }
+
+    /// Mutable run of feature `k` across all items.
+    pub fn feature_mut(&mut self, k: usize) -> Option<&mut [f64]> {
+        self.data.get_mut(k * self.len..(k + 1) * self.len)
+    }
+
+    /// Scatter one item's feature vector into the batch. Out-of-range
+    /// items and missing features are ignored.
+    pub fn set_item(&mut self, j: usize, features: &[f64]) {
+        if j >= self.len {
+            return;
+        }
+        for (k, v) in features.iter().take(self.dim).enumerate() {
+            if let Some(slot) = self.data.get_mut(k * self.len + j) {
+                *slot = *v;
+            }
+        }
+    }
+
+    /// Gather item `j` back into a row-major vector (zeros if out of range).
+    pub fn item(&self, j: usize) -> Vec<f64> {
+        let mut row = vec![0.0; self.dim];
+        if j >= self.len {
+            return row;
+        }
+        for (k, slot) in row.iter_mut().enumerate() {
+            if let Some(v) = self.data.get(k * self.len + j) {
+                *slot = *v;
+            }
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows_exactly() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![-4.5, 0.25, 9.0]];
+        let batch = FeatureBatch::from_rows(3, &rows);
+        assert_eq!(batch.dim(), 3);
+        assert_eq!(batch.len(), 2);
+        // Feature-major layout: feature k contiguous across items.
+        assert_eq!(batch.data(), &[1.0, -4.5, 2.0, 0.25, 3.0, 9.0]);
+        assert_eq!(batch.item(0), rows[0]);
+        assert_eq!(batch.item(1), rows[1]);
+        assert_eq!(batch.feature(1), Some(&[2.0, 0.25][..]));
+    }
+
+    #[test]
+    fn out_of_range_access_is_total() {
+        let mut batch = FeatureBatch::zeros(2, 1);
+        batch.set_item(5, &[1.0, 2.0]);
+        assert_eq!(batch.data(), &[0.0, 0.0]);
+        assert_eq!(batch.item(7), vec![0.0, 0.0]);
+        assert_eq!(batch.feature(2), None);
+        assert!(FeatureBatch::zeros(4, 0).is_empty());
+    }
+}

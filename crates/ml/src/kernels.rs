@@ -1,0 +1,283 @@
+//! Lane-blocked dense kernels: the data-parallel inner loops under
+//! [`crate::Matrix`] and [`crate::FeatureBatch`].
+//!
+//! ## The determinism constraint
+//!
+//! Every float sum in this workspace is byte-compared somewhere — golden
+//! store fixtures pin trained weights, `bench_serve_load` byte-compares
+//! served explanations, and the property suites pin kernel ≡ scalar
+//! bit-equality. Float addition is not associative, so a kernel may **never
+//! reassociate a reduction**: each dot product must accumulate its terms in
+//! ascending index order, exactly like the scalar loop it replaces.
+//!
+//! The parallelism therefore lives in the *independent* dimensions, not in
+//! the reduction:
+//!
+//! - [`matvec_into`] blocks **output rows** four at a time: four
+//!   accumulators advance in lockstep over the shared input vector, each
+//!   summing its own row in index order. `x[k]` is loaded once per block
+//!   instead of once per row, and the four independent FP chains pipeline
+//!   where the single-accumulator loop serializes.
+//! - [`matmul_soa`] blocks **batch items** [`LANES`] at a time over a
+//!   feature-major ([`crate::FeatureBatch`]) layout: one weight broadcast
+//!   against a contiguous run of eight items' values, eight independent
+//!   accumulators — the autovectorizer's favourite shape. Column `j` of the
+//!   output is bit-identical to `matvec` of column `j`.
+//! - [`dot`] keeps the single sequential chain (its reduction order *is*
+//!   the contract) but walks fixed-width blocks via slice patterns, which
+//!   eliminates per-element bounds checks without touching the association
+//!   order.
+//!
+//! This module is on the `certa-lint` `no-panic-path` deny list: every
+//! function is total — shapes are taken from slice lengths, tails are
+//! handled explicitly, and nothing indexes, unwraps, or asserts.
+
+/// Batch-item lane width of [`matmul_soa`]: eight `f64` accumulators per
+/// block (two AVX2 vectors, one AVX-512 vector).
+pub const LANES: usize = 8;
+
+/// Output-row block width of [`matvec_into`].
+const ROW_BLOCK: usize = 4;
+
+/// Sequential dot product of `a` and `b`, walked in eight-wide blocks.
+///
+/// Bit-identical to the `zip().map().sum()` loop it replaced, including
+/// `Iterator::sum`'s `-0.0` starting identity (an empty dot is `-0.0`,
+/// and a run of `-0.0` products stays `-0.0`). The blocks only remove
+/// bounds checks and loop overhead; the association order is unchanged.
+/// Extra elements of the longer slice are ignored (callers pass equal
+/// lengths; `debug_assert` guards the contract in test builds).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = -0.0;
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        if let ([a0, a1, a2, a3, a4, a5, a6, a7], [b0, b1, b2, b3, b4, b5, b6, b7]) = (ca, cb) {
+            // Sequential adds: same association as the scalar loop.
+            acc += a0 * b0;
+            acc += a1 * b1;
+            acc += a2 * b2;
+            acc += a3 * b3;
+            acc += a4 * b4;
+            acc += a5 * b5;
+            acc += a6 * b6;
+            acc += a7 * b7;
+        }
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y = W · x` for row-major `w` (`rows × cols`), blocked four output rows
+/// at a time. Each row's accumulator starts at `+0.0` and sums in
+/// ascending `k` order — exactly the scalar `acc = 0.0; acc += w * x[k]`
+/// loop this replaced, so every output element is bit-identical to it.
+///
+/// `y` is cleared and resized to `rows`; with `cols == 0` it is all
+/// `+0.0`, matching the scalar loop. Callers pass `w.len() == rows * cols`
+/// (`debug_assert` guards the contract in test builds).
+pub fn matvec_into(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut Vec<f64>) {
+    debug_assert_eq!(x.len(), cols, "matvec dimension mismatch");
+    debug_assert_eq!(w.len(), rows * cols, "weight buffer size mismatch");
+    y.clear();
+    if cols == 0 {
+        y.resize(rows, 0.0);
+        return;
+    }
+    let mut blocks = w.chunks_exact(ROW_BLOCK * cols);
+    for block in &mut blocks {
+        let mut block_rows = block.chunks_exact(cols);
+        if let (Some(r0), Some(r1), Some(r2), Some(r3)) = (
+            block_rows.next(),
+            block_rows.next(),
+            block_rows.next(),
+            block_rows.next(),
+        ) {
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (((w0, w1), (w2, w3)), xk) in r0.iter().zip(r1).zip(r2.iter().zip(r3)).zip(x) {
+                // Four independent chains, each in ascending k order.
+                a0 += w0 * xk;
+                a1 += w1 * xk;
+                a2 += w2 * xk;
+                a3 += w3 * xk;
+            }
+            y.extend_from_slice(&[a0, a1, a2, a3]);
+        }
+    }
+    for row in blocks.remainder().chunks_exact(cols) {
+        let mut acc = 0.0;
+        for (wk, xk) in row.iter().zip(x) {
+            acc += wk * xk;
+        }
+        y.push(acc);
+    }
+    y.resize(rows, 0.0);
+}
+
+/// `Y = W · X` where `X` and `Y` are **feature-major** batches: `x` holds
+/// `cols` rows of `len` items each (`x[k * len + j]` = feature `k` of item
+/// `j`), and `y` receives `w_rows` rows of `len` items in the same layout.
+///
+/// The kernel broadcasts one weight against a contiguous [`LANES`]-item
+/// run, so the eight accumulators advance together while each starts at
+/// `+0.0` and sums its own item's terms in ascending `k` order — column
+/// `j` of the result is bit-identical to `matvec(w, column j)`. `y` is
+/// cleared and resized to `rows * len`.
+pub fn matmul_soa(w: &[f64], rows: usize, cols: usize, x: &[f64], len: usize, y: &mut Vec<f64>) {
+    debug_assert_eq!(w.len(), rows * cols, "weight buffer size mismatch");
+    debug_assert_eq!(x.len(), cols * len, "batch shape mismatch");
+    y.clear();
+    y.resize(rows * len, 0.0);
+    if cols == 0 || len == 0 {
+        return;
+    }
+    for (y_row, w_row) in y.chunks_exact_mut(len).zip(w.chunks_exact(cols)) {
+        let mut j = 0usize;
+        let mut out_lanes = y_row.chunks_exact_mut(LANES);
+        for out in &mut out_lanes {
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            let (mut a4, mut a5, mut a6, mut a7) = (0.0, 0.0, 0.0, 0.0);
+            for (wk, x_row) in w_row.iter().zip(x.chunks_exact(len)) {
+                if let Some(&[x0, x1, x2, x3, x4, x5, x6, x7]) = x_row.get(j..j + LANES) {
+                    a0 += wk * x0;
+                    a1 += wk * x1;
+                    a2 += wk * x2;
+                    a3 += wk * x3;
+                    a4 += wk * x4;
+                    a5 += wk * x5;
+                    a6 += wk * x6;
+                    a7 += wk * x7;
+                }
+            }
+            if let [o0, o1, o2, o3, o4, o5, o6, o7] = out {
+                *o0 = a0;
+                *o1 = a1;
+                *o2 = a2;
+                *o3 = a3;
+                *o4 = a4;
+                *o5 = a5;
+                *o6 = a6;
+                *o7 = a7;
+            }
+            j += LANES;
+        }
+        for (offset, out) in out_lanes.into_remainder().iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (wk, x_row) in w_row.iter().zip(x.chunks_exact(len)) {
+                if let Some(xv) = x_row.get(j + offset) {
+                    acc += wk * xv;
+                }
+            }
+            *out = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-PR-9 scalar reduction the kernels must match bit-for-bit.
+    fn dot_ref(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        // Cheap deterministic pseudo-values with awkward mantissas.
+        (0..n)
+            .map(|i| {
+                let x = (seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64 * 0x2545_f491)) as f64;
+                (x / u64::MAX as f64) * 6.0 - 3.0 + 1e-13 * i as f64
+            })
+            .collect()
+    }
+
+    /// The pre-PR-9 scalar matvec row loop (`acc = 0.0; acc += w * x[k]`).
+    fn matvec_row_ref(row: &[f64], x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (w, xi) in row.iter().zip(x.iter()) {
+            acc += w * xi;
+        }
+        acc
+    }
+
+    #[test]
+    fn dot_matches_scalar_bitwise_across_lengths() {
+        for n in [0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 100] {
+            let a = sample(n, 1);
+            let b = sample(n, 2);
+            assert_eq!(dot(&a, &b).to_bits(), dot_ref(&a, &b).to_bits(), "n={n}");
+        }
+        // Including Iterator::sum's -0.0 identity on degenerate inputs.
+        assert_eq!(dot(&[], &[]).to_bits(), dot_ref(&[], &[]).to_bits());
+        assert_eq!(
+            dot(&[-0.0], &[0.5]).to_bits(),
+            dot_ref(&[-0.0], &[0.5]).to_bits()
+        );
+    }
+
+    #[test]
+    fn matvec_matches_per_row_scalar_bitwise() {
+        for (rows, cols) in [(1, 1), (3, 5), (4, 8), (5, 3), (9, 17), (16, 1), (1, 40)] {
+            let w = sample(rows * cols, 3);
+            let x = sample(cols, 4);
+            let mut y = Vec::new();
+            matvec_into(&w, rows, cols, &x, &mut y);
+            assert_eq!(y.len(), rows);
+            for (r, yr) in y.iter().enumerate() {
+                let row = &w[r * cols..(r + 1) * cols];
+                assert_eq!(
+                    yr.to_bits(),
+                    matvec_row_ref(row, &x).to_bits(),
+                    "{rows}x{cols} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_columns_match_matvec_bitwise() {
+        for (rows, cols, len) in [(1, 1, 1), (3, 4, 8), (4, 7, 9), (2, 16, 3), (5, 3, 21)] {
+            let w = sample(rows * cols, 5);
+            // Feature-major X: cols rows of len items.
+            let x = sample(cols * len, 6);
+            let mut y = Vec::new();
+            matmul_soa(&w, rows, cols, &x, len, &mut y);
+            assert_eq!(y.len(), rows * len);
+            for j in 0..len {
+                let col: Vec<f64> = (0..cols).map(|k| x[k * len + j]).collect();
+                let mut expect = Vec::new();
+                matvec_into(&w, rows, cols, &col, &mut expect);
+                for r in 0..rows {
+                    assert_eq!(
+                        y[r * len + j].to_bits(),
+                        expect[r].to_bits(),
+                        "{rows}x{cols} len {len} item {j} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_total() {
+        let mut y = vec![1.0];
+        matvec_into(&[], 0, 0, &[], &mut y);
+        assert!(y.is_empty());
+        let mut y = Vec::new();
+        matvec_into(&[], 3, 0, &[], &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+        let mut y = vec![1.0];
+        matmul_soa(&[], 0, 0, &[], 4, &mut y);
+        assert!(y.is_empty());
+        let mut y = Vec::new();
+        matmul_soa(&[1.0, 2.0], 1, 2, &[], 0, &mut y);
+        assert!(y.is_empty());
+    }
+}

@@ -12,16 +12,21 @@
 //! system — both provided by [`ridge`].
 //!
 //! Everything is deterministic given a seed; pure `f64`-on-`Vec` math with no
-//! BLAS or SIMD intrinsics — dataset scales in this reproduction keep dense
-//! layers tiny (tens of inputs, tens of hidden units).
+//! BLAS or SIMD intrinsics — the hot paths run on the lane-blocked,
+//! autovectorization-friendly kernels in [`kernels`] over the feature-major
+//! [`batch::FeatureBatch`] layout, pinned bit-identical to the scalar loops
+//! they replaced (dataset scales keep dense layers tiny: tens of inputs,
+//! tens of hidden units).
 
 // Dense linear-algebra kernels index rows/columns explicitly; the iterator
 // rewrites clippy suggests obscure the row-major indexing they implement.
 #![allow(clippy::needless_range_loop)]
 
 pub mod activation;
+pub mod batch;
 pub mod dataset;
 pub mod hashing_features;
+pub mod kernels;
 pub mod logistic;
 pub mod matrix;
 pub mod metrics;
@@ -30,6 +35,7 @@ pub mod optim;
 pub mod ridge;
 
 pub use activation::Activation;
+pub use batch::FeatureBatch;
 pub use dataset::TrainSet;
 pub use hashing_features::FeatureHasher;
 pub use logistic::LogisticRegression;

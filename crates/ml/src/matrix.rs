@@ -85,18 +85,32 @@ impl Matrix {
     }
 
     /// `y = W · x` for a column vector `x` (`len == cols`).
+    ///
+    /// Runs on the row-blocked kernel ([`crate::kernels::matvec_into`]);
+    /// each output element accumulates in ascending column order, so the
+    /// result is bit-identical to the scalar per-row loop this replaced.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let mut acc = 0.0;
-            for (w, xi) in row.iter().zip(x.iter()) {
-                acc += w * xi;
-            }
-            y[r] = acc;
-        }
+        let mut y = Vec::with_capacity(self.rows);
+        crate::kernels::matvec_into(&self.data, self.rows, self.cols, x, &mut y);
         y
+    }
+
+    /// `Y = W · X` for a feature-major batch `X` (`dim == cols`), written
+    /// into `y` in the same feature-major layout (`rows × batch.len()`).
+    ///
+    /// Column `j` of the result is bit-identical to `matvec(item j)` —
+    /// see [`crate::kernels::matmul_soa`].
+    pub fn matmul_batch(&self, batch: &crate::FeatureBatch, y: &mut Vec<f64>) {
+        assert_eq!(batch.dim(), self.cols, "matmul_batch dimension mismatch");
+        crate::kernels::matmul_soa(
+            &self.data,
+            self.rows,
+            self.cols,
+            batch.data(),
+            batch.len(),
+            y,
+        );
     }
 
     /// `y = Wᵀ · x` for a column vector `x` (`len == rows`).
@@ -139,10 +153,14 @@ impl Matrix {
 }
 
 /// Dot product of equal-length slices.
+///
+/// Delegates to the block-walked kernel ([`crate::kernels::dot`]), which
+/// keeps the exact ascending-index accumulation order of the naive
+/// `zip().map().sum()` loop — bit-identical, just without per-element
+/// bounds checks.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 #[cfg(test)]

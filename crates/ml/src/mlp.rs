@@ -2,6 +2,7 @@
 //! mini-batch backprop + Adam on the binary cross-entropy loss.
 
 use crate::activation::Activation;
+use crate::batch::FeatureBatch;
 use crate::matrix::Matrix;
 use crate::optim::{Adam, AdamConfig};
 use rand::rngs::StdRng;
@@ -23,6 +24,25 @@ impl Dense {
             *zi = self.act.apply(*zi + bi);
         }
         z
+    }
+
+    /// Layer forward across a feature-major batch. The matmul kernel pins
+    /// each item's accumulation order to the scalar path and bias/activation
+    /// are elementwise, so column `j` of the output is bit-identical to
+    /// `forward(item j)`.
+    fn forward_soa(&self, x: &FeatureBatch) -> FeatureBatch {
+        let len = x.len();
+        if len == 0 {
+            return FeatureBatch::zeros(self.w.rows(), 0);
+        }
+        let mut z = Vec::new();
+        self.w.matmul_batch(x, &mut z);
+        for (row, bi) in z.chunks_exact_mut(len).zip(self.b.iter()) {
+            for zi in row {
+                *zi = self.act.apply(*zi + bi);
+            }
+        }
+        FeatureBatch::from_raw(self.w.rows(), len, z)
     }
 }
 
@@ -215,24 +235,34 @@ impl Mlp {
 
     /// Batched positive-class probabilities, in input order.
     ///
-    /// The forward pass is swept layer-by-layer across the whole batch
-    /// (rather than sample-by-sample through the network), which keeps each
-    /// layer's weight matrix hot in cache and gives `Matcher::score_batch`
-    /// overrides a single entry point to vectorize against.
+    /// Transposes the rows into a [`FeatureBatch`] and runs
+    /// [`Mlp::predict_proba_soa`]; results are bit-identical to calling
+    /// [`Mlp::predict_proba`] per row.
     pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        let mut acts: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|x| {
-                assert_eq!(x.len(), self.input_dim, "feature dimension mismatch");
-                x.clone()
-            })
-            .collect();
-        for layer in &self.layers {
-            for a in acts.iter_mut() {
-                *a = layer.forward(a);
-            }
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "feature dimension mismatch");
         }
-        acts.into_iter().map(|a| a[0]).collect()
+        self.predict_proba_soa(&FeatureBatch::from_rows(self.input_dim, xs))
+    }
+
+    /// Batched positive-class probabilities over a feature-major batch.
+    ///
+    /// The forward pass is swept layer-by-layer across the whole batch on
+    /// the SoA matmul kernel ([`crate::kernels::matmul_soa`]): each layer's
+    /// weight matrix stays hot in cache and every weight is broadcast
+    /// against eight contiguous batch items. Item `j`'s probability is
+    /// bit-identical to `predict_proba(item j)` — the kernel pins each
+    /// item's accumulation order to the scalar path.
+    pub fn predict_proba_soa(&self, batch: &FeatureBatch) -> Vec<f64> {
+        assert_eq!(batch.dim(), self.input_dim, "feature dimension mismatch");
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let mut a = self.layers[0].forward_soa(batch);
+        for layer in &self.layers[1..] {
+            a = layer.forward_soa(&a);
+        }
+        a.feature(0).map(|probs| probs.to_vec()).unwrap_or_default()
     }
 
     /// Forward pass caching all activations (input first, output last).

@@ -162,18 +162,18 @@ impl Matcher for ErModel {
     }
 
     fn score_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<f64> {
-        // Vectorized path: featurize + standardize the whole batch, then one
-        // layer-swept forward pass. Value-identical to per-pair `score`.
+        // Vectorized path: scatter per-pair features into one contiguous
+        // feature-major batch, standardize each feature as one sweep, then
+        // one layer-swept SoA forward pass. Featurization, standardization,
+        // and the matmul kernel all preserve the per-item operation order,
+        // so results are bit-identical to per-pair `score`.
         let memo = self.memo.as_deref();
-        let feats: Vec<Vec<f64>> = pairs
-            .iter()
-            .map(|(u, v)| {
-                let mut f = self.featurizer.features_with(u, v, memo);
-                self.standardizer.apply(&mut f);
-                f
-            })
-            .collect();
-        self.net.predict_proba_batch(&feats)
+        let mut batch = certa_ml::FeatureBatch::zeros(self.standardizer.dim(), pairs.len());
+        for (j, (u, v)) in pairs.iter().enumerate() {
+            batch.set_item(j, &self.featurizer.features_with(u, v, memo));
+        }
+        self.standardizer.apply_soa(&mut batch);
+        self.net.predict_proba_soa(&batch)
     }
 }
 

@@ -2,11 +2,19 @@
 //! killed.
 //!
 //! ```text
-//! certa-serve [--host H] [--port P] [--scale smoke|default|paper]
+//! certa-serve [--host H] [--port P] [--mode event|threaded]
+//!             [--scale smoke|default|paper]
 //!             [--seed N] [--tau N] [--http-workers N] [--explain-workers N]
 //!             [--queue-depth N] [--max-body-bytes N] [--read-timeout-ms N]
+//!             [--max-pipeline N] [--tenant-rps N] [--tenant-burst N]
+//!             [--stream-chunk-bytes N]
 //!             [--store-dir PATH] [--preload <dataset>/<model>]...
 //! ```
+//!
+//! `--mode` selects the event-driven reactor core (default) or the
+//! worker-per-connection baseline; `--tenant-rps 0` (default) disables
+//! per-tenant rate limiting, `--stream-chunk-bytes 0` disables chunked
+//! streaming of large responses.
 //!
 //! `--preload` resolves (generates + trains) the named entries before the
 //! listener opens, so the first real request doesn't pay the training
@@ -29,9 +37,10 @@ struct Args {
     preload: Vec<String>,
 }
 
-const USAGE: &str = "usage: certa-serve [--host H] [--port P] [--scale smoke|default|paper] \
-[--seed N] [--tau N] [--http-workers N] [--explain-workers N] [--queue-depth N] \
-[--max-body-bytes N] [--read-timeout-ms N] [--store-dir PATH] \
+const USAGE: &str = "usage: certa-serve [--host H] [--port P] [--mode event|threaded] \
+[--scale smoke|default|paper] [--seed N] [--tau N] [--http-workers N] [--explain-workers N] \
+[--queue-depth N] [--max-body-bytes N] [--read-timeout-ms N] [--max-pipeline N] \
+[--tenant-rps N] [--tenant-burst N] [--stream-chunk-bytes N] [--store-dir PATH] \
 [--preload <dataset>/<model>]...";
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -47,6 +56,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         match flag.as_str() {
             "--host" => args.host = value("--host")?,
             "--port" => args.port = value("--port")?.parse().map_err(|e| format!("{e}"))?,
+            "--mode" => args.config.mode = value("--mode")?.parse()?,
             "--scale" => args.config.scale = value("--scale")?.parse()?,
             "--seed" => args.config.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--tau" => args.config.tau = value("--tau")?.parse().map_err(|e| format!("{e}"))?,
@@ -77,6 +87,25 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                         .map_err(|e| format!("{e}"))?,
                 )
             }
+            "--max-pipeline" => {
+                args.config.max_pipeline = value("--max-pipeline")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--tenant-rps" => {
+                args.config.tenant_rps =
+                    value("--tenant-rps")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tenant-burst" => {
+                args.config.tenant_burst = value("--tenant-burst")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--stream-chunk-bytes" => {
+                args.config.stream_chunk_bytes = value("--stream-chunk-bytes")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--store-dir" => {
                 args.config.store_dir = Some(std::path::PathBuf::from(value("--store-dir")?))
             }
@@ -98,7 +127,8 @@ fn main() {
     };
     let cfg = &args.config;
     eprintln!(
-        "certa-serve: scale={} seed={} tau={} http_workers={} queue_depth={}",
+        "certa-serve: mode={} scale={} seed={} tau={} http_workers={} queue_depth={}",
+        cfg.mode,
         cfg.scale,
         cfg.seed,
         cfg.tau,
@@ -159,6 +189,8 @@ mod tests {
         let a = parse(&[
             "--port",
             "9000",
+            "--mode",
+            "threaded",
             "--scale",
             "smoke",
             "--seed",
@@ -175,6 +207,14 @@ mod tests {
             "1024",
             "--read-timeout-ms",
             "250",
+            "--max-pipeline",
+            "4",
+            "--tenant-rps",
+            "10",
+            "--tenant-burst",
+            "5",
+            "--stream-chunk-bytes",
+            "4096",
             "--store-dir",
             "/tmp/certa-models",
             "--preload",
@@ -184,6 +224,7 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(a.port, 9000);
+        assert_eq!(a.config.mode, certa_serve::ServeMode::Threaded);
         assert_eq!(a.config.seed, 11);
         assert_eq!(a.config.tau, 40);
         assert_eq!(a.config.http_workers, 3);
@@ -191,12 +232,18 @@ mod tests {
         assert_eq!(a.config.queue_depth, 16);
         assert_eq!(a.config.max_body_bytes, 1024);
         assert_eq!(a.config.read_timeout, Duration::from_millis(250));
+        assert_eq!(a.config.max_pipeline, 4);
+        assert_eq!(a.config.tenant_rps, 10);
+        assert_eq!(a.config.tenant_burst, 5);
+        assert_eq!(a.config.stream_chunk_bytes, 4096);
         assert_eq!(
             a.config.store_dir.as_deref(),
             Some(std::path::Path::new("/tmp/certa-models"))
         );
         assert_eq!(a.preload, vec!["FZ/DeepMatcher", "AB/Ditto"]);
-        assert!(parse(&[]).unwrap().config.store_dir.is_none());
+        let d = parse(&[]).unwrap();
+        assert!(d.config.store_dir.is_none());
+        assert_eq!(d.config.mode, certa_serve::ServeMode::Event);
     }
 
     #[test]
@@ -204,6 +251,7 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--port"]).is_err());
         assert!(parse(&["--port", "zap"]).is_err());
+        assert!(parse(&["--mode", "fibers"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }
 }

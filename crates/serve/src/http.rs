@@ -1,12 +1,21 @@
-//! Minimal HTTP/1.1 on `std::io` streams: request parsing with hard limits,
-//! response writing, keep-alive negotiation, and structured JSON errors.
+//! Minimal HTTP/1.1 framing: request parsing with hard limits, response
+//! encoding, keep-alive negotiation, and structured JSON errors.
+//!
+//! Two request readers share one head grammar ([`parse_head`]): the
+//! blocking [`read_request`] (used by the threaded serving core) and the
+//! incremental [`parse_request`] over a connection's receive buffer (used
+//! by the epoll reactor, which never blocks on a socket). Both produce
+//! identical [`Request`]s and identical structured errors for identical
+//! bytes.
 //!
 //! The grammar subset is deliberate: request line + headers + an optional
-//! `Content-Length` body. `Transfer-Encoding: chunked` is rejected with
-//! `501` (no endpoint needs streaming bodies), oversized bodies with `413`
-//! *before* reading them, and malformed syntax with `400` — always as a
-//! structured JSON error document, never by dropping the connection from a
-//! panicking worker.
+//! `Content-Length` body. `Transfer-Encoding: chunked` *requests* are
+//! rejected with `501` (no endpoint needs streaming bodies), oversized
+//! bodies with `413` *before* reading them, and malformed syntax with `400`
+//! — always as a structured JSON error document, never by dropping the
+//! connection from a panicking worker. *Responses* may stream as chunked
+//! (see [`Response::encode`]); de-chunking yields byte-identical payloads,
+//! so the served-bytes ≡ in-process equality gate is framing-independent.
 
 use crate::wire::Json;
 use std::io::{self, BufRead, Write};
@@ -32,6 +41,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the connection should be kept open after the response.
     pub keep_alive: bool,
+    /// Whether the request spoke HTTP/1.1 (gates chunked responses; 1.0
+    /// clients always get `Content-Length` framing).
+    pub http11: bool,
 }
 
 impl Request {
@@ -108,38 +120,63 @@ impl HttpError {
 pub enum ReadOutcome {
     /// A complete, well-formed request.
     Request(Box<Request>),
-    /// The peer closed (or idled past the read timeout) between requests —
-    /// normal keep-alive termination, nothing to send.
+    /// The peer closed between requests — normal keep-alive termination,
+    /// nothing to send.
     Closed,
+    /// No byte arrived within the socket read timeout — the idle-connection
+    /// reaper case, counted separately from peer-initiated closes.
+    Timeout,
     /// A protocol violation; send this error and honour its `keep_alive`.
     Error(HttpError),
 }
 
-/// Read one request from a buffered stream.
-///
-/// `max_body` bounds `Content-Length`; the head section is bounded by
-/// [`MAX_HEAD_BYTES`]. IO errors surface as [`ReadOutcome::Closed`] (for
-/// clean EOF / timeouts on the *first* byte) or as a `400` (for truncation
-/// mid-request).
-pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
-    // --- request line ---
-    let line = match read_line_limited(stream, MAX_HEAD_BYTES) {
-        Ok(Some(line)) => line,
-        Ok(None) => return ReadOutcome::Closed,
-        Err(LineError::TooLong) => {
-            return ReadOutcome::Error(HttpError::closing(
-                431,
-                "headers_too_large",
-                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
-            ));
+/// A parsed request head: everything before the body bytes.
+struct Head {
+    method: String,
+    path: String,
+    query: String,
+    headers: Vec<(String, String)>,
+    http11: bool,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+impl Head {
+    fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            path: self.path,
+            query: self.query,
+            headers: self.headers,
+            body,
+            keep_alive: self.keep_alive,
+            http11: self.http11,
         }
-        Err(LineError::Io(_)) => return ReadOutcome::Closed,
-    };
+    }
+}
+
+fn head_too_large() -> HttpError {
+    HttpError::closing(
+        431,
+        "headers_too_large",
+        format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+    )
+}
+
+fn truncated_head(detail: &str) -> HttpError {
+    HttpError::closing(400, "truncated_request", detail.to_string())
+}
+
+/// Parse a request head from its lines (request line first, then header
+/// lines, no blank terminator). One grammar for both request readers.
+fn parse_head(lines: &[String], max_body: usize) -> Result<Head, HttpError> {
+    // --- request line ---
+    let line = lines.first().map(String::as_str).unwrap_or("");
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) => (m.to_ascii_uppercase(), t.to_string(), v),
         _ => {
-            return ReadOutcome::Error(HttpError::closing(
+            return Err(HttpError::closing(
                 400,
                 "bad_request_line",
                 format!("malformed request line `{line}`"),
@@ -150,7 +187,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
         "HTTP/1.1" => true,
         "HTTP/1.0" => false,
         other => {
-            return ReadOutcome::Error(HttpError::closing(
+            return Err(HttpError::closing(
                 505,
                 "http_version_not_supported",
                 format!("unsupported version `{other}`"),
@@ -160,42 +197,13 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
 
     // --- headers ---
     let mut headers = Vec::new();
-    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
-    loop {
-        let line = match read_line_limited(stream, head_budget) {
-            Ok(Some(line)) => line,
-            Ok(None) => {
-                return ReadOutcome::Error(HttpError::closing(
-                    400,
-                    "truncated_request",
-                    "connection closed inside the header section",
-                ));
-            }
-            Err(LineError::TooLong) => {
-                return ReadOutcome::Error(HttpError::closing(
-                    431,
-                    "headers_too_large",
-                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
-                ));
-            }
-            Err(LineError::Io(_)) => {
-                return ReadOutcome::Error(HttpError::closing(
-                    400,
-                    "truncated_request",
-                    "stream error inside the header section",
-                ));
-            }
-        };
-        if line.is_empty() {
-            break;
-        }
-        head_budget = head_budget.saturating_sub(line.len());
+    for line in lines.iter().skip(1) {
         match line.split_once(':') {
             Some((name, value)) => {
                 headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             }
             None => {
-                return ReadOutcome::Error(HttpError::closing(
+                return Err(HttpError::closing(
                     400,
                     "bad_header",
                     format!("malformed header line `{line}`"),
@@ -221,7 +229,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
 
     // --- body framing ---
     if find("transfer-encoding").is_some() {
-        return ReadOutcome::Error(HttpError::closing(
+        return Err(HttpError::closing(
             501,
             "transfer_encoding_unsupported",
             "use Content-Length framing",
@@ -232,7 +240,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) => n,
             Err(_) => {
-                return ReadOutcome::Error(HttpError::closing(
+                return Err(HttpError::closing(
                     400,
                     "bad_content_length",
                     format!("unparseable Content-Length `{raw}`"),
@@ -243,7 +251,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
     if content_length == 0 && (method == "POST" || method == "PUT") {
         // 411 Length Required; there is no unread body, so the connection
         // stays usable.
-        return ReadOutcome::Error(HttpError {
+        return Err(HttpError {
             status: 411,
             code: "length_required",
             message: format!("{method} requests need a Content-Length body"),
@@ -253,18 +261,10 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
     if content_length > max_body {
         // Refuse *before* reading: the unread body poisons stream framing,
         // so the connection must close afterwards.
-        return ReadOutcome::Error(HttpError::closing(
+        return Err(HttpError::closing(
             413,
             "payload_too_large",
             format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
-        ));
-    }
-    let mut body = vec![0u8; content_length];
-    if stream.read_exact(&mut body).is_err() {
-        return ReadOutcome::Error(HttpError::closing(
-            400,
-            "truncated_body",
-            format!("connection closed before {content_length} body bytes arrived"),
         ));
     }
 
@@ -272,19 +272,170 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target, String::new()),
     };
-    ReadOutcome::Request(Box::new(Request {
+    Ok(Head {
         method,
         path,
         query,
         headers,
-        body,
+        http11,
         keep_alive,
-    }))
+        content_length,
+    })
+}
+
+/// Read one request from a buffered stream (the blocking reader the
+/// threaded serving core uses; the reactor uses [`parse_request`]).
+///
+/// `max_body` bounds `Content-Length`; the head section is bounded by
+/// [`MAX_HEAD_BYTES`]. A timeout before the first byte surfaces as
+/// [`ReadOutcome::Timeout`], other first-byte IO errors as
+/// [`ReadOutcome::Closed`], and truncation mid-request as a `400`.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> ReadOutcome {
+    let line = match read_line_limited(stream, MAX_HEAD_BYTES) {
+        Ok(Some(line)) => line,
+        Ok(None) => return ReadOutcome::Closed,
+        Err(LineError::TooLong) => return ReadOutcome::Error(head_too_large()),
+        Err(LineError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return ReadOutcome::Timeout;
+        }
+        Err(LineError::Io(_)) => return ReadOutcome::Closed,
+    };
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
+    let mut lines = vec![line];
+    loop {
+        let line = match read_line_limited(stream, head_budget) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return ReadOutcome::Error(truncated_head(
+                    "connection closed inside the header section",
+                ));
+            }
+            Err(LineError::TooLong) => return ReadOutcome::Error(head_too_large()),
+            Err(LineError::Io(_)) => {
+                return ReadOutcome::Error(truncated_head(
+                    "stream error inside the header section",
+                ));
+            }
+        };
+        if line.is_empty() {
+            break;
+        }
+        head_budget = head_budget.saturating_sub(line.len());
+        lines.push(line);
+    }
+    let head = match parse_head(&lines, max_body) {
+        Ok(head) => head,
+        Err(e) => return ReadOutcome::Error(e),
+    };
+    let mut body = vec![0u8; head.content_length];
+    if stream.read_exact(&mut body).is_err() {
+        return ReadOutcome::Error(HttpError::closing(
+            400,
+            "truncated_body",
+            format!(
+                "connection closed before {} body bytes arrived",
+                head.content_length
+            ),
+        ));
+    }
+    ReadOutcome::Request(Box::new(head.into_request(body)))
+}
+
+/// Outcome of one [`parse_request`] pass over a receive buffer.
+pub enum ParseOutcome {
+    /// No complete request yet — keep the buffer and read more bytes.
+    /// The buffer is bounded: heads beyond [`MAX_HEAD_BYTES`] and bodies
+    /// beyond `max_body` error out instead of accumulating.
+    NeedMore,
+    /// One complete request occupying the first `consumed` buffer bytes.
+    Request {
+        /// The parsed request.
+        request: Box<Request>,
+        /// Bytes to drain from the front of the buffer.
+        consumed: usize,
+    },
+    /// A protocol violation. Drain `consumed` bytes; when
+    /// `error.keep_alive` is true (e.g. `411`) the bytes after them may
+    /// still parse as further pipelined requests.
+    Error {
+        /// The structured error to send.
+        error: HttpError,
+        /// Bytes to drain from the front of the buffer.
+        consumed: usize,
+    },
+}
+
+/// Incrementally parse one request from the front of `buf` — the reactor's
+/// nonblocking counterpart of [`read_request`], same grammar, same errors.
+///
+/// Call after every socket read; on [`ParseOutcome::Request`] /
+/// [`ParseOutcome::Error`] drain `consumed` bytes and call again (request
+/// pipelining: a buffer holding several requests yields them one per call).
+pub fn parse_request(buf: &[u8], max_body: usize) -> ParseOutcome {
+    // --- split the head: lines up to the first blank line ---
+    let mut lines: Vec<String> = Vec::new();
+    let mut pos = 0usize;
+    let head_end = loop {
+        let rest = buf.get(pos..).unwrap_or(&[]);
+        let Some(i) = rest.iter().position(|&b| b == b'\n') else {
+            if buf.len() > MAX_HEAD_BYTES {
+                return ParseOutcome::Error {
+                    error: head_too_large(),
+                    consumed: buf.len(),
+                };
+            }
+            return ParseOutcome::NeedMore;
+        };
+        let line = rest.get(..i).unwrap_or(&[]);
+        let line = match line.split_last() {
+            Some((&b'\r', init)) => init,
+            _ => line,
+        };
+        pos += i + 1;
+        if pos > MAX_HEAD_BYTES {
+            return ParseOutcome::Error {
+                error: head_too_large(),
+                consumed: buf.len(),
+            };
+        }
+        // A blank line terminates the head — except as the very first line,
+        // where it *is* the (malformed) request line, matching the stream
+        // reader's behaviour.
+        if line.is_empty() && !lines.is_empty() {
+            break pos;
+        }
+        lines.push(String::from_utf8_lossy(line).into_owned());
+    };
+
+    let head = match parse_head(&lines, max_body) {
+        Ok(head) => head,
+        Err(error) => {
+            return ParseOutcome::Error {
+                error,
+                consumed: head_end,
+            };
+        }
+    };
+    let total = head_end.saturating_add(head.content_length);
+    match buf.get(head_end..total) {
+        Some(body) => ParseOutcome::Request {
+            request: Box::new(head.into_request(body.to_vec())),
+            consumed: total,
+        },
+        // Body bytes still in flight (content_length ≤ max_body here, so
+        // the wait is bounded).
+        None => ParseOutcome::NeedMore,
+    }
 }
 
 enum LineError {
     TooLong,
-    Io(#[allow(dead_code)] io::Error),
+    Io(io::Error),
 }
 
 /// Read one CRLF- (or bare-LF-) terminated line as UTF-8-lossy text,
@@ -353,18 +504,54 @@ impl Response {
         }
     }
 
-    /// Serialize head + body onto the stream.
+    /// Serialize head + body to wire bytes.
+    ///
+    /// `chunk: None` emits classic `Content-Length` framing. `chunk:
+    /// Some(n)` streams the body as `Transfer-Encoding: chunked` in
+    /// `n`-byte chunks — large batch explanations go out as a sequence of
+    /// bounded writes instead of one giant contiguous buffer flush. The
+    /// concatenated chunk payloads are exactly `self.body`, so de-chunking
+    /// clients observe byte-identical documents (callers only pass
+    /// `Some` for HTTP/1.1 peers; empty bodies keep `Content-Length: 0`
+    /// framing).
+    pub fn encode(&self, keep_alive: bool, chunk: Option<usize>) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        match chunk {
+            Some(n) if n > 0 && !self.body.is_empty() => {
+                let mut out = format!(
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+                    self.status,
+                    reason(self.status),
+                    self.content_type,
+                )
+                .into_bytes();
+                for piece in self.body.chunks(n) {
+                    out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+                    out.extend_from_slice(piece);
+                    out.extend_from_slice(b"\r\n");
+                }
+                out.extend_from_slice(b"0\r\n\r\n");
+                out
+            }
+            _ => {
+                let mut out = format!(
+                    "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+                    self.status,
+                    reason(self.status),
+                    self.content_type,
+                    self.body.len(),
+                )
+                .into_bytes();
+                out.extend_from_slice(&self.body);
+                out
+            }
+        }
+    }
+
+    /// Serialize head + body onto a blocking stream (`Content-Length`
+    /// framing).
     pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        stream.write_all(&self.encode(keep_alive, None))?;
         stream.flush()
     }
 }
@@ -378,6 +565,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -400,6 +588,7 @@ mod tests {
         match read(raw) {
             ReadOutcome::Request(r) => *r,
             ReadOutcome::Closed => panic!("closed"),
+            ReadOutcome::Timeout => panic!("timeout"),
             ReadOutcome::Error(e) => panic!("error: {e:?}"),
         }
     }
@@ -495,6 +684,143 @@ mod tests {
             err.get("message").unwrap().as_str(),
             Some("oops: \"quoted\"")
         );
+    }
+
+    /// Drive `parse_request` the way the reactor does: feed the bytes one
+    /// at a time and collect every completed request/error.
+    fn parse_all(raw: &[u8], max_body: usize) -> (Vec<Request>, Vec<HttpError>, usize) {
+        let mut buf: Vec<u8> = Vec::new();
+        let (mut requests, mut errors) = (Vec::new(), Vec::new());
+        for &b in raw {
+            buf.push(b);
+            loop {
+                match parse_request(&buf, max_body) {
+                    ParseOutcome::NeedMore => break,
+                    ParseOutcome::Request { request, consumed } => {
+                        requests.push(*request);
+                        buf.drain(..consumed);
+                    }
+                    ParseOutcome::Error { error, consumed } => {
+                        let recoverable = error.keep_alive;
+                        errors.push(error);
+                        buf.drain(..consumed.min(buf.len()));
+                        if !recoverable {
+                            return (requests, errors, buf.len());
+                        }
+                    }
+                }
+            }
+        }
+        (requests, errors, buf.len())
+    }
+
+    #[test]
+    fn incremental_parser_matches_stream_reader() {
+        let raw: &[u8] =
+            b"POST /v1/score?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let (reqs, errs, leftover) = parse_all(raw, 1024);
+        assert!(errs.is_empty());
+        assert_eq!(leftover, 0);
+        let [r] = &reqs[..] else {
+            panic!("expected exactly one request")
+        };
+        let s = request(raw);
+        assert_eq!((r.method.as_str(), s.method.as_str()), ("POST", "POST"));
+        assert_eq!(r.path, s.path);
+        assert_eq!(r.query, s.query);
+        assert_eq!(r.headers, s.headers);
+        assert_eq!(r.body, s.body);
+        assert_eq!(r.keep_alive, s.keep_alive);
+        assert!(r.http11 && s.http11);
+    }
+
+    #[test]
+    fn incremental_parser_yields_pipelined_requests_in_order() {
+        let raw: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/score HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /metrics HTTP/1.1\r\n\r\n";
+        let (reqs, errs, leftover) = parse_all(raw, 1024);
+        assert!(errs.is_empty());
+        assert_eq!(leftover, 0);
+        let paths: Vec<&str> = reqs.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["/healthz", "/v1/score", "/metrics"]);
+        assert_eq!(reqs[1].body, b"{}");
+    }
+
+    #[test]
+    fn incremental_parser_recovers_after_keepalive_errors() {
+        // 411 keeps the connection usable; the next pipelined request must
+        // still parse from the remaining bytes.
+        let raw: &[u8] = b"POST /v1/score HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+        let (reqs, errs, leftover) = parse_all(raw, 1024);
+        assert_eq!(leftover, 0);
+        assert_eq!(errs.len(), 1);
+        assert_eq!((errs[0].status, errs[0].code), (411, "length_required"));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].path, "/healthz");
+    }
+
+    #[test]
+    fn incremental_parser_errors_match_stream_reader_errors() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+        ] {
+            let stream_err = error(raw);
+            let (_, errs, _) = parse_all(raw, 1024);
+            assert_eq!(errs.len(), 1, "{:?}", String::from_utf8_lossy(raw));
+            assert_eq!(errs[0], stream_err);
+        }
+    }
+
+    #[test]
+    fn incremental_parser_caps_headless_garbage() {
+        // No newline at all: the buffer must not grow unboundedly.
+        let raw = vec![b'x'; MAX_HEAD_BYTES + 2];
+        let ParseOutcome::Error { error, consumed } = parse_request(&raw, 1024) else {
+            panic!("oversized headless buffer must error");
+        };
+        assert_eq!(error.status, 431);
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn chunked_encoding_dechunks_to_identical_bytes() {
+        let body: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let resp = Response::json(200, body.clone());
+        let wire = resp.encode(true, Some(64));
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(!text.contains("content-length"));
+        // De-chunk and compare byte-for-byte.
+        let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let mut rest = &wire[head_end..];
+        let mut payload = Vec::new();
+        loop {
+            let line_end = rest.windows(2).position(|w| w == b"\r\n").unwrap();
+            let size =
+                usize::from_str_radix(std::str::from_utf8(&rest[..line_end]).unwrap(), 16).unwrap();
+            rest = &rest[line_end + 2..];
+            if size == 0 {
+                assert_eq!(rest, b"\r\n");
+                break;
+            }
+            payload.extend_from_slice(&rest[..size]);
+            assert_eq!(&rest[size..size + 2], b"\r\n");
+            rest = &rest[size + 2..];
+        }
+        assert_eq!(payload, body);
+        // Content-Length framing is unchanged by the encode() refactor.
+        let mut via_write_to = Vec::new();
+        resp.write_to(&mut via_write_to, true).unwrap();
+        assert_eq!(via_write_to, resp.encode(true, None));
+        // Empty bodies never chunk.
+        let empty = Response::json(204, Vec::new());
+        assert_eq!(empty.encode(true, Some(64)), empty.encode(true, None));
     }
 
     #[test]

@@ -8,24 +8,29 @@
 //! build environment has no registry access, and nothing here needs more
 //! than an accept loop, a bounded queue, and a worker pool.
 //!
-//! ## Architecture
+//! ## Architecture (event mode, the default)
 //!
 //! ```text
-//!             ┌──────────────┐   bounded    ┌───────────────────┐
-//!  clients ──▶│ accept loop  │──▶ queue ───▶│ worker pool       │
-//!             │ (503 when    │              │ keep-alive loop:  │
-//!             │  queue full) │              │ read→route→respond│
-//!             └──────────────┘              └─────────┬─────────┘
-//!                                                     │
-//!            ┌────────────────────────────────────────┼───────────┐
-//!            │ [`wire`]  JSON value model + DTOs      │           │
-//!            │ [`state`] "<dataset>/<model>" registry ├─ explain ─┤
-//!            │           (datagen + models + sharded  │   batch   │
-//!            │            `CachingMatcher` + `Certa`) │  engine   │
-//!            │ [`ops`]   atomic counters + log2       │           │
-//!            │           latency histogram            │           │
-//!            └────────────────────────────────────────┴───────────┘
+//!             ┌───────────────────────────────┐  bounded  ┌──────────────┐
+//!  clients ──▶│ event loop (epoll [`reactor`])│──▶ jobs ──▶│ worker pool  │
+//!             │ nonblocking accept/read/write │           │ CPU only:    │
+//!             │ per-conn state machines:      │◀─ done ───│ route→encode │
+//!             │  pipeline · rate limit · idle │ wake pipe └──────┬───────┘
+//!             └───────────────────────────────┘                  │
+//!            ┌─────────────────────────────────────────┬─────────┴─┐
+//!            │ [`wire`]  JSON value model + DTOs       │           │
+//!            │ [`state`] "<dataset>/<model>" registry  ├─ explain ─┤
+//!            │           (datagen + models + sharded   │   batch   │
+//!            │            `CachingMatcher` + `Certa`)  │  engine   │
+//!            │ [`ops`]   atomic counters + log2        │           │
+//!            │           latency histogram             │           │
+//!            └─────────────────────────────────────────┴───────────┘
 //! ```
+//!
+//! Sockets never hold threads: the event loop multiplexes every
+//! connection over one epoll instance, and the worker pool only ever sees
+//! parsed requests. `ServeMode::Threaded` keeps the original
+//! worker-per-connection design selectable as the benchmark baseline.
 //!
 //! * [`wire`] — a zero-dependency JSON wire format: a value model with a
 //!   deterministic serializer (insertion-ordered objects, shortest-round-trip
@@ -40,10 +45,13 @@
 //! * [`ops`] — lock-free request/latency accounting behind `GET /healthz`
 //!   and `GET /metrics` (Prometheus text exposition, including per-model
 //!   cache hit/miss counters).
-//! * [`http`] / [`router`] / [`server`] — HTTP/1.1 with keep-alive and
-//!   Content-Length framing; structured JSON errors for every failure
-//!   (400 malformed, 413 oversized, 503 overloaded, …); graceful shutdown
-//!   over a loopback wake pipe.
+//! * [`reactor`] — the zero-dependency epoll shim (raw `libc` syscalls,
+//!   no crates) plus deterministic per-tenant token buckets.
+//! * [`http`] / [`router`] / [`server`] — HTTP/1.1 with keep-alive,
+//!   request pipelining, Content-Length and chunked framing; structured
+//!   JSON errors for every failure (400 malformed, 413 oversized, 429
+//!   rate-limited, 503 overloaded, …); graceful shutdown over a wake
+//!   pipe.
 //!
 //! ## Determinism guarantee
 //!
@@ -67,6 +75,7 @@
 
 pub mod http;
 pub mod ops;
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod state;
@@ -75,5 +84,5 @@ pub mod wire;
 pub use http::{HttpError, Request, Response};
 pub use ops::{LatencyHistogram, Route, ServerMetrics};
 pub use server::{AppState, Server, ServerHandle};
-pub use state::{ModelEntry, Registry, ServeConfig, StoreStats};
+pub use state::{ModelEntry, Registry, ServeConfig, ServeMode, StoreStats};
 pub use wire::{Json, WireError};

@@ -211,6 +211,11 @@ pub struct ServerMetrics {
     connections_accepted: AtomicU64,
     overload_rejections: AtomicU64,
     worker_panics: AtomicU64,
+    conn_timeouts: AtomicU64,
+    conn_resets: AtomicU64,
+    conn_pipeline_overflows: AtomicU64,
+    rate_limited: AtomicU64,
+    streamed_responses: AtomicU64,
     requests_by_route: [AtomicU64; 11],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
@@ -226,6 +231,11 @@ impl Default for ServerMetrics {
             connections_accepted: AtomicU64::new(0),
             overload_rejections: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            conn_timeouts: AtomicU64::new(0),
+            conn_resets: AtomicU64::new(0),
+            conn_pipeline_overflows: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            streamed_responses: AtomicU64::new(0),
             requests_by_route: Default::default(),
             responses_2xx: AtomicU64::new(0),
             responses_4xx: AtomicU64::new(0),
@@ -264,6 +274,58 @@ impl ServerMetrics {
     /// Total worker panics caught (0 in a healthy server).
     pub fn worker_panics(&self) -> u64 {
         self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// One keep-alive connection reaped after idling past the read timeout.
+    pub fn conn_timed_out(&self) {
+        self.conn_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total idle-timeout reaps.
+    pub fn conn_timeouts(&self) -> u64 {
+        self.conn_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// One connection torn down by a transport error (reset, broken pipe,
+    /// write failure) rather than an orderly close.
+    pub fn conn_reset(&self) {
+        self.conn_resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total transport-error teardowns.
+    pub fn conn_resets(&self) -> u64 {
+        self.conn_resets.load(Ordering::Relaxed)
+    }
+
+    /// One connection hit the per-connection pipelining cap and had its
+    /// socket reads paused until responses drained (TCP backpressure).
+    pub fn conn_pipeline_overflowed(&self) {
+        self.conn_pipeline_overflows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total pipelining-cap backpressure events.
+    pub fn conn_pipeline_overflows(&self) -> u64 {
+        self.conn_pipeline_overflows.load(Ordering::Relaxed)
+    }
+
+    /// One request refused with `429` by per-tenant admission control.
+    pub fn rate_limited_rejected(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `429` rate-limit rejections.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited.load(Ordering::Relaxed)
+    }
+
+    /// One response streamed with chunked transfer-encoding.
+    pub fn response_streamed(&self) {
+        self.streamed_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total chunked-streamed responses.
+    pub fn streamed_responses(&self) -> u64 {
+        self.streamed_responses.load(Ordering::Relaxed)
     }
 
     /// Account one routed request and its response status; `latency` is
@@ -329,6 +391,29 @@ impl ServerMetrics {
         out.push_str(&format!(
             "# TYPE {p}_worker_panics_total counter\n{p}_worker_panics_total {}\n",
             self.worker_panics()
+        ));
+        // Connection-lifecycle accounting — every abnormal teardown that
+        // `serve_connection` used to swallow with `let _ =` is a counter
+        // now, so dropped-connection debugging starts at /metrics.
+        out.push_str(&format!(
+            "# TYPE {p}_conn_timeouts_total counter\n{p}_conn_timeouts_total {}\n",
+            self.conn_timeouts()
+        ));
+        out.push_str(&format!(
+            "# TYPE {p}_conn_resets_total counter\n{p}_conn_resets_total {}\n",
+            self.conn_resets()
+        ));
+        out.push_str(&format!(
+            "# TYPE {p}_conn_pipeline_overflows_total counter\n{p}_conn_pipeline_overflows_total {}\n",
+            self.conn_pipeline_overflows()
+        ));
+        out.push_str(&format!(
+            "# TYPE {p}_rate_limited_total counter\n{p}_rate_limited_total {}\n",
+            self.rate_limited()
+        ));
+        out.push_str(&format!(
+            "# TYPE {p}_streamed_responses_total counter\n{p}_streamed_responses_total {}\n",
+            self.streamed_responses()
         ));
         out.push_str(&format!("# TYPE {p}_requests_total counter\n"));
         for route in Route::ALL {
@@ -471,6 +556,28 @@ mod tests {
         assert!(text.contains("certa_serve_request_latency_micros_count 2"));
         assert!(text.contains("certa_serve_request_latency_quantile_micros{quantile=\"0.99\"}"));
         assert!(text.ends_with("certa_serve_cache_hits_total{model=\"x\"} 3\n"));
+    }
+
+    #[test]
+    fn connection_lifecycle_counters_render() {
+        let m = ServerMetrics::default();
+        m.conn_timed_out();
+        m.conn_timed_out();
+        m.conn_reset();
+        m.conn_pipeline_overflowed();
+        m.rate_limited_rejected();
+        m.response_streamed();
+        assert_eq!(m.conn_timeouts(), 2);
+        assert_eq!(m.conn_resets(), 1);
+        assert_eq!(m.conn_pipeline_overflows(), 1);
+        assert_eq!(m.rate_limited(), 1);
+        assert_eq!(m.streamed_responses(), 1);
+        let text = m.render_prometheus("");
+        assert!(text.contains("certa_serve_conn_timeouts_total 2"));
+        assert!(text.contains("certa_serve_conn_resets_total 1"));
+        assert!(text.contains("certa_serve_conn_pipeline_overflows_total 1"));
+        assert!(text.contains("certa_serve_rate_limited_total 1"));
+        assert!(text.contains("certa_serve_streamed_responses_total 1"));
     }
 
     #[test]

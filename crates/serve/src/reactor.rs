@@ -1,0 +1,396 @@
+//! A minimal epoll reactor shim: readiness polling over raw Linux
+//! syscalls, plus the tick-driven token buckets the event loop uses for
+//! per-tenant admission control.
+//!
+//! This is the vendored-shim pattern the workspace already uses for
+//! `proptest`: the subset of `mio`/`epoll` the serving core actually
+//! needs, written against `libc` symbols that `std` already links — no new
+//! dependencies. The surface is three types:
+//!
+//! - [`Poller`] — an `epoll` instance. Register file descriptors with a
+//!   `u64` token and an [`Interest`]; [`Poller::wait`] blocks (bounded by
+//!   a timeout) until any registered descriptor is ready and reports
+//!   [`Event`]s. Level-triggered on purpose: a readiness the loop does not
+//!   fully consume is simply reported again, which makes the event loop's
+//!   state machine robust against partial reads/writes.
+//! - [`Interest`] — which readiness directions a registration cares about.
+//! - [`TenantBuckets`] — deterministic token buckets keyed by tenant name.
+//!   **Clock-free by design**: refills are computed from a caller-supplied
+//!   millisecond tick, never from a wall clock, so this module stays inside
+//!   certa-lint's `no-nondeterminism` deny scope (the event loop reads time
+//!   once per iteration and passes it down).
+//!
+//! Everything here is panic-free (`no-panic-path` deny scope): syscall
+//! failures surface as `io::Result`, never as a crash in the thread that
+//! owns every connection.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::io::RawFd;
+
+// The epoll constants the reactor uses (from the Linux UAPI; values are
+// ABI-stable).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`. x86-64 is the one ABI where the kernel expects the
+/// packed (unaligned) layout; everywhere else it is naturally aligned.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+// `std` links libc on every supported platform, so these resolve without
+// adding a dependency.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Which readiness directions a registration watches. Error/hangup
+/// conditions are always reported regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Readable (includes peer half-close, so a read observes the EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition; the owner should tear the connection
+    /// down after draining.
+    pub failed: bool,
+}
+
+/// An owned `epoll` instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 has no pointer arguments.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. For EPOLL_CTL_DEL the kernel ignores the pointer (a
+        // non-null one also satisfies pre-2.6.9 kernels).
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register a descriptor under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest.mask(), token)
+    }
+
+    /// Change the interest set of a registered descriptor.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest.mask(), token)
+    }
+
+    /// Deregister a descriptor. (Closing the fd deregisters implicitly;
+    /// explicit removal keeps teardown order obvious.)
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, up to `timeout_ms` milliseconds (`-1` = forever,
+    /// `0` = poll). Clears and refills `events`; returns how many fired.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 256;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: `raw` is a valid writable buffer of MAX_EVENTS entries
+        // for the duration of the call.
+        let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            // A signal interrupting the wait is a normal empty wakeup, not
+            // a reactor failure.
+            if e.kind() == io::ErrorKind::Interrupted {
+                events.clear();
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        events.clear();
+        for ev in raw.iter().take(n.max(0) as usize) {
+            let (mask, token) = (ev.events, ev.data);
+            events.push(Event {
+                token,
+                readable: mask & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: mask & EPOLLOUT != 0,
+                failed: mask & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(events.len())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: we own epfd and drop it exactly once.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// One tenant's bucket: tokens in **milli-token** units so sub-1000-rps
+/// refill rates accrue without rounding to zero.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens_milli: u64,
+    last_refill_ms: u64,
+}
+
+/// Deterministic per-tenant token buckets, refilled from a caller-supplied
+/// millisecond tick.
+///
+/// Each admitted request costs 1000 milli-tokens; a tenant's bucket holds
+/// at most `burst * 1000` and refills at `rps` milli-tokens per
+/// millisecond. With `rps == 0` limiting is disabled and every request is
+/// admitted. Keyed by tenant name in a `BTreeMap` — iteration order (and
+/// therefore any future exposition of per-tenant state) is deterministic.
+#[derive(Debug)]
+pub struct TenantBuckets {
+    /// requests/second == milli-tokens per millisecond.
+    rate_milli_per_ms: u64,
+    burst_milli: u64,
+    buckets: BTreeMap<String, Bucket>,
+}
+
+impl TenantBuckets {
+    /// A limiter admitting `rps` requests/second with bursts of `burst`
+    /// per tenant; `rps == 0` disables limiting entirely.
+    pub fn new(rps: u64, burst: u64) -> TenantBuckets {
+        TenantBuckets {
+            rate_milli_per_ms: rps,
+            // A zero burst would starve tenants even under the rate; floor
+            // at one request.
+            burst_milli: burst.max(1).saturating_mul(1000),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Whether limiting is active.
+    pub fn enabled(&self) -> bool {
+        self.rate_milli_per_ms > 0
+    }
+
+    /// Try to admit one request for `tenant` at tick `now_ms`. Buckets
+    /// start full, so burst-sized spikes pass before refill matters.
+    pub fn try_admit(&mut self, tenant: &str, now_ms: u64) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let bucket = self
+            .buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket {
+                tokens_milli: self.burst_milli,
+                last_refill_ms: now_ms,
+            });
+        let elapsed = now_ms.saturating_sub(bucket.last_refill_ms);
+        bucket.tokens_milli = bucket
+            .tokens_milli
+            .saturating_add(elapsed.saturating_mul(self.rate_milli_per_ms))
+            .min(self.burst_milli);
+        bucket.last_refill_ms = now_ms;
+        if bucket.tokens_milli >= 1000 {
+            bucket.tokens_milli -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of tenants with bucket state.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no tenant has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_readability_level_triggered() {
+        let poller = Poller::new().unwrap();
+        let (mut tx, mut rx) = UnixStream::pair().unwrap();
+        poller.add(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing ready yet: a zero-timeout poll returns no events.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        tx.write_all(b"x").unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unconsumed readiness reports again.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 1);
+        let mut byte = [0u8; 1];
+        rx.read_exact(&mut byte).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn poller_reports_writability_and_modify() {
+        let poller = Poller::new().unwrap();
+        let (tx, _rx) = UnixStream::pair().unwrap();
+        poller.add(tx.as_raw_fd(), 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(
+            poller.wait(&mut events, 0).unwrap(),
+            0,
+            "no read interest fires on an idle socket"
+        );
+        poller
+            .modify(tx.as_raw_fd(), 3, Interest::READ_WRITE)
+            .unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert!(events[0].writable);
+        poller.delete(tx.as_raw_fd()).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn poller_reports_peer_close_as_readable() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        poller.add(rx.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(tx);
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert!(
+            events[0].readable,
+            "half-close must surface as readability so the loop reads the EOF"
+        );
+    }
+
+    #[test]
+    fn buckets_admit_burst_then_refill_by_ticks() {
+        let mut b = TenantBuckets::new(10, 3); // 10 rps, burst 3
+        assert!(b.enabled());
+        // The full burst passes at one instant …
+        assert!(b.try_admit("acme", 0));
+        assert!(b.try_admit("acme", 0));
+        assert!(b.try_admit("acme", 0));
+        // … then the bucket is dry.
+        assert!(!b.try_admit("acme", 0));
+        // 10 rps == one token per 100ms: 99ms is too soon, 100ms refills
+        // exactly one.
+        assert!(!b.try_admit("acme", 99));
+        assert!(b.try_admit("acme", 100));
+        assert!(!b.try_admit("acme", 100));
+        // Refill caps at the burst, even after a long idle gap.
+        assert!(b.try_admit("acme", 1_000_000));
+        assert!(b.try_admit("acme", 1_000_000));
+        assert!(b.try_admit("acme", 1_000_000));
+        assert!(!b.try_admit("acme", 1_000_000));
+    }
+
+    #[test]
+    fn buckets_isolate_tenants_and_disable_at_zero_rps() {
+        let mut b = TenantBuckets::new(5, 1);
+        assert!(b.try_admit("a", 0));
+        assert!(!b.try_admit("a", 0), "a's burst is spent");
+        assert!(b.try_admit("b", 0), "b has its own bucket");
+        assert_eq!(b.len(), 2);
+
+        let mut open = TenantBuckets::new(0, 1);
+        assert!(!open.enabled());
+        for _ in 0..1000 {
+            assert!(open.try_admit("anyone", 0));
+        }
+        assert!(open.is_empty(), "disabled limiter keeps no state");
+    }
+
+    #[test]
+    fn bucket_ticks_tolerate_time_going_backwards() {
+        // Monotonic-clock hiccups must not underflow or mint tokens.
+        let mut b = TenantBuckets::new(1, 1);
+        assert!(b.try_admit("t", 5000));
+        assert!(!b.try_admit("t", 4000), "backwards tick mints nothing");
+        assert!(b.try_admit("t", 6001), "forward progress refills normally");
+    }
+}

@@ -38,9 +38,46 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Which serving core handles sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Nonblocking epoll reactor: one event thread owns every socket,
+    /// CPU work runs on the worker pool, connections never pin threads.
+    /// Supports pipelining, idle timeouts, per-tenant rate limits, and
+    /// chunked streaming. The default.
+    Event,
+    /// The PR-3 worker-per-connection core: each accepted connection holds
+    /// a blocking worker thread for its whole keep-alive lifetime. Kept as
+    /// the baseline the load harness measures the reactor against.
+    Threaded,
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "event" => Ok(ServeMode::Event),
+            "threaded" => Ok(ServeMode::Threaded),
+            other => Err(format!("unknown serve mode `{other}` (event|threaded)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeMode::Event => "event",
+            ServeMode::Threaded => "threaded",
+        })
+    }
+}
+
 /// Serving configuration (model world + HTTP tunables).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
+    /// Socket core: event-driven reactor (default) or the legacy
+    /// worker-per-connection pool.
+    pub mode: ServeMode,
     /// Dataset scale every registry entry is generated at.
     pub scale: Scale,
     /// Master seed: dataset generation, training, and CERTA's candidate
@@ -61,6 +98,22 @@ pub struct ServeConfig {
     /// Per-read socket timeout; idle keep-alive connections are dropped
     /// after it so they cannot pin workers forever.
     pub read_timeout: Duration,
+    /// Maximum pipelined requests queued per connection before the reactor
+    /// stops reading from that socket (TCP backpressure; the overflow is
+    /// visible in `certa_serve_conn_pipeline_overflows_total`).
+    pub max_pipeline: usize,
+    /// Per-tenant admission rate in requests/second (0 disables limiting).
+    /// Tenants are identified by the `x-tenant` header (absent = the
+    /// `"default"` tenant); beyond the budget requests get a structured
+    /// `429`.
+    pub tenant_rps: u64,
+    /// Per-tenant burst allowance in requests (token-bucket capacity).
+    pub tenant_burst: u64,
+    /// Bodies larger than this stream as `Transfer-Encoding: chunked` to
+    /// HTTP/1.1 clients (large batch explanations don't need one giant
+    /// contiguous write). The bytes after de-chunking are identical to the
+    /// Content-Length framing, so the byte-equality gate is unaffected.
+    pub stream_chunk_bytes: usize,
     /// Warm-start directory: when set, first-touch resolution tries
     /// `certa-store` artifacts for the `(dataset, model, scale, seed)`
     /// world before generating + training, and persists freshly trained
@@ -72,14 +125,19 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            mode: ServeMode::Event,
             scale: Scale::Smoke,
             seed: 7,
             tau: 100,
             explain_workers: 1,
             http_workers: 0,
-            queue_depth: 128,
+            queue_depth: 512,
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
+            max_pipeline: 64,
+            tenant_rps: 0,
+            tenant_burst: 32,
+            stream_chunk_bytes: 64 * 1024,
             store_dir: None,
         }
     }
