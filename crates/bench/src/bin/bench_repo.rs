@@ -1,0 +1,204 @@
+//! Model-repository gate — the acceptance check for dataset signatures,
+//! similarity search, and the serve transfer mode.
+//!
+//! Four gates, all on the FZ family pair `(seed, seed+1)`:
+//!
+//! 1. **transfer speedup** — for every model family, fine-tuning from a
+//!    sibling-seed donor must be at least [`REQUIRED_SPEEDUP`]× faster
+//!    than a cold train of the same entry point;
+//! 2. **quality** — at a matched test-split F1: the fine-tuned model may
+//!    trail the cold-trained baseline by at most [`MAX_F1_DROP`];
+//! 3. **transfer hit rate** — a registry in `--transfer nearest` mode,
+//!    pointed at a store holding signed sibling-seed donors, must
+//!    warm-start **every** family (hit rate 1.0, zero cold trains);
+//! 4. **search determinism** — `certa-store search` output (rebuilt here
+//!    through the same `Repository::scan` + `nearest` + fixed-precision
+//!    formatting the CLI uses) must be byte-identical across runs.
+//!
+//! Writes `BENCH_repo.json`; any failed gate exits non-zero.
+
+use certa_bench::{banner, write_bench_json, CliOptions};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_models::{fine_tune_model, train_model, ModelKind, TrainConfig};
+use certa_serve::{Json, Registry, ServeConfig, TransferMode};
+use certa_store::{build_signature, ModelStore, Repository};
+use std::time::Instant;
+
+/// Fine-tune must beat cold train by at least this factor.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Largest tolerated test-split F1 deficit of transfer vs cold train.
+const MAX_F1_DROP: f64 = 0.01;
+
+fn temp_store(tag: &str) -> ModelStore {
+    let dir = std::env::temp_dir().join(format!("certa-bench-repo-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ModelStore::new(dir)
+}
+
+/// The CLI's `search` line format (fixed precision → byte-stable).
+fn search_lines(store: &ModelStore, id: DatasetId, scale: Scale, seed: u64) -> String {
+    let repo = Repository::scan(store).expect("store must scan");
+    let mut out = format!(
+        "{} indexed model artifact(s), {} skipped\n",
+        repo.len(),
+        repo.skipped()
+    );
+    let query = build_signature(&generate(id, scale, seed), 1);
+    for (sim, entry) in repo.nearest(&query, 10) {
+        out.push_str(&format!(
+            "{sim:.6}  {}  ({} {} seed {})\n",
+            entry.path.display(),
+            entry.signature.dataset,
+            entry.signature.scale,
+            entry.signature.seed
+        ));
+    }
+    out
+}
+
+fn main() {
+    let opts = CliOptions::from_env();
+    banner(
+        "repo — signatures, similarity search, nearest-model transfer",
+        &opts,
+    );
+    let cfg = opts.grid();
+    let (scale, seed) = (cfg.scale, cfg.seed);
+    let sibling = seed + 1;
+    let mut failures = 0usize;
+
+    // Gates 1+2: fine-tune speedup at matched quality, per family, on the
+    // trainer entry points directly (the serve path adds a shadow cold
+    // train purely for its /metrics delta, so it is not the thing to time).
+    let donor_dataset = generate(DatasetId::FZ, scale, sibling);
+    let target = generate(DatasetId::FZ, scale, seed);
+    let mut families = Vec::new();
+    println!("family        cold(s)  transfer(s)  speedup  cold-F1  tuned-F1   ΔF1");
+    for kind in ModelKind::all() {
+        let tc = TrainConfig::for_kind(kind);
+        let (donor, _) = train_model(kind, &donor_dataset, &tc);
+        // Training is deterministic, so reruns only vary in wall clock:
+        // best-of-3 shields the speedup gate from scheduler noise.
+        let mut cold_s = f64::INFINITY;
+        let mut transfer_s = f64::INFINITY;
+        let mut cold = None;
+        let mut tuned = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let (_, report) = train_model(kind, &target, &tc);
+            cold_s = cold_s.min(t0.elapsed().as_secs_f64());
+            cold = Some(report);
+            let t0 = Instant::now();
+            let (_, report) =
+                fine_tune_model(kind, &target, &donor, &tc).expect("same family must fine-tune");
+            transfer_s = transfer_s.min(t0.elapsed().as_secs_f64());
+            tuned = Some(report);
+        }
+        let (cold, tuned) = (cold.unwrap(), tuned.unwrap());
+        let speedup = cold_s / transfer_s.max(1e-9);
+        let delta = tuned.test_f1 - cold.test_f1;
+        let pass = speedup >= REQUIRED_SPEEDUP && delta >= -MAX_F1_DROP;
+        if !pass {
+            failures += 1;
+        }
+        println!(
+            "{:>11}: {cold_s:8.3} {transfer_s:11.3} {speedup:8.2} {:8.4} {:9.4} {delta:+6.4} {}",
+            kind.paper_name(),
+            cold.test_f1,
+            tuned.test_f1,
+            if pass { "PASS" } else { "FAIL" }
+        );
+        families.push((
+            kind.paper_name(),
+            Json::obj([
+                ("cold_train_seconds", Json::Num(cold_s)),
+                ("transfer_seconds", Json::Num(transfer_s)),
+                ("speedup", Json::Num(speedup)),
+                ("cold_test_f1", Json::Num(cold.test_f1)),
+                ("tuned_test_f1", Json::Num(tuned.test_f1)),
+                ("f1_delta", Json::Num(delta)),
+                ("pass", Json::Bool(pass)),
+            ]),
+        ));
+    }
+
+    // Gate 3: a nearest-transfer registry warm-starts every family from
+    // signed sibling-seed donors — hit rate 1.0.
+    let store = temp_store("transfer");
+    for kind in ModelKind::all() {
+        let (donor, _) = train_model(kind, &donor_dataset, &TrainConfig::for_kind(kind));
+        store
+            .save_model_signed(DatasetId::FZ, kind, scale, sibling, &donor, &donor_dataset)
+            .expect("donor must persist");
+    }
+    let registry = Registry::new(ServeConfig {
+        scale,
+        seed,
+        store_dir: Some(store.dir().to_path_buf()),
+        transfer: TransferMode::Nearest,
+        ..ServeConfig::default()
+    });
+    for kind in ModelKind::all() {
+        registry
+            .resolve(&format!("FZ/{}", kind.paper_name()))
+            .expect("resolution must succeed");
+    }
+    let (hits, misses) = registry.transfer_stats();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let hit_rate_pass = hits == ModelKind::all().len() as u64 && misses == 0;
+    if !hit_rate_pass {
+        failures += 1;
+    }
+    println!();
+    println!(
+        "transfer hit rate: {hits} hit(s), {misses} miss(es) → {hit_rate:.2} — {} (1.00 required)",
+        if hit_rate_pass { "PASS" } else { "FAIL" }
+    );
+
+    // Gate 4: search output is byte-identical across runs.
+    let first = search_lines(&store, DatasetId::FZ, scale, seed);
+    let second = search_lines(&store, DatasetId::FZ, scale, seed);
+    let search_pass = first == second && !first.is_empty();
+    if !search_pass {
+        failures += 1;
+    }
+    println!(
+        "search output    : {} bytes, rescan {} — PASS requires byte-identical",
+        first.len(),
+        if search_pass {
+            "identical ✔"
+        } else {
+            "DIVERGED"
+        }
+    );
+    print!("{first}");
+    let _ = std::fs::remove_dir_all(store.dir());
+
+    let report = Json::obj([
+        ("bench", Json::str("repo")),
+        ("dataset", Json::str("FZ")),
+        ("scale", Json::str(scale.to_string())),
+        ("seed", Json::num(seed as f64)),
+        ("required_speedup", Json::Num(REQUIRED_SPEEDUP)),
+        ("max_f1_drop", Json::Num(MAX_F1_DROP)),
+        ("families", Json::obj(families)),
+        ("transfer_hits", Json::num(hits as f64)),
+        ("transfer_misses", Json::num(misses as f64)),
+        ("transfer_hit_rate", Json::Num(hit_rate)),
+        ("transfer_hit_rate_pass", Json::Bool(hit_rate_pass)),
+        ("search_bytes", Json::num(first.len() as f64)),
+        ("search_deterministic", Json::Bool(search_pass)),
+        ("failures", Json::num(failures as f64)),
+    ]);
+    match write_bench_json("BENCH_repo.json", &report) {
+        Ok(()) => println!("wrote BENCH_repo.json"),
+        Err(e) => {
+            eprintln!("FAIL: could not write BENCH_repo.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} repository gate(s) failed");
+        std::process::exit(1);
+    }
+}

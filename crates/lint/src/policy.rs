@@ -72,15 +72,31 @@ impl Default for Policy {
                         "crates/core/src/value.rs",
                         "crates/block/src/",
                     ],
-                    exclude: BIN_EXCLUDES,
+                    // BIN_EXCLUDES expanded inline, plus the repository
+                    // files that graduate to the Deny scope below.
+                    exclude: &[
+                        "crates/serve/src/bin/",
+                        "crates/store/src/bin/",
+                        "crates/store/src/inspect.rs",
+                        "crates/block/src/bin/",
+                        "crates/cluster/src/bin/",
+                        "crates/store/src/signature.rs",
+                        "crates/store/src/repository.rs",
+                    ],
                 },
-                // The clusterer's partition bytes are compared across runs
-                // and worker counts (bench_cluster gate) — unordered
-                // iteration is promoted to a hard error there.
+                // The clusterer's partition bytes, the dataset signature
+                // sketches, and the repository index ranking are compared
+                // byte-for-byte across runs (bench_cluster and bench_repo
+                // gates) — unordered iteration is promoted to a hard error
+                // there.
                 RuleScope {
                     rule: "no-unordered-iteration",
                     level: Level::Deny,
-                    include: &["crates/cluster/src/"],
+                    include: &[
+                        "crates/cluster/src/",
+                        "crates/store/src/signature.rs",
+                        "crates/store/src/repository.rs",
+                    ],
                     exclude: BIN_EXCLUDES,
                 },
                 RuleScope {
@@ -174,6 +190,35 @@ mod tests {
         assert!(p
             .rules_for("crates/cluster/src/bin/certa_cluster.rs")
             .is_empty());
+    }
+
+    #[test]
+    fn repository_sources_get_deny_level_determinism_rules() {
+        let p = Policy::default();
+        for file in [
+            "crates/store/src/signature.rs",
+            "crates/store/src/repository.rs",
+        ] {
+            let rules = p.rules_for(file);
+            assert!(
+                rules.contains(&("no-unordered-iteration", Level::Deny)),
+                "{file}: {rules:?}"
+            );
+            assert!(
+                rules.contains(&("no-nondeterminism", Level::Deny)),
+                "{file}: {rules:?}"
+            );
+            // Exactly one scope matches per rule — no duplicate findings.
+            let iter_rules = rules
+                .iter()
+                .filter(|(r, _)| *r == "no-unordered-iteration")
+                .count();
+            assert_eq!(iter_rules, 1, "{file}: {rules:?}");
+        }
+        // The rest of the store keeps the Warn-level iteration scope.
+        assert!(p
+            .rules_for("crates/store/src/store.rs")
+            .contains(&("no-unordered-iteration", Level::Warn)));
     }
 
     #[test]

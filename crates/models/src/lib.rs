@@ -38,5 +38,5 @@ pub use embedding::HashedEmbedder;
 pub use features::{Featurizer, FeaturizerKind};
 pub use memo::{EmbedArtifact, FeatureMemo};
 pub use rule::RuleMatcher;
-pub use trainer::{train_model, ErModel, TrainConfig, TrainReport};
+pub use trainer::{fine_tune_model, train_model, ErModel, TrainConfig, TrainReport};
 pub use zoo::{train_zoo, ModelKind, TrainedZoo};

@@ -8,7 +8,8 @@
 //!             [--queue-depth N] [--max-body-bytes N] [--read-timeout-ms N]
 //!             [--max-pipeline N] [--tenant-rps N] [--tenant-burst N]
 //!             [--stream-chunk-bytes N]
-//!             [--store-dir PATH] [--preload <dataset>/<model>]...
+//!             [--store-dir PATH] [--transfer off|nearest]
+//!             [--transfer-floor F] [--preload <dataset>/<model>]...
 //! ```
 //!
 //! `--mode` selects the event-driven reactor core (default) or the
@@ -25,6 +26,12 @@
 //! freshly trained ones), so a restarted server warm-starts in
 //! milliseconds instead of retraining — see the README's "Persistent model
 //! store" section.
+//!
+//! `--transfer nearest` changes what a store *miss* does: instead of
+//! always training cold, the server searches the store's repository index
+//! for the nearest stored model (by dataset-signature similarity, floor
+//! set by `--transfer-floor`) and fine-tunes from its weights — see the
+//! README's "Model repository" section.
 
 use certa_serve::{AppState, ServeConfig, Server};
 use std::net::TcpListener;
@@ -41,7 +48,7 @@ const USAGE: &str = "usage: certa-serve [--host H] [--port P] [--mode event|thre
 [--scale smoke|default|paper] [--seed N] [--tau N] [--http-workers N] [--explain-workers N] \
 [--queue-depth N] [--max-body-bytes N] [--read-timeout-ms N] [--max-pipeline N] \
 [--tenant-rps N] [--tenant-burst N] [--stream-chunk-bytes N] [--store-dir PATH] \
-[--preload <dataset>/<model>]...";
+[--transfer off|nearest] [--transfer-floor F] [--preload <dataset>/<model>]...";
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
@@ -108,6 +115,12 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             }
             "--store-dir" => {
                 args.config.store_dir = Some(std::path::PathBuf::from(value("--store-dir")?))
+            }
+            "--transfer" => args.config.transfer = value("--transfer")?.parse()?,
+            "--transfer-floor" => {
+                args.config.transfer_floor = value("--transfer-floor")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--preload" => args.preload.push(value("--preload")?),
             other if other.ends_with("help") || other == "-h" => return Err(USAGE.to_string()),
@@ -217,6 +230,10 @@ mod tests {
             "4096",
             "--store-dir",
             "/tmp/certa-models",
+            "--transfer",
+            "nearest",
+            "--transfer-floor",
+            "0.5",
             "--preload",
             "FZ/DeepMatcher",
             "--preload",
@@ -240,10 +257,14 @@ mod tests {
             a.config.store_dir.as_deref(),
             Some(std::path::Path::new("/tmp/certa-models"))
         );
+        assert_eq!(a.config.transfer, certa_serve::TransferMode::Nearest);
+        assert_eq!(a.config.transfer_floor, 0.5);
         assert_eq!(a.preload, vec!["FZ/DeepMatcher", "AB/Ditto"]);
         let d = parse(&[]).unwrap();
         assert!(d.config.store_dir.is_none());
         assert_eq!(d.config.mode, certa_serve::ServeMode::Event);
+        assert_eq!(d.config.transfer, certa_serve::TransferMode::Off);
+        assert_eq!(d.config.transfer_floor, 0.25);
     }
 
     #[test]
@@ -252,6 +273,8 @@ mod tests {
         assert!(parse(&["--port"]).is_err());
         assert!(parse(&["--port", "zap"]).is_err());
         assert!(parse(&["--mode", "fibers"]).is_err());
+        assert!(parse(&["--transfer", "furthest"]).is_err());
+        assert!(parse(&["--transfer-floor", "tall"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }
 }

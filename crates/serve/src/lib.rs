@@ -84,5 +84,5 @@ pub mod wire;
 pub use http::{HttpError, Request, Response};
 pub use ops::{LatencyHistogram, Route, ServerMetrics};
 pub use server::{AppState, Server, ServerHandle};
-pub use state::{ModelEntry, Registry, ServeConfig, ServeMode, StoreStats};
+pub use state::{ModelEntry, Registry, ServeConfig, ServeMode, StoreStats, TransferMode};
 pub use wire::{Json, WireError};

@@ -145,6 +145,8 @@ pub enum Route {
     Entity,
     /// `GET /v1/models`
     Models,
+    /// `POST /v1/reload`
+    Reload,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -154,7 +156,7 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 11] = [
+    const ALL: [Route; 12] = [
         Route::Score,
         Route::ScoreBatch,
         Route::Explain,
@@ -163,6 +165,7 @@ impl Route {
         Route::Cluster,
         Route::Entity,
         Route::Models,
+        Route::Reload,
         Route::Healthz,
         Route::Metrics,
         Route::Other,
@@ -180,9 +183,10 @@ impl Route {
             Route::Cluster => 5,
             Route::Entity => 6,
             Route::Models => 7,
-            Route::Healthz => 8,
-            Route::Metrics => 9,
-            Route::Other => 10,
+            Route::Reload => 8,
+            Route::Healthz => 9,
+            Route::Metrics => 10,
+            Route::Other => 11,
         }
     }
 
@@ -197,6 +201,7 @@ impl Route {
             Route::Cluster => "cluster",
             Route::Entity => "entity",
             Route::Models => "models",
+            Route::Reload => "reload",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
             Route::Other => "other",
@@ -216,7 +221,7 @@ pub struct ServerMetrics {
     conn_pipeline_overflows: AtomicU64,
     rate_limited: AtomicU64,
     streamed_responses: AtomicU64,
-    requests_by_route: [AtomicU64; 11],
+    requests_by_route: [AtomicU64; 12],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

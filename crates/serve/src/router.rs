@@ -10,6 +10,7 @@
 //! | POST   | `/v1/cluster`       | block → score → cluster into entities     |
 //! | GET    | `/v1/entity`        | cluster membership of one record          |
 //! | GET    | `/v1/models`        | resolved registry entries                 |
+//! | POST   | `/v1/reload`        | hot-swap entries from the store           |
 //! | GET    | `/healthz`          | liveness + uptime                         |
 //! | GET    | `/metrics`          | Prometheus-style counters                 |
 //!
@@ -50,6 +51,7 @@ fn dispatch(
         ("POST", "/v1/cluster") => (Route::Cluster, cluster(registry, req)),
         ("GET", "/v1/entity") => (Route::Entity, entity(registry, req)),
         ("GET", "/v1/models") => (Route::Models, models(registry)),
+        ("POST", "/v1/reload") => (Route::Reload, reload(registry)),
         ("GET", "/healthz") => (Route::Healthz, healthz(registry)),
         ("GET", "/metrics") => (
             Route::Metrics,
@@ -61,7 +63,7 @@ fn dispatch(
         (
             _,
             "/v1/score" | "/v1/score_batch" | "/v1/explain" | "/v1/explain_batch" | "/v1/block"
-            | "/v1/cluster",
+            | "/v1/cluster" | "/v1/reload",
         ) => (
             Route::Other,
             Err(HttpError {
@@ -710,6 +712,20 @@ fn models(registry: &Registry) -> Result<Response, HttpError> {
     ok_json(&payload)
 }
 
+/// `POST /v1/reload`: atomically hot-swap every materialized entry with a
+/// fresh resolution from the store (artifacts written since startup — e.g.
+/// by `certa-store` or another process — become servable without a
+/// restart). In-flight requests keep their old entries; the swap is one
+/// map insert per model under a single lock acquisition.
+fn reload(registry: &Registry) -> Result<Response, HttpError> {
+    let names = registry.reload();
+    let payload = Json::obj([
+        ("reloaded", Json::num(names.len() as f64)),
+        ("models", Json::Arr(names.iter().map(Json::str).collect())),
+    ]);
+    ok_json(&payload)
+}
+
 fn healthz(registry: &Registry) -> Result<Response, HttpError> {
     let cfg = registry.config();
     let payload = Json::obj([
@@ -1265,6 +1281,43 @@ mod tests {
         ] {
             assert_eq!(a.get(field), b.get(field), "{field}");
         }
+    }
+
+    #[test]
+    fn reload_hot_swaps_resolved_entries() {
+        let registry = registry();
+        let (_, resp) = go(&registry, &req("POST", "/v1/reload", ""));
+        assert_eq!(resp.status, 200);
+        let parsed = parse_response(&resp);
+        assert_eq!(
+            parsed.get("reloaded"),
+            Some(&Json::Num(0.0)),
+            "nothing resolved yet"
+        );
+
+        let before = registry.resolve("FZ/Ditto").unwrap();
+        let (route, resp) = go(&registry, &req("POST", "/v1/reload", ""));
+        assert_eq!(route, Route::Reload);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let parsed = parse_response(&resp);
+        assert_eq!(parsed.get("reloaded"), Some(&Json::Num(1.0)));
+        assert_eq!(
+            parsed.get("models").unwrap().as_arr().unwrap()[0].as_str(),
+            Some("FZ/Ditto")
+        );
+        let after = registry.resolve("FZ/Ditto").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "fresh entry swapped in");
+        // The old Arc stays fully usable for in-flight requests, and the
+        // re-resolved entry lives in the same deterministic world.
+        let u = before.dataset.left().records()[0].clone();
+        let v = before.dataset.right().records()[0].clone();
+        assert_eq!(
+            before.matcher().score(&u, &v).to_bits(),
+            after.matcher().score(&u, &v).to_bits(),
+            "same (scale, seed) world, same weights"
+        );
+        let (_, resp) = go(&registry, &req("GET", "/v1/reload", ""));
+        assert_eq!(resp.status, 405);
     }
 
     #[test]

@@ -29,8 +29,12 @@ use certa_cluster::Partition;
 use certa_core::{lockcheck, BoxedMatcher, Dataset, Record, Side};
 use certa_datagen::{generate, DatasetId, Scale};
 use certa_explain::{Certa, CertaConfig};
-use certa_models::{train_model, CacheStats, CachingMatcher, ErModel, ModelKind, TrainConfig};
-use certa_store::ModelStore;
+use certa_models::{
+    fine_tune_model, train_model, CacheStats, CachingMatcher, ErModel, ModelKind, TrainConfig,
+};
+use certa_store::{
+    build_signature, decode_er_model, peek_model_kind, ModelSignature, ModelStore, Repository,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -68,6 +72,40 @@ impl std::fmt::Display for ServeMode {
         f.write_str(match self {
             ServeMode::Event => "event",
             ServeMode::Threaded => "threaded",
+        })
+    }
+}
+
+/// How first-touch resolution treats a store miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// A store miss trains cold (the pre-repository behaviour). Default.
+    Off,
+    /// A store miss first searches the repository index for the nearest
+    /// stored model (by dataset-signature similarity) above
+    /// [`ServeConfig::transfer_floor`] and, when one exists in the same
+    /// family, warm-starts by fine-tuning from its persisted weights
+    /// instead of a cold init. The result is persisted signed, so the
+    /// next process gets a plain store hit.
+    Nearest,
+}
+
+impl std::str::FromStr for TransferMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(TransferMode::Off),
+            "nearest" => Ok(TransferMode::Nearest),
+            other => Err(format!("unknown transfer mode `{other}` (off|nearest)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransferMode::Off => "off",
+            TransferMode::Nearest => "nearest",
         })
     }
 }
@@ -120,6 +158,14 @@ pub struct ServeConfig {
     /// entries back (load-or-train-then-persist). `None` keeps the PR-3
     /// train-on-first-request behaviour.
     pub store_dir: Option<PathBuf>,
+    /// Store-miss strategy: [`TransferMode::Nearest`] warm-starts from the
+    /// nearest stored model instead of always training cold. Only
+    /// meaningful with a `store_dir`.
+    pub transfer: TransferMode,
+    /// Minimum dataset-signature similarity for a stored model to qualify
+    /// as a warm-start donor. Sibling seeds of one generator family land
+    /// around 0.4; unrelated schemas score 0.
+    pub transfer_floor: f64,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +185,8 @@ impl Default for ServeConfig {
             tenant_burst: 32,
             stream_chunk_bytes: 64 * 1024,
             store_dir: None,
+            transfer: TransferMode::Off,
+            transfer_floor: 0.25,
         }
     }
 }
@@ -261,6 +309,31 @@ pub struct StoreStats {
     pub misses: u64,
     /// Cumulative wall time spent loading from the store, in microseconds.
     pub load_micros: u64,
+    /// Best-effort persistence failures (model, dataset, or partition
+    /// saves). Non-zero on a read-only or broken store directory.
+    pub save_errors: u64,
+}
+
+/// Quality record of one nearest-model transfer, per canonical model name.
+#[derive(Debug, Clone, Copy)]
+struct TransferQuality {
+    /// Signature similarity between the target dataset and the donor.
+    similarity: f64,
+    /// Test-split F1 of the fine-tuned (served) model.
+    tuned_f1: f64,
+    /// `tuned_f1` minus the test-split F1 of the shadow cold-trained
+    /// baseline — negative means the transfer cost quality.
+    delta: f64,
+}
+
+/// Transfer-mode state behind one lock: the lazily scanned repository
+/// index plus per-model quality records for `/metrics`.
+#[derive(Default)]
+struct TransferState {
+    /// `None` until the first transfer attempt scans the store (and again
+    /// after [`Registry::reload`] invalidates it).
+    repo: Option<Repository>,
+    quality: BTreeMap<String, TransferQuality>,
 }
 
 /// Lazy, memoized name → [`ModelEntry`] resolution.
@@ -283,9 +356,15 @@ pub struct Registry {
     // entries map (key 0); neither lock is ever held while acquiring the
     // other.
     partitions: Mutex<BTreeMap<String, Arc<PartitionEntry>>>,
+    // Repository index + transfer quality records (same-rank key 2; never
+    // held while acquiring the entries or partitions locks).
+    transfer: Mutex<TransferState>,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_load_micros: AtomicU64,
+    store_save_errors: AtomicU64,
+    transfer_hits: AtomicU64,
+    transfer_misses: AtomicU64,
     block_requests: AtomicU64,
     block_candidates: AtomicU64,
     cluster_requests: AtomicU64,
@@ -302,9 +381,13 @@ impl Registry {
             store,
             entries: Mutex::new(BTreeMap::new()),
             partitions: Mutex::new(BTreeMap::new()),
+            transfer: Mutex::new(TransferState::default()),
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
             store_load_micros: AtomicU64::new(0),
+            store_save_errors: AtomicU64::new(0),
+            transfer_hits: AtomicU64::new(0),
+            transfer_misses: AtomicU64::new(0),
             block_requests: AtomicU64::new(0),
             block_candidates: AtomicU64::new(0),
             cluster_requests: AtomicU64::new(0),
@@ -354,6 +437,7 @@ impl Registry {
                 clusterer,
                 threshold,
             ) {
+                self.store_save_errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "certa-serve: could not persist partition for {} to {}: {e}",
                     entry.name,
@@ -430,7 +514,17 @@ impl Registry {
             hits: self.store_hits.load(Ordering::Relaxed),
             misses: self.store_misses.load(Ordering::Relaxed),
             load_micros: self.store_load_micros.load(Ordering::Relaxed),
+            save_errors: self.store_save_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// `(transfer hits, transfer misses)` accounted by the
+    /// `--transfer nearest` path. Both zero with [`TransferMode::Off`].
+    pub fn transfer_stats(&self) -> (u64, u64) {
+        (
+            self.transfer_hits.load(Ordering::Relaxed),
+            self.transfer_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Parse and canonicalize a `"<dataset>/<model>"` name.
@@ -460,19 +554,71 @@ impl Registry {
     /// generate + train (persisting the result for the next process).
     pub fn resolve(&self, name: &str) -> Result<Arc<ModelEntry>, HttpError> {
         self.resolve_with(name, |dataset_id, kind, canonical| {
-            let (dataset, model) = self.load_or_train(dataset_id, kind);
-            let model = Arc::new(model);
-            let cache = CachingMatcher::new(Arc::clone(&model) as BoxedMatcher);
-            Arc::new(ModelEntry {
-                name: canonical.to_string(),
-                dataset_id,
-                kind,
-                dataset,
-                model,
-                cache,
-                certa: Certa::new(self.config.certa_config()),
-            })
+            self.materialize(dataset_id, kind, canonical)
         })
+    }
+
+    /// Build one full entry (load-or-train, score cache, explainer) for a
+    /// canonical name. Real work — always runs outside every registry lock.
+    fn materialize(
+        &self,
+        dataset_id: DatasetId,
+        kind: ModelKind,
+        canonical: &str,
+    ) -> Arc<ModelEntry> {
+        let (dataset, model) = self.load_or_train(dataset_id, kind);
+        let model = Arc::new(model);
+        let cache = CachingMatcher::new(Arc::clone(&model) as BoxedMatcher);
+        Arc::new(ModelEntry {
+            name: canonical.to_string(),
+            dataset_id,
+            kind,
+            dataset,
+            model,
+            cache,
+            certa: Certa::new(self.config.certa_config()),
+        })
+    }
+
+    /// Atomic registry hot-swap behind `POST /v1/reload`: re-resolve every
+    /// materialized model from the store and swap the fresh entries in
+    /// under one map-lock acquisition. Materialization (store load or
+    /// train) happens entirely outside the locks — the same discipline as
+    /// first-touch resolution — so in-flight requests keep scoring against
+    /// the old entries (their `Arc`s stay alive) and never observe a
+    /// half-swapped map. The repository index is invalidated first so a
+    /// store directory that changed since startup is rescanned. Returns
+    /// the reloaded canonical names, in order.
+    pub fn reload(&self) -> Vec<String> {
+        let owner = self as *const Registry as usize;
+        let names: Vec<String> = {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 0);
+            self.entries.lock().keys().cloned().collect()
+        };
+        {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+            self.transfer.lock().repo = None;
+        }
+        let mut swapped: Vec<(String, EntrySlot)> = Vec::with_capacity(names.len());
+        for name in &names {
+            // Map keys are canonical by construction; skip defensively.
+            let Ok((dataset_id, kind)) = Self::canonical_name(name) else {
+                continue;
+            };
+            lockcheck::assert_none_held(owner, "reload materialization");
+            let entry = self.materialize(dataset_id, kind, name);
+            let slot: EntrySlot = Arc::new(OnceLock::new());
+            let _ = slot.set(entry);
+            swapped.push((name.clone(), slot));
+        }
+        {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 0);
+            let mut map = self.entries.lock();
+            for (name, slot) in swapped {
+                map.insert(name, slot);
+            }
+        }
+        names
     }
 
     /// Memoized resolution with an injected builder. The builder runs
@@ -543,24 +689,151 @@ impl Registry {
                 (generate(dataset_id, scale, seed), false)
             }
         };
+        // Store miss: with `--transfer nearest`, try warm-starting from the
+        // nearest stored model before falling back to a cold train.
+        if let Some(model) = self.try_transfer(dataset_id, kind, &dataset, dataset_was_stored) {
+            return (dataset, model);
+        }
         let (model, _report) = train_model(kind, &dataset, &TrainConfig::for_kind(kind));
         if let Some(store) = &self.store {
             let saved = if dataset_was_stored {
-                store.save_model(dataset_id, kind, scale, seed, &model)
+                store.save_model_signed(dataset_id, kind, scale, seed, &model, &dataset)
             } else {
                 store
                     .save_dataset(dataset_id, scale, seed, &dataset)
-                    .and_then(|_| store.save_model(dataset_id, kind, scale, seed, &model))
+                    .and_then(|_| {
+                        store.save_model_signed(dataset_id, kind, scale, seed, &model, &dataset)
+                    })
             };
             if let Err(e) = saved {
+                self.store_save_errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "certa-serve: could not persist {dataset_id}/{} to {}: {e}",
                     kind.paper_name(),
                     store.dir().display()
                 );
+            } else if self.config.transfer == TransferMode::Nearest {
+                // A cold save may postdate the repository scan; drop the
+                // index so the next transfer attempt sees this artifact.
+                let owner = self as *const Registry as usize;
+                let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+                self.transfer.lock().repo = None;
             }
         }
         (dataset, model)
+    }
+
+    /// The `--transfer nearest` warm-start behind a store miss: rank stored
+    /// models by dataset-signature similarity, and fine-tune from the
+    /// nearest same-family donor above [`ServeConfig::transfer_floor`]
+    /// instead of cold-initializing. The tuned model is persisted signed
+    /// (so the next process gets a plain store hit) and its quality —
+    /// similarity, tuned test-F1, and the delta against a shadow
+    /// cold-trained baseline — lands in `/metrics`. The shadow baseline is
+    /// a first-touch-only observability cost; the fine-tune speedup itself
+    /// is gated by `bench_repo` on the trainer entry points directly.
+    ///
+    /// Returns `None` (counting a transfer miss) when the mode is off, no
+    /// store is configured, or no qualifying donor fine-tunes successfully.
+    fn try_transfer(
+        &self,
+        dataset_id: DatasetId,
+        kind: ModelKind,
+        dataset: &Dataset,
+        dataset_was_stored: bool,
+    ) -> Option<ErModel> {
+        if self.config.transfer != TransferMode::Nearest {
+            return None;
+        }
+        let store = self.store.as_ref()?;
+        let (scale, seed) = (self.config.scale, self.config.seed);
+        let canonical = format!("{}/{}", dataset_id.code(), kind.paper_name());
+        let query = build_signature(dataset, 1);
+        let owner = self as *const Registry as usize;
+        // Scan outside the transfer lock (it reads every model artifact's
+        // signature section), then install the index if still absent.
+        let held = {
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+            self.transfer.lock().repo.clone()
+        };
+        let snapshot = match held {
+            Some(repo) => repo,
+            None => {
+                let scanned = Repository::scan(store).unwrap_or_default();
+                let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+                self.transfer.lock().repo.get_or_insert(scanned).clone()
+            }
+        };
+        let candidates: Vec<(f64, PathBuf)> = snapshot
+            .nearest(&query, snapshot.len())
+            .into_iter()
+            .filter(|(sim, _)| *sim >= self.config.transfer_floor)
+            .map(|(sim, e)| (sim, e.path.clone()))
+            .collect();
+        for (similarity, path) in candidates {
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            // Cheap family gate before decoding any weights.
+            if peek_model_kind(&bytes) != Ok(kind) {
+                continue;
+            }
+            let Ok(base) = decode_er_model(&bytes) else {
+                continue;
+            };
+            let cfg = TrainConfig::for_kind(kind);
+            let Some((tuned, report)) = fine_tune_model(kind, dataset, &base, &cfg) else {
+                continue;
+            };
+            let (_, cold) = train_model(kind, dataset, &cfg);
+            let quality = TransferQuality {
+                similarity,
+                tuned_f1: report.test_f1,
+                delta: report.test_f1 - cold.test_f1,
+            };
+            self.transfer_hits.fetch_add(1, Ordering::Relaxed);
+            if !dataset_was_stored {
+                if let Err(e) = store.save_dataset(dataset_id, scale, seed, dataset) {
+                    self.store_save_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "certa-serve: could not persist {dataset_id} dataset to {}: {e}",
+                        store.dir().display()
+                    );
+                }
+            }
+            let saved = store.save_model_signed(dataset_id, kind, scale, seed, &tuned, dataset);
+            {
+                let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+                let mut t = self.transfer.lock();
+                match &saved {
+                    Ok(at) => {
+                        if let Some(repo) = &mut t.repo {
+                            repo.add(
+                                at.clone(),
+                                ModelSignature {
+                                    dataset: dataset_id.code().to_string(),
+                                    scale: scale.to_string(),
+                                    seed,
+                                    signature: query.clone(),
+                                },
+                            );
+                        }
+                    }
+                    Err(_) => t.repo = None,
+                }
+                t.quality.insert(canonical.clone(), quality);
+            }
+            if let Err(e) = saved {
+                self.store_save_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "certa-serve: could not persist transferred {canonical} to {}: {e}",
+                    store.dir().display()
+                );
+            }
+            return Some(tuned);
+        }
+        self.transfer_misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Snapshot of the resolved entries, in name order.
@@ -630,6 +903,7 @@ impl Registry {
             ));
         }
         out.push_str(&self.store_metric_lines());
+        out.push_str(&self.transfer_metric_lines());
         out.push_str(&self.block_metric_lines());
         out.push_str(&self.cluster_metric_lines());
         out
@@ -704,6 +978,61 @@ impl Registry {
             "certa_serve_store_load_seconds_total {}\n",
             stats.load_micros as f64 / 1e6
         ));
+        out.push_str("# TYPE certa_serve_store_save_errors_total counter\n");
+        out.push_str(&format!(
+            "certa_serve_store_save_errors_total {}\n",
+            stats.save_errors
+        ));
+        out
+    }
+
+    /// Transfer-mode lines for the `/metrics` exposition: hit/miss
+    /// counters plus, per transferred model, the donor similarity, the
+    /// tuned test-F1, and the quality delta against the shadow
+    /// cold-trained baseline (negative = the transfer cost quality).
+    pub fn transfer_metric_lines(&self) -> String {
+        let (hits, misses) = self.transfer_stats();
+        let mut out = String::new();
+        out.push_str("# TYPE certa_serve_transfer_hits_total counter\n");
+        out.push_str(&format!("certa_serve_transfer_hits_total {hits}\n"));
+        out.push_str("# TYPE certa_serve_transfer_misses_total counter\n");
+        out.push_str(&format!("certa_serve_transfer_misses_total {misses}\n"));
+        let quality: Vec<(String, TransferQuality)> = {
+            let owner = self as *const Registry as usize;
+            let _held = lockcheck::acquire(owner, lockcheck::rank::SHARD, 2);
+            self.transfer
+                .lock()
+                .quality
+                .iter()
+                .map(|(name, q)| (name.clone(), *q))
+                .collect()
+        };
+        if !quality.is_empty() {
+            out.push_str("# TYPE certa_serve_transfer_similarity gauge\n");
+            for (name, q) in &quality {
+                // certa-lint: allow(no-float-format) — monitoring gauge, not byte-compared wire output; f64 Display is shortest-round-trip
+                out.push_str(&format!(
+                    "certa_serve_transfer_similarity{{model=\"{name}\"}} {}\n",
+                    q.similarity
+                ));
+            }
+            out.push_str("# TYPE certa_serve_transfer_test_f1 gauge\n");
+            for (name, q) in &quality {
+                // certa-lint: allow(no-float-format) — monitoring gauge, not byte-compared wire output; f64 Display is shortest-round-trip
+                out.push_str(&format!(
+                    "certa_serve_transfer_test_f1{{model=\"{name}\"}} {}\n",
+                    q.tuned_f1
+                ));
+            }
+            out.push_str("# TYPE certa_serve_transfer_f1_delta gauge\n");
+            for (name, q) in &quality {
+                // certa-lint: allow(no-float-format) — monitoring gauge, not byte-compared wire output; f64 Display is shortest-round-trip
+                out.push_str(&format!(
+                    "certa_serve_transfer_f1_delta{{model=\"{name}\"}} {}\n",
+                    q.delta
+                ));
+            }
+        }
         out
     }
 }
@@ -875,7 +1204,87 @@ mod tests {
         let v = entry.dataset.right().records()[0].clone();
         assert!((0.0..=1.0).contains(&entry.matcher().score(&u, &v)));
         assert_eq!(registry.store_stats().misses, 1);
+        // The failed best-effort persist is counted, not just logged: the
+        // dataset save fails first and short-circuits the model save.
+        assert_eq!(registry.store_stats().save_errors, 1);
+        let lines = registry.store_metric_lines();
+        assert!(
+            lines.contains("certa_serve_store_save_errors_total 1"),
+            "{lines}"
+        );
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn transfer_warm_starts_from_a_sibling_seed() {
+        let dir = temp_dir("transfer");
+        // Another process stored a *signed* FZ model for a sibling seed.
+        let donor_seed = ServeConfig::default().seed + 1;
+        let store = ModelStore::new(&dir);
+        let d = generate(DatasetId::FZ, Scale::Smoke, donor_seed);
+        let kind = ModelKind::DeepMatcher;
+        let (donor, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+        store
+            .save_model_signed(DatasetId::FZ, kind, Scale::Smoke, donor_seed, &donor, &d)
+            .unwrap();
+
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            transfer: TransferMode::Nearest,
+            ..ServeConfig::default()
+        };
+        let registry = Registry::new(config.clone());
+        let entry = registry.resolve("FZ/DeepMatcher").unwrap();
+        assert_eq!(
+            registry.transfer_stats(),
+            (1, 0),
+            "sibling donor fine-tuned"
+        );
+        assert_eq!(registry.store_stats().misses, 1, "still a store miss");
+        assert_eq!(registry.store_stats().save_errors, 0);
+        let lines = registry.cache_metric_lines();
+        assert!(
+            lines.contains("certa_serve_transfer_hits_total 1"),
+            "{lines}"
+        );
+        assert!(
+            lines.contains("certa_serve_transfer_misses_total 0"),
+            "{lines}"
+        );
+        assert!(
+            lines.contains("certa_serve_transfer_similarity{model=\"FZ/DeepMatcher\"}"),
+            "{lines}"
+        );
+        assert!(
+            lines.contains("certa_serve_transfer_test_f1{model=\"FZ/DeepMatcher\"}"),
+            "{lines}"
+        );
+        assert!(
+            lines.contains("certa_serve_transfer_f1_delta{model=\"FZ/DeepMatcher\"}"),
+            "{lines}"
+        );
+        let u = entry.dataset.left().records()[0].clone();
+        let v = entry.dataset.right().records()[0].clone();
+        assert!((0.0..=1.0).contains(&entry.matcher().score(&u, &v)));
+
+        // The tuned model was persisted signed, so a restarted process gets
+        // a plain store hit and never reaches the transfer path.
+        let warm = Registry::new(config.clone());
+        warm.resolve("FZ/DeepMatcher").unwrap();
+        assert_eq!(warm.store_stats().hits, 1);
+        assert_eq!(warm.transfer_stats(), (0, 0));
+
+        // An unrelated schema (AB ∩ FZ attribute names = ∅, similarity 0)
+        // finds no donor above the floor: a transfer miss, cold train.
+        let ab = Registry::new(config);
+        ab.resolve("AB/DeepMatcher").unwrap();
+        assert_eq!(ab.transfer_stats(), (0, 1), "no donor above the floor");
+        let lines = ab.transfer_metric_lines();
+        assert!(
+            lines.contains("certa_serve_transfer_misses_total 1"),
+            "{lines}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The registry-lock fix, proven without timing assumptions: two

@@ -5,13 +5,25 @@
 //! certa-store inspect <file>...        header + section table + summary
 //! certa-store verify <file|dir>...     full decode; non-zero exit on any failure
 //! certa-store gc <dir> [--dry-run]     remove corrupt/stale artifacts + .tmp files
+//! certa-store search <dir> <dataset> <scale> <seed> [--top N]
+//!                                      rank stored models by signature similarity
+//!                                      to the named generated dataset
+//! certa-store evict <dir> --max-bytes N [--dry-run]
+//!                                      drop oldest artifacts (LRU by mtime) until
+//!                                      the store fits the byte budget
 //! ```
+//!
+//! `search` output is deterministic byte-for-byte: the repository index is
+//! path-sorted, similarities are ranked by a total order, and floats print
+//! with fixed precision.
 
-use certa_store::{describe, verify_file, ModelStore, EXTENSION};
+use certa_datagen::{generate, DatasetId, Scale};
+use certa_store::{build_signature, describe, verify_file, ModelStore, Repository, EXTENSION};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str =
-    "usage: certa-store <inspect <file>... | verify <file|dir>... | gc <dir> [--dry-run]>";
+const USAGE: &str = "usage: certa-store <inspect <file>... | verify <file|dir>... | \
+gc <dir> [--dry-run] | search <dir> <dataset> <scale> <seed> [--top N] | \
+evict <dir> --max-bytes N [--dry-run]>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +32,8 @@ fn main() {
             "inspect" => inspect(rest),
             "verify" => verify(rest),
             "gc" => gc(rest),
+            "search" => search(rest),
+            "evict" => evict(rest),
             other if other.ends_with("help") || other == "-h" => {
                 eprintln!("{USAGE}");
                 2
@@ -101,6 +115,135 @@ fn verify(paths: &[String]) -> i32 {
     }
     println!("{} file(s), {failures} failure(s)", files.len());
     i32::from(failures > 0)
+}
+
+/// `search <dir> <dataset> <scale> <seed> [--top N]`: generate the query
+/// world's dataset, build its signature, and rank the store's signed model
+/// artifacts by similarity — the CLI face of `Repository::nearest`.
+fn search(args: &[String]) -> i32 {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => {
+                    eprintln!("search: --top needs an integer value\n{USAGE}");
+                    return 2;
+                }
+            }
+        } else if a.starts_with("--") {
+            eprintln!("search: unknown flag `{a}`\n{USAGE}");
+            return 2;
+        } else {
+            pos.push(a.as_str());
+        }
+    }
+    let [dir, dataset, scale, seed] = pos.as_slice() else {
+        eprintln!("search: expected <dir> <dataset> <scale> <seed>\n{USAGE}");
+        return 2;
+    };
+    let id = match DatasetId::from_code(dataset) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("search: {e}");
+            return 2;
+        }
+    };
+    let scale: Scale = match scale.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("search: {e}");
+            return 2;
+        }
+    };
+    let seed: u64 = match seed.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("search: bad seed: {e}");
+            return 2;
+        }
+    };
+    let repo = match Repository::scan(&ModelStore::new(*dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("search: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{} indexed model artifact(s), {} skipped",
+        repo.len(),
+        repo.skipped()
+    );
+    let query = build_signature(&generate(id, scale, seed), 1);
+    for (sim, entry) in repo.nearest(&query, top) {
+        println!(
+            "{sim:.6}  {}  ({} {} seed {})",
+            entry.path.display(),
+            entry.signature.dataset,
+            entry.signature.scale,
+            entry.signature.seed
+        );
+    }
+    0
+}
+
+/// `evict <dir> --max-bytes N [--dry-run]`: LRU-by-mtime repository
+/// hygiene — drop the oldest artifacts until the store fits the budget.
+fn evict(args: &[String]) -> i32 {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut max_bytes: Option<u64> = None;
+    let mut dry_run = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-bytes" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_bytes = Some(n),
+                None => {
+                    eprintln!("evict: --max-bytes needs an integer value\n{USAGE}");
+                    return 2;
+                }
+            }
+        } else if a == "--dry-run" {
+            dry_run = true;
+        } else if a.starts_with("--") {
+            eprintln!("evict: unknown flag `{a}`\n{USAGE}");
+            return 2;
+        } else {
+            pos.push(a.as_str());
+        }
+    }
+    let [dir] = pos.as_slice() else {
+        eprintln!("evict: exactly one directory expected\n{USAGE}");
+        return 2;
+    };
+    let Some(max_bytes) = max_bytes else {
+        eprintln!("evict: --max-bytes is required\n{USAGE}");
+        return 2;
+    };
+    match ModelStore::new(*dir).evict(max_bytes, dry_run) {
+        Ok(removed) => {
+            for path in &removed {
+                println!(
+                    "{} {}",
+                    if dry_run { "would evict" } else { "evicted" },
+                    path.display()
+                );
+            }
+            println!(
+                "{} artifact(s) {}",
+                removed.len(),
+                if dry_run { "to evict" } else { "evicted" }
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("evict: {e}");
+            1
+        }
+    }
 }
 
 fn gc(args: &[String]) -> i32 {

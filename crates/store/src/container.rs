@@ -3,7 +3,7 @@
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────────┐
 //! │ magic "CERTAST\0"  (8 bytes)                                     │
-//! │ format version     (u32, currently 1)                            │
+//! │ format version     (u32, currently 2)                            │
 //! │ artifact kind      (u32: model / dataset / rule / score-cache)   │
 //! │ section count      (u32, ≤ 32)                                   │
 //! ├──────────────────────────────────────────────────────────────────┤
@@ -33,7 +33,13 @@ pub const MAGIC: [u8; 8] = *b"CERTAST\0";
 
 /// The one format version this build reads and writes. Any layout change —
 /// new section, field reordering, width change — must bump this.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial layout (PR 5); 2 = optional SIGNATURE
+/// section in model and dataset artifacts (the repository search index).
+/// Version-1 files are rejected with [`StoreError::UnsupportedVersion`] —
+/// `restrict` would refuse the new section anyway, so readers and writers
+/// move in lockstep rather than half-reading newer artifacts.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Upper bound on sections per artifact (structural sanity, not a limit any
 /// real artifact approaches).
@@ -118,6 +124,9 @@ pub mod tag {
     pub const RULE: u32 = 12;
     /// Resolved entity partition.
     pub const PARTITION: u32 = 13;
+    /// Dataset signature: per-attribute token/IDF sketches (optional;
+    /// format version ≥ 2).
+    pub const SIGNATURE: u32 = 14;
 
     /// Display name of a tag (CLI `inspect`).
     pub fn name(t: u32) -> &'static str {
@@ -135,6 +144,7 @@ pub mod tag {
             PAIRS => "pairs",
             RULE => "rule",
             PARTITION => "partition",
+            SIGNATURE => "signature",
             _ => "unknown",
         }
     }
@@ -255,8 +265,8 @@ impl<'a> Container<'a> {
         self.section(tag).ok_or(StoreError::MissingSection(name))
     }
 
-    /// Error when any section's tag is outside `allowed` — a version-1
-    /// decoder refuses artifacts carrying sections it cannot interpret.
+    /// Error when any section's tag is outside `allowed` — the decoder
+    /// refuses artifacts carrying sections it cannot interpret.
     pub fn restrict(&self, allowed: &[u32]) -> Result<()> {
         for &(tag, _) in &self.sections {
             if !allowed.contains(&tag) {

@@ -12,12 +12,15 @@
 use crate::codec::{Reader, Writer};
 use crate::container::{tag, write_container, ArtifactKind, Container};
 use crate::error::{Result, StoreError};
+use crate::signature::{build_signature, decode_signature, encode_signature, Signature};
 use certa_core::hash::FxHashSet;
 use certa_core::{Dataset, LabeledPair, Record, RecordId, Schema, Split, Table};
 use std::sync::Arc;
 
-/// Encode a dataset (schemas, records, splits). Deterministic: tables and
-/// splits are ordered collections, so same dataset, same bytes.
+/// Encode a dataset (schemas, records, splits, and its searchable
+/// signature). Deterministic: tables and splits are ordered collections
+/// and the signature build is worker-count-invariant, so same dataset,
+/// same bytes.
 pub fn encode_dataset(d: &Dataset) -> Vec<u8> {
     let mut meta = Writer::new();
     meta.str_(d.name());
@@ -29,8 +32,20 @@ pub fn encode_dataset(d: &Dataset) -> Vec<u8> {
         (tag::SCHEMA_RIGHT, encode_schema(d.right().schema())),
         (tag::RECORDS_RIGHT, encode_records(d.right())),
         (tag::PAIRS, encode_pairs(d)),
+        (tag::SIGNATURE, encode_signature(&build_signature(d, 1))),
     ];
     write_container(ArtifactKind::Dataset, &sections)
+}
+
+/// Read a dataset artifact's signature, if present, without rebuilding the
+/// tables. `Ok(None)` means a valid artifact saved without one (the
+/// SIGNATURE section is optional on read).
+pub fn peek_dataset_signature(bytes: &[u8]) -> Result<Option<Signature>> {
+    let c = Container::parse_kind(bytes, ArtifactKind::Dataset)?;
+    match c.section(tag::SIGNATURE) {
+        Some(payload) => Ok(Some(decode_signature(payload)?)),
+        None => Ok(None),
+    }
 }
 
 /// Decode a dataset artifact, re-interning every value and re-running the
@@ -44,6 +59,7 @@ pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset> {
         tag::SCHEMA_RIGHT,
         tag::RECORDS_RIGHT,
         tag::PAIRS,
+        tag::SIGNATURE,
     ])?;
 
     let mut meta = Reader::new(c.require(tag::META, "meta")?);
@@ -206,6 +222,31 @@ mod tests {
                 assert_eq!(ra.content_hash(), rb.content_hash());
             }
         }
+    }
+
+    #[test]
+    fn signature_section_is_optional_on_read() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 6);
+        let bytes = encode_dataset(&d);
+        let sig = peek_dataset_signature(&bytes).unwrap().expect("embedded");
+        assert_eq!(
+            sig.similarity(&build_signature(&d, 1)).to_bits(),
+            1.0f64.to_bits(),
+            "embedded signature matches a fresh build"
+        );
+
+        // A signature-less artifact (the pre-repository layout, minus the
+        // section) still decodes to the same dataset and peeks as None.
+        let c = Container::parse(&bytes).unwrap();
+        let stripped: Vec<(u32, Vec<u8>)> = c
+            .sections
+            .iter()
+            .filter(|&&(t, _)| t != tag::SIGNATURE)
+            .map(|&(t, p)| (t, p.to_vec()))
+            .collect();
+        let legacy = write_container(ArtifactKind::Dataset, &stripped);
+        assert!(peek_dataset_signature(&legacy).unwrap().is_none());
+        assert_datasets_equal(&d, &decode_dataset(&legacy).unwrap());
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //! snapshots. This is the layer that turns the workspace's
 //! train-everything-on-first-request world into Christen-style *model
 //! repository* serving — the served artifact is loaded, not retrained, and
-//! is **bit-identical** to the artifact that was evaluated.
+//! is **bit-identical** to the artifact that was evaluated. The repository
+//! is *searchable*: artifacts carry dataset [`signature`]s (per-attribute
+//! token/IDF sketches), [`Repository`] indexes a store directory, and
+//! `nearest` ranks stored models against a query signature so a new
+//! dataset can warm-start from its closest neighbor instead of training
+//! cold.
 //!
-//! ## Container format (version 1)
+//! ## Container format (version 2)
 //!
 //! Every artifact is one [`container`]: an 8-byte magic, a format version,
 //! an artifact kind, and a table of tagged sections each protected by an
@@ -15,11 +20,15 @@
 //!
 //! | kind | sections | codec |
 //! |------|----------|-------|
-//! | model | meta, featurizer, standardizer, mlp, \[memo\] | [`model`] |
-//! | dataset | meta, 2 × (schema, records), pairs | [`dataset`] |
+//! | model | meta, featurizer, standardizer, mlp, \[memo\], \[signature\] | [`model`] |
+//! | dataset | meta, 2 × (schema, records), pairs, \[signature\] | [`dataset`] |
 //! | rule-matcher | rule | [`model`] |
 //! | score-cache | score-cache | [`snapshot`] |
 //! | partition | partition | [`partition`] |
+//!
+//! Version 2 added the optional `signature` sections (version-1 files are
+//! rejected — see [`container::FORMAT_VERSION`]); artifacts *without* a
+//! signature still load, they are just invisible to repository search.
 //!
 //! ## Contracts
 //!
@@ -42,9 +51,11 @@
 //!
 //! ## Entry points
 //!
-//! [`ModelStore`] is the directory-level API (`save_*`/`load_*`/`gc`) that
-//! `certa-serve --store-dir` warm-starts from; the `certa-store` binary
-//! wraps it as an `inspect`/`verify`/`gc` CLI; the `encode_*`/`decode_*`
+//! [`ModelStore`] is the directory-level API
+//! (`save_*`/`load_*`/`gc`/`evict`) that `certa-serve --store-dir`
+//! warm-starts from; [`Repository`] is the similarity index over a store
+//! directory; the `certa-store` binary wraps both as an
+//! `inspect`/`verify`/`gc`/`search`/`evict` CLI; the `encode_*`/`decode_*`
 //! functions are the byte-level codecs underneath.
 
 pub mod codec;
@@ -54,19 +65,25 @@ pub mod error;
 pub mod inspect;
 pub mod model;
 pub mod partition;
+pub mod repository;
+pub mod signature;
 pub mod snapshot;
 pub mod store;
 
 pub use container::{ArtifactKind, Container, FORMAT_VERSION, MAGIC};
-pub use dataset::{decode_dataset, encode_dataset};
+pub use dataset::{decode_dataset, encode_dataset, peek_dataset_signature};
 pub use error::{Result, StoreError};
 pub use inspect::describe;
 pub use model::{
-    decode_er_model, decode_rule_matcher, encode_er_model, encode_er_model_with_memo,
-    encode_rule_matcher,
+    decode_er_model, decode_rule_matcher, encode_er_model, encode_er_model_signed,
+    encode_er_model_with_memo, encode_rule_matcher, peek_model_kind, peek_model_signature,
 };
 pub use partition::{decode_partition, encode_partition, StoredPartition};
+pub use repository::{RepoEntry, Repository};
+pub use signature::{
+    build_signature, decode_signature, encode_signature, ModelSignature, Signature,
+};
 pub use snapshot::{
     decode_memo_into, decode_score_cache, encode_memo, encode_score_cache, encode_score_entries,
 };
-pub use store::{verify_bytes, verify_file, ModelStore, EXTENSION};
+pub use store::{verify_bytes, verify_file, ModelStore, EXTENSION, GC_TMP_STALENESS};

@@ -12,6 +12,7 @@
 use crate::codec::{Reader, Writer};
 use crate::container::{tag, write_container, ArtifactKind, Container};
 use crate::error::{Result, StoreError};
+use crate::signature::{decode_model_signature, encode_model_signature, ModelSignature};
 use crate::snapshot::{decode_memo_into, encode_memo};
 use certa_ml::{Activation, DenseSnapshot, FeatureHasher, Mlp, MlpSnapshot};
 use certa_models::{ErModel, Featurizer, HashedEmbedder, ModelKind, RuleMatcher};
@@ -23,7 +24,7 @@ use certa_text::CorpusStats;
 /// featurization memo is **not** included — see
 /// [`encode_er_model_with_memo`]. Deterministic: same model, same bytes.
 pub fn encode_er_model(model: &ErModel) -> Vec<u8> {
-    encode_model_sections(model, None)
+    encode_model_sections(model, None, None)
 }
 
 /// [`encode_er_model`] plus a snapshot of the model's warm featurization
@@ -33,14 +34,28 @@ pub fn encode_er_model(model: &ErModel) -> Vec<u8> {
 /// checkpointing a *serving* model, while plain [`encode_er_model`] is the
 /// deterministic form golden tests pin.
 pub fn encode_er_model_with_memo(model: &ErModel) -> Vec<u8> {
-    let memo = model
-        .feature_memo()
-        .filter(|m| !m.is_empty())
-        .map(|m| encode_memo(m));
-    encode_model_sections(model, memo)
+    encode_model_sections(model, memo_section(model), None)
 }
 
-fn encode_model_sections(model: &ErModel, memo: Option<Vec<u8>>) -> Vec<u8> {
+/// [`encode_er_model_with_memo`] plus a SIGNATURE section carrying the
+/// training dataset's sketch and provenance — the form the repository
+/// index can rank without decoding any weights.
+pub fn encode_er_model_signed(model: &ErModel, ms: &ModelSignature) -> Vec<u8> {
+    encode_model_sections(model, memo_section(model), Some(encode_model_signature(ms)))
+}
+
+fn memo_section(model: &ErModel) -> Option<Vec<u8>> {
+    model
+        .feature_memo()
+        .filter(|m| !m.is_empty())
+        .map(|m| encode_memo(m))
+}
+
+fn encode_model_sections(
+    model: &ErModel,
+    memo: Option<Vec<u8>>,
+    signature: Option<Vec<u8>>,
+) -> Vec<u8> {
     let mut meta = Writer::new();
     meta.u8(model.kind() as u8);
 
@@ -52,6 +67,9 @@ fn encode_model_sections(model: &ErModel, memo: Option<Vec<u8>>) -> Vec<u8> {
     ];
     if let Some(memo_bytes) = memo {
         sections.push((tag::MEMO, memo_bytes));
+    }
+    if let Some(sig_bytes) = signature {
+        sections.push((tag::SIGNATURE, sig_bytes));
     }
     write_container(ArtifactKind::Model, &sections)
 }
@@ -67,6 +85,7 @@ pub fn decode_er_model(bytes: &[u8]) -> Result<ErModel> {
         tag::STANDARDIZER,
         tag::MLP,
         tag::MEMO,
+        tag::SIGNATURE,
     ])?;
 
     let mut meta = Reader::new(c.require(tag::META, "meta")?);
@@ -113,6 +132,30 @@ pub fn decode_er_model(bytes: &[u8]) -> Result<ErModel> {
         decode_memo_into(memo_bytes, memo, model.featurizer())?;
     }
     Ok(model)
+}
+
+/// Read just the stored model family from an artifact's META section —
+/// container structure and checksums are verified, but no weights are
+/// decoded. This is how `load_model` rejects a wrong-kind file *before*
+/// paying for (and trusting) the full decode, and it is cheap enough for
+/// the repository scan.
+pub fn peek_model_kind(bytes: &[u8]) -> Result<ModelKind> {
+    let c = Container::parse_kind(bytes, ArtifactKind::Model)?;
+    let mut meta = Reader::new(c.require(tag::META, "meta")?);
+    let kind = model_kind_from_code(meta.u8("model kind")?)?;
+    meta.finish()?;
+    Ok(kind)
+}
+
+/// Read a model artifact's signature section, if present, without decoding
+/// any weights. `Ok(None)` means a valid artifact saved without a
+/// signature (e.g. through plain [`encode_er_model_with_memo`]).
+pub fn peek_model_signature(bytes: &[u8]) -> Result<Option<ModelSignature>> {
+    let c = Container::parse_kind(bytes, ArtifactKind::Model)?;
+    match c.section(tag::SIGNATURE) {
+        Some(payload) => Ok(Some(decode_model_signature(payload)?)),
+        None => Ok(None),
+    }
 }
 
 fn model_kind_from_code(code: u8) -> Result<ModelKind> {
@@ -423,6 +466,43 @@ mod tests {
         zeros.f64(f64::NAN);
         let bytes = write_container(ArtifactKind::Rule, &[(tag::RULE, zeros.into_bytes())]);
         assert!(decode_rule_matcher(&bytes).is_err());
+    }
+
+    #[test]
+    fn signed_models_roundtrip_and_peek_without_decoding() {
+        let d = generate(DatasetId::FZ, Scale::Smoke, 4);
+        let kind = ModelKind::DeepEr;
+        let (model, _) = train_model(kind, &d, &TrainConfig::for_kind(kind));
+        let ms = ModelSignature {
+            dataset: "FZ".to_string(),
+            scale: "smoke".to_string(),
+            seed: 4,
+            signature: crate::signature::build_signature(&d, 1),
+        };
+        let bytes = encode_er_model_signed(&model, &ms);
+
+        // The signature rides along without disturbing the weights.
+        let decoded = decode_er_model(&bytes).unwrap();
+        let (u, v) = d.expect_pair(d.split(Split::Test)[0].pair);
+        assert_eq!(decoded.score(u, v).to_bits(), model.score(u, v).to_bits());
+
+        // Peeks read META/SIGNATURE without a full decode.
+        assert_eq!(peek_model_kind(&bytes).unwrap(), kind);
+        let peeked = peek_model_signature(&bytes).unwrap().expect("signed");
+        assert_eq!(peeked.dataset, "FZ");
+        assert_eq!(peeked.seed, 4);
+        assert_eq!(
+            peeked.signature.similarity(&ms.signature).to_bits(),
+            1.0f64.to_bits(),
+            "persisted signature is the built one"
+        );
+
+        // Signature-less artifacts (the pre-repository save path) still
+        // load and peek as unsigned.
+        let plain = encode_er_model_with_memo(&model);
+        assert!(peek_model_signature(&plain).unwrap().is_none());
+        assert_eq!(peek_model_kind(&plain).unwrap(), kind);
+        assert!(decode_er_model(&plain).is_ok());
     }
 
     #[test]

@@ -17,14 +17,25 @@
 use crate::container::{ArtifactKind, Container};
 use crate::dataset::{decode_dataset, encode_dataset};
 use crate::error::{Result, StoreError};
-use crate::model::{decode_er_model, decode_rule_matcher, encode_er_model_with_memo};
+use crate::model::{
+    decode_er_model, decode_rule_matcher, encode_er_model_signed, encode_er_model_with_memo,
+    peek_model_kind,
+};
 use crate::partition::{decode_partition, encode_partition, StoredPartition};
+use crate::signature::{build_signature, ModelSignature};
 use crate::snapshot::decode_score_cache;
 use certa_cluster::Partition;
 use certa_core::Dataset;
 use certa_datagen::{DatasetId, Scale};
 use certa_models::{ErModel, ModelKind};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How old an orphaned temp file must be before [`ModelStore::gc`] sweeps
+/// it. A temp file younger than this may belong to an in-flight
+/// `write_atomic` in *another* process (same-process temps are recognized
+/// by pid and never swept); fifteen minutes is far beyond any save.
+pub const GC_TMP_STALENESS: Duration = Duration::from_secs(15 * 60);
 
 /// File extension of every store artifact.
 pub const EXTENSION: &str = "cst";
@@ -133,6 +144,29 @@ impl ModelStore {
         Ok(path)
     }
 
+    /// [`ModelStore::save_model`] plus an embedded SIGNATURE section built
+    /// from the training dataset — the form [`crate::Repository`] indexes
+    /// and `certa-store search` ranks. Returns the written path.
+    pub fn save_model_signed(
+        &self,
+        id: DatasetId,
+        kind: ModelKind,
+        scale: Scale,
+        seed: u64,
+        model: &ErModel,
+        dataset: &Dataset,
+    ) -> Result<PathBuf> {
+        let ms = ModelSignature {
+            dataset: id.code().to_string(),
+            scale: scale.to_string(),
+            seed,
+            signature: build_signature(dataset, 1),
+        };
+        let path = self.model_path(id, kind, scale, seed);
+        self.write_atomic(&path, &encode_er_model_signed(model, &ms))?;
+        Ok(path)
+    }
+
     /// Load + fully verify a model artifact, additionally checking that the
     /// stored family matches the requested one (a renamed file cannot serve
     /// the wrong matcher).
@@ -145,16 +179,17 @@ impl ModelStore {
     ) -> Result<ErModel> {
         let path = self.model_path(id, kind, scale, seed);
         let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
-        let model = decode_er_model(&bytes)?;
-        if model.kind() != kind {
+        // Validate the stored family from the container header *before*
+        // the full decode: the guard holds for any file at this path, not
+        // just while the filename layout keeps kinds on distinct paths.
+        let stored = peek_model_kind(&bytes)?;
+        if stored != kind {
             return Err(StoreError::Malformed(format!(
-                "{} holds a {:?} model, expected {:?}",
-                path.display(),
-                model.kind(),
-                kind
+                "{} holds a {stored:?} model, expected {kind:?}",
+                path.display()
             )));
         }
-        Ok(model)
+        decode_er_model(&bytes)
     }
 
     /// Persist a resolved entity partition next to the model that produced
@@ -210,7 +245,21 @@ impl ModelStore {
     /// Remove every artifact that fails verification (corrupt bytes, stale
     /// format versions) plus orphaned `.tmp` files from interrupted saves.
     /// Returns the removed paths; with `dry_run` nothing is deleted.
+    ///
+    /// Temp files are only swept when *orphaned*: a temp belonging to this
+    /// process (pid parsed from the `.tmp.<pid>.<n>` name) is never
+    /// touched, and temps younger than [`GC_TMP_STALENESS`] are left for
+    /// whichever process is mid-save on them — without both guards, a gc
+    /// racing a concurrent `write_atomic` deletes the temp file right
+    /// before its rename and fails that save with a spurious `Io` error.
     pub fn gc(&self, dry_run: bool) -> Result<Vec<PathBuf>> {
+        self.gc_with_staleness(dry_run, GC_TMP_STALENESS)
+    }
+
+    /// [`ModelStore::gc`] with an explicit temp-file staleness window
+    /// (tests pass [`Duration::ZERO`] to treat every foreign temp as
+    /// orphaned; the current process's temps are skipped regardless).
+    pub fn gc_with_staleness(&self, dry_run: bool, staleness: Duration) -> Result<Vec<PathBuf>> {
         let mut doomed = Vec::new();
         for path in self.list()? {
             if verify_file(&path).is_err() {
@@ -224,9 +273,28 @@ impl ModelStore {
                 let name = name.to_string_lossy();
                 // Both temp shapes: bare `.tmp` and the per-call unique
                 // `.tmp.<pid>.<n>` that `write_atomic` creates.
-                if name.ends_with(".tmp") || name.contains(".tmp.") {
-                    doomed.push(path);
+                if !(name.ends_with(".tmp") || name.contains(".tmp.")) {
+                    continue;
                 }
+                // A live temp of this very process is about to be renamed.
+                if tmp_pid(&name) == Some(std::process::id()) {
+                    continue;
+                }
+                // A fresh foreign temp may belong to another process's
+                // in-flight save; only sweep once it has gone stale. An
+                // unreadable mtime is treated as fresh (conservative).
+                if !staleness.is_zero() {
+                    let age = entry
+                        .metadata()
+                        .ok()
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|t| t.elapsed().ok());
+                    match age {
+                        Some(age) if age >= staleness => {}
+                        _ => continue,
+                    }
+                }
+                doomed.push(path);
             }
         }
         doomed.sort();
@@ -237,6 +305,42 @@ impl ModelStore {
         }
         Ok(doomed)
     }
+
+    /// Evict least-recently-modified artifacts until the store's total
+    /// size fits within `max_bytes` (LRU by mtime, path ascending as the
+    /// tiebreak). Returns the evicted paths, oldest first; with `dry_run`
+    /// nothing is deleted. Temp files are gc's business, not eviction's.
+    pub fn evict(&self, max_bytes: u64, dry_run: bool) -> Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        let mut total = 0u64;
+        for path in self.list()? {
+            let meta = std::fs::metadata(&path).map_err(|e| io_err(&path, e))?;
+            let mtime = meta.modified().map_err(|e| io_err(&path, e))?;
+            total += meta.len();
+            files.push((mtime, path, meta.len()));
+        }
+        files.sort();
+        let mut doomed = Vec::new();
+        for (_, path, len) in files {
+            if total <= max_bytes {
+                break;
+            }
+            total -= len;
+            doomed.push(path);
+        }
+        if !dry_run {
+            for path in &doomed {
+                std::fs::remove_file(path).map_err(|e| io_err(path, e))?;
+            }
+        }
+        Ok(doomed)
+    }
+}
+
+/// Pid embedded in a `.tmp.<pid>.<n>` temp name, when present.
+fn tmp_pid(name: &str) -> Option<u32> {
+    let rest = name.split(".tmp.").nth(1)?;
+    rest.split('.').next()?.parse().ok()
 }
 
 /// Fully verify one artifact file: container structure, checksums, and the
@@ -315,11 +419,19 @@ mod tests {
             assert_eq!(m2.score(u2, v2).to_bits(), model.score(u, v).to_bits());
         }
 
-        // Wrong-kind load is refused even though the file verifies.
+        // Wrong-kind load is refused by the stored META kind, not by path
+        // layout: copy the DeepMatcher artifact onto the Ditto path and the
+        // kind guard must still fire (before any weight decode).
+        let dm_path = store.model_path(DatasetId::FZ, kind, Scale::Smoke, 11);
+        let ditto_path = store.model_path(DatasetId::FZ, ModelKind::Ditto, Scale::Smoke, 11);
+        std::fs::copy(&dm_path, &ditto_path).unwrap();
         let err = store
             .load_model(DatasetId::FZ, ModelKind::Ditto, Scale::Smoke, 11)
             .unwrap_err();
-        assert!(matches!(err, StoreError::Io(_)), "distinct path: {err}");
+        assert!(
+            matches!(err, StoreError::Malformed(ref m) if m.contains("DeepMatcher")),
+            "wrong-kind guard: {err}"
+        );
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -337,24 +449,112 @@ mod tests {
         bytes[last] ^= 0xFF;
         let bad = store.dir().join(format!("broken.dataset.{EXTENSION}"));
         std::fs::write(&bad, &bytes).unwrap();
-        // Stale temp files from interrupted saves, both name shapes.
+        // Stale temp files from interrupted saves, both name shapes: a
+        // bare `.tmp` (no pid) and a foreign process's `.tmp.<pid>.<n>`.
         let tmp = store.dir().join("half-written.tmp");
         std::fs::write(&tmp, b"partial").unwrap();
-        let tmp2 = store.dir().join("x.dataset.tmp.1234.0");
+        let foreign_pid = std::process::id().wrapping_add(1);
+        let tmp2 = store.dir().join(format!("x.dataset.tmp.{foreign_pid}.0"));
         std::fs::write(&tmp2, b"partial").unwrap();
+        // A temp belonging to *this* process: a live save in flight.
+        let live = store
+            .dir()
+            .join(format!("y.dataset.tmp.{}.9", std::process::id()));
+        std::fs::write(&live, b"mine").unwrap();
 
+        // The default window keeps every just-written temp (another
+        // process may be mid-save on the foreign ones).
         let doomed = store.gc(true).unwrap();
+        assert_eq!(doomed, vec![bad.clone()]);
+
+        // Zero staleness treats foreign temps as orphaned; this process's
+        // own temp is still protected by the pid guard.
+        let doomed = store.gc_with_staleness(true, Duration::ZERO).unwrap();
         assert_eq!(doomed, vec![bad.clone(), tmp.clone(), tmp2.clone()]);
         assert!(
             bad.exists() && tmp.exists() && tmp2.exists(),
             "dry run removes nothing"
         );
 
-        let doomed = store.gc(false).unwrap();
+        let doomed = store.gc_with_staleness(false, Duration::ZERO).unwrap();
         assert_eq!(doomed.len(), 3);
         assert!(!bad.exists() && !tmp.exists() && !tmp2.exists());
+        assert!(live.exists(), "the current process's live temp survives");
         assert!(good.exists(), "valid artifacts survive gc");
         assert_eq!(verify_file(&good).unwrap(), ArtifactKind::Dataset);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn saves_racing_gc_still_land() {
+        let store = temp_store("gc-race");
+        let d = generate(DatasetId::AB, Scale::Smoke, 3);
+        store
+            .save_dataset(DatasetId::AB, Scale::Smoke, 0, &d)
+            .unwrap();
+
+        // A sweeper hammering gc while saves stream in: with the pid and
+        // staleness guards, no save's temp file is ever deleted out from
+        // under its rename.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let sweeper = s.spawn(|| {
+                let mut sweeps = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    store.gc(false).expect("gc itself must not fail");
+                    sweeps += 1;
+                }
+                sweeps
+            });
+            for seed in 1..=12u64 {
+                store
+                    .save_dataset(DatasetId::AB, Scale::Smoke, seed, &d)
+                    .expect("a save racing gc(false) must land");
+            }
+            stop.store(true, Ordering::Relaxed);
+            assert!(sweeper.join().unwrap() > 0, "the sweeper actually ran");
+        });
+        assert_eq!(store.list().unwrap().len(), 13, "every racing save landed");
+        for path in store.list().unwrap() {
+            assert_eq!(verify_file(&path).unwrap(), ArtifactKind::Dataset);
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn evict_drops_oldest_artifacts_to_fit_the_budget() {
+        let store = temp_store("evict");
+        let d = generate(DatasetId::AB, Scale::Smoke, 2);
+        let mut paths = Vec::new();
+        for seed in 0..3u64 {
+            paths.push(
+                store
+                    .save_dataset(DatasetId::AB, Scale::Smoke, seed, &d)
+                    .unwrap(),
+            );
+            // Distinct mtimes so LRU order is unambiguous (coarse
+            // filesystem timestamps would otherwise tie all three).
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let sizes: u64 = paths
+            .iter()
+            .map(|p| std::fs::metadata(p).unwrap().len())
+            .sum();
+        let one = std::fs::metadata(&paths[0]).unwrap().len();
+
+        // Budget for everything: nothing evicted.
+        assert!(store.evict(sizes, true).unwrap().is_empty());
+        // Budget for two artifacts: the oldest goes, dry run first.
+        let doomed = store.evict(sizes - 1, true).unwrap();
+        assert_eq!(doomed, vec![paths[0].clone()]);
+        assert!(paths[0].exists(), "dry run removes nothing");
+        let doomed = store.evict(sizes - 1, false).unwrap();
+        assert_eq!(doomed, vec![paths[0].clone()]);
+        assert!(!paths[0].exists() && paths[1].exists() && paths[2].exists());
+        // Budget below one artifact: everything must go.
+        let doomed = store.evict(one.saturating_sub(1), false).unwrap();
+        assert_eq!(doomed.len(), 2);
+        assert!(store.list().unwrap().is_empty());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -171,18 +171,22 @@ fn golden_model_fixture_is_stable() {
 #[test]
 fn golden_fixtures_reject_a_version_bump() {
     // Pin the compatibility rule itself: the committed bytes carry
-    // version 1 at offset 8, and a reader seeing any other version fails
-    // with `UnsupportedVersion` rather than misreading.
+    // version 2 at offset 8, and a reader seeing any other version —
+    // older (1, pre-signature) or newer (3) — fails with
+    // `UnsupportedVersion` rather than misreading.
     for name in ["tiny_dataset.cst", "handcrafted_model.cst"] {
-        let mut bytes = std::fs::read(fixture_path(name)).expect("fixture committed");
+        let bytes = std::fs::read(fixture_path(name)).expect("fixture committed");
         assert_eq!(
             u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
             certa_repro::store::FORMAT_VERSION
         );
-        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
-        assert!(matches!(
-            verify_bytes(&bytes).unwrap_err(),
-            certa_repro::store::StoreError::UnsupportedVersion { found: 2, .. }
-        ));
+        for other in [1u32, 3] {
+            let mut tampered = bytes.clone();
+            tampered[8..12].copy_from_slice(&other.to_le_bytes());
+            assert!(matches!(
+                verify_bytes(&tampered).unwrap_err(),
+                certa_repro::store::StoreError::UnsupportedVersion { found, .. } if found == other
+            ));
+        }
     }
 }
